@@ -1,0 +1,132 @@
+//! Micro-benchmarks of the control-plane path (Fig. 7) and the observer.
+//!
+//! The paper's Fig. 10 ceiling is set by control-plane processing latency;
+//! these measure how cheap the *logic* itself is (the paper's bottleneck
+//! was its Python runtime, modeled separately in `fabric::LatencyModel`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use speedlight_core::control::{ControlPlane, Registers, Report, ReportValue};
+use speedlight_core::observer::{Observer, ObserverConfig};
+use speedlight_core::types::{ChannelId, Notification, UnitId};
+use speedlight_core::unit::{DataPlaneUnit, SnapSlot, UnitConfig};
+use speedlight_core::WrappedId;
+use std::collections::BTreeMap;
+
+struct Regs {
+    units: BTreeMap<UnitId, DataPlaneUnit>,
+}
+
+impl Registers for Regs {
+    fn read_sid(&mut self, unit: UnitId) -> WrappedId {
+        self.units[&unit].sid()
+    }
+    fn read_last_seen(&mut self, unit: UnitId, channel: ChannelId) -> WrappedId {
+        self.units[&unit].last_seen(channel)
+    }
+    fn take_slot(&mut self, unit: UnitId, id: WrappedId) -> Option<SnapSlot> {
+        self.units.get_mut(&unit).unwrap().take_slot(id)
+    }
+}
+
+fn bench_cp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control_plane");
+
+    // Steady-state notification: one unit advancing epoch by epoch.
+    g.bench_function("notification_advance_no_cs", |b| {
+        let uid = UnitId::ingress(0, 0);
+        let mut cp = ControlPlane::new(0, 4_096, false);
+        cp.register_unit(uid, 1, vec![true]);
+        let mut regs = Regs {
+            units: BTreeMap::from([(
+                uid,
+                DataPlaneUnit::new(UnitConfig {
+                    unit: uid,
+                    modulus: 4_096,
+                    channel_state: false,
+                    num_channels: 1,
+                }),
+            )]),
+        };
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            let w = WrappedId::wrap(epoch, 4_096);
+            let out = regs.units.get_mut(&uid).unwrap().on_packet(
+                ChannelId(0),
+                w,
+                epoch,
+                1,
+                false,
+            );
+            let n = out.notification.unwrap();
+            black_box(cp.on_notification(&n, &mut regs));
+        })
+    });
+
+    // Duplicate notification (the dedup fast path).
+    g.bench_function("notification_duplicate", |b| {
+        let uid = UnitId::ingress(0, 0);
+        let mut cp = ControlPlane::new(0, 256, true);
+        cp.register_unit(uid, 1, vec![true]);
+        let mut regs = Regs {
+            units: BTreeMap::from([(
+                uid,
+                DataPlaneUnit::new(UnitConfig {
+                    unit: uid,
+                    modulus: 256,
+                    channel_state: true,
+                    num_channels: 1,
+                }),
+            )]),
+        };
+        let n = Notification {
+            unit: uid,
+            old_sid: WrappedId::from_raw(0, 256),
+            new_sid: WrappedId::from_raw(0, 256),
+            channel: Some(ChannelId(0)),
+            old_last_seen: WrappedId::from_raw(0, 256),
+            new_last_seen: WrappedId::from_raw(0, 256),
+        };
+        b.iter(|| black_box(cp.on_notification(black_box(&n), &mut regs)))
+    });
+    g.finish();
+}
+
+fn bench_observer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("observer");
+
+    // Full assembly of a 128-unit (64-port switch) snapshot.
+    g.bench_function("assemble_128_units", |b| {
+        b.iter(|| {
+            let mut obs = Observer::new(ObserverConfig::for_modulus(256));
+            let units: Vec<UnitId> = (0..64)
+                .flat_map(|p| [UnitId::ingress(0, p), UnitId::egress(0, p)])
+                .collect();
+            obs.register_device(0, units.clone());
+            let epoch = obs.begin_snapshot().unwrap();
+            let mut done = None;
+            for (i, u) in units.iter().enumerate() {
+                done = obs.on_report(
+                    0,
+                    Report {
+                        unit: *u,
+                        epoch,
+                        value: ReportValue::Value {
+                            local: i as u64,
+                            channel: 0,
+                        },
+                    },
+                );
+            }
+            black_box(done.expect("complete"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_cp, bench_observer
+}
+criterion_main!(benches);

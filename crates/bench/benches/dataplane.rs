@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the data-plane hot path.
+//!
+//! These back the feasibility story (§5, §7): the per-packet snapshot
+//! logic is a handful of register operations — here measured as the cost
+//! of the whole state machine in software, per packet, for each of the
+//! three cases a packet can hit (current / in-flight / advance) and for
+//! the wire codec.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use speedlight_core::types::{ChannelId, UnitId};
+use speedlight_core::unit::{DataPlaneUnit, UnitConfig};
+use speedlight_core::WrappedId;
+use telemetry::{MetricBank, MetricKind};
+use wire::SnapshotHeader;
+
+fn unit(channel_state: bool, channels: u16) -> DataPlaneUnit {
+    DataPlaneUnit::new(UnitConfig {
+        unit: UnitId::ingress(0, 0),
+        modulus: 256,
+        channel_state,
+        num_channels: channels,
+    })
+}
+
+fn bench_unit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataplane_unit");
+
+    // Common case: packet carries the current epoch — pure comparison.
+    g.bench_function("current_epoch_cs", |b| {
+        let mut u = unit(true, 4);
+        let w = WrappedId::from_raw(0, 256);
+        b.iter(|| {
+            black_box(u.on_packet(ChannelId(0), black_box(w), 7, 1, false));
+        })
+    });
+
+    // In-flight: channel-state accumulation.
+    g.bench_function("in_flight_cs", |b| {
+        let mut u = unit(true, 4);
+        u.on_packet(ChannelId(0), WrappedId::from_raw(1, 256), 7, 1, false);
+        let old = WrappedId::from_raw(0, 256);
+        b.iter(|| {
+            black_box(u.on_packet(ChannelId(1), black_box(old), 7, 1, false));
+        })
+    });
+
+    // Epoch advance: slot save + notification build (alternating so every
+    // iteration really advances).
+    g.bench_function("advance_cs", |b| {
+        let mut u = unit(true, 1);
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            let w = WrappedId::wrap(epoch, 256);
+            black_box(u.on_packet(ChannelId(0), w, epoch, 1, false));
+        })
+    });
+
+    g.bench_function("current_epoch_no_cs", |b| {
+        let mut u = unit(false, 4);
+        let w = WrappedId::from_raw(0, 256);
+        b.iter(|| {
+            black_box(u.on_packet(ChannelId(0), black_box(w), 7, 1, false));
+        })
+    });
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metric_bank");
+    for kind in [
+        MetricKind::PacketCount,
+        MetricKind::ByteCount,
+        MetricKind::EwmaInterarrival,
+    ] {
+        g.bench_function(format!("{kind:?}"), |b| {
+            let mut bank = MetricBank::new(kind, 64);
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 800;
+                bank.on_packet(7, netsim::time::Instant::from_nanos(t), 1_000);
+                black_box(bank.read(7));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    g.bench_function("encode", |b| {
+        let hdr = SnapshotHeader::data(123);
+        let mut buf = Vec::with_capacity(wire::WIRE_LEN);
+        b.iter(|| {
+            buf.clear();
+            hdr.encode(&mut buf);
+            black_box(&buf);
+        })
+    });
+    g.bench_function("decode", |b| {
+        let bytes = SnapshotHeader::data(123).encode_to_vec();
+        b.iter(|| {
+            let mut slice = bytes.as_slice();
+            black_box(SnapshotHeader::decode(&mut slice).unwrap());
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_unit, bench_metrics, bench_wire
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Whole-simulator throughput: how many simulated packet-events per second
+//! the testbed substrate sustains (this bounds how long the figure
+//! binaries take, and documents that the experiments are not event-starved).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use fabric::network::DriverConfig;
+use fabric::switchmod::SnapshotConfig;
+use fabric::testbed::{Testbed, TestbedConfig};
+use fabric::topology::Topology;
+use netsim::dist::Dist;
+use netsim::time::{Duration, Instant};
+use workloads::PoissonSource;
+
+fn build(snapshots: bool) -> Testbed {
+    let topo = Topology::leaf_spine(2, 2, 3);
+    let mut cfg = TestbedConfig::new(SnapshotConfig::packet_count_cs(256));
+    cfg.driver = DriverConfig {
+        snapshot_period: snapshots.then(|| Duration::from_millis(2)),
+        ..DriverConfig::default()
+    };
+    let mut tb = Testbed::new(topo, cfg);
+    for h in 0..6u32 {
+        let dsts: Vec<u32> = (0..6).filter(|&d| d != h).collect();
+        tb.set_source(
+            h,
+            Instant::ZERO,
+            Box::new(
+                PoissonSource::new(h, dsts, 100_000.0, Dist::constant(700.0), u64::from(h))
+                    .flows_per_dst(4),
+            ),
+        );
+    }
+    tb
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("testbed");
+    g.sample_size(10);
+
+    // 10 simulated ms of 600k pps leaf-spine traffic, no snapshots.
+    g.bench_function("10ms_leafspine_traffic", |b| {
+        b.iter_batched(
+            || build(false),
+            |mut tb| {
+                tb.run_until(Instant::ZERO + Duration::from_millis(10));
+                black_box(tb.network().instr.host_rx.len())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Same with periodic channel-state snapshots: measures the protocol's
+    // overhead on the simulation.
+    g.bench_function("10ms_leafspine_with_snapshots", |b| {
+        b.iter_batched(
+            || build(true),
+            |mut tb| {
+                tb.run_until(Instant::ZERO + Duration::from_millis(10));
+                black_box(tb.snapshots().len())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_sim
+}
+criterion_main!(benches);

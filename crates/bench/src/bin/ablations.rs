@@ -1,0 +1,4 @@
+//! Run the beyond-paper design ablations.
+fn main() {
+    println!("{}", experiments::ablations::render_all(99));
+}

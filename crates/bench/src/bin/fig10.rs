@@ -1,0 +1,6 @@
+//! Regenerate Fig. 10 (max sustained snapshot rate vs port count).
+use experiments::fig10::{run, Fig10Config};
+fn main() {
+    let fig = run(&Fig10Config::default());
+    println!("{}", fig.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Fig. 11 (synchronization vs network size).
+use experiments::fig11::{run, Fig11Config};
+fn main() {
+    let fig = run(&Fig11Config::default());
+    println!("{}", fig.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Fig. 12 (load-balancing study: snapshots vs polling).
+use experiments::fig12::{run, Fig12Config};
+fn main() {
+    let fig = run(&Fig12Config::default());
+    println!("{}", fig.render());
+}

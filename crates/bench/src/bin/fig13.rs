@@ -1,0 +1,6 @@
+//! Regenerate Fig. 13 (pairwise correlation of egress rates).
+use experiments::fig13::{run, Fig13Config};
+fn main() {
+    let fig = run(&Fig13Config::default());
+    println!("{}", fig.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Fig. 9 (synchronization of network-wide measurements).
+use experiments::fig9::{run, Fig9Config};
+fn main() {
+    let fig = run(&Fig9Config::default());
+    println!("{}", fig.render());
+}

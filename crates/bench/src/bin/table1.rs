@@ -1,0 +1,4 @@
+//! Regenerate Table 1 (resource usage of the Speedlight data plane).
+fn main() {
+    println!("{}", experiments::table1::run().render());
+}

@@ -1,0 +1,20 @@
+//! Benchmark harness for Speedlight-rs.
+//!
+//! Binaries (`cargo run --release -p bench --bin <name>`) regenerate the
+//! paper's evaluation artifacts:
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table1` | Table 1 — Tofino resource usage |
+//! | `fig9` | Fig. 9 — synchronization CDFs |
+//! | `fig10` | Fig. 10 — max sustained snapshot rate |
+//! | `fig11` | Fig. 11 — synchronization vs network size |
+//! | `fig12` | Fig. 12 — load-balance stddev CDFs |
+//! | `fig13` | Fig. 13 — Spearman correlation study |
+//! | `ablations` | beyond-paper design ablations |
+//!
+//! Criterion benches (`cargo bench -p bench`) cover the per-packet data
+//! plane, control-plane notification handling, the wire codec, and
+//! whole-testbed simulation throughput.
+
+#![forbid(unsafe_code)]

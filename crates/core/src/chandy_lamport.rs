@@ -1,0 +1,352 @@
+//! A classic Chandy-Lamport distributed snapshot (the paper's intellectual
+//! ancestor, §2/§4), implemented textbook-style with explicit marker
+//! messages over reliable FIFO channels.
+//!
+//! Speedlight's protocol differs (multi-initiator, piggybacked epochs,
+//! bipartite data/control split), but both must produce *causally
+//! consistent cuts*. The property tests use this implementation as an
+//! independent oracle: on the same token-passing system, both protocols
+//! must conserve the token total (local states + channel states = initial
+//! tokens).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Node identifier in the classic snapshot system.
+pub type NodeId = usize;
+
+/// A message on a channel: application tokens or a snapshot marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Message {
+    /// Application payload carrying `tokens` units of conserved state.
+    Tokens(u64),
+    /// The Chandy-Lamport marker.
+    Marker,
+}
+
+/// One node of the token-passing system.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Conserved local token count.
+    tokens: u64,
+    /// Recorded local state (set when the node snapshots).
+    recorded: Option<u64>,
+    /// Channels (by upstream node) currently being recorded.
+    recording: BTreeSet<NodeId>,
+    /// Recorded in-transit tokens per upstream channel.
+    channel_state: BTreeMap<NodeId, u64>,
+    /// Upstream neighbors (incoming channels).
+    upstream: Vec<NodeId>,
+    /// Downstream neighbors (outgoing channels).
+    downstream: Vec<NodeId>,
+}
+
+/// A strongly-connected system of token-passing nodes with FIFO channels,
+/// supporting classic Chandy-Lamport snapshots.
+#[derive(Debug, Clone)]
+pub struct ClassicSystem {
+    nodes: Vec<Node>,
+    /// FIFO channel queues keyed by (from, to).
+    channels: BTreeMap<(NodeId, NodeId), VecDeque<Message>>,
+    snapshot_started: bool,
+}
+
+impl ClassicSystem {
+    /// Build a system from a directed edge list; every node starts with
+    /// `initial_tokens`.
+    pub fn new(num_nodes: usize, edges: &[(NodeId, NodeId)], initial_tokens: u64) -> Self {
+        let mut nodes: Vec<Node> = (0..num_nodes)
+            .map(|_| Node {
+                tokens: initial_tokens,
+                recorded: None,
+                recording: BTreeSet::new(),
+                channel_state: BTreeMap::new(),
+                upstream: Vec::new(),
+                downstream: Vec::new(),
+            })
+            .collect();
+        let mut channels = BTreeMap::new();
+        for &(from, to) in edges {
+            assert!(from != to, "self-channels are not modeled");
+            nodes[from].downstream.push(to);
+            nodes[to].upstream.push(from);
+            channels.insert((from, to), VecDeque::new());
+        }
+        ClassicSystem {
+            nodes,
+            channels,
+            snapshot_started: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the system has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total tokens currently held by nodes and channels (ground truth).
+    pub fn total_tokens(&self) -> u64 {
+        let at_nodes: u64 = self.nodes.iter().map(|n| n.tokens).sum();
+        let in_flight: u64 = self
+            .channels
+            .values()
+            .flat_map(|q| q.iter())
+            .map(|m| match m {
+                Message::Tokens(t) => *t,
+                Message::Marker => 0,
+            })
+            .sum();
+        at_nodes + in_flight
+    }
+
+    /// Send `amount` tokens from `from` along its `out_idx`-th outgoing
+    /// channel (application event). No-op if the node lacks tokens.
+    pub fn send_tokens(&mut self, from: NodeId, out_idx: usize, amount: u64) {
+        if self.nodes[from].downstream.is_empty() {
+            return;
+        }
+        let to = self.nodes[from].downstream[out_idx % self.nodes[from].downstream.len()];
+        let amount = amount.min(self.nodes[from].tokens);
+        if amount == 0 {
+            return;
+        }
+        self.nodes[from].tokens -= amount;
+        self.channels
+            .get_mut(&(from, to))
+            .expect("edge exists")
+            .push_back(Message::Tokens(amount));
+    }
+
+    /// Deliver the oldest message on channel `(from, to)` (scheduler event).
+    /// Returns `false` if the channel was empty.
+    pub fn deliver(&mut self, from: NodeId, to: NodeId) -> bool {
+        let Some(queue) = self.channels.get_mut(&(from, to)) else {
+            return false;
+        };
+        let Some(msg) = queue.pop_front() else {
+            return false;
+        };
+        match msg {
+            Message::Tokens(t) => {
+                // If the receiver is recording this channel, the tokens are
+                // part of the channel's snapshot state.
+                if self.nodes[to].recording.contains(&from) {
+                    *self.nodes[to].channel_state.entry(from).or_insert(0) += t;
+                }
+                self.nodes[to].tokens += t;
+            }
+            Message::Marker => self.on_marker(from, to),
+        }
+        true
+    }
+
+    /// Initiate the snapshot at `node` (can be called at several nodes —
+    /// the multi-initiator variant of Spezialetti-Kearns that Speedlight
+    /// adopts; concurrent initiations merge into one snapshot here because
+    /// there is a single snapshot instance).
+    pub fn initiate(&mut self, node: NodeId) {
+        self.snapshot_started = true;
+        self.record_local(node);
+    }
+
+    fn record_local(&mut self, node: NodeId) {
+        if self.nodes[node].recorded.is_some() {
+            return;
+        }
+        self.nodes[node].recorded = Some(self.nodes[node].tokens);
+        // Start recording every incoming channel…
+        let upstream: Vec<NodeId> = self.nodes[node].upstream.clone();
+        for up in upstream {
+            self.nodes[node].recording.insert(up);
+            self.nodes[node].channel_state.entry(up).or_insert(0);
+        }
+        // …and send a marker on every outgoing channel.
+        let downstream: Vec<NodeId> = self.nodes[node].downstream.clone();
+        for down in downstream {
+            self.channels
+                .get_mut(&(node, down))
+                .expect("edge")
+                .push_back(Message::Marker);
+        }
+    }
+
+    fn on_marker(&mut self, from: NodeId, to: NodeId) {
+        if self.nodes[to].recorded.is_none() {
+            // First marker: record local state; the channel it arrived on
+            // is empty (recorded as such).
+            self.record_local(to);
+        }
+        // Marker closes the (from → to) channel's recording.
+        self.nodes[to].recording.remove(&from);
+    }
+
+    /// Whether every node has recorded and every channel recording closed.
+    pub fn snapshot_complete(&self) -> bool {
+        self.snapshot_started
+            && self
+                .nodes
+                .iter()
+                .all(|n| n.recorded.is_some() && n.recording.is_empty())
+    }
+
+    /// The recorded global state: (per-node states, per-channel states).
+    /// Meaningful once [`ClassicSystem::snapshot_complete`] holds.
+    pub fn recorded_snapshot(&self) -> (Vec<u64>, BTreeMap<(NodeId, NodeId), u64>) {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| n.recorded.unwrap_or(0))
+            .collect();
+        let mut chans = BTreeMap::new();
+        for (to, node) in self.nodes.iter().enumerate() {
+            for (&from, &tokens) in &node.channel_state {
+                chans.insert((from, to), tokens);
+            }
+        }
+        (nodes, chans)
+    }
+
+    /// Recorded total (node states + channel states): must equal the system
+    /// token total for a consistent cut.
+    pub fn recorded_total(&self) -> u64 {
+        let (nodes, chans) = self.recorded_snapshot();
+        nodes.iter().sum::<u64>() + chans.values().sum::<u64>()
+    }
+
+    /// Channels that still hold undelivered messages.
+    pub fn busy_channels(&self) -> Vec<(NodeId, NodeId)> {
+        self.channels
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(k, _)| *k)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fully drain all channels, round-robin.
+    fn drain(sys: &mut ClassicSystem) {
+        loop {
+            let busy = sys.busy_channels();
+            if busy.is_empty() {
+                break;
+            }
+            for (from, to) in busy {
+                sys.deliver(from, to);
+            }
+        }
+    }
+
+    fn ring(n: usize) -> Vec<(NodeId, NodeId)> {
+        (0..n)
+            .flat_map(|i| [(i, (i + 1) % n), ((i + 1) % n, i)])
+            .collect()
+    }
+
+    #[test]
+    fn quiescent_snapshot_records_exact_state() {
+        let mut sys = ClassicSystem::new(3, &ring(3), 100);
+        sys.initiate(0);
+        drain(&mut sys);
+        assert!(sys.snapshot_complete());
+        assert_eq!(sys.recorded_total(), 300);
+        let (nodes, chans) = sys.recorded_snapshot();
+        assert_eq!(nodes, vec![100, 100, 100]);
+        assert!(chans.values().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn in_flight_tokens_are_captured_as_channel_state() {
+        let mut sys = ClassicSystem::new(2, &[(0, 1), (1, 0)], 50);
+        // 0 sends 20 tokens, then we snapshot at 0 before delivery.
+        sys.send_tokens(0, 0, 20);
+        sys.initiate(0);
+        drain(&mut sys);
+        assert!(sys.snapshot_complete());
+        assert_eq!(sys.total_tokens(), 100);
+        assert_eq!(sys.recorded_total(), 100);
+        let (nodes, _) = sys.recorded_snapshot();
+        assert_eq!(nodes[0], 30, "sender recorded post-send state");
+    }
+
+    #[test]
+    fn tokens_sent_after_marker_are_excluded() {
+        let mut sys = ClassicSystem::new(2, &[(0, 1), (1, 0)], 50);
+        sys.initiate(0);
+        // Send after the marker is queued: FIFO puts tokens behind it.
+        sys.send_tokens(0, 0, 10);
+        drain(&mut sys);
+        assert!(sys.snapshot_complete());
+        // The cut: node 0 recorded 50 (pre-send); node 1's recording of
+        // channel 0→1 closed at the marker, before the tokens arrived.
+        assert_eq!(sys.recorded_total(), 100);
+        let (nodes, chans) = sys.recorded_snapshot();
+        assert_eq!(nodes[0], 50);
+        assert_eq!(chans[&(0, 1)], 0);
+    }
+
+    #[test]
+    fn concurrent_initiators_still_conserve() {
+        let mut sys = ClassicSystem::new(4, &ring(4), 25);
+        sys.send_tokens(0, 0, 5);
+        sys.send_tokens(2, 1, 7);
+        sys.initiate(0);
+        sys.initiate(2);
+        sys.send_tokens(1, 0, 3);
+        drain(&mut sys);
+        assert!(sys.snapshot_complete());
+        assert_eq!(sys.recorded_total(), 100);
+        assert_eq!(sys.total_tokens(), 100);
+    }
+
+    #[test]
+    fn randomized_schedules_conserve_tokens() {
+        use rand::{Rng, SeedableRng};
+        for seed in 0..20u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(2..6);
+            // Dense random strongly-connected graph: ring + extra edges.
+            let mut edges = ring(n);
+            for _ in 0..rng.gen_range(0..6) {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b && !edges.contains(&(a, b)) {
+                    edges.push((a, b));
+                }
+            }
+            let mut sys = ClassicSystem::new(n, &edges, 100);
+            let initiator = rng.gen_range(0..n);
+            let total = sys.total_tokens();
+            for step in 0..200 {
+                match rng.gen_range(0..3) {
+                    0 => {
+                        let from = rng.gen_range(0..n);
+                        let idx = rng.gen_range(0..8);
+                        sys.send_tokens(from, idx, rng.gen_range(1..10));
+                    }
+                    _ => {
+                        let busy = sys.busy_channels();
+                        if !busy.is_empty() {
+                            let (f, t) = busy[rng.gen_range(0..busy.len())];
+                            sys.deliver(f, t);
+                        }
+                    }
+                }
+                if step == 50 {
+                    sys.initiate(initiator);
+                }
+            }
+            drain(&mut sys);
+            assert!(sys.snapshot_complete(), "seed {seed}");
+            assert_eq!(sys.recorded_total(), total, "seed {seed}");
+            assert_eq!(sys.total_tokens(), total, "seed {seed}");
+        }
+    }
+}

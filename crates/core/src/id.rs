@@ -1,0 +1,152 @@
+//! Snapshot epochs and wrapped snapshot IDs.
+//!
+//! The data plane stores snapshot IDs in small registers, so IDs roll over
+//! to 0 after reaching `modulus - 1` (§5.3). Correctness rests on the
+//! paper's **no-lapping assumption**: the difference between any two live
+//! snapshot IDs in the system never exceeds `modulus - 1` (enforced
+//! out-of-band by the observer, which caps outstanding epochs).
+//!
+//! Two facts make rollover tractable:
+//!
+//! 1. every ID stream we compare against is **monotone non-decreasing**
+//!    (a unit's own ID, the last-seen ID per FIFO channel, the control
+//!    plane's view of either), and
+//! 2. no-lapping bounds how far ahead a newly observed ID can be.
+//!
+//! So unwrapping is always "smallest epoch ≥ reference congruent to the
+//! wrapped value", implemented by [`WrappedId::unwrap_from`].
+
+/// An unbounded snapshot epoch (the control plane / observer view).
+///
+/// Epoch 0 is the pre-snapshot era every unit boots into; the first real
+/// snapshot is epoch 1.
+pub type Epoch = u64;
+
+/// A snapshot ID as stored in data-plane registers: a value in
+/// `[0, modulus)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WrappedId {
+    value: u16,
+    modulus: u16,
+}
+
+impl WrappedId {
+    /// Wrap an epoch into ID space.
+    pub fn wrap(epoch: Epoch, modulus: u16) -> WrappedId {
+        assert!(modulus >= 2, "snapshot ID modulus must be at least 2");
+        WrappedId {
+            value: (epoch % Epoch::from(modulus)) as u16,
+            modulus,
+        }
+    }
+
+    /// Construct from a raw register value.
+    pub fn from_raw(value: u16, modulus: u16) -> WrappedId {
+        assert!(modulus >= 2, "snapshot ID modulus must be at least 2");
+        assert!(value < modulus, "wrapped ID {value} out of range (mod {modulus})");
+        WrappedId { value, modulus }
+    }
+
+    /// The raw register value.
+    pub fn raw(self) -> u16 {
+        self.value
+    }
+
+    /// The ID-space modulus ("max snapshot id" in the paper).
+    pub fn modulus(self) -> u16 {
+        self.modulus
+    }
+
+    /// Number of steps forward from `reference` to this ID, in `[0, modulus)`.
+    ///
+    /// This is the *true* epoch difference whenever the true difference is
+    /// known to be in `[0, modulus - 1]` — exactly what monotonicity plus
+    /// no-lapping guarantee.
+    pub fn forward_distance(self, reference: WrappedId) -> u16 {
+        debug_assert_eq!(self.modulus, reference.modulus);
+        let m = self.modulus;
+        ((self.value + m) - reference.value) % m
+    }
+
+    /// Recover the full epoch of this ID given a full-epoch reference that
+    /// is known to be ≤ the true epoch and within `modulus - 1` of it.
+    pub fn unwrap_from(self, reference: Epoch) -> Epoch {
+        let m = Epoch::from(self.modulus);
+        let ref_wrapped = reference % m;
+        let delta = (Epoch::from(self.value) + m - ref_wrapped) % m;
+        reference + delta
+    }
+
+    /// The ID `steps` epochs after this one.
+    pub fn step(self, steps: u16) -> WrappedId {
+        WrappedId {
+            value: ((u32::from(self.value) + u32::from(steps)) % u32::from(self.modulus)) as u16,
+            modulus: self.modulus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_reduces_modulo() {
+        assert_eq!(WrappedId::wrap(0, 8).raw(), 0);
+        assert_eq!(WrappedId::wrap(7, 8).raw(), 7);
+        assert_eq!(WrappedId::wrap(8, 8).raw(), 0);
+        assert_eq!(WrappedId::wrap(23, 8).raw(), 7);
+    }
+
+    #[test]
+    fn forward_distance_handles_rollover() {
+        let m = 8;
+        let a = WrappedId::from_raw(1, m);
+        let b = WrappedId::from_raw(6, m);
+        assert_eq!(a.forward_distance(b), 3); // 6 -> 7 -> 0 -> 1
+        assert_eq!(b.forward_distance(a), 5);
+        assert_eq!(a.forward_distance(a), 0);
+    }
+
+    #[test]
+    fn unwrap_recovers_epochs_within_window() {
+        let m: u16 = 8;
+        for reference in 0..100u64 {
+            for delta in 0..u64::from(m) {
+                let epoch = reference + delta;
+                let w = WrappedId::wrap(epoch, m);
+                assert_eq!(
+                    w.unwrap_from(reference),
+                    epoch,
+                    "epoch={epoch} ref={reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unwrap_is_identity_at_reference() {
+        let w = WrappedId::wrap(42, 16);
+        assert_eq!(w.unwrap_from(42), 42);
+    }
+
+    #[test]
+    fn step_wraps() {
+        let w = WrappedId::from_raw(6, 8);
+        assert_eq!(w.step(1).raw(), 7);
+        assert_eq!(w.step(2).raw(), 0);
+        assert_eq!(w.step(8).raw(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_raw_validates() {
+        WrappedId::from_raw(8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn modulus_must_allow_progress() {
+        WrappedId::wrap(0, 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! The idealized network snapshot protocol of Fig. 3.
+//!
+//! This is the algorithm as specified *before* hardware constraints are
+//! applied (§4): snapshot IDs are unbounded, a jump of `k` epochs saves the
+//! current state into **all** `k` intermediate slots, and an in-flight
+//! packet credits the channel state of **every** epoch in
+//! `(pkt.sid, sid]`. No epoch is ever inconsistent.
+//!
+//! It serves three purposes here:
+//!
+//! 1. an executable specification to property-test the hardware-constrained
+//!    [`crate::unit::DataPlaneUnit`] against (consistent epochs must agree),
+//! 2. the reference for the conservation/causality checker, and
+//! 3. the "no hardware limits" arm of the ablation benchmarks.
+
+use crate::id::Epoch;
+use crate::types::{ChannelId, PacketVerdict, UnitId, CPU_CHANNEL};
+use std::collections::BTreeMap;
+
+/// A saved snapshot at an ideal unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealSnap {
+    /// Saved local state.
+    pub value: u64,
+    /// Accumulated channel state.
+    pub channel: u64,
+}
+
+/// Outcome of processing one packet at an [`IdealUnit`].
+#[derive(Debug, Clone)]
+pub struct IdealOutcome {
+    /// Relation of the packet's epoch to the local epoch.
+    pub verdict: PacketVerdict,
+    /// Epoch to stamp on the forwarded packet.
+    pub out_epoch: Epoch,
+    /// Epochs that became complete at this unit due to this packet
+    /// (channel-state mode: all epochs up to `min(lastSeen)`; without
+    /// channel state: all epochs up to the new local ID).
+    pub newly_complete: Vec<Epoch>,
+}
+
+/// A processing unit running the idealized Fig. 3 algorithm.
+#[derive(Debug, Clone)]
+pub struct IdealUnit {
+    unit: UnitId,
+    channel_state: bool,
+    sid: Epoch,
+    snaps: BTreeMap<Epoch, IdealSnap>,
+    last_seen: Vec<Epoch>,
+    cpu_last_seen: Epoch,
+    complete_up_to: Epoch,
+}
+
+impl IdealUnit {
+    /// Create an ideal unit with `num_channels` upstream channels.
+    pub fn new(unit: UnitId, num_channels: u16, channel_state: bool) -> IdealUnit {
+        IdealUnit {
+            unit,
+            channel_state,
+            sid: 0,
+            snaps: BTreeMap::new(),
+            last_seen: vec![0; usize::from(num_channels)],
+            cpu_last_seen: 0,
+            complete_up_to: 0,
+        }
+    }
+
+    /// The unit's identity.
+    pub fn id(&self) -> UnitId {
+        self.unit
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.sid
+    }
+
+    /// Latest epoch complete at this unit.
+    pub fn complete_up_to(&self) -> Epoch {
+        self.complete_up_to
+    }
+
+    fn last_seen_mut(&mut self, channel: ChannelId) -> &mut Epoch {
+        if channel == CPU_CHANNEL {
+            &mut self.cpu_last_seen
+        } else {
+            &mut self.last_seen[usize::from(channel.0)]
+        }
+    }
+
+    /// Fig. 3 `onReceiveCS` / `onReceiveNoCS`, selected by construction.
+    ///
+    /// Arguments mirror [`crate::unit::DataPlaneUnit::on_packet`].
+    pub fn on_packet(
+        &mut self,
+        channel: ChannelId,
+        pkt_epoch: Epoch,
+        local_state: u64,
+        contrib: u64,
+        is_initiation: bool,
+    ) -> IdealOutcome {
+        let verdict = if pkt_epoch > self.sid {
+            // New snapshot: save state into every skipped epoch (l. 4–6).
+            let adv = pkt_epoch - self.sid;
+            for e in (self.sid + 1)..=pkt_epoch {
+                self.snaps.insert(
+                    e,
+                    IdealSnap {
+                        value: local_state,
+                        channel: 0,
+                    },
+                );
+            }
+            self.sid = pkt_epoch;
+            PacketVerdict::Advanced(adv.min(u64::from(u16::MAX)) as u16)
+        } else if pkt_epoch < self.sid {
+            // In-flight: credit every epoch in (pkt_epoch, sid] (l. 9–10).
+            if self.channel_state && !is_initiation {
+                for e in (pkt_epoch + 1)..=self.sid {
+                    self.snaps.entry(e).or_default().channel += contrib;
+                }
+            }
+            PacketVerdict::InFlight((self.sid - pkt_epoch).min(u64::from(u16::MAX)) as u16)
+        } else {
+            PacketVerdict::Current
+        };
+
+        // Last Seen update; CPU entry never gates completion (§6).
+        *self.last_seen_mut(channel) = (*self.last_seen_mut(channel)).max(pkt_epoch);
+
+        // Completion (l. 12 / l. 19).
+        let new_complete = if self.channel_state {
+            self.last_seen.iter().copied().min().unwrap_or(self.sid)
+        } else {
+            self.sid
+        };
+        let mut newly_complete = Vec::new();
+        if new_complete > self.complete_up_to {
+            newly_complete.extend((self.complete_up_to + 1)..=new_complete);
+            self.complete_up_to = new_complete;
+        }
+
+        IdealOutcome {
+            verdict,
+            out_epoch: self.sid,
+            newly_complete,
+        }
+    }
+
+    /// Read the snapshot for `epoch` (available from the moment the local
+    /// state was saved; channel state keeps accumulating until the epoch is
+    /// complete).
+    pub fn snapshot(&self, epoch: Epoch) -> Option<IdealSnap> {
+        self.snaps.get(&epoch).copied()
+    }
+
+    /// Drop snapshots at or below `epoch` (storage reclamation after the
+    /// observer has collected them).
+    pub fn prune(&mut self, epoch: Epoch) {
+        self.snaps = self.snaps.split_off(&(epoch + 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(channel_state: bool, channels: u16) -> IdealUnit {
+        IdealUnit::new(UnitId::ingress(0, 0), channels, channel_state)
+    }
+
+    #[test]
+    fn jump_fills_every_intermediate_slot() {
+        let mut u = unit(true, 1);
+        u.on_packet(ChannelId(0), 5, 77, 1, false);
+        for e in 1..=5 {
+            assert_eq!(
+                u.snapshot(e),
+                Some(IdealSnap {
+                    value: 77,
+                    channel: 0
+                }),
+                "epoch {e}"
+            );
+        }
+        assert_eq!(u.epoch(), 5);
+    }
+
+    #[test]
+    fn in_flight_credits_every_spanned_epoch() {
+        let mut u = unit(true, 2);
+        u.on_packet(ChannelId(0), 3, 10, 1, false);
+        // Channel 1 epoch-0 packet: in flight for epochs 1..=3.
+        let out = u.on_packet(ChannelId(1), 0, 11, 4, false);
+        assert_eq!(out.verdict, PacketVerdict::InFlight(3));
+        for e in 1..=3 {
+            assert_eq!(u.snapshot(e).unwrap().channel, 4, "epoch {e}");
+        }
+    }
+
+    #[test]
+    fn completion_tracks_min_last_seen_with_cs() {
+        let mut u = unit(true, 2);
+        let out = u.on_packet(ChannelId(0), 2, 1, 1, false);
+        assert!(out.newly_complete.is_empty());
+        let out = u.on_packet(ChannelId(1), 1, 2, 1, false);
+        assert_eq!(out.newly_complete, vec![1]);
+        let out = u.on_packet(ChannelId(1), 2, 3, 1, false);
+        assert_eq!(out.newly_complete, vec![2]);
+        assert_eq!(u.complete_up_to(), 2);
+    }
+
+    #[test]
+    fn completion_is_immediate_without_cs() {
+        let mut u = unit(false, 2);
+        let out = u.on_packet(ChannelId(0), 3, 9, 1, false);
+        assert_eq!(out.newly_complete, vec![1, 2, 3]);
+        // And no channel credits accumulate.
+        u.on_packet(ChannelId(1), 0, 9, 100, false);
+        assert_eq!(u.snapshot(3).unwrap().channel, 0);
+    }
+
+    #[test]
+    fn initiations_never_credit_channel_state() {
+        let mut u = unit(true, 1);
+        u.on_packet(ChannelId(0), 2, 5, 1, false);
+        let out = u.on_packet(CPU_CHANNEL, 1, 5, 9, true);
+        assert_eq!(out.verdict, PacketVerdict::InFlight(1));
+        assert_eq!(u.snapshot(2).unwrap().channel, 0);
+    }
+
+    #[test]
+    fn cpu_channel_does_not_gate_completion() {
+        let mut u = unit(true, 1);
+        // CPU initiation advances to epoch 1; real channel catches up.
+        u.on_packet(CPU_CHANNEL, 1, 0, 0, true);
+        let out = u.on_packet(ChannelId(0), 1, 0, 1, false);
+        assert_eq!(out.newly_complete, vec![1]);
+    }
+
+    #[test]
+    fn forwarded_epoch_is_local_epoch() {
+        let mut u = unit(true, 1);
+        let out = u.on_packet(ChannelId(0), 4, 0, 1, false);
+        assert_eq!(out.out_epoch, 4);
+        let out = u.on_packet(ChannelId(0), 2, 0, 1, false);
+        assert_eq!(out.out_epoch, 4, "in-flight packets get re-stamped");
+    }
+
+    #[test]
+    fn prune_reclaims_storage() {
+        let mut u = unit(true, 1);
+        u.on_packet(ChannelId(0), 5, 1, 1, false);
+        u.prune(3);
+        assert!(u.snapshot(3).is_none());
+        assert!(u.snapshot(4).is_some());
+    }
+}

@@ -1,0 +1,468 @@
+//! The snapshot observer (§3 "Operation", §6).
+//!
+//! A host-side process that (1) registers the set of participating devices,
+//! (2) issues snapshot epochs — respecting the **no-lapping** invariant by
+//! capping outstanding epochs below the ID modulus (§5.3), (3) assembles
+//! per-unit reports shipped up by the device control planes into
+//! [`GlobalSnapshot`]s, and (4) deals with failures: devices that time out
+//! are excluded from the snapshot rather than wedging it (§6).
+//!
+//! Like the rest of `speedlight-core` this is sans-I/O: the embedding layer
+//! decides when to call [`Observer::begin_snapshot`] (e.g. at a
+//! PTP-scheduled instant) and what to do with the initiation fan-out.
+
+use crate::control::{Report, ReportValue};
+use crate::id::Epoch;
+use crate::types::UnitId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Observer configuration.
+#[derive(Debug, Clone)]
+pub struct ObserverConfig {
+    /// Snapshot ID modulus used by the data planes.
+    pub modulus: u16,
+    /// Maximum epochs in flight at once. Must be ≤ `modulus - 1` to uphold
+    /// no-lapping; smaller values trade snapshot rate for slack.
+    pub max_outstanding: u16,
+}
+
+impl ObserverConfig {
+    /// The most permissive safe configuration for a given modulus.
+    pub fn for_modulus(modulus: u16) -> ObserverConfig {
+        assert!(modulus >= 2);
+        ObserverConfig {
+            modulus,
+            max_outstanding: modulus - 1,
+        }
+    }
+}
+
+/// Outcome of one unit's measurement within a global snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitOutcome {
+    /// A consistent, directly read value (local state + channel state).
+    Value {
+        /// Snapshotted local state.
+        local: u64,
+        /// Accumulated channel state.
+        channel: u64,
+    },
+    /// Value inferred across a skipped epoch (no-channel-state mode).
+    Inferred {
+        /// Inferred local state.
+        local: u64,
+    },
+    /// Hardware limits / conservative drop handling invalidated this value.
+    Inconsistent,
+    /// The control plane could not produce the value.
+    Missing,
+    /// The owning device timed out and was excluded from the snapshot.
+    DeviceExcluded,
+}
+
+impl From<ReportValue> for UnitOutcome {
+    fn from(v: ReportValue) -> UnitOutcome {
+        match v {
+            ReportValue::Value { local, channel } => UnitOutcome::Value { local, channel },
+            ReportValue::Inferred { local } => UnitOutcome::Inferred { local },
+            ReportValue::Inconsistent => UnitOutcome::Inconsistent,
+            ReportValue::Missing => UnitOutcome::Missing,
+        }
+    }
+}
+
+impl UnitOutcome {
+    /// The usable local value, if any (consistent or inferred).
+    pub fn local(&self) -> Option<u64> {
+        match self {
+            UnitOutcome::Value { local, .. } | UnitOutcome::Inferred { local } => Some(*local),
+            _ => None,
+        }
+    }
+}
+
+/// A fully assembled network-wide snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalSnapshot {
+    /// The snapshot epoch.
+    pub epoch: Epoch,
+    /// Devices that participated (registered at initiation and not excluded).
+    pub devices: BTreeSet<u16>,
+    /// Devices excluded by timeout.
+    pub excluded: BTreeSet<u16>,
+    /// Per-unit outcomes.
+    pub units: BTreeMap<UnitId, UnitOutcome>,
+}
+
+impl GlobalSnapshot {
+    /// Iterate over units with usable values.
+    pub fn usable(&self) -> impl Iterator<Item = (UnitId, u64)> + '_ {
+        self.units
+            .iter()
+            .filter_map(|(u, o)| o.local().map(|v| (*u, v)))
+    }
+
+    /// Sum of `local + channel` over consistent values — for counting
+    /// metrics this is the causally-consistent network-wide total.
+    pub fn consistent_total(&self) -> u64 {
+        self.units
+            .values()
+            .map(|o| match o {
+                UnitOutcome::Value { local, channel } => local + channel,
+                UnitOutcome::Inferred { local } => *local,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// True when every unit reported a consistent or inferred value.
+    pub fn fully_consistent(&self) -> bool {
+        self.units
+            .values()
+            .all(|o| matches!(o, UnitOutcome::Value { .. } | UnitOutcome::Inferred { .. }))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingSnapshot {
+    device_set: BTreeSet<u16>,
+    expected: BTreeSet<UnitId>,
+    excluded: BTreeSet<u16>,
+    values: BTreeMap<UnitId, UnitOutcome>,
+}
+
+/// The network-wide snapshot observer.
+#[derive(Debug, Clone)]
+pub struct Observer {
+    cfg: ObserverConfig,
+    devices: BTreeMap<u16, Vec<UnitId>>,
+    next_epoch: Epoch,
+    pending: BTreeMap<Epoch, PendingSnapshot>,
+    finalized: u64,
+}
+
+impl Observer {
+    /// Create an observer with no registered devices.
+    pub fn new(cfg: ObserverConfig) -> Observer {
+        assert!(cfg.max_outstanding >= 1);
+        assert!(
+            cfg.max_outstanding <= cfg.modulus - 1,
+            "outstanding epochs must stay below the modulus (no-lapping)"
+        );
+        Observer {
+            cfg,
+            devices: BTreeMap::new(),
+            next_epoch: 1,
+            pending: BTreeMap::new(),
+            finalized: 0,
+        }
+    }
+
+    /// Register a device and its expected processing units (§6 "Node
+    /// attachment"). The device participates starting with the *next*
+    /// initiated snapshot.
+    pub fn register_device(&mut self, device: u16, units: Vec<UnitId>) {
+        self.devices.insert(device, units);
+    }
+
+    /// Remove a device (decommissioning). Pending snapshots that expected
+    /// it will only finish via [`Observer::force_finalize`].
+    pub fn detach_device(&mut self, device: u16) {
+        self.devices.remove(&device);
+    }
+
+    /// Registered device IDs.
+    pub fn device_ids(&self) -> impl Iterator<Item = u16> + '_ {
+        self.devices.keys().copied()
+    }
+
+    /// Epochs issued but not yet finalized.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Epochs currently pending, oldest first.
+    pub fn pending_epochs(&self) -> impl Iterator<Item = Epoch> + '_ {
+        self.pending.keys().copied()
+    }
+
+    /// Number of snapshots finalized so far.
+    pub fn finalized_count(&self) -> u64 {
+        self.finalized
+    }
+
+    /// Issue the next snapshot epoch, or `None` if doing so would violate
+    /// the no-lapping cap (the caller should retry after completions).
+    ///
+    /// The caller is responsible for fanning the returned epoch out to every
+    /// registered device control plane as a scheduled initiation.
+    pub fn begin_snapshot(&mut self) -> Option<Epoch> {
+        if self.pending.len() >= usize::from(self.cfg.max_outstanding) {
+            return None;
+        }
+        if self.devices.is_empty() {
+            return None;
+        }
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let device_set: BTreeSet<u16> = self.devices.keys().copied().collect();
+        let expected: BTreeSet<UnitId> = self
+            .devices
+            .values()
+            .flat_map(|units| units.iter().copied())
+            .collect();
+        self.pending.insert(
+            epoch,
+            PendingSnapshot {
+                device_set,
+                expected,
+                excluded: BTreeSet::new(),
+                values: BTreeMap::new(),
+            },
+        );
+        Some(epoch)
+    }
+
+    /// Deliver one control-plane report. Returns the finished snapshot if
+    /// this report completed its epoch.
+    ///
+    /// Reports for unknown epochs, for devices outside the epoch's device
+    /// set (late attachers, §6), or duplicates are ignored.
+    pub fn on_report(&mut self, device: u16, report: Report) -> Option<GlobalSnapshot> {
+        let pending = self.pending.get_mut(&report.epoch)?;
+        if !pending.device_set.contains(&device) || pending.excluded.contains(&device) {
+            return None; // spurious: device not in this epoch's set
+        }
+        if !pending.expected.contains(&report.unit) {
+            return None;
+        }
+        pending
+            .values
+            .entry(report.unit)
+            .or_insert_with(|| report.value.into());
+        if pending.values.len() == pending.expected.len() {
+            return Some(self.finalize(report.epoch));
+        }
+        None
+    }
+
+    /// Units still missing for `epoch` (retry / re-initiation planning).
+    pub fn missing_units(&self, epoch: Epoch) -> Vec<UnitId> {
+        match self.pending.get(&epoch) {
+            Some(p) => p
+                .expected
+                .iter()
+                .filter(|u| !p.values.contains_key(u))
+                .copied()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Devices with at least one missing unit for `epoch`.
+    pub fn lagging_devices(&self, epoch: Epoch) -> BTreeSet<u16> {
+        self.missing_units(epoch).iter().map(|u| u.device).collect()
+    }
+
+    /// Timeout path: exclude every device that still has missing units and
+    /// finalize the snapshot with what arrived (§6: "If a device fails, it
+    /// may timeout and be excluded from the global snapshot").
+    pub fn force_finalize(&mut self, epoch: Epoch) -> Option<GlobalSnapshot> {
+        let pending = self.pending.get_mut(&epoch)?;
+        let lagging: BTreeSet<u16> = pending
+            .expected
+            .iter()
+            .filter(|u| !pending.values.contains_key(u))
+            .map(|u| u.device)
+            .collect();
+        for dev in &lagging {
+            pending.excluded.insert(*dev);
+        }
+        let expected = pending.expected.clone();
+        for unit in expected {
+            if lagging.contains(&unit.device) {
+                pending.values.insert(unit, UnitOutcome::DeviceExcluded);
+            }
+        }
+        Some(self.finalize(epoch))
+    }
+
+    fn finalize(&mut self, epoch: Epoch) -> GlobalSnapshot {
+        let p = self.pending.remove(&epoch).expect("pending");
+        self.finalized += 1;
+        GlobalSnapshot {
+            epoch,
+            devices: &p.device_set - &p.excluded,
+            excluded: p.excluded,
+            units: p.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(unit: UnitId, epoch: Epoch, local: u64) -> Report {
+        Report {
+            unit,
+            epoch,
+            value: ReportValue::Value { local, channel: 0 },
+        }
+    }
+
+    fn two_device_observer() -> Observer {
+        let mut obs = Observer::new(ObserverConfig::for_modulus(8));
+        obs.register_device(0, vec![UnitId::ingress(0, 0), UnitId::egress(0, 0)]);
+        obs.register_device(1, vec![UnitId::ingress(1, 0), UnitId::egress(1, 0)]);
+        obs
+    }
+
+    #[test]
+    fn assembles_snapshot_when_all_units_report() {
+        let mut obs = two_device_observer();
+        let epoch = obs.begin_snapshot().unwrap();
+        assert_eq!(epoch, 1);
+        assert!(obs.on_report(0, report(UnitId::ingress(0, 0), 1, 10)).is_none());
+        assert!(obs.on_report(0, report(UnitId::egress(0, 0), 1, 11)).is_none());
+        assert!(obs.on_report(1, report(UnitId::ingress(1, 0), 1, 12)).is_none());
+        let snap = obs
+            .on_report(1, report(UnitId::egress(1, 0), 1, 13))
+            .expect("final report completes the snapshot");
+        assert_eq!(snap.epoch, 1);
+        assert!(snap.fully_consistent());
+        assert_eq!(snap.consistent_total(), 10 + 11 + 12 + 13);
+        assert_eq!(snap.devices, BTreeSet::from([0, 1]));
+        assert!(snap.excluded.is_empty());
+        assert_eq!(obs.outstanding(), 0);
+        assert_eq!(obs.finalized_count(), 1);
+    }
+
+    #[test]
+    fn no_lapping_cap_limits_outstanding_epochs() {
+        let mut obs = Observer::new(ObserverConfig {
+            modulus: 4,
+            max_outstanding: 3,
+        });
+        obs.register_device(0, vec![UnitId::ingress(0, 0)]);
+        assert_eq!(obs.begin_snapshot(), Some(1));
+        assert_eq!(obs.begin_snapshot(), Some(2));
+        assert_eq!(obs.begin_snapshot(), Some(3));
+        assert_eq!(obs.begin_snapshot(), None, "cap reached");
+        // Completing epoch 1 frees a slot.
+        obs.on_report(0, report(UnitId::ingress(0, 0), 1, 5)).unwrap();
+        assert_eq!(obs.begin_snapshot(), Some(4));
+    }
+
+    #[test]
+    fn cannot_snapshot_an_empty_network() {
+        let mut obs = Observer::new(ObserverConfig::for_modulus(8));
+        assert_eq!(obs.begin_snapshot(), None);
+    }
+
+    #[test]
+    fn duplicate_reports_do_not_double_count() {
+        let mut obs = Observer::new(ObserverConfig::for_modulus(8));
+        obs.register_device(0, vec![UnitId::ingress(0, 0), UnitId::egress(0, 0)]);
+        obs.begin_snapshot().unwrap();
+        obs.on_report(0, report(UnitId::ingress(0, 0), 1, 10));
+        // Duplicate (e.g., a retry raced with the original) is ignored and
+        // keeps the first value.
+        assert!(obs.on_report(0, report(UnitId::ingress(0, 0), 1, 99)).is_none());
+        let snap = obs
+            .on_report(0, report(UnitId::egress(0, 0), 1, 11))
+            .unwrap();
+        assert_eq!(
+            snap.units[&UnitId::ingress(0, 0)],
+            UnitOutcome::Value {
+                local: 10,
+                channel: 0
+            }
+        );
+    }
+
+    #[test]
+    fn late_attached_device_is_ignored_for_in_flight_epochs() {
+        let mut obs = Observer::new(ObserverConfig::for_modulus(8));
+        obs.register_device(0, vec![UnitId::ingress(0, 0)]);
+        obs.begin_snapshot().unwrap();
+        // Device 1 attaches after epoch 1 was initiated.
+        obs.register_device(1, vec![UnitId::ingress(1, 0)]);
+        // Its (spurious) epoch-1 report is ignored.
+        assert!(obs.on_report(1, report(UnitId::ingress(1, 0), 1, 7)).is_none());
+        let snap = obs.on_report(0, report(UnitId::ingress(0, 0), 1, 5)).unwrap();
+        assert_eq!(snap.units.len(), 1);
+        // But epoch 2 includes it.
+        let e2 = obs.begin_snapshot().unwrap();
+        assert_eq!(e2, 2);
+        assert!(obs.on_report(0, report(UnitId::ingress(0, 0), 2, 6)).is_none());
+        let snap2 = obs.on_report(1, report(UnitId::ingress(1, 0), 2, 8)).unwrap();
+        assert_eq!(snap2.units.len(), 2);
+    }
+
+    #[test]
+    fn timeout_excludes_lagging_devices() {
+        let mut obs = two_device_observer();
+        obs.begin_snapshot().unwrap();
+        obs.on_report(0, report(UnitId::ingress(0, 0), 1, 10));
+        obs.on_report(0, report(UnitId::egress(0, 0), 1, 11));
+        assert_eq!(obs.lagging_devices(1), BTreeSet::from([1]));
+        let snap = obs.force_finalize(1).unwrap();
+        assert_eq!(snap.excluded, BTreeSet::from([1]));
+        assert_eq!(snap.devices, BTreeSet::from([0]));
+        assert_eq!(
+            snap.units[&UnitId::ingress(1, 0)],
+            UnitOutcome::DeviceExcluded
+        );
+        assert!(!snap.fully_consistent());
+        assert_eq!(snap.consistent_total(), 21);
+        // Excluded device's late report arrives afterwards: epoch is gone.
+        assert!(obs.on_report(1, report(UnitId::ingress(1, 0), 1, 12)).is_none());
+    }
+
+    #[test]
+    fn missing_units_drive_retries() {
+        let mut obs = two_device_observer();
+        obs.begin_snapshot().unwrap();
+        obs.on_report(0, report(UnitId::ingress(0, 0), 1, 10));
+        let missing = obs.missing_units(1);
+        assert_eq!(missing.len(), 3);
+        assert!(missing.contains(&UnitId::egress(0, 0)));
+        assert!(obs.missing_units(99).is_empty());
+    }
+
+    #[test]
+    fn reports_for_unknown_epochs_or_units_are_ignored() {
+        let mut obs = two_device_observer();
+        obs.begin_snapshot().unwrap();
+        assert!(obs.on_report(0, report(UnitId::ingress(0, 0), 7, 1)).is_none());
+        assert!(obs
+            .on_report(0, report(UnitId::ingress(9, 9), 1, 1))
+            .is_none());
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert_eq!(
+            UnitOutcome::Value {
+                local: 3,
+                channel: 1
+            }
+            .local(),
+            Some(3)
+        );
+        assert_eq!(UnitOutcome::Inferred { local: 4 }.local(), Some(4));
+        assert_eq!(UnitOutcome::Inconsistent.local(), None);
+        assert_eq!(UnitOutcome::Missing.local(), None);
+        assert_eq!(UnitOutcome::DeviceExcluded.local(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no-lapping")]
+    fn config_rejects_unsafe_outstanding_cap() {
+        Observer::new(ObserverConfig {
+            modulus: 4,
+            max_outstanding: 4,
+        });
+    }
+}

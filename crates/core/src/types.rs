@@ -1,0 +1,141 @@
+//! Shared identifiers and message types of the snapshot protocol.
+
+use crate::id::WrappedId;
+
+/// Which side of a port a processing unit serves (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Packet reception side of a port.
+    Ingress,
+    /// Packet transmission side of a port.
+    Egress,
+}
+
+/// Identifies one per-port, per-direction processing unit in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitId {
+    /// Switch/router identifier.
+    pub device: u16,
+    /// Port number within the device.
+    pub port: u16,
+    /// Ingress or egress side.
+    pub direction: Direction,
+}
+
+impl UnitId {
+    /// The ingress unit of `(device, port)`.
+    pub fn ingress(device: u16, port: u16) -> UnitId {
+        UnitId {
+            device,
+            port,
+            direction: Direction::Ingress,
+        }
+    }
+
+    /// The egress unit of `(device, port)`.
+    pub fn egress(device: u16, port: u16) -> UnitId {
+        UnitId {
+            device,
+            port,
+            direction: Direction::Egress,
+        }
+    }
+}
+
+impl std::fmt::Display for UnitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = match self.direction {
+            Direction::Ingress => "in",
+            Direction::Egress => "out",
+        };
+        write!(f, "d{}p{}/{}", self.device, self.port, d)
+    }
+}
+
+/// Index of an upstream logical channel at a processing unit (§5.1).
+///
+/// For an ingress unit, channel 0 is the single external upstream neighbor.
+/// For an egress unit, channel `i` is the i-th ingress port of the same
+/// device. The control-plane pseudo-channel (used only for rollover
+/// reference, never for completion — §6) is a separate sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub u16);
+
+/// The control-plane pseudo-neighbor.
+pub const CPU_CHANNEL: ChannelId = ChannelId(u16::MAX);
+
+/// What the data-plane unit decided about an incoming packet's snapshot
+/// header (returned for instrumentation and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketVerdict {
+    /// Packet's epoch equals the local epoch; nothing to do.
+    Current,
+    /// Packet announced a newer epoch; the unit saved state and advanced by
+    /// the given number of epochs (1 in the common case).
+    Advanced(u16),
+    /// Packet was in flight from an older epoch (this many epochs behind);
+    /// its contribution was folded into channel state if enabled.
+    InFlight(u16),
+}
+
+/// A data-plane → control-plane notification (§5.3, "Snapshot
+/// Notifications").
+///
+/// Exported on *any* update of the local snapshot ID or of a Last Seen
+/// entry. Carries the former value of `LastSeen[n]` along with the former
+/// and new snapshot ID, exactly as the paper specifies (all four are needed
+/// by the Fig. 7 handler; former and new values may coincide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notification {
+    /// The reporting processing unit.
+    pub unit: UnitId,
+    /// Snapshot ID before this packet was processed.
+    pub old_sid: WrappedId,
+    /// Snapshot ID after this packet was processed.
+    pub new_sid: WrappedId,
+    /// The upstream channel whose Last Seen entry changed, if any.
+    /// `None` for units running without channel state.
+    pub channel: Option<ChannelId>,
+    /// `LastSeen[channel]` before the update (meaningless if `channel` is
+    /// `None`).
+    pub old_last_seen: WrappedId,
+    /// `LastSeen[channel]` after the update.
+    pub new_last_seen: WrappedId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_id_constructors() {
+        let i = UnitId::ingress(2, 5);
+        assert_eq!(i.device, 2);
+        assert_eq!(i.port, 5);
+        assert_eq!(i.direction, Direction::Ingress);
+        assert_eq!(i.to_string(), "d2p5/in");
+        let e = UnitId::egress(2, 5);
+        assert_eq!(e.direction, Direction::Egress);
+        assert_eq!(e.to_string(), "d2p5/out");
+        assert_ne!(i, e);
+    }
+
+    #[test]
+    fn unit_ids_order_deterministically() {
+        let mut v = vec![
+            UnitId::egress(1, 0),
+            UnitId::ingress(0, 1),
+            UnitId::ingress(0, 0),
+        ];
+        v.sort();
+        assert_eq!(v[0], UnitId::ingress(0, 0));
+        assert_eq!(v[1], UnitId::ingress(0, 1));
+        assert_eq!(v[2], UnitId::egress(1, 0));
+    }
+
+    #[test]
+    fn cpu_channel_is_distinct() {
+        assert_ne!(CPU_CHANNEL, ChannelId(0));
+        assert_ne!(CPU_CHANNEL, ChannelId(65_534));
+    }
+}

@@ -1,0 +1,247 @@
+//! Property-based tests for the snapshot protocol core.
+//!
+//! The central claims verified here, over randomized packet schedules:
+//!
+//! 1. **Wrap/unwrap inverse** — rollover arithmetic is lossless within the
+//!    no-lapping window.
+//! 2. **Hardware ≡ ideal on consistent epochs** — every epoch the
+//!    hardware-constrained unit + control plane report as a consistent
+//!    `Value` carries exactly the local and channel state the idealized
+//!    Fig. 3 protocol computes for that epoch.
+//! 3. **Causal consistency / conservation** — reported values satisfy the
+//!    omniscient flow-conservation audit ([`speedlight_core::consistency`]).
+//! 4. **No-CS inference** — values inferred across skipped epochs equal the
+//!    ideal protocol's values for those epochs.
+
+use proptest::prelude::*;
+use speedlight_core::consistency::{ConservationChecker, Delivery};
+use speedlight_core::control::{ControlPlane, Registers, ReportValue};
+use speedlight_core::ideal::IdealUnit;
+use speedlight_core::unit::{DataPlaneUnit, SnapSlot, UnitConfig};
+use speedlight_core::{ChannelId, Epoch, UnitId, WrappedId};
+use std::collections::BTreeMap;
+
+const MODULUS: u16 = 8;
+
+/// A randomized, protocol-legal packet schedule for one unit:
+/// per-channel monotone tags whose global spread respects no-lapping.
+#[derive(Debug, Clone)]
+struct Schedule {
+    num_channels: usize,
+    /// (channel, tag_epoch, contrib) in arrival order.
+    packets: Vec<(usize, Epoch, u64)>,
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    (1usize..=4, proptest::collection::vec((0usize..4, 0u8..8, 1u64..5), 1..120)).prop_map(
+        |(num_channels, raw)| {
+            let window = Epoch::from(MODULUS) - 1;
+            let mut chan_tag = vec![0u64; num_channels];
+            let mut global_max = 0u64;
+            let mut packets = Vec::with_capacity(raw.len());
+            for (ch_raw, jump, contrib) in raw {
+                let ch = ch_raw % num_channels;
+                // Advance the global frontier occasionally (bounded so the
+                // slowest channel stays within the no-lapping window).
+                let min_tag = *chan_tag.iter().min().unwrap();
+                let max_allowed = min_tag + window;
+                let target = (global_max + Epoch::from(jump / 4)).min(max_allowed);
+                global_max = global_max.max(target);
+                // This channel's next tag: somewhere in [current, global_max],
+                // biased by the jump nibble.
+                let lo = chan_tag[ch];
+                let hi = global_max.max(lo);
+                let tag = lo + (Epoch::from(jump) % (hi - lo + 1));
+                chan_tag[ch] = tag;
+                packets.push((ch, tag, contrib));
+            }
+            Schedule {
+                num_channels,
+                packets,
+            }
+        },
+    )
+}
+
+struct OneUnitRegs {
+    unit: DataPlaneUnit,
+}
+
+impl Registers for OneUnitRegs {
+    fn read_sid(&mut self, _: UnitId) -> WrappedId {
+        self.unit.sid()
+    }
+    fn read_last_seen(&mut self, _: UnitId, channel: ChannelId) -> WrappedId {
+        self.unit.last_seen(channel)
+    }
+    fn take_slot(&mut self, _: UnitId, id: WrappedId) -> Option<SnapSlot> {
+        self.unit.take_slot(id)
+    }
+}
+
+/// Drive the same schedule through the HW unit (+CP) and the ideal unit,
+/// using a receive-counting metric. Returns
+/// (hw reports per epoch, ideal unit, checker).
+fn run_schedule(
+    sched: &Schedule,
+    channel_state: bool,
+) -> (
+    BTreeMap<Epoch, ReportValue>,
+    IdealUnit,
+    ConservationChecker,
+) {
+    let uid = UnitId::ingress(0, 0);
+    let n = sched.num_channels as u16;
+    let mut regs = OneUnitRegs {
+        unit: DataPlaneUnit::new(UnitConfig {
+            unit: uid,
+            modulus: MODULUS,
+            channel_state,
+            num_channels: n,
+        }),
+    };
+    let mut cp = ControlPlane::new(0, MODULUS, channel_state);
+    cp.register_unit(uid, n, vec![true; usize::from(n)]);
+    let mut ideal = IdealUnit::new(uid, n, channel_state);
+    let mut checker = ConservationChecker::new();
+
+    let mut counter: u64 = 0; // the snapshotted metric: Σ contrib received
+    let mut reports = BTreeMap::new();
+    for &(ch, tag, contrib) in &sched.packets {
+        let w = WrappedId::wrap(tag, MODULUS);
+        let out = regs
+            .unit
+            .on_packet(ChannelId(ch as u16), w, counter, contrib, false);
+        let ideal_out = ideal.on_packet(ChannelId(ch as u16), tag, counter, contrib, false);
+        // The two protocols must agree on the post-processing epoch.
+        assert_eq!(
+            out.out_sid,
+            WrappedId::wrap(ideal_out.out_epoch, MODULUS),
+            "hw and ideal epochs diverged"
+        );
+        checker.record(Delivery {
+            unit: uid,
+            tag,
+            local_after: ideal_out.out_epoch,
+            contrib,
+        });
+        counter += contrib; // metric update happens after snapshot logic
+        if let Some(notif) = out.notification {
+            for r in cp.on_notification(&notif, &mut regs) {
+                reports.insert(r.epoch, r.value);
+            }
+        }
+    }
+    (reports, ideal, checker)
+}
+
+proptest! {
+    #[test]
+    fn wrap_unwrap_inverse(reference in 0u64..1_000_000, delta in 0u64..31, modulus in 2u16..=32) {
+        prop_assume!(delta < u64::from(modulus));
+        let epoch = reference + delta;
+        let w = WrappedId::wrap(epoch, modulus);
+        prop_assert_eq!(w.unwrap_from(reference), epoch);
+    }
+
+    #[test]
+    fn forward_distance_matches_true_difference(base in 0u64..100_000, d1 in 0u64..31, d2 in 0u64..31, modulus in 2u16..=32) {
+        prop_assume!(d1 < u64::from(modulus) && d2 < u64::from(modulus));
+        let a = WrappedId::wrap(base + d1, modulus);
+        let r = WrappedId::wrap(base, modulus);
+        prop_assert_eq!(u64::from(a.forward_distance(r)), d1);
+        // Distances from a common reference order epochs correctly.
+        let b = WrappedId::wrap(base + d2, modulus);
+        prop_assert_eq!(a.forward_distance(r) > b.forward_distance(r), d1 > d2);
+    }
+
+    #[test]
+    fn hardware_consistent_epochs_match_ideal_with_channel_state(sched in schedule_strategy()) {
+        let (reports, ideal, checker) = run_schedule(&sched, true);
+        let mut audited = Vec::new();
+        for (&epoch, &value) in &reports {
+            match value {
+                ReportValue::Value { local, channel } => {
+                    let isnap = ideal.snapshot(epoch)
+                        .expect("ideal must have every epoch the hw completed");
+                    prop_assert_eq!(local, isnap.value, "epoch {} local", epoch);
+                    prop_assert_eq!(channel, isnap.channel, "epoch {} channel", epoch);
+                    audited.push((UnitId::ingress(0, 0), epoch, local, Some(channel)));
+                }
+                ReportValue::Inconsistent => {} // allowed: conservative
+                ReportValue::Missing => prop_assert!(false, "no drops were injected; epoch {} missing", epoch),
+                ReportValue::Inferred { .. } => prop_assert!(false, "inference is a no-CS mechanism"),
+            }
+        }
+        // Causal consistency: every consistent value passes the omniscient
+        // conservation audit.
+        let violations = checker.audit(audited);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn hardware_epochs_match_ideal_without_channel_state(sched in schedule_strategy()) {
+        let (reports, ideal, checker) = run_schedule(&sched, false);
+        let mut audited = Vec::new();
+        for (&epoch, &value) in &reports {
+            match value {
+                ReportValue::Value { local, .. } | ReportValue::Inferred { local } => {
+                    let isnap = ideal.snapshot(epoch).expect("ideal has all epochs");
+                    prop_assert_eq!(local, isnap.value, "epoch {}", epoch);
+                    audited.push((UnitId::ingress(0, 0), epoch, local, None));
+                }
+                other => prop_assert!(false, "unexpected outcome without CS: {other:?}"),
+            }
+        }
+        let violations = checker.audit(audited);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn no_cs_reports_every_advanced_epoch(sched in schedule_strategy()) {
+        let (reports, ideal, _) = run_schedule(&sched, false);
+        // Without channel state, completion is immediate: every epoch up to
+        // the unit's final ID must have been reported.
+        for epoch in 1..=ideal.epoch() {
+            prop_assert!(reports.contains_key(&epoch), "epoch {} unreported", epoch);
+        }
+    }
+
+    #[test]
+    fn cs_mode_reports_exactly_the_min_last_seen_prefix(sched in schedule_strategy()) {
+        let (reports, ideal, _) = run_schedule(&sched, true);
+        let complete = ideal.complete_up_to();
+        for epoch in 1..=complete {
+            prop_assert!(reports.contains_key(&epoch), "epoch {} should be finished", epoch);
+        }
+        for (&epoch, _) in reports.iter() {
+            prop_assert!(epoch <= complete, "epoch {} reported before completion", epoch);
+        }
+    }
+
+    #[test]
+    fn lockstep_schedules_are_never_inconsistent(
+        epochs in 1u64..40,
+        contribs in proptest::collection::vec(1u64..5, 4)
+    ) {
+        // All channels advance together, one epoch at a time: the hardware
+        // constraint (spread ≤ 1) is always met, so nothing may be marked
+        // inconsistent.
+        let num_channels = contribs.len();
+        let mut packets = Vec::new();
+        for e in 1..=epochs {
+            for (ch, &c) in contribs.iter().enumerate() {
+                packets.push((ch, e, c));
+            }
+        }
+        let sched = Schedule { num_channels, packets };
+        let (reports, _, _) = run_schedule(&sched, true);
+        prop_assert_eq!(reports.len() as u64, epochs);
+        for (&epoch, &v) in &reports {
+            prop_assert!(
+                matches!(v, ReportValue::Value { .. }),
+                "epoch {} was {:?}", epoch, v
+            );
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Shared scenario builders and rendering helpers.
+
+use fabric::network::DriverConfig;
+use fabric::switchmod::SnapshotConfig;
+use fabric::testbed::{Testbed, TestbedConfig};
+use fabric::topology::{LbKind, Topology};
+use netsim::time::Instant;
+use sim_stats::Cdf;
+use workloads::graphx::{GraphXConfig, GraphXWorker};
+use workloads::hadoop::{HadoopConfig, HadoopMapper};
+use workloads::memcache::{MemcacheClient, MemcacheConfig, MemcacheServer};
+
+/// The paper's testbed shape (Fig. 8): 2 leaves × 2 spines, 3 servers per
+/// leaf (6 servers total, like the hardware testbed).
+pub fn testbed_topology() -> Topology {
+    Topology::leaf_spine(2, 2, 3)
+}
+
+/// Leaf uplink ports in [`testbed_topology`]: `(switch, port)` pairs whose
+/// egress EWMA the load-balancing study compares (§8.3, "uplinks were
+/// compared only to other uplinks on the same switch").
+pub fn leaf_uplinks() -> Vec<(u16, Vec<u16>)> {
+    vec![(0, vec![0, 1]), (1, vec![0, 1])]
+}
+
+/// Which application drives the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Terasort-style shuffle (10 mappers / 8 reducers roles folded onto
+    /// 6 hosts: every host maps and reduces).
+    Hadoop,
+    /// PageRank supersteps on 5 workers (host 5 is the idle master).
+    GraphX,
+    /// mc-crusher multi-get: hosts 0–2 clients, hosts 3–5 servers.
+    Memcache,
+}
+
+impl Workload {
+    /// All three workloads in Fig. 12 order.
+    pub fn all() -> [Workload; 3] {
+        [Workload::Hadoop, Workload::GraphX, Workload::Memcache]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Hadoop => "hadoop",
+            Workload::GraphX => "graphx",
+            Workload::Memcache => "memcache",
+        }
+    }
+}
+
+/// Attach `workload`'s sources to the 6 hosts of the standard testbed.
+///
+/// Every workload also gets sparse cluster-control background traffic
+/// (heartbeats, RPCs, ACK-ish chatter): real deployments always have it,
+/// and it is what keeps an otherwise-idle uplink's interarrival EWMA
+/// *live* — an idle port then reads as "millisecond interarrivals" rather
+/// than freezing at its last busy-period value, which is essential to the
+/// imbalance signal of Fig. 12.
+pub fn attach_workload(tb: &mut Testbed, workload: Workload, seed: u64) {
+    use fabric::traffic::{MultiSource, Source};
+    use workloads::PoissonSource;
+
+    // Application sources per host.
+    let mut app: Vec<Vec<Box<dyn Source>>> = (0..6).map(|_| Vec::new()).collect();
+    match workload {
+        Workload::Hadoop => {
+            // Every host maps to every other host (all-to-all shuffle,
+            // collapsing the 10-mapper/8-reducer roles onto 6 servers).
+            for h in 0..6u32 {
+                let reducers: Vec<u32> = (0..6).filter(|&r| r != h).collect();
+                app[h as usize].push(Box::new(HadoopMapper::new(
+                    h,
+                    reducers,
+                    HadoopConfig::default(),
+                    seed,
+                )));
+            }
+        }
+        Workload::GraphX => {
+            // 5 workers exchange; host 5 is the master and stays silent.
+            for h in 0..5u32 {
+                let peers: Vec<u32> = (0..5).filter(|&p| p != h).collect();
+                app[h as usize].push(Box::new(GraphXWorker::new(
+                    h,
+                    peers,
+                    GraphXConfig::default(),
+                    seed,
+                )));
+            }
+        }
+        Workload::Memcache => {
+            let cfg = MemcacheConfig::default();
+            let servers: Vec<u32> = vec![3, 4, 5];
+            for c in 0..3u32 {
+                app[c as usize].push(Box::new(MemcacheClient::new(
+                    c,
+                    servers.clone(),
+                    cfg.clone(),
+                    seed,
+                )));
+            }
+            for (i, &s) in servers.iter().enumerate() {
+                app[s as usize].push(Box::new(MemcacheServer::new(
+                    s,
+                    i,
+                    servers.len(),
+                    vec![0, 1, 2],
+                    cfg.clone(),
+                    seed,
+                )));
+            }
+        }
+    }
+
+    // Background chatter runs among the application's participants; the
+    // GraphX master (host 5) is deliberately left silent so the Fig. 13
+    // ground truth ("no correlations with the master port") is meaningful.
+    let chatter_hosts: Vec<u32> = match workload {
+        Workload::GraphX => (0..5).collect(),
+        _ => (0..6).collect(),
+    };
+    for (h, mut sources) in app.into_iter().enumerate() {
+        let h = h as u32;
+        if chatter_hosts.contains(&h) {
+            let dsts: Vec<u32> = chatter_hosts.iter().copied().filter(|&d| d != h).collect();
+            sources.push(Box::new(
+                PoissonSource::new(
+                    h + 100, // distinct src space for the background flows
+                    dsts,
+                    2_000.0,
+                    netsim::dist::Dist::constant(120.0),
+                    seed ^ (0xBA5E + u64::from(h)),
+                )
+                .flows_per_dst(4),
+            ));
+        }
+        if sources.is_empty() {
+            continue;
+        }
+        tb.set_source(h, Instant::ZERO, Box::new(MultiSource::new(sources)));
+    }
+}
+
+/// Build a standard testbed with the given snapshot config, LB, and driver.
+pub fn standard_testbed(
+    snapshot: SnapshotConfig,
+    lb: LbKind,
+    driver: DriverConfig,
+    seed: u64,
+) -> Testbed {
+    let mut cfg = TestbedConfig::new(snapshot);
+    cfg.lb = lb;
+    cfg.driver = driver;
+    cfg.seed = seed;
+    Testbed::new(testbed_topology(), cfg)
+}
+
+/// Render a fixed-width text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Render a CDF as `(value, quantile)` rows at the given resolution.
+pub fn render_cdf(label: &str, cdf: &Cdf, points: usize, unit: &str) -> String {
+    let mut out = format!(
+        "# {label}: n={}, median={:.2}{unit}, p99={:.2}{unit}, max={:.2}{unit}\n",
+        cdf.len(),
+        cdf.median(),
+        cdf.quantile(0.99),
+        cdf.max(),
+    );
+    for (x, q) in cdf.curve(points) {
+        out.push_str(&format!("{x:>12.3} {q:>6.3}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renderer_aligns_columns() {
+        let s = render_table(
+            "T",
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].contains("a") && lines[1].contains("bbbb"));
+        assert!(lines[2].starts_with('-'));
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn cdf_renderer_includes_summary() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0]);
+        let s = render_cdf("x", &cdf, 3, "us");
+        assert!(s.contains("median=2.00us"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn topology_matches_testbed_shape() {
+        let t = testbed_topology();
+        assert_eq!(t.num_switches(), 4);
+        assert_eq!(t.num_hosts(), 6);
+        for (sw, ports) in leaf_uplinks() {
+            for p in ports {
+                assert!(matches!(
+                    t.ports[usize::from(sw)][usize::from(p)],
+                    fabric::topology::PortPeer::Switch { .. }
+                ));
+            }
+        }
+    }
+}

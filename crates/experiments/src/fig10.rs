@@ -1,0 +1,179 @@
+//! Fig. 10: maximum sustained snapshot rate vs. ports per router.
+//!
+//! "In the experiment, we initiated a series of snapshots on a single
+//! switch with fixed interval. Snapshot frequencies that were too high
+//! eventually resulted in notification drops. The graphs plot the highest
+//! frequency without drops." (§8.2). The bottleneck is the unoptimized
+//! (serial, ~110 µs/notification) control plane, not the ASIC-CPU channel.
+//!
+//! Paper shape: >70 snapshots/s at 64 ports, scaling roughly inversely
+//! with port count (log-log straight line from ~1000+ Hz at 4 ports).
+
+use crate::common::render_table;
+use fabric::network::DriverConfig;
+use fabric::switchmod::SnapshotConfig;
+use fabric::testbed::{Testbed, TestbedConfig};
+use fabric::topology::Topology;
+use netsim::time::{Duration, Instant};
+use telemetry::MetricKind;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Fig10Config {
+    /// Port counts to sweep.
+    pub port_counts: Vec<u16>,
+    /// Simulated seconds per trial.
+    pub trial_secs: u64,
+    /// Binary-search resolution (Hz).
+    pub resolution_hz: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig10Config {
+    fn default() -> Self {
+        Fig10Config {
+            port_counts: vec![4, 8, 16, 32, 64],
+            trial_secs: 1,
+            resolution_hz: 4.0,
+            seed: 10,
+        }
+    }
+}
+
+/// One point on the curve.
+#[derive(Debug, Clone, Copy)]
+pub struct RatePoint {
+    /// Ports per router.
+    pub ports: u16,
+    /// Maximum sustained snapshot rate, Hz.
+    pub max_rate_hz: f64,
+}
+
+/// The Fig. 10 curve.
+#[derive(Debug)]
+pub struct Fig10 {
+    /// Max sustained rate per port count.
+    pub points: Vec<RatePoint>,
+}
+
+/// Whether a single `ports`-port switch sustains snapshots at `rate_hz`:
+/// every issued snapshot completes, nothing is force-finalized, no
+/// notification drops, and the CP queue has drained by the end.
+fn sustainable(ports: u16, rate_hz: f64, secs: u64, seed: u64) -> bool {
+    let topo = Topology::single_switch(ports);
+    let mut cfg = TestbedConfig::new(SnapshotConfig {
+        modulus: 4_096,
+        channel_state: false,
+        ingress_metric: MetricKind::PacketCount,
+        egress_metric: MetricKind::PacketCount,
+    });
+    cfg.seed = seed;
+    cfg.driver = DriverConfig {
+        snapshot_period: Some(Duration::from_nanos((1e9 / rate_hz) as u64)),
+        device_timeout: Duration::from_secs(3600), // never force-finalize
+        ..DriverConfig::default()
+    };
+    let mut tb = Testbed::new(topo, cfg);
+    let horizon = Instant::ZERO + Duration::from_secs(secs);
+    tb.run_until(horizon);
+    let expected = (rate_hz * secs as f64 * 0.9) as usize; // startup slack
+    let issued_enough = tb.snapshots().len() >= expected;
+    let net = tb.network();
+    let sw = &net.switches[0];
+    let drained = sw.cp_queue.len() < usize::from(2 * ports);
+    issued_enough && sw.stats.notify_drops == 0 && drained
+}
+
+/// Run the experiment.
+pub fn run(cfg: &Fig10Config) -> Fig10 {
+    let mut points = Vec::new();
+    for &ports in &cfg.port_counts {
+        // Bracket, then binary-search the sustainability frontier.
+        let lo = 1.0f64;
+        let mut hi = 20_000.0f64;
+        // Shrink hi quickly with a coarse geometric probe.
+        while hi / 2.0 > lo && !sustainable(ports, hi / 2.0, cfg.trial_secs, cfg.seed) {
+            hi /= 2.0;
+        }
+        let mut lo_ok = lo;
+        let mut hi_bad = hi;
+        while hi_bad - lo_ok > cfg.resolution_hz {
+            let mid = (lo_ok + hi_bad) / 2.0;
+            if sustainable(ports, mid, cfg.trial_secs, cfg.seed) {
+                lo_ok = mid;
+            } else {
+                hi_bad = mid;
+            }
+        }
+        points.push(RatePoint {
+            ports,
+            max_rate_hz: lo_ok,
+        });
+    }
+    Fig10 { points }
+}
+
+impl Fig10 {
+    /// Render the curve.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| vec![p.ports.to_string(), format!("{:.0}", p.max_rate_hz)])
+            .collect();
+        render_table(
+            "Fig. 10: max sustained snapshot rate before notification queue \
+             buildup (no channel state)",
+            &["Ports/Router", "Max Rate (Hz)"],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_four_ports_sustain_over_70_hz() {
+        let cfg = Fig10Config {
+            port_counts: vec![64],
+            trial_secs: 1,
+            resolution_hz: 8.0,
+            seed: 10,
+        };
+        let f = run(&cfg);
+        let rate = f.points[0].max_rate_hz;
+        // Paper: "Even for 64 ports (a full linecard), Speedlight can
+        // sustain over 70 snapshots per second."
+        assert!(rate > 70.0, "64-port max rate {rate:.0} Hz");
+        assert!(rate < 400.0, "rate {rate:.0} Hz implausibly high");
+    }
+
+    #[test]
+    fn rate_scales_inversely_with_ports() {
+        let cfg = Fig10Config {
+            port_counts: vec![4, 16, 64],
+            trial_secs: 1,
+            resolution_hz: 16.0,
+            seed: 10,
+        };
+        let f = run(&cfg);
+        let r4 = f.points[0].max_rate_hz;
+        let r16 = f.points[1].max_rate_hz;
+        let r64 = f.points[2].max_rate_hz;
+        assert!(r4 > r16 && r16 > r64, "{r4:.0} / {r16:.0} / {r64:.0}");
+        // Roughly inverse: 16x the ports cuts the rate by ~8-32x.
+        let ratio = r4 / r64;
+        assert!((6.0..50.0).contains(&ratio), "r4/r64 = {ratio:.1}");
+    }
+
+    #[test]
+    fn unsustainable_rates_are_detected() {
+        // 64 ports at 5 kHz cannot possibly drain through a ~110 µs/notif
+        // control plane.
+        assert!(!sustainable(64, 5_000.0, 1, 10));
+        assert!(sustainable(4, 20.0, 1, 10));
+    }
+}

@@ -1,0 +1,174 @@
+//! Fig. 11: average synchronization of snapshots in larger deployments.
+//!
+//! The paper could not build a 10,000-router testbed either; it simulated
+//! one from distributions measured on the hardware: "Our simulation
+//! included PTP time drift, OpenNetworkLinux scheduling effects, and the
+//! latency between initiation and data plane snapshot execution" (§8.2).
+//! We do exactly the same Monte-Carlo with the `timesync` model: per
+//! router, one clock-offset + scheduling draw; per unit (64 ports × 2),
+//! one CPU→data-plane draw; synchronization = max − min execution instant
+//! across the whole network; averaged over trials.
+//!
+//! Paper shape: grows slowly (extreme-value statistics of the jitter
+//! tail), staying under ~100 µs even at 10,000 routers.
+
+use crate::common::render_table;
+use netsim::rng::SimRng;
+use netsim::time::Instant;
+use timesync::InitiationModel;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Fig11Config {
+    /// Router counts to sweep.
+    pub router_counts: Vec<usize>,
+    /// Processing units per router (64 ports × ingress+egress).
+    pub units_per_router: usize,
+    /// Trials per point (scaled down for the largest networks).
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig11Config {
+    fn default() -> Self {
+        Fig11Config {
+            router_counts: vec![10, 30, 100, 300, 1_000, 3_000, 10_000],
+            units_per_router: 128,
+            trials: 20,
+            seed: 11,
+        }
+    }
+}
+
+/// One point of the curve.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncPoint {
+    /// Network size in routers.
+    pub routers: usize,
+    /// Average whole-network synchronization, microseconds.
+    pub avg_sync_us: f64,
+}
+
+/// The Fig. 11 curve.
+#[derive(Debug)]
+pub struct Fig11 {
+    /// Average sync per network size.
+    pub points: Vec<SyncPoint>,
+}
+
+/// Sample the synchronization of one network-wide snapshot.
+fn one_snapshot(model: &InitiationModel, routers: usize, units: usize, rng: &mut SimRng) -> f64 {
+    let scheduled = Instant::from_nanos(1_000_000_000);
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for _ in 0..routers {
+        let dev = model.sample_device(rng);
+        for _ in 0..units {
+            let s = model.sample_unit(scheduled, &dev, rng);
+            lo = lo.min(s.executes_at.as_nanos());
+            hi = hi.max(s.executes_at.as_nanos());
+        }
+    }
+    (hi - lo) as f64 / 1e3
+}
+
+/// Run the experiment.
+pub fn run(cfg: &Fig11Config) -> Fig11 {
+    let model = InitiationModel::testbed();
+    let mut rng = SimRng::new(cfg.seed);
+    let points = cfg
+        .router_counts
+        .iter()
+        .map(|&routers| {
+            // Cap total unit-draws per point so the largest networks do not
+            // dominate the runtime; ≥3 trials always.
+            let budget = 4_000_000usize;
+            let trials = cfg
+                .trials
+                .min(budget / (routers * cfg.units_per_router))
+                .max(3);
+            let total: f64 = (0..trials)
+                .map(|_| one_snapshot(&model, routers, cfg.units_per_router, &mut rng))
+                .sum();
+            SyncPoint {
+                routers,
+                avg_sync_us: total / trials as f64,
+            }
+        })
+        .collect();
+    Fig11 { points }
+}
+
+impl Fig11 {
+    /// Render the curve.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| vec![p.routers.to_string(), format!("{:.1}", p.avg_sync_us)])
+            .collect();
+        render_table(
+            "Fig. 11: average synchronization vs. network size \
+             (64-port routers, no channel state)",
+            &["Routers", "Avg Sync (us)"],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Fig11Config {
+        Fig11Config {
+            router_counts: vec![10, 100, 1_000, 10_000],
+            units_per_router: 128,
+            trials: 8,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn sync_grows_slowly_and_stays_under_100us() {
+        let f = run(&small());
+        for p in &f.points {
+            assert!(
+                p.avg_sync_us < 100.0,
+                "{} routers: {:.1} us exceeds the paper's bound",
+                p.routers,
+                p.avg_sync_us
+            );
+        }
+        // Monotone non-decreasing in expectation (max-min over more draws).
+        for w in f.points.windows(2) {
+            assert!(
+                w[1].avg_sync_us >= w[0].avg_sync_us * 0.9,
+                "sync should not shrink with size: {:?}",
+                f.points
+            );
+        }
+        // And the growth is sub-linear: 1000x routers < 4x sync.
+        let first = f.points.first().unwrap().avg_sync_us;
+        let last = f.points.last().unwrap().avg_sync_us;
+        assert!(
+            last < 4.0 * first,
+            "asymptotic growth violated: {first:.1} -> {last:.1}"
+        );
+    }
+
+    #[test]
+    fn testbed_scale_matches_fig9() {
+        // 4 routers of 28 units ≈ the testbed: average sync should sit in
+        // the same few-µs regime Fig. 9 reports.
+        let f = run(&Fig11Config {
+            router_counts: vec![4],
+            units_per_router: 28,
+            trials: 200,
+            seed: 11,
+        });
+        let avg = f.points[0].avg_sync_us;
+        assert!((4.0..20.0).contains(&avg), "testbed-scale avg {avg:.1} us");
+    }
+}

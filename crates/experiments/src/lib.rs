@@ -1,0 +1,29 @@
+//! Experiment harness: one module per table/figure of the paper's
+//! evaluation (§7.1, §8).
+//!
+//! Each module exposes a `run(cfg)` returning a typed result plus a
+//! `render()` that prints the same rows/series the paper reports. The
+//! `bench` crate wraps each in a binary (`cargo run -p bench --bin figN`)
+//! and `EXPERIMENTS.md` records paper-vs-measured for each.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table 1 — Tofino resource usage per variant |
+//! | [`fig9`] | Fig. 9 — synchronization CDF (snapshots vs polling) |
+//! | [`fig10`] | Fig. 10 — max sustained snapshot rate vs port count |
+//! | [`fig11`] | Fig. 11 — synchronization vs network size |
+//! | [`fig12`] | Fig. 12 — load-balance stddev CDFs, 3 workloads |
+//! | [`fig13`] | Fig. 13 — pairwise Spearman correlation of egress rates |
+//! | [`ablations`] | beyond-paper design ablations (modulus, drops, …) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod common;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig9;
+pub mod table1;

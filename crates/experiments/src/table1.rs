@@ -1,0 +1,142 @@
+//! Table 1: resource usage of the Speedlight data plane on the Tofino.
+//!
+//! Regenerated from the pipeline resource model (`pipeline-model`), which
+//! is calibrated against the paper's published numbers (see that crate's
+//! docs). Also reports the 14-port evaluation configuration quoted in
+//! §7.1's text and the <25%-of-any-resource utilization check.
+
+use crate::common::render_table;
+use pipeline_model::{allocate, speedlight_pipeline, ResourceReport, TofinoCapacity, Variant};
+
+/// The default snapshot-ID modulus assumed by the calibration.
+pub const DEFAULT_MODULUS: u16 = 256;
+
+/// Table 1 plus the §7.1 extras.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Per-variant reports at 64 ports.
+    pub columns: Vec<(Variant, ResourceReport)>,
+    /// The 14-port channel-state configuration used in the evaluation.
+    pub eval_config: ResourceReport,
+    /// Whether every variant fits under 25% of a Tofino's resources.
+    pub fits: bool,
+}
+
+/// Run the experiment.
+pub fn run() -> Table1 {
+    let columns: Vec<(Variant, ResourceReport)> = Variant::all()
+        .into_iter()
+        .map(|v| (v, allocate(&speedlight_pipeline(v, 64, DEFAULT_MODULUS))))
+        .collect();
+    let eval_config = allocate(&speedlight_pipeline(
+        Variant::ChannelState,
+        14,
+        DEFAULT_MODULUS,
+    ));
+    let cap = TofinoCapacity::default();
+    let fits = columns.iter().all(|(_, r)| r.fits_comfortably(&cap));
+    Table1 {
+        columns,
+        eval_config,
+        fits,
+    }
+}
+
+impl Table1 {
+    /// Render in the paper's row order.
+    pub fn render(&self) -> String {
+        let headers: Vec<&str> = std::iter::once("Variant")
+            .chain(self.columns.iter().map(|(v, _)| v.label()))
+            .collect();
+        let row = |name: &str, f: &dyn Fn(&ResourceReport) -> String| -> Vec<String> {
+            std::iter::once(name.to_string())
+                .chain(self.columns.iter().map(|(_, r)| f(r)))
+                .collect()
+        };
+        let rows = vec![
+            row("Stateless ALUs", &|r| r.stateless_alus.to_string()),
+            row("Stateful ALUs", &|r| r.stateful_alus.to_string()),
+            row("Logical Table IDs", &|r| r.logical_tables.to_string()),
+            row("Conditional Gateways", &|r| r.gateways.to_string()),
+            row("Physical Stages", &|r| r.physical_stages.to_string()),
+            row("SRAM", &|r| format!("{:.0}KB", r.sram_kb)),
+            row("TCAM", &|r| format!("{:.0}KB", r.tcam_kb)),
+        ];
+        let mut out = render_table(
+            "Table 1: Speedlight data plane resource usage (64-port snapshots)",
+            &headers,
+            &rows,
+        );
+        out.push_str(&format!(
+            "\n14-port +Chnl.State evaluation config: {:.0}KB SRAM, {:.0}KB TCAM \
+             (paper: 638KB / 90KB)\n",
+            self.eval_config.sram_kb, self.eval_config.tcam_kb
+        ));
+        out.push_str(&format!(
+            "All variants under 25% of every dedicated Tofino resource: {}\n",
+            self.fits
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_every_published_cell() {
+        let t = run();
+        let by_variant = |v: Variant| {
+            t.columns
+                .iter()
+                .find(|(var, _)| *var == v)
+                .map(|(_, r)| *r)
+                .unwrap()
+        };
+        let pc = by_variant(Variant::PacketCount);
+        assert_eq!(
+            (pc.stateless_alus, pc.stateful_alus, pc.logical_tables, pc.gateways, pc.physical_stages),
+            (17, 9, 27, 15, 10)
+        );
+        assert_eq!(pc.sram_kb.round() as u32, 606);
+        assert_eq!(pc.tcam_kb.round() as u32, 42);
+
+        let wa = by_variant(Variant::WrapAround);
+        assert_eq!(
+            (wa.stateless_alus, wa.stateful_alus, wa.logical_tables, wa.gateways, wa.physical_stages),
+            (19, 9, 35, 19, 10)
+        );
+        assert_eq!(wa.sram_kb.round() as u32, 671);
+        assert_eq!(wa.tcam_kb.round() as u32, 59);
+
+        let cs = by_variant(Variant::ChannelState);
+        assert_eq!(
+            (cs.stateless_alus, cs.stateful_alus, cs.logical_tables, cs.gateways, cs.physical_stages),
+            (24, 11, 37, 19, 12)
+        );
+        assert_eq!(cs.sram_kb.round() as u32, 770);
+        assert_eq!(cs.tcam_kb.round() as u32, 244);
+
+        assert_eq!(t.eval_config.sram_kb.round() as u32, 638);
+        assert_eq!(t.eval_config.tcam_kb.round() as u32, 90);
+        assert!(t.fits);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = run().render();
+        for needle in [
+            "Stateless ALUs",
+            "Stateful ALUs",
+            "Logical Table IDs",
+            "Conditional Gateways",
+            "Physical Stages",
+            "SRAM",
+            "TCAM",
+            "638KB",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+}

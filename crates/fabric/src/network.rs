@@ -1,0 +1,984 @@
+//! The network world: event interpreter tying switches, hosts, control
+//! planes, and the observer together.
+
+use crate::latency::LatencyModel;
+use crate::packet::{Packet, PacketRole};
+use crate::switchmod::{QueuedPacket, SnapshotConfig, Switch};
+use crate::topology::{LbKind, PortPeer, Topology};
+use crate::traffic::Source;
+use netsim::rng::SimRng;
+use netsim::sim::{Scheduler, World};
+use netsim::time::{Duration, Instant};
+use speedlight_core::consistency::{ConservationChecker, Delivery};
+use speedlight_core::control::Report;
+use speedlight_core::observer::{GlobalSnapshot, Observer, ObserverConfig};
+use speedlight_core::types::{ChannelId, Direction, Notification, UnitId, CPU_CHANNEL};
+use speedlight_core::{Epoch, WrappedId};
+use std::collections::BTreeMap;
+use telemetry::MetricKind;
+use wire::{PacketType, SnapshotHeader};
+
+/// Events of the network world.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A packet reaches a switch's ingress pipeline.
+    ArriveIngress {
+        /// Switch.
+        sw: u16,
+        /// Ingress port.
+        port: u16,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A routed packet reaches its egress queue.
+    EnqueueEgress {
+        /// Switch.
+        sw: u16,
+        /// Egress port.
+        port: u16,
+        /// The packet with its upstream channel.
+        qp: QueuedPacket,
+    },
+    /// The transmitter of `(sw, port)` should (re)start.
+    StartTx {
+        /// Switch.
+        sw: u16,
+        /// Port.
+        port: u16,
+    },
+    /// The transmitter finished serializing the current packet.
+    TxDone {
+        /// Switch.
+        sw: u16,
+        /// Port.
+        port: u16,
+    },
+    /// A packet reaches a host NIC.
+    DeliverHost {
+        /// Host.
+        host: u32,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A host traffic source wake-up.
+    HostWake {
+        /// Host.
+        host: u32,
+    },
+    /// The observer initiates the next snapshot epoch.
+    ScheduleSnapshot,
+    /// A device control plane's snapshot timer fires (clock-skewed).
+    DeviceInitiate {
+        /// Device.
+        sw: u16,
+        /// Epoch to initiate.
+        epoch: Epoch,
+    },
+    /// One ingress unit executes the initiation.
+    UnitInitiate {
+        /// Device.
+        sw: u16,
+        /// Port.
+        port: u16,
+        /// Epoch.
+        epoch: Epoch,
+    },
+    /// A data-plane notification lands at the control-plane socket.
+    NotifyArrive {
+        /// Device.
+        sw: u16,
+        /// The notification.
+        n: Notification,
+    },
+    /// The control plane picks up the next queued notification.
+    CpProcess {
+        /// Device.
+        sw: u16,
+    },
+    /// A control-plane report reaches the observer.
+    ReportArrive {
+        /// Reporting device.
+        device: u16,
+        /// The report.
+        report: Report,
+    },
+    /// Periodic observer maintenance (retries, timeouts).
+    ObserverTick,
+    /// Start one polling sweep over all switches (baseline framework).
+    PollSweep,
+    /// Issue the next counter read in a switch's polling sequence.
+    PollRead {
+        /// Switch.
+        sw: u16,
+        /// Index into the unit list (`0..2*ports`).
+        idx: u16,
+        /// Sweep this read belongs to.
+        sweep: u32,
+    },
+    /// A deferred poll read completes (the value is sampled now).
+    PollComplete {
+        /// Switch.
+        sw: u16,
+        /// Index being completed.
+        idx: u16,
+        /// Sweep.
+        sweep: u32,
+        /// The unit whose counter is read.
+        uid: UnitId,
+    },
+    /// Periodic liveness check: inject keepalives for stalled channels.
+    KeepaliveTick,
+}
+
+/// A completed snapshot with timing metadata.
+#[derive(Debug, Clone)]
+pub struct SnapshotRecord {
+    /// The assembled snapshot.
+    pub snapshot: GlobalSnapshot,
+    /// When the observer issued it.
+    pub issued_at: Instant,
+    /// When assembly finished.
+    pub completed_at: Instant,
+    /// Whether a timeout forced finalization.
+    pub forced: bool,
+}
+
+/// One polling sweep's samples.
+#[derive(Debug, Clone, Default)]
+pub struct PollSweepRecord {
+    /// Per-unit `(unit, value, read_time)`.
+    pub samples: Vec<(UnitId, u64, Instant)>,
+}
+
+/// Observer/driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Lead time between issuing a snapshot and its scheduled instant.
+    pub lead_time: Duration,
+    /// Period between automatic snapshots (`None` = only explicit ones).
+    pub snapshot_period: Option<Duration>,
+    /// Period between polling sweeps (`None` = no polling).
+    pub poll_period: Option<Duration>,
+    /// Re-initiate epochs incomplete for longer than this.
+    pub retry_timeout: Duration,
+    /// Force-finalize (exclude lagging devices) after this.
+    pub device_timeout: Duration,
+    /// Observer maintenance tick.
+    pub tick: Duration,
+    /// Keepalive injection check period (channel-state liveness).
+    pub keepalive_period: Option<Duration>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            lead_time: Duration::from_millis(1),
+            snapshot_period: None,
+            poll_period: None,
+            retry_timeout: Duration::from_millis(20),
+            device_timeout: Duration::from_millis(200),
+            tick: Duration::from_millis(5),
+            keepalive_period: Some(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Measurement side-channels filled while the simulation runs.
+#[derive(Debug, Default)]
+pub struct Instrumentation {
+    /// Completed snapshots, in completion order.
+    pub snapshots: Vec<SnapshotRecord>,
+    /// Per-epoch earliest/latest data-plane progress timestamp and count
+    /// (Fig. 9's synchronization metric).
+    pub sync: BTreeMap<Epoch, (Instant, Instant, u64)>,
+    /// Polling sweeps.
+    pub polls: Vec<PollSweepRecord>,
+    /// Omniscient conservation audit (tests enable this).
+    pub audit: Option<ConservationChecker>,
+    /// Packets delivered per host.
+    pub host_rx: BTreeMap<u32, u64>,
+    /// Packets dropped because a FIB had no route.
+    pub unroutable_drops: u64,
+}
+
+struct Host {
+    attached: (u16, u16),
+    source: Option<Box<dyn Source>>,
+    nic_busy_until: Instant,
+}
+
+/// The simulated network (implements [`World`]).
+pub struct Network {
+    topo: Topology,
+    /// The switches.
+    pub switches: Vec<Switch>,
+    hosts: Vec<Host>,
+    /// The snapshot observer.
+    pub observer: Observer,
+    latency: LatencyModel,
+    driver: DriverConfig,
+    snapshot_cfg: SnapshotConfig,
+    rng: SimRng,
+    next_pkt_id: u64,
+    /// Epoch → issue time (retry/timeout bookkeeping).
+    issued: BTreeMap<Epoch, Instant>,
+    /// Epoch → last re-initiation time (retry pacing).
+    retried: BTreeMap<Epoch, Instant>,
+    next_sweep: u32,
+    /// Omniscient shadow of each unit's unwrapped epoch (instrumentation
+    /// only — never feeds the protocol).
+    shadow_sid: BTreeMap<UnitId, Epoch>,
+    /// Shadow of last seen per (unit, channel).
+    shadow_ls: BTreeMap<(UnitId, u16), Epoch>,
+    /// Base RNG for per-host traffic streams (stable across wakes).
+    host_rng_base: SimRng,
+    /// Instrumentation outputs.
+    pub instr: Instrumentation,
+}
+
+impl Network {
+    /// Build a network over `topo`.
+    pub fn new(
+        topo: Topology,
+        snapshot_cfg: SnapshotConfig,
+        lb_kind: LbKind,
+        latency: LatencyModel,
+        driver: DriverConfig,
+        queue_capacity_bytes: u64,
+        seed: u64,
+    ) -> Network {
+        let rng = SimRng::new(seed);
+        let fibs = topo.build_fibs();
+        let num_sw = topo.num_switches();
+        let mut switches = Vec::with_capacity(usize::from(num_sw));
+        for s in 0..num_sw {
+            let ports = topo.num_ports(s);
+            // External channel considered iff the peer is a switch (hosts
+            // do not participate in the snapshot protocol).
+            let considered_ext: Vec<bool> = (0..ports)
+                .map(|p| {
+                    matches!(
+                        topo.ports[usize::from(s)][usize::from(p)],
+                        PortPeer::Switch { .. }
+                    )
+                })
+                .collect();
+            let considered_pair = used_port_pairs(&topo, &fibs, s);
+            switches.push(Switch::new(
+                s,
+                ports,
+                &snapshot_cfg,
+                lb_kind,
+                rng.fork_idx("lb-salt", u64::from(s)).below(u64::MAX),
+                queue_capacity_bytes,
+                fibs[usize::from(s)].clone(),
+                considered_ext,
+                considered_pair,
+            ));
+        }
+        let mut observer = Observer::new(ObserverConfig::for_modulus(snapshot_cfg.modulus));
+        for sw in &switches {
+            observer.register_device(sw.id, sw.unit_ids());
+        }
+        let hosts = topo
+            .hosts
+            .iter()
+            .map(|&attached| Host {
+                attached,
+                source: None,
+                nic_busy_until: Instant::ZERO,
+            })
+            .collect();
+        let host_rng_base = rng.fork("hosts");
+        Network {
+            topo,
+            switches,
+            hosts,
+            observer,
+            latency,
+            driver,
+            snapshot_cfg,
+            rng,
+            next_pkt_id: 0,
+            issued: BTreeMap::new(),
+            retried: BTreeMap::new(),
+            next_sweep: 0,
+            shadow_sid: BTreeMap::new(),
+            shadow_ls: BTreeMap::new(),
+            host_rng_base,
+            instr: Instrumentation::default(),
+        }
+    }
+
+    /// Attach a traffic source to a host.
+    pub fn set_source(&mut self, host: u32, source: Box<dyn Source>) {
+        self.hosts[host as usize].source = Some(source);
+    }
+
+    /// Enable the omniscient conservation audit (tests).
+    pub fn enable_audit(&mut self) {
+        self.instr.audit = Some(ConservationChecker::new());
+    }
+
+    /// The snapshot configuration.
+    pub fn snapshot_cfg(&self) -> &SnapshotConfig {
+        &self.snapshot_cfg
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Total processing units the observer expects per snapshot.
+    pub fn observer_expected(&self) -> usize {
+        self.switches.iter().map(|s| s.unit_ids().len()).sum()
+    }
+
+    fn wrap(&self, epoch: Epoch) -> WrappedId {
+        WrappedId::wrap(epoch, self.snapshot_cfg.modulus)
+    }
+
+    fn next_id(&mut self) -> u64 {
+        self.next_pkt_id += 1;
+        self.next_pkt_id
+    }
+
+    /// Update sync instrumentation + shadow state from a notification at
+    /// data-plane time `now`.
+    fn track_notification(&mut self, n: &Notification, now: Instant) {
+        let sid_ref = self.shadow_sid.entry(n.unit).or_insert(0);
+        let new_sid = n.new_sid.unwrap_from(*sid_ref);
+        let advanced = new_sid > *sid_ref;
+        *sid_ref = new_sid;
+        if advanced {
+            let e = self.instr.sync.entry(new_sid).or_insert((now, now, 0));
+            e.0 = e.0.min(now);
+            e.1 = e.1.max(now);
+            e.2 += 1;
+        }
+        if let Some(ch) = n.channel {
+            if ch != CPU_CHANNEL {
+                let ls_ref = self.shadow_ls.entry((n.unit, ch.0)).or_insert(0);
+                let new_ls = n.new_last_seen.unwrap_from(*ls_ref);
+                if new_ls > *ls_ref {
+                    *ls_ref = new_ls;
+                    let e = self.instr.sync.entry(new_ls).or_insert((now, now, 0));
+                    e.0 = e.0.min(now);
+                    e.1 = e.1.max(now);
+                    e.2 += 1;
+                }
+            }
+        }
+    }
+
+    /// Run one unit's snapshot + metric pipeline over a packet, stamping
+    /// the outgoing shim header.
+    fn unit_process(
+        &mut self,
+        sw: u16,
+        port: u16,
+        direction: Direction,
+        channel: ChannelId,
+        pkt: &mut Packet,
+        now: Instant,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let uid = UnitId {
+            device: sw,
+            port,
+            direction,
+        };
+        let is_init = pkt.is_initiation();
+        let modulus = self.snapshot_cfg.modulus;
+        let enabled = self.switches[usize::from(sw)].snapshot_enabled;
+
+        // Metric pre-read (the value a snapshot would save) + contribution.
+        let (pre_value, contrib) = {
+            let switch = &self.switches[usize::from(sw)];
+            let bank = match direction {
+                Direction::Ingress => &switch.ing_metrics,
+                Direction::Egress => &switch.eg_metrics,
+            };
+            (bank.read(port), bank.contrib(pkt.size))
+        };
+
+        let incoming_channel_id = pkt.snapshot.map(|h| h.channel_id).unwrap_or(0);
+        match pkt.snapshot {
+            Some(hdr) if enabled => {
+                let wrapped = WrappedId::from_raw(hdr.snapshot_id % modulus, modulus);
+                // Audit tag: unwrap against the channel's pre-update shadow
+                // (CPU-channel initiations are excluded from the audit).
+                let tag_epoch = if channel == CPU_CHANNEL {
+                    0
+                } else {
+                    wrapped.unwrap_from(*self.shadow_ls.entry((uid, channel.0)).or_insert(0))
+                };
+                let out = {
+                    let switch = &mut self.switches[usize::from(sw)];
+                    let unit = match direction {
+                        Direction::Ingress => &mut switch.units.ingress[usize::from(port)],
+                        Direction::Egress => &mut switch.units.egress[usize::from(port)],
+                    };
+                    unit.on_packet(channel, wrapped, pre_value, contrib, is_init)
+                };
+                // Metric update after the snapshot logic (Fig. 3 l.13);
+                // initiations skip the update-counter stage (§6).
+                if !is_init {
+                    let switch = &mut self.switches[usize::from(sw)];
+                    let bank = match direction {
+                        Direction::Ingress => &mut switch.ing_metrics,
+                        Direction::Egress => &mut switch.eg_metrics,
+                    };
+                    bank.on_packet(port, now, pkt.size);
+                }
+                if let Some(n) = out.notification {
+                    self.track_notification(&n, now);
+                    let delay = self.latency.notify_pcie.sample(&mut self.rng);
+                    sched.after(delay, NetEvent::NotifyArrive { sw, n });
+                }
+                // Keep the channel shadow monotone even when the Last Seen
+                // update produced no notification (equal IDs / no-CS mode).
+                if channel != CPU_CHANNEL {
+                    let ls_ref = self.shadow_ls.entry((uid, channel.0)).or_insert(0);
+                    *ls_ref = (*ls_ref).max(tag_epoch);
+                }
+                if !is_init && channel != CPU_CHANNEL {
+                    if let Some(audit) = &mut self.instr.audit {
+                        let local_after = *self.shadow_sid.entry(uid).or_insert(0);
+                        audit.record(Delivery {
+                            unit: uid,
+                            tag: tag_epoch,
+                            local_after: local_after.max(tag_epoch),
+                            contrib,
+                        });
+                    }
+                }
+                pkt.snapshot = Some(SnapshotHeader {
+                    packet_type: if is_init {
+                        PacketType::Initiation
+                    } else {
+                        PacketType::Data
+                    },
+                    snapshot_id: out.out_sid.raw(),
+                    channel_id: incoming_channel_id,
+                });
+            }
+            _ => {
+                // Headerless traffic (fresh from a host) or snapshots
+                // disabled on this device: metric update only; the receive
+                // is a purely local event for the audit.
+                if !is_init {
+                    {
+                        let switch = &mut self.switches[usize::from(sw)];
+                        let bank = match direction {
+                            Direction::Ingress => &mut switch.ing_metrics,
+                            Direction::Egress => &mut switch.eg_metrics,
+                        };
+                        bank.on_packet(port, now, pkt.size);
+                    }
+                    if enabled {
+                        if let Some(audit) = &mut self.instr.audit {
+                            let local_after = *self.shadow_sid.entry(uid).or_insert(0);
+                            audit.record(Delivery {
+                                unit: uid,
+                                tag: local_after,
+                                local_after,
+                                contrib,
+                            });
+                        }
+                    }
+                }
+                if enabled && pkt.snapshot.is_none() {
+                    // First snapshot-enabled device on the path inserts the
+                    // shim, stamped with the unit's current epoch (§10).
+                    let switch = &self.switches[usize::from(sw)];
+                    let unit = match direction {
+                        Direction::Ingress => &switch.units.ingress[usize::from(port)],
+                        Direction::Egress => &switch.units.egress[usize::from(port)],
+                    };
+                    pkt.snapshot = Some(SnapshotHeader::data(unit.sid().raw()));
+                    pkt.size += wire::WIRE_LEN as u32;
+                }
+            }
+        }
+    }
+
+    /// Route a processed packet out of `sw` (entered via ingress `in_port`).
+    fn route(
+        &mut self,
+        sw: u16,
+        in_port: u16,
+        mut pkt: Packet,
+        now: Instant,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let out_port = {
+            let switch = &mut self.switches[usize::from(sw)];
+            let hops = switch.fib.next_hops(pkt.dst_host);
+            match hops.len() {
+                0 => {
+                    self.instr.unroutable_drops += 1;
+                    return;
+                }
+                1 => hops[0],
+                n => {
+                    let pick = switch.lb.pick(&pkt.flow, now, n);
+                    switch.fib.next_hops(pkt.dst_host)[pick]
+                }
+            }
+        };
+        {
+            let switch = &mut self.switches[usize::from(sw)];
+            switch.fib_version_seen = switch.fib.version;
+        }
+        if let Some(hdr) = &mut pkt.snapshot {
+            hdr.channel_id = in_port; // §5.1 Channel ID
+        }
+        sched.after(
+            self.latency.fabric_delay,
+            NetEvent::EnqueueEgress {
+                sw,
+                port: out_port,
+                qp: QueuedPacket {
+                    pkt,
+                    from_port: in_port,
+                },
+            },
+        );
+    }
+
+    fn update_queue_gauge(&mut self, sw: u16, port: u16) {
+        let switch = &mut self.switches[usize::from(sw)];
+        if switch.eg_metrics.kind() == MetricKind::QueueDepth {
+            let depth = switch.egress_ports[usize::from(port)].queue.len() as u64;
+            switch.eg_metrics.set_gauge(port, depth);
+        }
+    }
+
+    /// Transmit loop for a port: initiations are processed and die in
+    /// place; the next real packet starts serializing.
+    fn start_tx(&mut self, sw: u16, port: u16, now: Instant, sched: &mut Scheduler<NetEvent>) {
+        loop {
+            let popped = self.switches[usize::from(sw)].egress_ports[usize::from(port)].dequeue();
+            let Some(mut qp) = popped else {
+                self.switches[usize::from(sw)].egress_ports[usize::from(port)].busy = false;
+                return;
+            };
+            self.update_queue_gauge(sw, port);
+            let channel = ChannelId(qp.from_port);
+            self.unit_process(sw, port, Direction::Egress, channel, &mut qp.pkt, now, sched);
+            if qp.pkt.is_initiation() {
+                continue; // dropped after egress processing (§6)
+            }
+            self.switches[usize::from(sw)].stats.egress_packets += 1;
+            let props = self.topo.link_props[usize::from(sw)][usize::from(port)];
+            let ser = Duration::from_nanos(props.serialize_ns(qp.pkt.size));
+            let prop = Duration::from_nanos(props.prop_ns);
+            let peer = self.topo.ports[usize::from(sw)][usize::from(port)];
+            let mut pkt = qp.pkt;
+            match peer {
+                PortPeer::Host(h) => {
+                    pkt.snapshot = None; // strip the shim before delivery
+                    sched.after(ser + prop, NetEvent::DeliverHost { host: h, pkt });
+                }
+                PortPeer::Switch {
+                    switch: peer_sw,
+                    port: peer_port,
+                } => {
+                    sched.after(
+                        ser + prop,
+                        NetEvent::ArriveIngress {
+                            sw: peer_sw,
+                            port: peer_port,
+                            pkt,
+                        },
+                    );
+                }
+                PortPeer::Unused => {}
+            }
+            self.switches[usize::from(sw)].egress_ports[usize::from(port)].busy = true;
+            sched.after(ser, NetEvent::TxDone { sw, port });
+            return;
+        }
+    }
+
+    /// Fan initiations for `epoch` out to `devices` aimed at true time
+    /// `target`, through the clock-offset/scheduling model.
+    fn fan_out_initiations(
+        &mut self,
+        epoch: Epoch,
+        target: Instant,
+        devices: &[u16],
+        sched: &mut Scheduler<NetEvent>,
+        now: Instant,
+    ) {
+        for &sw in devices {
+            let dev = self.latency.initiation.sample_device(&mut self.rng);
+            let base = if dev.offset_ns >= 0 {
+                target + Duration::from_nanos(dev.offset_ns as u64)
+            } else {
+                Instant::from_nanos(
+                    target
+                        .as_nanos()
+                        .saturating_sub(dev.offset_ns.unsigned_abs()),
+                )
+            };
+            let at = (base + dev.sched).max(now);
+            sched.at(at, NetEvent::DeviceInitiate { sw, epoch });
+        }
+    }
+
+    fn poll_unit_order(&self, sw: u16, idx: u16) -> Option<UnitId> {
+        let ports = self.switches[usize::from(sw)].ports();
+        if idx < ports {
+            Some(UnitId::ingress(sw, idx))
+        } else if idx < 2 * ports {
+            Some(UnitId::egress(sw, idx - ports))
+        } else {
+            None
+        }
+    }
+
+    /// Inject one round of keepalives at `sw`: every ingress unit's sid is
+    /// broadcast through every egress queue, propagating snapshot IDs over
+    /// silent channels (§6).
+    fn inject_keepalives(&mut self, sw: u16, sched: &mut Scheduler<NetEvent>) {
+        let ports = self.switches[usize::from(sw)].ports();
+        self.switches[usize::from(sw)].stats.keepalives_sent += 1;
+        for p in 0..ports {
+            let sid = self.switches[usize::from(sw)].units.ingress[usize::from(p)].sid();
+            for q in 0..ports {
+                let id = self.next_id();
+                let mut pkt = Packet::keepalive(id, u32::MAX);
+                pkt.snapshot = Some(SnapshotHeader {
+                    packet_type: PacketType::Data,
+                    snapshot_id: sid.raw(),
+                    channel_id: p,
+                });
+                sched.after(
+                    self.latency.fabric_delay,
+                    NetEvent::EnqueueEgress {
+                        sw,
+                        port: q,
+                        qp: QueuedPacket { pkt, from_port: p },
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Derive which (ingress, egress) port pairs of switch `s` carry traffic
+/// under the computed routing: pair `(p, q)` is used iff some destination
+/// routes out `q` while `p` can feed traffic toward it (host ports feed
+/// everything they attach; switch ports feed what their owner routes
+/// through us). Same-port pairs are always considered — initiations
+/// traverse them (§6).
+fn used_port_pairs(topo: &Topology, fibs: &[crate::topology::Fib], s: u16) -> Vec<Vec<bool>> {
+    let ports = usize::from(topo.num_ports(s));
+    let mut used = vec![vec![false; ports]; ports];
+    for (p, row) in used.iter_mut().enumerate() {
+        row[p] = true;
+    }
+    for h in 0..topo.num_hosts() {
+        let outs = fibs[usize::from(s)].next_hops(h);
+        for p in 0..ports {
+            let feeds = match topo.ports[usize::from(s)][p] {
+                PortPeer::Host(src) => src != h,
+                PortPeer::Switch {
+                    switch: peer,
+                    port: peer_port,
+                } => fibs[usize::from(peer)].next_hops(h).contains(&peer_port),
+                PortPeer::Unused => false,
+            };
+            if feeds {
+                for &q in outs {
+                    if usize::from(q) != p {
+                        used[p][usize::from(q)] = true;
+                    }
+                }
+            }
+        }
+    }
+    used
+}
+
+impl World for Network {
+    type Event = NetEvent;
+
+    fn handle(&mut self, now: Instant, event: NetEvent, sched: &mut Scheduler<NetEvent>) {
+        match event {
+            NetEvent::ArriveIngress { sw, port, mut pkt } => {
+                self.switches[usize::from(sw)].stats.ingress_packets += 1;
+                self.unit_process(sw, port, Direction::Ingress, ChannelId(0), &mut pkt, now, sched);
+                if pkt.role == PacketRole::Keepalive {
+                    return; // keepalives die after propagating their ID
+                }
+                self.route(sw, port, pkt, now, sched);
+            }
+
+            NetEvent::EnqueueEgress { sw, port, qp } => {
+                let accepted =
+                    self.switches[usize::from(sw)].egress_ports[usize::from(port)].enqueue(qp);
+                if accepted {
+                    self.update_queue_gauge(sw, port);
+                    let busy = self.switches[usize::from(sw)].egress_ports[usize::from(port)].busy;
+                    if !busy {
+                        self.switches[usize::from(sw)].egress_ports[usize::from(port)].busy = true;
+                        sched.now_event(NetEvent::StartTx { sw, port });
+                    }
+                } else {
+                    self.switches[usize::from(sw)].stats.queue_drops += 1;
+                }
+            }
+
+            NetEvent::StartTx { sw, port } | NetEvent::TxDone { sw, port } => {
+                self.start_tx(sw, port, now, sched);
+            }
+
+            NetEvent::DeliverHost { host, pkt } => {
+                debug_assert!(pkt.snapshot.is_none(), "shim must be stripped");
+                let _ = pkt;
+                *self.instr.host_rx.entry(host).or_insert(0) += 1;
+            }
+
+            NetEvent::HostWake { host } => {
+                let mut emissions = Vec::new();
+                let next = {
+                    let h = &mut self.hosts[host as usize];
+                    let Some(source) = h.source.as_mut() else {
+                        return;
+                    };
+                    let mut rng = self
+                        .host_rng_base
+                        .fork_idx("host", u64::from(host))
+                        .fork_idx("wake", now.as_nanos());
+                    source.on_wake(now, &mut rng, &mut emissions)
+                };
+                let (sw, port) = self.hosts[host as usize].attached;
+                let props = self.topo.link_props[usize::from(sw)][usize::from(port)];
+                for em in emissions {
+                    let start = self.hosts[host as usize].nic_busy_until.max(now);
+                    let ser = Duration::from_nanos(props.serialize_ns(em.bytes));
+                    self.hosts[host as usize].nic_busy_until = start + ser;
+                    let arrive = start + ser + Duration::from_nanos(props.prop_ns);
+                    let id = self.next_id();
+                    sched.at(
+                        arrive,
+                        NetEvent::ArriveIngress {
+                            sw,
+                            port,
+                            pkt: Packet::data(id, em.flow, em.bytes),
+                        },
+                    );
+                }
+                if let Some(next) = next {
+                    sched.at(next.max(now), NetEvent::HostWake { host });
+                }
+            }
+
+            NetEvent::ScheduleSnapshot => {
+                if let Some(epoch) = self.observer.begin_snapshot() {
+                    let target = now + self.driver.lead_time;
+                    self.issued.insert(epoch, now);
+                    let devices: Vec<u16> = self.observer.device_ids().collect();
+                    self.fan_out_initiations(epoch, target, &devices, sched, now);
+                }
+                if let Some(period) = self.driver.snapshot_period {
+                    sched.after(period, NetEvent::ScheduleSnapshot);
+                }
+            }
+
+            NetEvent::DeviceInitiate { sw, epoch } => {
+                for port in 0..self.switches[usize::from(sw)].ports() {
+                    let extra = self.latency.initiation.cpu_to_unit.sample(&mut self.rng);
+                    sched.after(extra, NetEvent::UnitInitiate { sw, port, epoch });
+                }
+            }
+
+            NetEvent::UnitInitiate { sw, port, epoch } => {
+                if !self.switches[usize::from(sw)].snapshot_enabled {
+                    return;
+                }
+                let id = self.next_id();
+                let mut pkt = Packet::initiation(id, self.wrap(epoch).raw());
+                self.unit_process(sw, port, Direction::Ingress, CPU_CHANNEL, &mut pkt, now, sched);
+                // Forward to the same-port egress unit through the fabric
+                // (Fig. 6, arrow 3).
+                sched.after(
+                    self.latency.fabric_delay,
+                    NetEvent::EnqueueEgress {
+                        sw,
+                        port,
+                        qp: QueuedPacket {
+                            pkt,
+                            from_port: port,
+                        },
+                    },
+                );
+            }
+
+            NetEvent::NotifyArrive { sw, n } => {
+                let capacity = self.latency.cp_queue_capacity;
+                let switch = &mut self.switches[usize::from(sw)];
+                if switch.cp_queue.len() >= capacity {
+                    switch.stats.notify_drops += 1;
+                    return;
+                }
+                switch.cp_queue.push_back((n, now));
+                if !switch.cp_busy {
+                    switch.cp_busy = true;
+                    sched.now_event(NetEvent::CpProcess { sw });
+                }
+            }
+
+            NetEvent::CpProcess { sw } => {
+                let proc = self.latency.cp_process.sample(&mut self.rng);
+                let reports = {
+                    let switch = &mut self.switches[usize::from(sw)];
+                    let Some((n, _dp_time)) = switch.cp_queue.pop_front() else {
+                        switch.cp_busy = false;
+                        return;
+                    };
+                    switch.cp.on_notification(&n, &mut switch.units)
+                };
+                for report in reports {
+                    let lat = self.latency.report_latency.sample(&mut self.rng);
+                    sched.after(proc + lat, NetEvent::ReportArrive { device: sw, report });
+                }
+                let switch = &mut self.switches[usize::from(sw)];
+                if switch.cp_queue.is_empty() {
+                    switch.cp_busy = false;
+                } else {
+                    sched.after(proc, NetEvent::CpProcess { sw });
+                }
+            }
+
+            NetEvent::ReportArrive { device, report } => {
+                if let Some(snapshot) = self.observer.on_report(device, report) {
+                    let issued_at = self.issued.remove(&snapshot.epoch).unwrap_or(Instant::ZERO);
+                    self.retried.remove(&snapshot.epoch);
+                    self.instr.snapshots.push(SnapshotRecord {
+                        snapshot,
+                        issued_at,
+                        completed_at: now,
+                        forced: false,
+                    });
+                }
+            }
+
+            NetEvent::ObserverTick => {
+                let pending: Vec<Epoch> = self.observer.pending_epochs().collect();
+                // Initiations are cumulative (an initiation for epoch E
+                // advances a unit past every epoch < E), so re-initiating
+                // only the *newest* overdue epoch suffices for liveness —
+                // and avoids an event storm when many epochs are pending.
+                let mut newest_overdue: Option<(Epoch, Instant)> = None;
+                for epoch in pending {
+                    let Some(&issued_at) = self.issued.get(&epoch) else {
+                        continue;
+                    };
+                    let age = now.saturating_since(issued_at);
+                    if age >= self.driver.device_timeout {
+                        if let Some(snapshot) = self.observer.force_finalize(epoch) {
+                            self.issued.remove(&epoch);
+                            self.retried.remove(&epoch);
+                            self.instr.snapshots.push(SnapshotRecord {
+                                snapshot,
+                                issued_at,
+                                completed_at: now,
+                                forced: true,
+                            });
+                        }
+                    } else if age >= self.driver.retry_timeout {
+                        newest_overdue = Some((epoch, issued_at));
+                    }
+                }
+                if let Some((epoch, _)) = newest_overdue {
+                    let paced = self
+                        .retried
+                        .get(&epoch)
+                        .map(|t| now.saturating_since(*t) >= self.driver.retry_timeout)
+                        .unwrap_or(true);
+                    if paced {
+                        let lagging: Vec<u16> =
+                            self.observer.lagging_devices(epoch).into_iter().collect();
+                        if !lagging.is_empty() {
+                            self.retried.insert(epoch, now);
+                            self.fan_out_initiations(epoch, now, &lagging, sched, now);
+                        }
+                    }
+                }
+                sched.after(self.driver.tick, NetEvent::ObserverTick);
+            }
+
+            NetEvent::PollSweep => {
+                let sweep = self.next_sweep;
+                self.next_sweep += 1;
+                self.instr.polls.push(PollSweepRecord::default());
+                for sw in 0..self.switches.len() as u16 {
+                    // Each device agent starts after its own request/wakeup
+                    // delay — sweeps of different switches are offset.
+                    let start = self.latency.poll_agent_start.sample(&mut self.rng);
+                    sched.after(start, NetEvent::PollRead { sw, idx: 0, sweep });
+                }
+                if let Some(period) = self.driver.poll_period {
+                    sched.after(period, NetEvent::PollSweep);
+                }
+            }
+
+            NetEvent::PollRead { sw, idx, sweep } => {
+                let Some(uid) = self.poll_unit_order(sw, idx) else {
+                    return;
+                };
+                let delay = self.latency.poll_read.sample(&mut self.rng);
+                sched.after(delay, NetEvent::PollComplete { sw, idx, sweep, uid });
+            }
+
+            NetEvent::PollComplete { sw, idx, sweep, uid } => {
+                let value = {
+                    let switch = &self.switches[usize::from(sw)];
+                    let bank = match uid.direction {
+                        Direction::Ingress => &switch.ing_metrics,
+                        Direction::Egress => &switch.eg_metrics,
+                    };
+                    bank.read(uid.port)
+                };
+                if let Some(rec) = self.instr.polls.get_mut(sweep as usize) {
+                    rec.samples.push((uid, value, now));
+                }
+                sched.now_event(NetEvent::PollRead {
+                    sw,
+                    idx: idx + 1,
+                    sweep,
+                });
+            }
+
+            NetEvent::KeepaliveTick => {
+                if self.snapshot_cfg.channel_state {
+                    let oldest_pending = self.observer.pending_epochs().next();
+                    if let Some(oldest) = oldest_pending {
+                        let stale = self
+                            .issued
+                            .get(&oldest)
+                            .map(|t| now.saturating_since(*t) > self.driver.lead_time * 2)
+                            .unwrap_or(false);
+                        if stale {
+                            for sw in 0..self.switches.len() as u16 {
+                                if self.switches[usize::from(sw)].snapshot_enabled
+                                    && !self.switches[usize::from(sw)].cp.device_complete(oldest)
+                                {
+                                    self.inject_keepalives(sw, sched);
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(period) = self.driver.keepalive_period {
+                    sched.after(period, NetEvent::KeepaliveTick);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The user-facing testbed harness.
+//!
+//! Wraps a [`Network`] in a [`Simulation`], wires up the periodic driver
+//! events (observer maintenance, keepalives, optional periodic snapshots
+//! and polling sweeps), and exposes the measurement outputs the experiment
+//! binaries consume.
+
+use crate::latency::LatencyModel;
+use crate::network::{DriverConfig, NetEvent, Network, PollSweepRecord, SnapshotRecord};
+use crate::switchmod::SnapshotConfig;
+use crate::topology::{LbKind, Topology};
+use crate::traffic::Source;
+use netsim::sim::Simulation;
+use netsim::time::{Duration, Instant};
+use speedlight_core::Epoch;
+
+/// Everything needed to stand a testbed up.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Snapshot protocol configuration.
+    pub snapshot: SnapshotConfig,
+    /// Load balancer run by every switch.
+    pub lb: LbKind,
+    /// Latency/capacity models.
+    pub latency: LatencyModel,
+    /// Observer/driver timing.
+    pub driver: DriverConfig,
+    /// Egress queue capacity per port, bytes.
+    pub queue_capacity_bytes: u64,
+    /// Master seed (all randomness derives from it).
+    pub seed: u64,
+}
+
+impl TestbedConfig {
+    /// A testbed with the given snapshot configuration and defaults
+    /// everywhere else.
+    pub fn new(snapshot: SnapshotConfig) -> TestbedConfig {
+        TestbedConfig {
+            snapshot,
+            lb: LbKind::Ecmp,
+            latency: LatencyModel::default(),
+            driver: DriverConfig::default(),
+            queue_capacity_bytes: 300_000, // ~200 MTU packets
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A ready-to-run simulated deployment.
+pub struct Testbed {
+    sim: Simulation<Network>,
+}
+
+impl Testbed {
+    /// Build a testbed over `topo` and start the driver loops.
+    pub fn new(topo: Topology, cfg: TestbedConfig) -> Testbed {
+        let network = Network::new(
+            topo,
+            cfg.snapshot,
+            cfg.lb,
+            cfg.latency,
+            cfg.driver.clone(),
+            cfg.queue_capacity_bytes,
+            cfg.seed,
+        );
+        let mut sim = Simulation::new(network);
+        sim.schedule_at(Instant::ZERO, NetEvent::ObserverTick);
+        if cfg.driver.keepalive_period.is_some() {
+            sim.schedule_at(Instant::ZERO, NetEvent::KeepaliveTick);
+        }
+        if let Some(first) = cfg.driver.snapshot_period {
+            sim.schedule_after(first, NetEvent::ScheduleSnapshot);
+        }
+        if let Some(first) = cfg.driver.poll_period {
+            sim.schedule_after(first, NetEvent::PollSweep);
+        }
+        Testbed { sim }
+    }
+
+    /// Attach a traffic source to `host` and schedule its first wake.
+    pub fn set_source(&mut self, host: u32, start: Instant, source: Box<dyn Source>) {
+        self.sim.world_mut().set_source(host, source);
+        self.sim.schedule_at(start, NetEvent::HostWake { host });
+    }
+
+    /// Ask the observer to initiate one snapshot at `at`.
+    pub fn snapshot_at(&mut self, at: Instant) {
+        self.sim.schedule_at(at, NetEvent::ScheduleSnapshot);
+    }
+
+    /// Start one polling sweep at `at`.
+    pub fn poll_at(&mut self, at: Instant) {
+        self.sim.schedule_at(at, NetEvent::PollSweep);
+    }
+
+    /// Run the simulation until `deadline`.
+    pub fn run_until(&mut self, deadline: Instant) {
+        self.sim.run_until(deadline);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.sim.now()
+    }
+
+    /// The network (for inspection and advanced setup).
+    pub fn network(&self) -> &Network {
+        self.sim.world()
+    }
+
+    /// Mutable access to the network.
+    pub fn network_mut(&mut self) -> &mut Network {
+        self.sim.world_mut()
+    }
+
+    /// Completed snapshots so far.
+    pub fn snapshots(&self) -> &[SnapshotRecord] {
+        &self.sim.world().instr.snapshots
+    }
+
+    /// Polling sweeps so far.
+    pub fn polls(&self) -> &[PollSweepRecord] {
+        &self.sim.world().instr.polls
+    }
+
+    /// Fig. 9's synchronization metric: for each epoch with at least
+    /// `min_units` progress notifications, the spread between the earliest
+    /// and latest data-plane timestamp.
+    pub fn sync_spreads(&self, min_units: u64) -> Vec<(Epoch, Duration)> {
+        self.sim
+            .world()
+            .instr
+            .sync
+            .iter()
+            .filter(|(_, (_, _, n))| *n >= min_units)
+            .map(|(&e, &(lo, hi, _))| (e, hi.saturating_since(lo)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::Emission;
+    use netsim::rng::SimRng;
+    use speedlight_core::observer::UnitOutcome;
+    use telemetry::MetricKind;
+    use wire::FlowKey;
+
+    /// A steady CBR source: `rate_pps` packets/s of `bytes`-byte packets
+    /// to a fixed destination.
+    struct Cbr {
+        dst: u32,
+        src: u32,
+        rate_pps: u64,
+        bytes: u32,
+    }
+
+    impl Source for Cbr {
+        fn on_wake(
+            &mut self,
+            now: Instant,
+            _rng: &mut SimRng,
+            out: &mut Vec<Emission>,
+        ) -> Option<Instant> {
+            out.push(Emission {
+                flow: FlowKey::tcp(self.src, self.dst, 10_000, 80),
+                bytes: self.bytes,
+            });
+            Some(now + Duration::from_nanos(1_000_000_000 / self.rate_pps))
+        }
+    }
+
+    fn cbr(src: u32, dst: u32, rate_pps: u64) -> Box<Cbr> {
+        Box::new(Cbr {
+            dst,
+            src,
+            rate_pps,
+            bytes: 1_000,
+        })
+    }
+
+    fn leaf_spine_testbed(channel_state: bool) -> Testbed {
+        let topo = Topology::leaf_spine(2, 2, 3);
+        let snap = if channel_state {
+            SnapshotConfig::packet_count_cs(16)
+        } else {
+            SnapshotConfig {
+                modulus: 16,
+                channel_state: false,
+                ingress_metric: MetricKind::PacketCount,
+                egress_metric: MetricKind::PacketCount,
+            }
+        };
+        let mut tb = Testbed::new(topo, TestbedConfig::new(snap));
+        // Cross-leaf traffic both ways keeps every uplink busy.
+        for h in 0..3u32 {
+            tb.set_source(h, Instant::ZERO, cbr(h, h + 3, 50_000));
+            tb.set_source(h + 3, Instant::ZERO, cbr(h + 3, h, 50_000));
+        }
+        tb
+    }
+
+    #[test]
+    fn traffic_flows_end_to_end() {
+        let mut tb = leaf_spine_testbed(false);
+        tb.run_until(Instant::from_nanos(10_000_000)); // 10 ms
+        let rx: u64 = tb.network().instr.host_rx.values().sum();
+        assert!(rx > 2_000, "expected steady delivery, got {rx}");
+        assert_eq!(tb.network().instr.unroutable_drops, 0);
+        for sw in &tb.network().switches {
+            assert!(sw.stats.ingress_packets > 0, "switch {} idle", sw.id);
+        }
+    }
+
+    #[test]
+    fn snapshot_completes_without_channel_state() {
+        let mut tb = leaf_spine_testbed(false);
+        tb.snapshot_at(Instant::from_nanos(2_000_000));
+        tb.run_until(Instant::from_nanos(50_000_000));
+        let snaps = tb.snapshots();
+        assert_eq!(snaps.len(), 1, "snapshot must complete");
+        let rec = &snaps[0];
+        assert!(!rec.forced, "no timeout should be needed");
+        assert_eq!(rec.snapshot.epoch, 1);
+        // 4 switches × (uplinks+hosts ports vary) × 2 directions units.
+        assert_eq!(rec.snapshot.units.len(), tb.network().observer_expected());
+        assert!(rec.snapshot.fully_consistent());
+    }
+
+    #[test]
+    fn snapshot_completes_with_channel_state() {
+        let mut tb = leaf_spine_testbed(true);
+        tb.snapshot_at(Instant::from_nanos(2_000_000));
+        tb.run_until(Instant::from_nanos(100_000_000));
+        let snaps = tb.snapshots();
+        assert_eq!(snaps.len(), 1, "CS snapshot must complete, even if it \
+                                    needs keepalives");
+        assert!(!snaps[0].forced);
+        // Consistent packet-count snapshots: every unit usable.
+        assert!(
+            snaps[0].snapshot.fully_consistent(),
+            "outcomes: {:?}",
+            snaps[0]
+                .snapshot
+                .units
+                .values()
+                .filter(|o| !matches!(o, UnitOutcome::Value { .. }))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn snapshot_conservation_audit_passes() {
+        let mut tb = leaf_spine_testbed(true);
+        tb.network_mut().enable_audit();
+        for i in 1..=3u64 {
+            tb.snapshot_at(Instant::from_nanos(2_000_000 * i));
+        }
+        tb.run_until(Instant::from_nanos(150_000_000));
+        let snaps = tb.snapshots().to_vec();
+        assert_eq!(snaps.len(), 3);
+        let audit = tb.network().instr.audit.as_ref().unwrap();
+        let mut reports = Vec::new();
+        for rec in &snaps {
+            for (uid, outcome) in &rec.snapshot.units {
+                if let UnitOutcome::Value { local, channel } = outcome {
+                    reports.push((*uid, rec.snapshot.epoch, *local, Some(*channel)));
+                }
+            }
+        }
+        assert!(!reports.is_empty());
+        let violations = audit.audit(reports);
+        assert!(violations.is_empty(), "violations: {violations:#?}");
+    }
+
+    #[test]
+    fn sync_spread_is_recorded_and_small() {
+        let mut tb = leaf_spine_testbed(false);
+        tb.snapshot_at(Instant::from_nanos(2_000_000));
+        tb.run_until(Instant::from_nanos(50_000_000));
+        let spreads = tb.sync_spreads(8);
+        assert!(!spreads.is_empty());
+        let (_, spread) = spreads[0];
+        // Initiation-driven sync: tens of microseconds (Fig. 9 territory),
+        // far below a polling sweep.
+        assert!(
+            spread < Duration::from_micros(200),
+            "sync spread {spread} too large"
+        );
+    }
+
+    #[test]
+    fn polling_sweep_collects_every_unit() {
+        let mut tb = leaf_spine_testbed(false);
+        tb.poll_at(Instant::from_nanos(2_000_000));
+        tb.run_until(Instant::from_nanos(100_000_000));
+        let polls = tb.polls();
+        assert_eq!(polls.len(), 1);
+        assert_eq!(polls[0].samples.len(), tb.network().observer_expected());
+        // Polling spread: milliseconds, orders of magnitude above snapshots.
+        let lo = polls[0].samples.iter().map(|s| s.2).min().unwrap();
+        let hi = polls[0].samples.iter().map(|s| s.2).max().unwrap();
+        assert!(hi.saturating_since(lo) > Duration::from_millis(1));
+    }
+
+    #[test]
+    fn periodic_snapshots_accumulate() {
+        let topo = Topology::leaf_spine(2, 2, 3);
+        let mut cfg = TestbedConfig::new(SnapshotConfig {
+            modulus: 64,
+            channel_state: false,
+            ingress_metric: MetricKind::PacketCount,
+            egress_metric: MetricKind::PacketCount,
+        });
+        cfg.driver.snapshot_period = Some(Duration::from_millis(5));
+        let mut tb = Testbed::new(topo, cfg);
+        for h in 0..3u32 {
+            tb.set_source(h, Instant::ZERO, cbr(h, h + 3, 50_000));
+            tb.set_source(h + 3, Instant::ZERO, cbr(h + 3, h, 50_000));
+        }
+        tb.run_until(Instant::from_nanos(100_000_000)); // 100 ms
+        assert!(
+            tb.snapshots().len() >= 15,
+            "expected ~19 periodic snapshots, got {}",
+            tb.snapshots().len()
+        );
+        // Monotone epochs, all complete.
+        for (i, rec) in tb.snapshots().iter().enumerate() {
+            assert!(!rec.forced, "snapshot {i} forced");
+        }
+    }
+
+    #[test]
+    fn packet_counters_are_causally_consistent_totals() {
+        // With a packet-count metric and channel state, the network-wide
+        // consistent total (local + channel) must equal the omniscient
+        // expected total at the cut — spot-checked via audit above; here we
+        // sanity-check that totals grow across epochs.
+        let mut tb = leaf_spine_testbed(true);
+        for i in 1..=2u64 {
+            tb.snapshot_at(Instant::from_nanos(3_000_000 * i));
+        }
+        tb.run_until(Instant::from_nanos(150_000_000));
+        let snaps = tb.snapshots();
+        assert_eq!(snaps.len(), 2);
+        let t1 = snaps[0].snapshot.consistent_total();
+        let t2 = snaps[1].snapshot.consistent_total();
+        assert!(t1 > 0);
+        assert!(t2 > t1, "totals must grow with traffic: {t1} vs {t2}");
+    }
+}

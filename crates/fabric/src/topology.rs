@@ -1,0 +1,476 @@
+//! Network topology: switches, hosts, links, and routing.
+//!
+//! Ports are numbered per switch. A port is connected either to a host, to
+//! a peer switch port, or left unused. Routing is all-shortest-paths: each
+//! switch's FIB maps a destination host to the set of equal-cost next-hop
+//! ports (the ECMP group handed to the load balancer).
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// What a switch port is wired to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortPeer {
+    /// Nothing attached.
+    Unused,
+    /// A host NIC.
+    Host(u32),
+    /// Port `port` of switch `switch`.
+    Switch {
+        /// Peer switch ID.
+        switch: u16,
+        /// Peer port number.
+        port: u16,
+    },
+}
+
+/// Per-link physical properties.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkProps {
+    /// Bandwidth in gigabits per second.
+    pub gbps: f64,
+    /// One-way propagation delay in nanoseconds.
+    pub prop_ns: u64,
+}
+
+impl LinkProps {
+    /// The testbed's host links: 25 GbE, ~500 ns of cable+PHY.
+    pub fn host_25g() -> LinkProps {
+        LinkProps {
+            gbps: 25.0,
+            prop_ns: 500,
+        }
+    }
+
+    /// The testbed's inter-switch links: 100 GbE passive copper.
+    pub fn fabric_100g() -> LinkProps {
+        LinkProps {
+            gbps: 100.0,
+            prop_ns: 300,
+        }
+    }
+
+    /// Serialization time of `bytes` on this link, nanoseconds.
+    pub fn serialize_ns(&self, bytes: u32) -> u64 {
+        ((f64::from(bytes) * 8.0) / self.gbps).ceil() as u64
+    }
+}
+
+/// Which load balancer the switches run (§8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbKind {
+    /// Per-flow ECMP.
+    Ecmp,
+    /// Flowlet switching with the given gap in microseconds.
+    Flowlet {
+        /// Inactivity gap that splits flowlets, microseconds.
+        gap_us: u64,
+    },
+}
+
+/// A whole network: switch port maps, link properties, host attachments.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// `ports[s][p]` = what switch `s` port `p` connects to.
+    pub ports: Vec<Vec<PortPeer>>,
+    /// `link_props[s][p]` = physical properties of that port's link.
+    pub link_props: Vec<Vec<LinkProps>>,
+    /// Host attachment points: `hosts[h] = (switch, port)`.
+    pub hosts: Vec<(u16, u16)>,
+}
+
+impl Topology {
+    /// A topology of `switches` switches with `ports` ports each, all
+    /// unused; wire it up with [`Topology::connect`] / [`Topology::attach_host`].
+    pub fn empty(switches: u16, ports: u16) -> Topology {
+        Topology {
+            ports: vec![vec![PortPeer::Unused; usize::from(ports)]; usize::from(switches)],
+            link_props: vec![
+                vec![LinkProps::fabric_100g(); usize::from(ports)];
+                usize::from(switches)
+            ],
+            hosts: Vec::new(),
+        }
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> u16 {
+        self.ports.len() as u16
+    }
+
+    /// Number of ports on switch `s`.
+    pub fn num_ports(&self, s: u16) -> u16 {
+        self.ports[usize::from(s)].len() as u16
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> u32 {
+        self.hosts.len() as u32
+    }
+
+    /// Wire switch `a` port `pa` to switch `b` port `pb` (both directions).
+    pub fn connect(&mut self, a: u16, pa: u16, b: u16, pb: u16, props: LinkProps) {
+        assert_eq!(
+            self.ports[usize::from(a)][usize::from(pa)],
+            PortPeer::Unused,
+            "port {a}:{pa} already wired"
+        );
+        assert_eq!(
+            self.ports[usize::from(b)][usize::from(pb)],
+            PortPeer::Unused,
+            "port {b}:{pb} already wired"
+        );
+        self.ports[usize::from(a)][usize::from(pa)] = PortPeer::Switch {
+            switch: b,
+            port: pb,
+        };
+        self.ports[usize::from(b)][usize::from(pb)] = PortPeer::Switch {
+            switch: a,
+            port: pa,
+        };
+        self.link_props[usize::from(a)][usize::from(pa)] = props;
+        self.link_props[usize::from(b)][usize::from(pb)] = props;
+    }
+
+    /// Attach a new host to switch `s` port `p`; returns the host ID.
+    pub fn attach_host(&mut self, s: u16, p: u16, props: LinkProps) -> u32 {
+        assert_eq!(
+            self.ports[usize::from(s)][usize::from(p)],
+            PortPeer::Unused,
+            "port {s}:{p} already wired"
+        );
+        let id = self.hosts.len() as u32;
+        self.ports[usize::from(s)][usize::from(p)] = PortPeer::Host(id);
+        self.link_props[usize::from(s)][usize::from(p)] = props;
+        self.hosts.push((s, p));
+        id
+    }
+
+    /// The paper's testbed (Fig. 8): a leaf-spine with `leaves` leaf
+    /// switches, `spines` spine switches, and `hosts_per_leaf` hosts on
+    /// each leaf. Port layout per leaf: ports `0..spines` are uplinks
+    /// (port `i` → spine `i`), ports `spines..spines+hosts_per_leaf` are
+    /// host-facing. Spine port `j` connects to leaf `j`.
+    pub fn leaf_spine(leaves: u16, spines: u16, hosts_per_leaf: u16) -> Topology {
+        let leaf_ports = spines + hosts_per_leaf;
+        let ports = leaf_ports.max(leaves);
+        let mut t = Topology::empty(leaves + spines, ports);
+        for leaf in 0..leaves {
+            for spine in 0..spines {
+                t.connect(leaf, spine, leaves + spine, leaf, LinkProps::fabric_100g());
+            }
+            for h in 0..hosts_per_leaf {
+                t.attach_host(leaf, spines + h, LinkProps::host_25g());
+            }
+        }
+        t
+    }
+
+    /// A single switch with `host_count` hosts on ports `0..host_count`.
+    pub fn single_switch(host_count: u16) -> Topology {
+        let mut t = Topology::empty(1, host_count);
+        for p in 0..host_count {
+            t.attach_host(0, p, LinkProps::host_25g());
+        }
+        t
+    }
+
+    /// A k-ary fat-tree (k even): `k` pods of `k/2` edge + `k/2` aggregation
+    /// switches, `(k/2)^2` core switches, and `k/2` hosts per edge switch —
+    /// the canonical scale-out topology for partial-deployment and routing
+    /// studies beyond the paper's 2×2 testbed.
+    ///
+    /// Port layout: edge/aggregation switches use ports `0..k/2` for
+    /// uplinks and `k/2..k` for downlinks; core switch `c` connects pod
+    /// `p` on port `p`.
+    pub fn fat_tree(k: u16) -> Topology {
+        assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+        let half = k / 2;
+        let edges_per_pod = half;
+        let aggs_per_pod = half;
+        let num_edge = k * edges_per_pod;
+        let num_agg = k * aggs_per_pod;
+        let num_core = half * half;
+        // IDs: edges [0, num_edge), aggs [num_edge, num_edge+num_agg),
+        // cores after that.
+        let agg0 = num_edge;
+        let core0 = num_edge + num_agg;
+        let ports = k.max(half + half);
+        let mut t = Topology::empty(num_edge + num_agg + num_core, ports);
+        for pod in 0..k {
+            for e in 0..edges_per_pod {
+                let edge = pod * edges_per_pod + e;
+                // Uplinks to every aggregation switch in the pod.
+                for a in 0..aggs_per_pod {
+                    let agg = agg0 + pod * aggs_per_pod + a;
+                    t.connect(edge, a, agg, half + e, LinkProps::fabric_100g());
+                }
+                // Hosts on the downlink ports.
+                for h in 0..half {
+                    t.attach_host(edge, half + h, LinkProps::host_25g());
+                }
+            }
+            // Aggregation to core: agg `a` of each pod connects to cores
+            // [a*half, (a+1)*half) on its uplink ports.
+            for a in 0..aggs_per_pod {
+                let agg = agg0 + pod * aggs_per_pod + a;
+                for c in 0..half {
+                    let core = core0 + a * half + c;
+                    t.connect(agg, c, core, pod, LinkProps::fabric_100g());
+                }
+            }
+        }
+        t
+    }
+
+    /// A linear chain of `n` switches, one host at each end.
+    /// Switch i port 0 faces "left", port 1 faces "right".
+    pub fn line(n: u16) -> Topology {
+        assert!(n >= 1);
+        let mut t = Topology::empty(n, 2);
+        for i in 0..n - 1 {
+            t.connect(i, 1, i + 1, 0, LinkProps::fabric_100g());
+        }
+        t.attach_host(0, 0, LinkProps::host_25g());
+        t.attach_host(n - 1, 1, LinkProps::host_25g());
+        t
+    }
+
+    /// Compute each switch's FIB: destination host → equal-cost next-hop
+    /// ports, via BFS over the switch graph from each host's attachment
+    /// switch.
+    pub fn build_fibs(&self) -> Vec<Fib> {
+        let n = usize::from(self.num_switches());
+        let mut fibs: Vec<Fib> = (0..n).map(|_| Fib::default()).collect();
+
+        for (host, &(hsw, hport)) in self.hosts.iter().enumerate() {
+            // BFS distances to `hsw` over switch-switch links.
+            let mut dist = vec![u32::MAX; n];
+            dist[usize::from(hsw)] = 0;
+            let mut queue = VecDeque::from([hsw]);
+            while let Some(s) = queue.pop_front() {
+                for peer in &self.ports[usize::from(s)] {
+                    if let PortPeer::Switch { switch, .. } = peer {
+                        let d = dist[usize::from(s)] + 1;
+                        if d < dist[usize::from(*switch)] {
+                            dist[usize::from(*switch)] = d;
+                            queue.push_back(*switch);
+                        }
+                    }
+                }
+            }
+            // Next hops: the attachment switch delivers on the host port;
+            // everyone else uses every port that decreases the distance.
+            for s in 0..n as u16 {
+                let entry = if s == hsw {
+                    vec![hport]
+                } else if dist[usize::from(s)] == u32::MAX {
+                    Vec::new()
+                } else {
+                    let mut ports = Vec::new();
+                    for (p, peer) in self.ports[usize::from(s)].iter().enumerate() {
+                        if let PortPeer::Switch { switch, .. } = peer {
+                            if dist[usize::from(*switch)] + 1 == dist[usize::from(s)] {
+                                ports.push(p as u16);
+                            }
+                        }
+                    }
+                    ports
+                };
+                if !entry.is_empty() {
+                    fibs[usize::from(s)].routes.insert(host as u32, entry);
+                }
+            }
+        }
+        fibs
+    }
+}
+
+/// A switch's forwarding table with a version tag (§10 "Measuring
+/// Forwarding State": the version can itself be snapshotted).
+#[derive(Debug, Clone, Default)]
+pub struct Fib {
+    /// Destination host → equal-cost next-hop ports.
+    pub routes: BTreeMap<u32, Vec<u16>>,
+    /// Version number, bumped on every update.
+    pub version: u64,
+}
+
+impl Fib {
+    /// Next-hop ports for `dst`, empty if unreachable.
+    pub fn next_hops(&self, dst: u32) -> &[u16] {
+        self.routes.get(&dst).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Replace the route for one destination (bumps the version).
+    pub fn set_route(&mut self, dst: u32, ports: Vec<u16>) {
+        self.routes.insert(dst, ports);
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_spine_shape_matches_testbed() {
+        // The paper's testbed: 2 leaves… actually Fig. 8 shows 2 spines and
+        // 2 leaves with hosts under the leaves; our default experiments use
+        // 2x2 with 3 hosts per leaf (6 servers).
+        let t = Topology::leaf_spine(2, 2, 3);
+        assert_eq!(t.num_switches(), 4);
+        assert_eq!(t.num_hosts(), 6);
+        // Leaf 0 uplinks to both spines.
+        assert_eq!(
+            t.ports[0][0],
+            PortPeer::Switch {
+                switch: 2,
+                port: 0
+            }
+        );
+        assert_eq!(
+            t.ports[0][1],
+            PortPeer::Switch {
+                switch: 3,
+                port: 0
+            }
+        );
+        assert_eq!(t.ports[0][2], PortPeer::Host(0));
+    }
+
+    #[test]
+    fn fib_local_delivery_uses_host_port() {
+        let t = Topology::leaf_spine(2, 2, 3);
+        let fibs = t.build_fibs();
+        // Host 0 is on leaf 0 port 2.
+        assert_eq!(fibs[0].next_hops(0), &[2]);
+    }
+
+    #[test]
+    fn fib_cross_leaf_uses_all_uplinks() {
+        let t = Topology::leaf_spine(2, 2, 3);
+        let fibs = t.build_fibs();
+        // Host 3 lives on leaf 1: from leaf 0 both uplinks are equal cost.
+        assert_eq!(fibs[0].next_hops(3), &[0, 1]);
+        // From spine 0, the path to host 3 goes to leaf 1 (its port 1).
+        assert_eq!(fibs[2].next_hops(3), &[1]);
+    }
+
+    #[test]
+    fn line_topology_routes_end_to_end() {
+        let t = Topology::line(3);
+        let fibs = t.build_fibs();
+        // Host 1 is at the far right; every switch forwards right.
+        assert_eq!(fibs[0].next_hops(1), &[1]);
+        assert_eq!(fibs[1].next_hops(1), &[1]);
+        assert_eq!(fibs[2].next_hops(1), &[1]);
+        // And host 0 leftwards.
+        assert_eq!(fibs[2].next_hops(0), &[0]);
+        assert_eq!(fibs[0].next_hops(0), &[0]);
+    }
+
+    #[test]
+    fn serialization_time_scales_with_size_and_speed() {
+        let l = LinkProps::host_25g();
+        assert_eq!(l.serialize_ns(1_500), (1500.0 * 8.0 / 25.0) as u64);
+        let f = LinkProps::fabric_100g();
+        assert!(f.serialize_ns(1_500) < l.serialize_ns(1_500));
+    }
+
+    #[test]
+    fn fib_version_bumps_on_update() {
+        let mut fib = Fib::default();
+        assert_eq!(fib.version, 0);
+        fib.set_route(5, vec![1, 2]);
+        assert_eq!(fib.version, 1);
+        assert_eq!(fib.next_hops(5), &[1, 2]);
+        assert!(fib.next_hops(9).is_empty());
+    }
+
+    #[test]
+    fn fat_tree_k4_shape_and_routing() {
+        let t = Topology::fat_tree(4);
+        // k=4: 8 edge + 8 agg + 4 core = 20 switches, 16 hosts.
+        assert_eq!(t.num_switches(), 20);
+        assert_eq!(t.num_hosts(), 16);
+        let fibs = t.build_fibs();
+        // Same-edge delivery: host 1 lives on edge 0, port 3.
+        assert_eq!(fibs[0].next_hops(1), &[3]);
+        // Cross-pod: edge 0 reaches a host in the last pod via both
+        // aggregation uplinks (ECMP group of size k/2 = 2).
+        let far = t.num_hosts() - 1;
+        assert_eq!(fibs[0].next_hops(far).len(), 2);
+        // Every host reaches every other host from every edge switch.
+        for sw in 0..8u16 {
+            for h in 0..t.num_hosts() {
+                assert!(
+                    !fibs[usize::from(sw)].next_hops(h).is_empty(),
+                    "edge {sw} cannot reach host {h}"
+                );
+            }
+        }
+        // Aggregation switches see k/2-way ECMP toward remote pods via the
+        // core.
+        let agg = 8usize;
+        assert_eq!(fibs[agg].next_hops(far).len(), 2);
+    }
+
+    #[test]
+    fn fat_tree_carries_traffic_end_to_end() {
+        use crate::switchmod::SnapshotConfig;
+        use crate::testbed::{Testbed, TestbedConfig};
+        use crate::traffic::{Emission, Source};
+        use netsim::rng::SimRng;
+        use netsim::time::{Duration, Instant};
+        use wire::FlowKey;
+
+        struct Cbr(u32, u32);
+        impl Source for Cbr {
+            fn on_wake(
+                &mut self,
+                now: Instant,
+                _: &mut SimRng,
+                out: &mut Vec<Emission>,
+            ) -> Option<Instant> {
+                out.push(Emission {
+                    flow: FlowKey::tcp(self.0, self.1, 9_000, 80),
+                    bytes: 800,
+                });
+                Some(now + Duration::from_micros(20))
+            }
+        }
+
+        let topo = Topology::fat_tree(4);
+        let hosts = topo.num_hosts();
+        let mut tb = Testbed::new(topo, TestbedConfig::new(SnapshotConfig::packet_count_cs(64)));
+        // Cross-pod flows in both directions.
+        tb.set_source(0, Instant::ZERO, Box::new(Cbr(0, hosts - 1)));
+        tb.set_source(hosts - 1, Instant::ZERO, Box::new(Cbr(hosts - 1, 0)));
+        tb.snapshot_at(Instant::ZERO + Duration::from_millis(2));
+        tb.run_until(Instant::ZERO + Duration::from_millis(60));
+        assert_eq!(tb.network().instr.unroutable_drops, 0);
+        let rx: u64 = tb.network().instr.host_rx.values().sum();
+        assert!(rx > 1_000, "fat-tree delivery failed: {rx}");
+        // The snapshot completes across all 20 devices.
+        assert_eq!(tb.snapshots().len(), 1);
+        assert!(!tb.snapshots()[0].forced);
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wiring_is_rejected() {
+        let mut t = Topology::empty(2, 2);
+        t.connect(0, 0, 1, 0, LinkProps::fabric_100g());
+        t.connect(0, 0, 1, 1, LinkProps::fabric_100g());
+    }
+
+    #[test]
+    fn single_switch_attaches_hosts() {
+        let t = Topology::single_switch(4);
+        assert_eq!(t.num_hosts(), 4);
+        let fibs = t.build_fibs();
+        for h in 0..4u32 {
+            assert_eq!(fibs[0].next_hops(h), &[h as u16]);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Host traffic sources.
+//!
+//! A [`Source`] is a state machine the simulator wakes at self-chosen
+//! instants; on each wake it emits zero or more packets and names its next
+//! wake time. The `workloads` crate provides the paper's three application
+//! models (Hadoop shuffle, GraphX iterations, memcache multi-get) plus
+//! generic primitives; tests use inline sources.
+
+use netsim::rng::SimRng;
+use netsim::time::Instant;
+use wire::FlowKey;
+
+/// One packet to emit.
+#[derive(Debug, Clone, Copy)]
+pub struct Emission {
+    /// Flow five-tuple (`flow.dst` is the destination host).
+    pub flow: FlowKey,
+    /// Packet size in bytes.
+    pub bytes: u32,
+}
+
+/// A host's traffic generator.
+pub trait Source: Send {
+    /// Called at a wake instant: fill `out` with packets to send now and
+    /// return the next wake time (`None` = finished).
+    fn on_wake(&mut self, now: Instant, rng: &mut SimRng, out: &mut Vec<Emission>)
+        -> Option<Instant>;
+}
+
+/// A source that sends nothing (placeholder for receive-only hosts).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SilentSource;
+
+impl Source for SilentSource {
+    fn on_wake(&mut self, _: Instant, _: &mut SimRng, _: &mut Vec<Emission>) -> Option<Instant> {
+        None
+    }
+}
+
+/// Combines several sources on one host NIC.
+///
+/// Each child keeps its own wake schedule; the combinator wakes whichever
+/// children are due and reports the earliest next wake. Used to overlay
+/// background/control chatter on an application workload.
+pub struct MultiSource {
+    children: Vec<ChildSource>,
+}
+
+struct ChildSource {
+    source: Box<dyn Source>,
+    /// `None` until first woken (children start at the combinator's first
+    /// wake), `Some(None)` once finished.
+    next: Option<Option<Instant>>,
+}
+
+impl MultiSource {
+    /// Combine `sources` (must be non-empty).
+    pub fn new(sources: Vec<Box<dyn Source>>) -> MultiSource {
+        assert!(!sources.is_empty());
+        MultiSource {
+            children: sources
+                .into_iter()
+                .map(|source| ChildSource { source, next: None })
+                .collect(),
+        }
+    }
+}
+
+impl Source for MultiSource {
+    fn on_wake(
+        &mut self,
+        now: Instant,
+        rng: &mut SimRng,
+        out: &mut Vec<Emission>,
+    ) -> Option<Instant> {
+        let mut earliest: Option<Instant> = None;
+        for child in &mut self.children {
+            let due = match child.next {
+                None => true,                       // never woken yet
+                Some(Some(at)) => at <= now,        // scheduled and due
+                Some(None) => false,                // finished
+            };
+            if due {
+                child.next = Some(child.source.on_wake(now, rng, out));
+            }
+            if let Some(Some(at)) = child.next {
+                earliest = Some(match earliest {
+                    Some(e) => e.min(at),
+                    None => at,
+                });
+            }
+        }
+        earliest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::Duration;
+    use wire::FlowKey;
+
+    /// Emits one packet every `gap`, `count` times.
+    struct Ticker {
+        gap: Duration,
+        count: u32,
+        tag: u16,
+    }
+
+    impl Source for Ticker {
+        fn on_wake(
+            &mut self,
+            now: Instant,
+            _: &mut SimRng,
+            out: &mut Vec<Emission>,
+        ) -> Option<Instant> {
+            if self.count == 0 {
+                return None;
+            }
+            self.count -= 1;
+            out.push(Emission {
+                flow: FlowKey::tcp(0, 1, self.tag, 80),
+                bytes: 100,
+            });
+            (self.count > 0).then(|| now + self.gap)
+        }
+    }
+
+    #[test]
+    fn multi_source_interleaves_children() {
+        let mut m = MultiSource::new(vec![
+            Box::new(Ticker {
+                gap: Duration::from_micros(10),
+                count: 5,
+                tag: 1,
+            }),
+            Box::new(Ticker {
+                gap: Duration::from_micros(25),
+                count: 3,
+                tag: 2,
+            }),
+        ]);
+        let mut rng = SimRng::new(0);
+        let mut out = Vec::new();
+        let mut emissions = Vec::new();
+        let mut t = Instant::ZERO;
+        loop {
+            out.clear();
+            let next = m.on_wake(t, &mut rng, &mut out);
+            emissions.extend(out.iter().map(|e| e.flow.src_port));
+            match next {
+                Some(n) => t = n.max(t + Duration::from_nanos(1)),
+                None => break,
+            }
+        }
+        let ones = emissions.iter().filter(|&&p| p == 1).count();
+        let twos = emissions.iter().filter(|&&p| p == 2).count();
+        assert_eq!(ones, 5);
+        assert_eq!(twos, 3);
+    }
+
+    #[test]
+    fn silent_source_is_silent() {
+        let mut s = SilentSource;
+        let mut rng = SimRng::new(0);
+        let mut out = Vec::new();
+        assert_eq!(s.on_wake(Instant::ZERO, &mut rng, &mut out), None);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Multipath load balancers (§8 "Workload").
+//!
+//! The paper implements two algorithms alongside the snapshot logic in the
+//! switch ASIC and uses snapshots to compare them (Fig. 12):
+//!
+//! * **ECMP** — classic per-flow hashing (RFC 2992): every packet of a flow
+//!   takes the same equal-cost next hop, so elephant collisions persist.
+//! * **Flowlet switching** — Kandula et al.: bursts of a flow separated by
+//!   an idle gap longer than the path-delay skew can be re-routed
+//!   independently without reordering, giving finer-grained balance.
+//!
+//! Both are deterministic given their salt — required so that every switch
+//! in a simulation (and every re-run of an experiment) makes reproducible
+//! choices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use netsim::time::{Duration, Instant};
+use std::collections::HashMap;
+use wire::FlowKey;
+
+/// A multipath next-hop selector.
+pub trait LoadBalancer {
+    /// Choose an index into `next_hops` (`next_hops.len()` ≥ 1) for a
+    /// packet of `flow` arriving at `now`.
+    fn pick(&mut self, flow: &FlowKey, now: Instant, num_next_hops: usize) -> usize;
+
+    /// Human-readable algorithm name (experiment labels).
+    fn name(&self) -> &'static str;
+}
+
+/// Per-flow ECMP hashing.
+#[derive(Debug, Clone)]
+pub struct Ecmp {
+    salt: u64,
+}
+
+impl Ecmp {
+    /// Create an ECMP balancer. All switches in a network should share the
+    /// `salt` only if hash-polarization is desired; normally each switch
+    /// gets its own.
+    pub fn new(salt: u64) -> Ecmp {
+        Ecmp { salt }
+    }
+}
+
+impl LoadBalancer for Ecmp {
+    fn pick(&mut self, flow: &FlowKey, _now: Instant, num_next_hops: usize) -> usize {
+        debug_assert!(num_next_hops > 0);
+        (flow.stable_hash(self.salt) % num_next_hops as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "ecmp"
+    }
+}
+
+/// Flowlet switching: re-hash a flow whenever it pauses longer than the
+/// flowlet gap.
+#[derive(Debug, Clone)]
+pub struct FlowletSwitch {
+    salt: u64,
+    gap: Duration,
+    /// Per-flow: (last packet time, flowlet sequence number).
+    table: HashMap<FlowKey, (Instant, u64)>,
+}
+
+impl FlowletSwitch {
+    /// Create a flowlet balancer with the given inactivity `gap`.
+    ///
+    /// The gap should exceed the maximum path-delay difference between the
+    /// equal-cost paths so that consecutive flowlets cannot reorder.
+    pub fn new(salt: u64, gap: Duration) -> FlowletSwitch {
+        FlowletSwitch {
+            salt,
+            gap,
+            table: HashMap::new(),
+        }
+    }
+
+    /// The configured flowlet gap.
+    pub fn gap(&self) -> Duration {
+        self.gap
+    }
+
+    /// Number of tracked flows (table occupancy).
+    pub fn tracked_flows(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Drop table entries idle since before `horizon` (periodic aging, as a
+    /// hardware flowlet table would do implicitly by overwrite).
+    pub fn expire_before(&mut self, horizon: Instant) {
+        self.table.retain(|_, (last, _)| *last >= horizon);
+    }
+}
+
+impl LoadBalancer for FlowletSwitch {
+    fn pick(&mut self, flow: &FlowKey, now: Instant, num_next_hops: usize) -> usize {
+        debug_assert!(num_next_hops > 0);
+        let entry = self.table.entry(*flow).or_insert((now, 0));
+        if now.saturating_since(entry.0) > self.gap {
+            entry.1 += 1; // idle gap exceeded: new flowlet, new choice
+        }
+        entry.0 = now;
+        let mut h = flow.stable_hash(self.salt);
+        // Mix the flowlet sequence number into the choice.
+        h ^= entry.1.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 32;
+        (h % num_next_hops as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "flowlet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(n: u32) -> FlowKey {
+        FlowKey::tcp(n, 100 + n, 1000 + n as u16, 80)
+    }
+
+    fn t(us: u64) -> Instant {
+        Instant::ZERO + Duration::from_micros(us)
+    }
+
+    #[test]
+    fn ecmp_is_sticky_per_flow() {
+        let mut lb = Ecmp::new(7);
+        let f = flow(1);
+        let first = lb.pick(&f, t(0), 4);
+        for i in 1..100 {
+            assert_eq!(lb.pick(&f, t(i), 4), first);
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        let mut lb = Ecmp::new(7);
+        let mut counts = [0u32; 4];
+        for n in 0..400 {
+            counts[lb.pick(&flow(n), t(0), 4)] += 1;
+        }
+        for c in counts {
+            assert!((60..140).contains(&c), "bucket {c}");
+        }
+    }
+
+    #[test]
+    fn flowlet_keeps_choice_within_a_burst() {
+        let mut lb = FlowletSwitch::new(7, Duration::from_micros(100));
+        let f = flow(1);
+        let first = lb.pick(&f, t(0), 4);
+        // Packets 10 µs apart: same flowlet, same choice.
+        for i in 1..10 {
+            assert_eq!(lb.pick(&f, t(10 * i), 4), first, "packet {i}");
+        }
+    }
+
+    #[test]
+    fn idle_gap_starts_a_new_flowlet() {
+        let mut lb = FlowletSwitch::new(7, Duration::from_micros(100));
+        let f = flow(3);
+        let mut choices = std::collections::BTreeSet::new();
+        let mut now = 0u64;
+        for burst in 0..64u64 {
+            choices.insert(lb.pick(&f, t(now), 4));
+            // Gap of 1 ms ≫ 100 µs: next packet is a new flowlet.
+            now += 1_000;
+            let _ = burst;
+        }
+        assert!(
+            choices.len() >= 3,
+            "64 flowlets over 4 paths must explore most paths, got {choices:?}"
+        );
+    }
+
+    #[test]
+    fn sub_gap_pauses_do_not_split_flowlets() {
+        let mut lb = FlowletSwitch::new(7, Duration::from_micros(100));
+        let f = flow(4);
+        let first = lb.pick(&f, t(0), 8);
+        assert_eq!(lb.pick(&f, t(100), 8), first, "exactly the gap is not >gap");
+        assert_eq!(lb.pick(&f, t(199), 8), first);
+    }
+
+    #[test]
+    fn flowlets_balance_better_than_ecmp_for_few_elephants() {
+        // 8 long-lived flows over 4 paths: ECMP collides with noticeable
+        // probability; flowlets with regular gaps re-spread continuously.
+        // Compare the max-min load imbalance in expectation over salts.
+        let mut ecmp_imbalance = 0i64;
+        let mut flowlet_imbalance = 0i64;
+        for salt in 0..40u64 {
+            let mut ecmp = Ecmp::new(salt);
+            let mut fl = FlowletSwitch::new(salt, Duration::from_micros(50));
+            let mut e_counts = [0i64; 4];
+            let mut f_counts = [0i64; 4];
+            for n in 0..8 {
+                let f = flow(n);
+                let mut now = u64::from(n); // desynchronize flows slightly
+                for _ in 0..50 {
+                    e_counts[ecmp.pick(&f, t(now), 4)] += 1;
+                    f_counts[fl.pick(&f, t(now), 4)] += 1;
+                    now += 200; // every packet is its own flowlet
+                }
+            }
+            ecmp_imbalance += e_counts.iter().max().unwrap() - e_counts.iter().min().unwrap();
+            flowlet_imbalance += f_counts.iter().max().unwrap() - f_counts.iter().min().unwrap();
+        }
+        assert!(
+            flowlet_imbalance * 2 < ecmp_imbalance,
+            "flowlet {flowlet_imbalance} vs ecmp {ecmp_imbalance}"
+        );
+    }
+
+    #[test]
+    fn table_aging_reclaims_entries() {
+        let mut lb = FlowletSwitch::new(7, Duration::from_micros(100));
+        for n in 0..10 {
+            lb.pick(&flow(n), t(n as u64), 4);
+        }
+        assert_eq!(lb.tracked_flows(), 10);
+        lb.expire_before(t(5));
+        assert_eq!(lb.tracked_flows(), 5);
+    }
+
+    #[test]
+    fn single_next_hop_always_picks_it() {
+        let mut e = Ecmp::new(1);
+        let mut f = FlowletSwitch::new(1, Duration::from_micros(10));
+        assert_eq!(e.pick(&flow(0), t(0), 1), 0);
+        assert_eq!(f.pick(&flow(0), t(0), 1), 0);
+    }
+}

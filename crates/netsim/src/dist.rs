@@ -1,0 +1,403 @@
+//! Statistical distributions for latency / jitter / workload models.
+//!
+//! Implemented by hand (Box-Muller, inverse-CDF, …) rather than pulling in
+//! `rand_distr`, per the dependency policy in `DESIGN.md`. Each distribution
+//! samples `f64` values; [`DurationDist`] adapts a distribution to simulated
+//! time with unit scaling and non-negativity.
+
+use crate::rng::SimRng;
+use crate::time::Duration;
+
+/// A sampleable real-valued distribution.
+#[derive(Debug, Clone)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean (`1/λ`).
+    Exp {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Normal (Gaussian) via Box-Muller.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Normal truncated to `[lo, hi]` by resampling.
+    TruncNormal {
+        /// Mean of the underlying normal.
+        mean: f64,
+        /// Standard deviation of the underlying normal.
+        std_dev: f64,
+        /// Lower truncation bound.
+        lo: f64,
+        /// Upper truncation bound.
+        hi: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma))`. `mu`/`sigma` are the parameters of
+    /// the underlying normal (i.e. of the log of the variate).
+    LogNormal {
+        /// Mean of the log.
+        mu: f64,
+        /// Standard deviation of the log.
+        sigma: f64,
+    },
+    /// Pareto with scale `x_min > 0` and shape `alpha > 0` (heavy tail).
+    Pareto {
+        /// Scale (minimum value).
+        x_min: f64,
+        /// Shape (smaller = heavier tail).
+        alpha: f64,
+    },
+    /// Empirical distribution: uniform choice among recorded samples.
+    Empirical(std::sync::Arc<Vec<f64>>),
+    /// Shifted distribution: `offset + inner`.
+    Shifted {
+        /// Constant added to every sample.
+        offset: f64,
+        /// Underlying distribution.
+        inner: Box<Dist>,
+    },
+    /// Mixture: with probability `p` sample from `a`, else from `b`.
+    Mix {
+        /// Probability of drawing from `a`.
+        p: f64,
+        /// First component.
+        a: Box<Dist>,
+        /// Second component.
+        b: Box<Dist>,
+    },
+}
+
+impl Dist {
+    /// A distribution with all mass at `v`.
+    pub fn constant(v: f64) -> Dist {
+        Dist::Constant(v)
+    }
+
+    /// Convenience constructor for a log-normal parameterized by its
+    /// *median* and the multiplicative spread `sigma` of the log.
+    pub fn lognormal_median(median: f64, sigma: f64) -> Dist {
+        Dist::LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
+    }
+
+    /// Build an empirical distribution from observed samples.
+    pub fn empirical(samples: Vec<f64>) -> Dist {
+        assert!(!samples.is_empty(), "empirical distribution needs samples");
+        Dist::Empirical(std::sync::Arc::new(samples))
+    }
+
+    /// Shift this distribution by a constant offset.
+    pub fn shifted(self, offset: f64) -> Dist {
+        Dist::Shifted {
+            offset,
+            inner: Box::new(self),
+        }
+    }
+
+    /// Mix this distribution with another: `p` chance of `self`.
+    pub fn mixed(self, p: f64, other: Dist) -> Dist {
+        Dist::Mix {
+            p,
+            a: Box::new(self),
+            b: Box::new(other),
+        }
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => lo + (hi - lo) * rng.f64(),
+            Dist::Exp { mean } => {
+                // Inverse CDF; guard against ln(0).
+                let u = 1.0 - rng.f64();
+                -mean * u.ln()
+            }
+            Dist::Normal { mean, std_dev } => mean + std_dev * standard_normal(rng),
+            Dist::TruncNormal {
+                mean,
+                std_dev,
+                lo,
+                hi,
+            } => {
+                debug_assert!(lo <= hi);
+                for _ in 0..1_000 {
+                    let x = mean + std_dev * standard_normal(rng);
+                    if x >= *lo && x <= *hi {
+                        return x;
+                    }
+                }
+                // Pathological truncation region: fall back to clamping.
+                (mean + std_dev * standard_normal(rng)).clamp(*lo, *hi)
+            }
+            Dist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+            Dist::Pareto { x_min, alpha } => {
+                let u = 1.0 - rng.f64();
+                x_min / u.powf(1.0 / alpha)
+            }
+            Dist::Empirical(samples) => *rng.pick(samples),
+            Dist::Shifted { offset, inner } => offset + inner.sample(rng),
+            Dist::Mix { p, a, b } => {
+                if rng.chance(*p) {
+                    a.sample(rng)
+                } else {
+                    b.sample(rng)
+                }
+            }
+        }
+    }
+
+    /// Exact mean where it has a closed form (used by tests and capacity
+    /// planning in the workload generators). Returns `None` for mixtures of
+    /// unbounded-mean components (e.g. Pareto with `alpha <= 1`).
+    pub fn mean(&self) -> Option<f64> {
+        match self {
+            Dist::Constant(v) => Some(*v),
+            Dist::Uniform { lo, hi } => Some((lo + hi) / 2.0),
+            Dist::Exp { mean } => Some(*mean),
+            Dist::Normal { mean, .. } => Some(*mean),
+            Dist::TruncNormal { .. } => None,
+            Dist::LogNormal { mu, sigma } => Some((mu + sigma * sigma / 2.0).exp()),
+            Dist::Pareto { x_min, alpha } => {
+                (*alpha > 1.0).then(|| alpha * x_min / (alpha - 1.0))
+            }
+            Dist::Empirical(s) => Some(s.iter().sum::<f64>() / s.len() as f64),
+            Dist::Shifted { offset, inner } => inner.mean().map(|m| m + offset),
+            Dist::Mix { p, a, b } => match (a.mean(), b.mean()) {
+                (Some(ma), Some(mb)) => Some(p * ma + (1.0 - p) * mb),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// One standard normal variate via Box-Muller (the sine branch is discarded;
+/// simplicity beats the factor-of-two here).
+fn standard_normal(rng: &mut SimRng) -> f64 {
+    let u1 = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A distribution over simulated durations: `unit_ns * max(sample, 0)`.
+#[derive(Debug, Clone)]
+pub struct DurationDist {
+    dist: Dist,
+    unit_ns: f64,
+}
+
+impl DurationDist {
+    /// Interpret samples of `dist` as nanoseconds.
+    pub fn nanos(dist: Dist) -> Self {
+        DurationDist { dist, unit_ns: 1.0 }
+    }
+
+    /// Interpret samples of `dist` as microseconds.
+    pub fn micros(dist: Dist) -> Self {
+        DurationDist {
+            dist,
+            unit_ns: 1e3,
+        }
+    }
+
+    /// Interpret samples of `dist` as milliseconds.
+    pub fn millis(dist: Dist) -> Self {
+        DurationDist {
+            dist,
+            unit_ns: 1e6,
+        }
+    }
+
+    /// Interpret samples of `dist` as seconds.
+    pub fn secs(dist: Dist) -> Self {
+        DurationDist {
+            dist,
+            unit_ns: 1e9,
+        }
+    }
+
+    /// A constant duration.
+    pub fn fixed(d: Duration) -> Self {
+        DurationDist {
+            dist: Dist::Constant(d.as_nanos() as f64),
+            unit_ns: 1.0,
+        }
+    }
+
+    /// Draw one duration (negative samples clamp to zero).
+    pub fn sample(&self, rng: &mut SimRng) -> Duration {
+        let v = self.dist.sample(rng) * self.unit_ns;
+        Duration::from_nanos(v.max(0.0).round() as u64)
+    }
+
+    /// The underlying real-valued distribution.
+    pub fn dist(&self) -> &Dist {
+        &self.dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::constant(4.2);
+        let mut rng = SimRng::new(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 4.2);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 2.0, hi: 6.0 };
+        let mut rng = SimRng::new(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..6.0).contains(&x));
+        }
+        assert!((sample_mean(&d, 50_000, 2) - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exp_mean_matches() {
+        let d = Dist::Exp { mean: 3.0 };
+        assert!((sample_mean(&d, 100_000, 3) - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Dist::Normal {
+            mean: 10.0,
+            std_dev: 2.0,
+        };
+        let mut rng = SimRng::new(4);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn trunc_normal_respects_bounds() {
+        let d = Dist::TruncNormal {
+            mean: 0.0,
+            std_dev: 5.0,
+            lo: -1.0,
+            hi: 1.0,
+        };
+        let mut rng = SimRng::new(5);
+        for _ in 0..5_000 {
+            let x = d.sample(&mut rng);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lognormal_median_constructor() {
+        let d = Dist::lognormal_median(100.0, 0.5);
+        let mut rng = SimRng::new(6);
+        let mut samples: Vec<f64> = (0..50_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[25_000];
+        assert!((median / 100.0 - 1.0).abs() < 0.05, "median={median}");
+    }
+
+    #[test]
+    fn pareto_tail_is_heavy_and_bounded_below() {
+        let d = Dist::Pareto {
+            x_min: 1.0,
+            alpha: 1.5,
+        };
+        let mut rng = SimRng::new(7);
+        let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x >= 1.0));
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 50.0, "expected heavy tail, max={max}");
+        // Analytic mean alpha*x_min/(alpha-1) = 3.
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 3.0).abs() < 0.5, "mean={mean}");
+    }
+
+    #[test]
+    fn empirical_only_emits_observed_values() {
+        let d = Dist::empirical(vec![1.0, 2.0, 3.0]);
+        let mut rng = SimRng::new(8);
+        for _ in 0..1_000 {
+            let x = d.sample(&mut rng);
+            assert!(x == 1.0 || x == 2.0 || x == 3.0);
+        }
+    }
+
+    #[test]
+    fn shifted_and_mixed_compose() {
+        let d = Dist::constant(1.0).shifted(2.0).mixed(1.0, Dist::constant(9.0));
+        let mut rng = SimRng::new(9);
+        assert_eq!(d.sample(&mut rng), 3.0);
+        assert_eq!(d.mean(), Some(3.0));
+        let m = Dist::constant(0.0).mixed(0.25, Dist::constant(4.0));
+        assert_eq!(m.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn analytic_means() {
+        assert_eq!(Dist::constant(5.0).mean(), Some(5.0));
+        assert_eq!(Dist::Uniform { lo: 0.0, hi: 2.0 }.mean(), Some(1.0));
+        assert_eq!(Dist::Exp { mean: 7.0 }.mean(), Some(7.0));
+        assert_eq!(
+            Dist::Pareto {
+                x_min: 1.0,
+                alpha: 0.5
+            }
+            .mean(),
+            None
+        );
+    }
+
+    #[test]
+    fn duration_dist_units() {
+        let mut rng = SimRng::new(10);
+        assert_eq!(
+            DurationDist::micros(Dist::constant(2.0)).sample(&mut rng),
+            Duration::from_micros(2)
+        );
+        assert_eq!(
+            DurationDist::millis(Dist::constant(3.0)).sample(&mut rng),
+            Duration::from_millis(3)
+        );
+        assert_eq!(
+            DurationDist::secs(Dist::constant(1.0)).sample(&mut rng),
+            Duration::from_secs(1)
+        );
+        assert_eq!(
+            DurationDist::fixed(Duration::from_nanos(17)).sample(&mut rng),
+            Duration::from_nanos(17)
+        );
+        // Negative samples clamp to zero.
+        assert_eq!(
+            DurationDist::nanos(Dist::constant(-5.0)).sample(&mut rng),
+            Duration::ZERO
+        );
+    }
+}

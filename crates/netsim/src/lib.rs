@@ -1,0 +1,32 @@
+//! Deterministic discrete-event simulation kernel for Speedlight-rs.
+//!
+//! This crate is the substrate on which the network model (`fabric`) and
+//! the experiment harness are built. It deliberately contains no networking
+//! concepts — only:
+//!
+//! * simulated [`time`] (nanosecond-resolution timestamps and durations),
+//! * a stable, deterministic [`queue::EventQueue`] (ties broken by insertion
+//!   order, never by hash or pointer identity),
+//! * a seedable, forkable random source ([`rng::SimRng`]) so that every
+//!   component can own an independent deterministic stream,
+//! * the statistical [`dist`]ributions used by the latency/jitter models,
+//! * a small driver loop ([`sim::Simulation`]).
+//!
+//! Determinism is a hard requirement: every experiment binary prints the
+//! same numbers for the same seed, and the integration/property tests rely
+//! on exact replays.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod time;
+
+pub use dist::{Dist, DurationDist};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use sim::{Scheduler, Simulation, World};
+pub use time::{Duration, Instant};

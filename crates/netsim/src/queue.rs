@@ -1,0 +1,156 @@
+//! A deterministic, time-ordered event queue.
+//!
+//! Events scheduled for the same instant pop in insertion order (a strictly
+//! monotone sequence number breaks ties). This makes whole-simulation runs
+//! byte-for-byte reproducible, which the test suite depends on.
+
+use crate::time::Instant;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queue ordering events by `(time, insertion order)`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Instant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn push(&mut self, at: Instant, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Remove and return the earliest event, with its firing time.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.event))
+    }
+
+    /// Firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (for run statistics / guards).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Instant;
+
+    fn t(ns: u64) -> Instant {
+        Instant::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_fifo_within_instant() {
+        let mut q = EventQueue::new();
+        q.push(t(5), 1);
+        q.push(t(5), 2);
+        assert_eq!(q.pop(), Some((t(5), 1)));
+        q.push(t(5), 3);
+        assert_eq!(q.pop(), Some((t(5), 2)));
+        assert_eq!(q.pop(), Some((t(5), 3)));
+    }
+
+    #[test]
+    fn counters_track_state() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(t(1), ());
+        q.push(t(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(t(1)));
+        q.pop();
+        assert_eq!(q.popped(), 1);
+        assert_eq!(q.len(), 1);
+    }
+}

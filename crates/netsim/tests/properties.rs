@@ -1,0 +1,120 @@
+//! Property-based tests for the simulation kernel.
+
+use netsim::dist::{Dist, DurationDist};
+use netsim::queue::EventQueue;
+use netsim::rng::SimRng;
+use netsim::time::{Duration, Instant};
+use proptest::prelude::*;
+
+proptest! {
+    /// The queue is a stable priority queue: output is sorted by time, and
+    /// ties preserve insertion order.
+    #[test]
+    fn event_queue_is_a_stable_time_sort(times in proptest::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Instant::from_nanos(t), i);
+        }
+        let mut out = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            out.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(out.len(), times.len());
+        for w in out.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Interleaved push/pop never loses or duplicates events.
+    #[test]
+    fn event_queue_conserves_events(ops in proptest::collection::vec((any::<bool>(), 0u64..100), 1..300)) {
+        let mut q = EventQueue::new();
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        for (is_pop, t) in ops {
+            if is_pop {
+                if q.pop().is_some() {
+                    popped += 1;
+                }
+            } else {
+                q.push(Instant::from_nanos(t), ());
+                pushed += 1;
+            }
+        }
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(pushed, popped);
+        prop_assert!(q.is_empty());
+    }
+
+    /// Forked RNG streams are deterministic functions of (seed, label).
+    #[test]
+    fn rng_forks_are_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}", idx in 0u64..1000) {
+        let a: Vec<u64> = {
+            let mut r = SimRng::new(seed).fork(&label).fork_idx("x", idx);
+            (0..16).map(|_| r.below(1_000_000)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SimRng::new(seed).fork(&label).fork_idx("x", idx);
+            (0..16).map(|_| r.below(1_000_000)).collect()
+        };
+        prop_assert_eq!(a, b);
+    }
+
+    /// `below(n)` is always in range.
+    #[test]
+    fn rng_below_is_in_range(seed in any::<u64>(), bound in 1u64..=u64::MAX) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    /// Uniform samples respect their bounds; exponential and Pareto are
+    /// non-negative / above scale.
+    #[test]
+    fn dist_samples_respect_supports(seed in any::<u64>(), lo in -1e6f64..1e6, span in 0.001f64..1e6) {
+        let mut r = SimRng::new(seed);
+        let hi = lo + span;
+        let u = Dist::Uniform { lo, hi };
+        for _ in 0..64 {
+            let x = u.sample(&mut r);
+            prop_assert!((lo..hi).contains(&x), "uniform {x} outside [{lo},{hi})");
+        }
+        let e = Dist::Exp { mean: span };
+        for _ in 0..64 {
+            prop_assert!(e.sample(&mut r) >= 0.0);
+        }
+        let p = Dist::Pareto { x_min: span, alpha: 1.5 };
+        for _ in 0..64 {
+            prop_assert!(p.sample(&mut r) >= span);
+        }
+    }
+
+    /// Truncated normals never escape their bounds.
+    #[test]
+    fn trunc_normal_stays_bounded(seed in any::<u64>(), mean in -100f64..100.0, sd in 0.1f64..50.0) {
+        let d = Dist::TruncNormal { mean, std_dev: sd, lo: mean - sd, hi: mean + sd };
+        let mut r = SimRng::new(seed);
+        for _ in 0..64 {
+            let x = d.sample(&mut r);
+            prop_assert!(x >= mean - sd && x <= mean + sd);
+        }
+    }
+
+    /// Duration distributions clamp negatives and scale units linearly.
+    #[test]
+    fn duration_dist_units_scale(v in 0f64..1e6) {
+        let mut r = SimRng::new(1);
+        let us = DurationDist::micros(Dist::constant(v)).sample(&mut r);
+        let ms = DurationDist::millis(Dist::constant(v)).sample(&mut r);
+        prop_assert_eq!(us, Duration::from_micros_f64(v));
+        prop_assert!(ms.as_nanos() >= us.as_nanos());
+        let neg = DurationDist::micros(Dist::constant(-v - 1.0)).sample(&mut r);
+        prop_assert_eq!(neg, Duration::ZERO);
+    }
+}

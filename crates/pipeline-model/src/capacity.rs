@@ -1,0 +1,55 @@
+//! Approximate capacity of a Tofino-class switch pipeline.
+//!
+//! Exact Tofino resource totals are NDA'd; these values are assembled from
+//! public materials (RMT paper, Barefoot talks) and are only used to state
+//! *utilization fractions* — the paper's claim being "less than 25% of any
+//! given type of dedicated resource" (§7.1), which is insensitive to modest
+//! errors in the denominators.
+
+/// Per-pipeline resource capacities of a Tofino-class ASIC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TofinoCapacity {
+    /// Match-action stages per pipeline.
+    pub stages: u32,
+    /// VLIW stateless ALU slots across all stages.
+    pub stateless_alus: u32,
+    /// Stateful ALUs (4 per stage × 12 stages).
+    pub stateful_alus: u32,
+    /// Logical table IDs (16 per stage).
+    pub logical_tables: u32,
+    /// Conditional gateways (16 per stage).
+    pub gateways: u32,
+    /// SRAM per pipeline, kilobytes.
+    pub sram_kb: f64,
+    /// TCAM per pipeline, kilobytes.
+    pub tcam_kb: f64,
+}
+
+impl Default for TofinoCapacity {
+    fn default() -> Self {
+        TofinoCapacity {
+            stages: 12,
+            stateless_alus: 12 * 16,
+            stateful_alus: 12 * 4,
+            logical_tables: 12 * 16,
+            gateways: 12 * 16,
+            // 80 SRAM blocks × 16 KB per stage-group ≈ 7.5 MB/pipe.
+            sram_kb: 7_680.0,
+            // 24 TCAM blocks × 44 KB ≈ 1 MB/pipe.
+            tcam_kb: 1_056.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_self_consistent() {
+        let c = TofinoCapacity::default();
+        assert_eq!(c.stateful_alus, 48);
+        assert!(c.sram_kb > c.tcam_kb);
+        assert!(c.stages == 12);
+    }
+}

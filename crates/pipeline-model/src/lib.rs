@@ -1,0 +1,34 @@
+//! A match-action pipeline resource model (§7.1, Table 1).
+//!
+//! The paper reports the Tofino resources its P4 data plane consumes, per
+//! feature variant. Without the proprietary toolchain we cannot *compile*
+//! P4, but the quantity Table 1 communicates — how the cost scales with
+//! features (wraparound, channel state) and with port count, and that the
+//! whole thing fits comfortably inside a commodity ASIC — is a property of
+//! the *program structure*, which we model explicitly:
+//!
+//! * the Speedlight pipeline is described as a DAG of logical match-action
+//!   [`TableSpec`]s with per-table ALU, gateway, and memory costs
+//!   ([`speedlight_pipeline`]);
+//! * a greedy stage [`allocate`]or (tables sharing a stage iff independent,
+//!   like the Tofino compiler's dependency analysis) derives the physical
+//!   stage count;
+//! * memory costs are linear in port count and snapshot-ID modulus, with
+//!   coefficients **calibrated against Table 1's published numbers** (the
+//!   paper's four data points: three variants at 64 ports plus the 14-port
+//!   channel-state configuration). See `DESIGN.md` §5.
+//!
+//! The model therefore reproduces Table 1 exactly at the calibration points
+//! and interpolates sanely elsewhere; it is used by the `table1` bench
+//! binary and by the resource-scaling ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod pipeline;
+pub mod report;
+
+pub use capacity::TofinoCapacity;
+pub use pipeline::{speedlight_pipeline, PipelineSpec, TableSpec, Variant};
+pub use report::{allocate, ResourceReport};

@@ -1,0 +1,243 @@
+//! The Speedlight pipeline described as a DAG of logical match-action
+//! tables (Figs. 4–5), per feature variant.
+
+/// Data-plane feature variant (the three columns of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Per-port packet counters only; snapshot IDs assumed not to roll over.
+    PacketCount,
+    /// Adds snapshot-ID wraparound support (§5.3 rollover detection).
+    WrapAround,
+    /// Adds channel state: Last Seen arrays, in-flight accounting,
+    /// per-channel notifications (§5.1–5.3 "−" items).
+    ChannelState,
+}
+
+impl Variant {
+    /// Display label matching the paper's column headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::PacketCount => "Packet Count",
+            Variant::WrapAround => "+ Wrap Around",
+            Variant::ChannelState => "+ Chnl. State",
+        }
+    }
+
+    /// All variants, in Table 1 column order.
+    pub fn all() -> [Variant; 3] {
+        [
+            Variant::PacketCount,
+            Variant::WrapAround,
+            Variant::ChannelState,
+        ]
+    }
+}
+
+/// One logical match-action table.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Table name (gress-prefixed, mirroring the P4 control flow).
+    pub name: &'static str,
+    /// Index (into the pipeline's table list) of the table this one has a
+    /// data/control dependency on, forcing a later physical stage.
+    pub depends_on: Option<usize>,
+    /// Stateless ALU operations (header/metadata arithmetic).
+    pub stateless_alus: u32,
+    /// Stateful ALU operations (register array read-modify-writes).
+    pub stateful_alus: u32,
+    /// Conditional table gateways guarding execution.
+    pub gateways: u32,
+}
+
+/// A full pipeline: logical tables plus the feature variant (which drives
+/// the memory model).
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    /// The variant this pipeline implements.
+    pub variant: Variant,
+    /// Snapshot port count (register array sizing).
+    pub ports: u16,
+    /// Snapshot ID modulus (register array sizing).
+    pub modulus: u16,
+    /// The logical tables, topologically ordered.
+    pub tables: Vec<TableSpec>,
+}
+
+/// Shorthand constructor used by the builder below.
+fn t(
+    name: &'static str,
+    depends_on: Option<usize>,
+    stateless_alus: u32,
+    stateful_alus: u32,
+    gateways: u32,
+) -> TableSpec {
+    TableSpec {
+        name,
+        depends_on,
+        stateless_alus,
+        stateful_alus,
+        gateways,
+    }
+}
+
+/// Build the Speedlight pipeline for a variant, `ports`-port snapshots, and
+/// snapshot-ID `modulus`.
+///
+/// The table lists mirror the ingress (Fig. 4) and egress (Fig. 5) control
+/// flows; per-table ALU/gateway counts are chosen so the variant totals
+/// equal Table 1's published numbers (the calibration discussed in the
+/// crate docs). The dependency chains produce the published stage counts
+/// (10/10/12) under the greedy allocator.
+pub fn speedlight_pipeline(variant: Variant, ports: u16, modulus: u16) -> PipelineSpec {
+    let mut tables: Vec<TableSpec> = Vec::new();
+
+    // ---- Ingress pipeline (Fig. 4): a 10-deep dependency chain. ----
+    let ing = [
+        t("ing_validate_ss_header", None, 1, 0, 1),
+        t("ing_update_counter", Some(0), 1, 1, 0),
+        t("ing_read_counter", Some(1), 1, 0, 0),
+        t("ing_read_ss_last_seen", Some(2), 0, 1, 1),
+        t("ing_compare_packet", Some(3), 2, 0, 2),
+        t("ing_update_ss", Some(4), 0, 2, 0),
+        t("ing_update_ss_last_seen", Some(5), 0, 1, 1),
+        t("ing_notify_clone", Some(6), 2, 0, 1),
+        t("ing_set_egress_port", Some(7), 1, 0, 0),
+        t("ing_add_ss_header", Some(8), 1, 0, 1),
+    ];
+    tables.extend(ing);
+
+    // ---- Egress pipeline (Fig. 5): parallel 10-deep chain. ----
+    let base = tables.len();
+    let eg = [
+        t("eg_initiation_check", None, 0, 0, 1),
+        t("eg_update_last_seen", Some(base), 0, 1, 1),
+        t("eg_compare_packet", Some(base + 1), 2, 0, 2),
+        t("eg_read_local_ss", Some(base + 2), 0, 1, 0),
+        t("eg_initiate_new_ss", Some(base + 3), 0, 1, 0),
+        t("eg_update_ss_last_seen", Some(base + 4), 1, 1, 0),
+        t("eg_notify_clone", Some(base + 5), 2, 0, 1),
+        t("eg_remove_ss_header", Some(base + 6), 1, 0, 1),
+        t("eg_update_counter", Some(base + 7), 1, 0, 0),
+        t("eg_finalize", Some(base + 8), 1, 0, 0),
+    ];
+    tables.extend(eg);
+
+    // ---- Shared / CPU-path tables (stage-parallel). ----
+    tables.extend([
+        t("ing_cpu_initiation", None, 0, 0, 1),
+        t("eg_cpu_drop", None, 0, 0, 1),
+        t("notify_mirror_session", None, 0, 0, 0),
+        t("port_to_unit_map", None, 0, 0, 0),
+        t("ss_value_index", None, 0, 0, 0),
+        t("dst_port_map", None, 0, 0, 0),
+        t("debug_stats", None, 0, 0, 0),
+    ]);
+    // Packet Count baseline: 27 tables, 17 stateless, 9 stateful, 15 gw,
+    // 10-deep chain — matching Table 1 column 1.
+
+    if matches!(variant, Variant::WrapAround | Variant::ChannelState) {
+        // Rollover support (§5.3): distance-from-reference comparisons in
+        // both gresses plus the reference bookkeeping. Stage-parallel with
+        // the existing chains (the comparisons fold into existing stages'
+        // spare capacity, as the unchanged stage count in Table 1 shows).
+        tables.extend([
+            t("ing_wrap_fwd_distance", None, 1, 0, 1),
+            t("ing_wrap_ref_select", None, 0, 0, 1),
+            t("ing_wrap_rollover_flag", None, 0, 0, 0),
+            t("ing_wrap_cpu_ref", None, 0, 0, 0),
+            t("eg_wrap_fwd_distance", None, 1, 0, 1),
+            t("eg_wrap_ref_select", None, 0, 0, 1),
+            t("eg_wrap_rollover_flag", None, 0, 0, 0),
+            t("eg_wrap_cpu_ref", None, 0, 0, 0),
+        ]);
+        // +Wrap Around: 35 tables, 19 stateless, 9 stateful, 19 gateways.
+    }
+
+    if matches!(variant, Variant::ChannelState) {
+        // Channel state (§5.1 "−" items): channel-ID resolution feeds the
+        // Last Seen update, and the in-flight accumulation serializes after
+        // the comparison — lengthening the egress chain to 12 (Table 1's
+        // physical stage growth).
+        let eg_tail = base + 9; // eg_finalize, depth 10
+        let idx_chid = tables.len();
+        tables.push(t("eg_channel_id_lookup", Some(eg_tail), 2, 0, 0));
+        tables.push(t("eg_in_flight_update", Some(idx_chid), 1, 1, 0));
+        // Give the notify path the extra header fields and the per-channel
+        // Last Seen its own stateful op by upgrading two existing tables.
+        bump(&mut tables, "eg_notify_clone", 1, 0, 0);
+        bump(&mut tables, "ing_notify_clone", 1, 0, 0);
+        bump(&mut tables, "ing_read_ss_last_seen", 0, 1, 0);
+        // +Chnl. State: 37 tables, 24 stateless, 11 stateful, 19 gateways,
+        // 12-deep chain.
+    }
+
+    PipelineSpec {
+        variant,
+        ports,
+        modulus,
+        tables,
+    }
+}
+
+fn bump(tables: &mut [TableSpec], name: &str, sl: u32, sf: u32, gw: u32) {
+    let t = tables
+        .iter_mut()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| panic!("table {name} not found"));
+    t.stateless_alus += sl;
+    t.stateful_alus += sf;
+    t.gateways += gw;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn totals(spec: &PipelineSpec) -> (usize, u32, u32, u32) {
+        (
+            spec.tables.len(),
+            spec.tables.iter().map(|t| t.stateless_alus).sum(),
+            spec.tables.iter().map(|t| t.stateful_alus).sum(),
+            spec.tables.iter().map(|t| t.gateways).sum(),
+        )
+    }
+
+    #[test]
+    fn packet_count_structure_matches_table1() {
+        let spec = speedlight_pipeline(Variant::PacketCount, 64, 256);
+        assert_eq!(totals(&spec), (27, 17, 9, 15));
+    }
+
+    #[test]
+    fn wrap_around_structure_matches_table1() {
+        let spec = speedlight_pipeline(Variant::WrapAround, 64, 256);
+        assert_eq!(totals(&spec), (35, 19, 9, 19));
+    }
+
+    #[test]
+    fn channel_state_structure_matches_table1() {
+        let spec = speedlight_pipeline(Variant::ChannelState, 64, 256);
+        assert_eq!(totals(&spec), (37, 24, 11, 19));
+    }
+
+    #[test]
+    fn dependencies_are_topological() {
+        for v in Variant::all() {
+            let spec = speedlight_pipeline(v, 64, 256);
+            for (i, table) in spec.tables.iter().enumerate() {
+                if let Some(dep) = table.depends_on {
+                    assert!(dep < i, "{}: dep {dep} not before {i}", table.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn features_only_add_cost() {
+        let pc = speedlight_pipeline(Variant::PacketCount, 64, 256);
+        let wa = speedlight_pipeline(Variant::WrapAround, 64, 256);
+        let cs = speedlight_pipeline(Variant::ChannelState, 64, 256);
+        assert!(pc.tables.len() < wa.tables.len());
+        assert!(wa.tables.len() < cs.tables.len());
+    }
+}

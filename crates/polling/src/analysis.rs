@@ -1,0 +1,83 @@
+//! Analysis helpers over polling sweep records.
+
+use fabric::network::PollSweepRecord;
+use netsim::time::{Duration, Instant};
+use speedlight_core::types::UnitId;
+use std::collections::BTreeMap;
+
+/// Spread between the first and last read of a sweep (the polling
+/// "synchronization" of Fig. 9).
+pub fn sweep_spread(sweep: &PollSweepRecord) -> Option<Duration> {
+    let lo = sweep.samples.iter().map(|s| s.2).min()?;
+    let hi = sweep.samples.iter().map(|s| s.2).max()?;
+    Some(hi.saturating_since(lo))
+}
+
+/// Per-unit value map of one sweep (one asynchronous "network view").
+pub fn sweep_values(sweep: &PollSweepRecord) -> BTreeMap<UnitId, u64> {
+    sweep.samples.iter().map(|&(u, v, _)| (u, v)).collect()
+}
+
+/// Per-unit time series across many sweeps.
+pub fn unit_series(sweeps: &[PollSweepRecord]) -> BTreeMap<UnitId, Vec<(Instant, u64)>> {
+    let mut out: BTreeMap<UnitId, Vec<(Instant, u64)>> = BTreeMap::new();
+    for sweep in sweeps {
+        for &(u, v, t) in &sweep.samples {
+            out.entry(u).or_default().push((t, v));
+        }
+    }
+    for series in out.values_mut() {
+        series.sort_by_key(|(t, _)| *t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(port: u16, v: u64, t_us: u64) -> (UnitId, u64, Instant) {
+        (
+            UnitId::ingress(0, port),
+            v,
+            Instant::ZERO + Duration::from_micros(t_us),
+        )
+    }
+
+    #[test]
+    fn spread_is_max_minus_min() {
+        let sweep = PollSweepRecord {
+            samples: vec![sample(0, 1, 100), sample(1, 2, 350), sample(2, 3, 220)],
+        };
+        assert_eq!(sweep_spread(&sweep), Some(Duration::from_micros(250)));
+        assert_eq!(sweep_spread(&PollSweepRecord::default()), None);
+    }
+
+    #[test]
+    fn values_map_by_unit() {
+        let sweep = PollSweepRecord {
+            samples: vec![sample(0, 10, 1), sample(1, 20, 2)],
+        };
+        let m = sweep_values(&sweep);
+        assert_eq!(m[&UnitId::ingress(0, 0)], 10);
+        assert_eq!(m[&UnitId::ingress(0, 1)], 20);
+    }
+
+    #[test]
+    fn series_accumulate_in_time_order() {
+        let sweeps = vec![
+            PollSweepRecord {
+                samples: vec![sample(0, 5, 100)],
+            },
+            PollSweepRecord {
+                samples: vec![sample(0, 9, 50)],
+            },
+        ];
+        let series = unit_series(&sweeps);
+        let s = &series[&UnitId::ingress(0, 0)];
+        assert_eq!(s.len(), 2);
+        assert!(s[0].0 < s[1].0);
+        assert_eq!(s[0].1, 9);
+        assert_eq!(s[1].1, 5);
+    }
+}

@@ -1,0 +1,24 @@
+//! The baseline counter-polling framework (§2.1, §8.1).
+//!
+//! The paper's comparison point is "a typical counter polling framework
+//! where an observer polls the statistic for each port individually via a
+//! control plane agent that reads and returns the value on-demand". The
+//! `fabric` crate executes such sweeps inside the simulation (the
+//! `PollSweep`/`PollRead` events); this crate provides:
+//!
+//! * [`analysis`] — turning raw sweep records into the quantities the
+//!   figures need (sweep spread, per-unit time series, per-sweep
+//!   unit→value maps), and
+//! * [`model`] — a standalone closed-form/Monte-Carlo model of sweep
+//!   spread used by the synchronization study (Fig. 9's polling curve can
+//!   be produced either way; the experiments use the in-simulation sweeps
+//!   and the tests cross-check against this model).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod model;
+
+pub use analysis::{sweep_spread, sweep_values, unit_series};
+pub use model::PollingModel;

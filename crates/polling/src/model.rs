@@ -1,0 +1,112 @@
+//! Closed-form / Monte-Carlo model of polling sweep spread.
+//!
+//! Agents poll their device's units sequentially and in parallel across
+//! devices. The sweep spread (first read to last read) is then
+//! `max_d Σ_i L_{d,i} − min_d L_{d,1}`-shaped; rather than deriving the
+//! order statistics we just simulate draws, which the tests also use to
+//! cross-check the full network simulation.
+
+use netsim::dist::DurationDist;
+use netsim::rng::SimRng;
+use netsim::time::Duration;
+
+/// A polling deployment: one agent per device, `units_per_device` sequential
+/// reads each, with per-read latency `read_latency`.
+#[derive(Debug, Clone)]
+pub struct PollingModel {
+    /// Number of device agents polling in parallel.
+    pub devices: u16,
+    /// Sequential reads per agent.
+    pub units_per_device: u16,
+    /// Per-read latency distribution.
+    pub read_latency: DurationDist,
+}
+
+impl PollingModel {
+    /// Sample the spread of one sweep.
+    pub fn sample_spread(&self, rng: &mut SimRng) -> Duration {
+        let mut first_read = Duration::from_nanos(u64::MAX);
+        let mut last_read = Duration::ZERO;
+        for _ in 0..self.devices {
+            let mut t = Duration::ZERO;
+            for i in 0..self.units_per_device {
+                t += self.read_latency.sample(rng);
+                if i == 0 {
+                    first_read = first_read.min(t);
+                }
+            }
+            last_read = last_read.max(t);
+        }
+        last_read.saturating_sub(first_read)
+    }
+
+    /// Sample `n` sweeps and return their spreads.
+    pub fn sample_many(&self, n: usize, rng: &mut SimRng) -> Vec<Duration> {
+        (0..n).map(|_| self.sample_spread(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::dist::Dist;
+
+    #[test]
+    fn deterministic_latency_gives_exact_spread() {
+        // 2 devices × 3 reads of exactly 100 µs: first read at 100 µs,
+        // last at 300 µs → spread 200 µs.
+        let m = PollingModel {
+            devices: 2,
+            units_per_device: 3,
+            read_latency: DurationDist::micros(Dist::constant(100.0)),
+        };
+        let mut rng = SimRng::new(1);
+        assert_eq!(m.sample_spread(&mut rng), Duration::from_micros(200));
+    }
+
+    #[test]
+    fn paper_scale_sweep_is_milliseconds() {
+        // The §8.1 baseline: 4 virtual switches × 28 units, ~85 µs reads
+        // with a tail — median spread must land near the paper's 2.6 ms.
+        let m = PollingModel {
+            devices: 4,
+            units_per_device: 28,
+            read_latency: DurationDist::micros(
+                Dist::lognormal_median(85.0, 0.35).mixed(0.97, Dist::Uniform {
+                    lo: 300.0,
+                    hi: 900.0,
+                }),
+            ),
+        };
+        let mut rng = SimRng::new(2);
+        let mut spreads = m.sample_many(500, &mut rng);
+        spreads.sort_unstable();
+        let median = spreads[spreads.len() / 2];
+        let ms = median.as_millis_f64();
+        assert!((1.8..3.6).contains(&ms), "median sweep spread {ms:.2} ms");
+    }
+
+    #[test]
+    fn more_units_widen_the_spread() {
+        let lat = DurationDist::micros(Dist::lognormal_median(85.0, 0.35));
+        let small = PollingModel {
+            devices: 4,
+            units_per_device: 8,
+            read_latency: lat.clone(),
+        };
+        let big = PollingModel {
+            devices: 4,
+            units_per_device: 64,
+            read_latency: lat,
+        };
+        let mut rng = SimRng::new(3);
+        let ms = |m: &PollingModel, rng: &mut SimRng| {
+            let mut v = m.sample_many(200, rng);
+            v.sort_unstable();
+            v[100].as_micros_f64()
+        };
+        let s = ms(&small, &mut rng);
+        let b = ms(&big, &mut rng);
+        assert!(b > 3.0 * s, "small {s:.0} µs vs big {b:.0} µs");
+    }
+}

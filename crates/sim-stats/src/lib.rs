@@ -1,0 +1,20 @@
+//! Statistics toolkit for the measurement studies (§8.3–8.4).
+//!
+//! * [`summary`] — means, standard deviations, percentiles, and empirical
+//!   CDFs (every figure in the paper's evaluation is a CDF or a summary
+//!   curve).
+//! * [`spearman`](mod@spearman) — Spearman rank correlation with tie-corrected ranks and
+//!   t-approximation p-values, as used by the synchronized-traffic study
+//!   (Fig. 13, "pairwise correlation between ports using Spearman tests").
+//! * [`special`] — the log-gamma / regularized incomplete beta functions
+//!   backing the Student-t tail probabilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod spearman;
+pub mod special;
+pub mod summary;
+
+pub use spearman::{spearman, SpearmanResult};
+pub use summary::{mean, percentile, std_dev, Cdf};

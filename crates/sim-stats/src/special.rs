@@ -1,0 +1,170 @@
+//! Special functions backing the p-value computations.
+//!
+//! Implemented from the standard Lanczos / continued-fraction formulations
+//! (Numerical Recipes §6.1–6.4) rather than pulling in a stats crate, per
+//! the dependency policy.
+
+/// Natural log of the gamma function (Lanczos approximation, |err| < 2e-10
+/// for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0");
+    const COF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the continued fraction in its rapidly-converging region.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (Lentz's method).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Two-sided p-value of a Student-t statistic with `df` degrees of freedom:
+/// `P(|T| ≥ |t|) = I_{df/(df+t²)}(df/2, 1/2)`.
+pub fn student_t_two_sided(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0);
+    if !t.is_finite() {
+        return 0.0;
+    }
+    beta_inc(df / 2.0, 0.5, df / (df + t * t)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π.
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_inc_boundaries_and_symmetry() {
+        assert_eq!(beta_inc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        for x in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let lhs = beta_inc(2.5, 1.5, x);
+            let rhs = 1.0 - beta_inc(1.5, 2.5, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "x={x}");
+        }
+    }
+
+    #[test]
+    fn beta_inc_uniform_case() {
+        // I_x(1,1) = x.
+        for x in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!((beta_inc(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn student_t_reference_values() {
+        // df=10: P(|T| >= 2.228) ≈ 0.05 (classic t-table value).
+        let p = student_t_two_sided(2.228, 10.0);
+        assert!((p - 0.05).abs() < 0.002, "p={p}");
+        // df=30: P(|T| >= 2.042) ≈ 0.05.
+        let p = student_t_two_sided(2.042, 30.0);
+        assert!((p - 0.05).abs() < 0.002, "p={p}");
+        // t=0 → p=1.
+        assert!((student_t_two_sided(0.0, 5.0) - 1.0).abs() < 1e-12);
+        // Huge t → p≈0.
+        assert!(student_t_two_sided(50.0, 5.0) < 1e-5);
+        assert_eq!(student_t_two_sided(f64::INFINITY, 5.0), 0.0);
+    }
+
+    #[test]
+    fn student_t_is_monotone_in_t() {
+        let df = 20.0;
+        let mut last = 1.1;
+        for i in 0..50 {
+            let t = i as f64 * 0.2;
+            let p = student_t_two_sided(t, df);
+            assert!(p <= last + 1e-12, "t={t}");
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Summary statistics and empirical CDFs.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (0 for fewer than 2 samples).
+///
+/// Fig. 12 plots "standard deviation of the EWMA of packet interarrival
+/// times across uplink ports" — a population (not sample) spread over a
+/// fixed small set of ports, so we divide by `n`.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Linear-interpolated percentile, `q` in `[0, 1]`. Input need not be
+/// sorted. Returns 0 for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (pos - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+/// An empirical CDF over a sample set.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs are rejected).
+    pub fn new(mut samples: Vec<f64>) -> Cdf {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "CDF input must not contain NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("checked"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the `q`-quantile (`q` in `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile(&self.sorted, q)
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Evenly spaced `(x, P(X ≤ x))` points for plotting/printing — the
+    /// format in which the figure binaries dump their curves.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (0..points)
+            .map(|i| {
+                let q = (i + 1) as f64 / points as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev_known_answers() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 1.0), 40.0);
+        assert_eq!(percentile(&xs, 0.5), 25.0);
+        assert!((percentile(&xs, 1.0 / 3.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_at_and_quantile_are_consistent() {
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(3.0), 0.6);
+        assert_eq!(c.at(10.0), 1.0);
+        assert_eq!(c.median(), 3.0);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 5.0);
+    }
+
+    #[test]
+    fn cdf_handles_unsorted_and_duplicate_input() {
+        let c = Cdf::new(vec![3.0, 1.0, 3.0, 2.0]);
+        assert_eq!(c.at(3.0), 1.0);
+        assert_eq!(c.at(2.5), 0.5);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = Cdf::new((0..100).map(|i| (i * 7 % 100) as f64).collect());
+        let pts = c.curve(20);
+        assert_eq!(pts.len(), 20);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn cdf_rejects_nan() {
+        Cdf::new(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Data-plane telemetry metrics (§8 "Counters").
+//!
+//! The snapshot primitive is metric-agnostic: "any value accessible at line
+//! rate in the data plane can be snapshotted" (§3). This crate provides the
+//! metrics the paper's evaluation uses — per-port packet and byte counters,
+//! queue depth gauges, and the two-phase **EWMA of packet interarrival
+//! time** that drives the load-balancing study (Fig. 12) — all implemented
+//! as register arrays the way a stateful ALU would hold them.
+//!
+//! A [`MetricBank`] bundles one metric across the ports of a device side
+//! (ingress or egress); the fabric reads the register *before* applying a
+//! packet's update (matching Fig. 3, where the saved state excludes the
+//! packet that carries the new snapshot ID).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ewma;
+pub mod registers;
+
+pub use ewma::EwmaInterarrival;
+pub use registers::{MetricBank, MetricKind};

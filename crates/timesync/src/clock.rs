@@ -1,0 +1,146 @@
+//! Local clocks with offset and frequency error.
+//!
+//! Every device owns a [`LocalClock`] mapping between true simulation time
+//! and the device's local notion of time. PTP keeps the offset small but
+//! never zero; between synchronizations the oscillator's frequency error
+//! (drift, in parts-per-billion) re-accumulates offset.
+
+use netsim::time::{Duration, Instant};
+
+/// A device-local clock: `local = true + offset + drift * (true - epoch)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalClock {
+    /// Offset at the last synchronization, in signed nanoseconds.
+    offset_ns: i64,
+    /// Frequency error in parts per billion (positive runs fast).
+    drift_ppb: f64,
+    /// True time of the last synchronization (drift accumulates from here).
+    synced_at: Instant,
+}
+
+impl LocalClock {
+    /// A perfect clock.
+    pub fn perfect() -> LocalClock {
+        LocalClock {
+            offset_ns: 0,
+            drift_ppb: 0.0,
+            synced_at: Instant::ZERO,
+        }
+    }
+
+    /// A clock with the given offset and drift, synchronized at `synced_at`.
+    pub fn new(offset_ns: i64, drift_ppb: f64, synced_at: Instant) -> LocalClock {
+        LocalClock {
+            offset_ns,
+            drift_ppb,
+            synced_at,
+        }
+    }
+
+    /// Current offset (local − true) at true time `now`, in nanoseconds.
+    pub fn offset_at(&self, now: Instant) -> i64 {
+        let elapsed = now.saturating_since(self.synced_at).as_nanos() as f64;
+        self.offset_ns + (self.drift_ppb * elapsed / 1e9).round() as i64
+    }
+
+    /// Convert a true instant to this clock's local reading.
+    pub fn to_local(&self, now: Instant) -> Instant {
+        apply_offset(now, self.offset_at(now))
+    }
+
+    /// The true instant at which this clock will read `local`.
+    ///
+    /// Inverts [`LocalClock::to_local`]; exact for the drift magnitudes PTP
+    /// leaves behind (≪ 1e6 ppb), where the fixed-point iteration converges
+    /// in one step.
+    pub fn true_time_of(&self, local: Instant) -> Instant {
+        // First-order inverse: true ≈ local - offset(local).
+        let mut t = apply_offset(local, -self.offset_at(local));
+        // One refinement step handles the drift-induced error.
+        t = apply_offset(local, -self.offset_at(t));
+        t
+    }
+
+    /// Re-synchronize: replace the offset estimate (e.g., after a PTP
+    /// exchange) at true time `now`.
+    pub fn resync(&mut self, residual_offset_ns: i64, now: Instant) {
+        self.offset_ns = residual_offset_ns;
+        self.synced_at = now;
+    }
+
+    /// The oscillator's frequency error in ppb.
+    pub fn drift_ppb(&self) -> f64 {
+        self.drift_ppb
+    }
+}
+
+fn apply_offset(t: Instant, offset_ns: i64) -> Instant {
+    if offset_ns >= 0 {
+        t + Duration::from_nanos(offset_ns as u64)
+    } else {
+        let back = offset_ns.unsigned_abs();
+        // Clamp at simulation start rather than underflow.
+        Instant::from_nanos(t.as_nanos().saturating_sub(back))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = LocalClock::perfect();
+        let t = Instant::from_nanos(1_000_000);
+        assert_eq!(c.to_local(t), t);
+        assert_eq!(c.true_time_of(t), t);
+        assert_eq!(c.offset_at(t), 0);
+    }
+
+    #[test]
+    fn positive_and_negative_offsets_apply() {
+        let fast = LocalClock::new(500, 0.0, Instant::ZERO);
+        let slow = LocalClock::new(-500, 0.0, Instant::ZERO);
+        let t = Instant::from_nanos(10_000);
+        assert_eq!(fast.to_local(t).as_nanos(), 10_500);
+        assert_eq!(slow.to_local(t).as_nanos(), 9_500);
+    }
+
+    #[test]
+    fn drift_accumulates_from_sync_point() {
+        // 1000 ppb = 1 µs per second.
+        let c = LocalClock::new(0, 1_000.0, Instant::ZERO);
+        let after_1s = Instant::from_nanos(1_000_000_000);
+        assert_eq!(c.offset_at(after_1s), 1_000);
+        assert_eq!(c.to_local(after_1s).as_nanos(), 1_000_001_000);
+    }
+
+    #[test]
+    fn true_time_of_inverts_to_local() {
+        let c = LocalClock::new(2_345, 800.0, Instant::from_nanos(5_000));
+        for t_ns in [10_000u64, 1_000_000, 3_000_000_000] {
+            let t = Instant::from_nanos(t_ns);
+            let local = c.to_local(t);
+            let back = c.true_time_of(local);
+            let err = back.as_nanos().abs_diff(t.as_nanos());
+            assert!(err <= 1, "t={t_ns} err={err}");
+        }
+    }
+
+    #[test]
+    fn resync_resets_offset_and_reference() {
+        let mut c = LocalClock::new(10_000, 1_000.0, Instant::ZERO);
+        let now = Instant::from_nanos(2_000_000_000);
+        assert_eq!(c.offset_at(now), 12_000);
+        c.resync(-300, now);
+        assert_eq!(c.offset_at(now), -300);
+        let later = now + Duration::from_secs(1);
+        assert_eq!(c.offset_at(later), -300 + 1_000);
+    }
+
+    #[test]
+    fn negative_offset_clamps_at_simulation_start() {
+        let c = LocalClock::new(-100, 0.0, Instant::ZERO);
+        assert_eq!(c.to_local(Instant::from_nanos(40)), Instant::ZERO);
+    }
+}

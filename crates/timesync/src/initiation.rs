@@ -1,0 +1,175 @@
+//! The snapshot-initiation latency model (§8.1–8.2).
+//!
+//! When the observer schedules a snapshot for wall-clock instant `T`, the
+//! moment each processing unit actually executes the initiation is
+//!
+//! ```text
+//! T + clock_offset(device) + sched_jitter(device) + cpu_to_unit(unit)
+//! ```
+//!
+//! The three components correspond to the paper's simulation of large
+//! deployments (Fig. 11): "Our simulation included PTP time drift,
+//! OpenNetworkLinux scheduling effects, and the latency between initiation
+//! and data plane snapshot execution. Distributions for all of these values
+//! were collected from our hardware testbed." Lacking that testbed, the
+//! default distributions are synthesized to reproduce the testbed-level
+//! numbers the paper reports (median ≈ 6.4 µs, max ≈ 22 µs across 4
+//! switches — Fig. 9); see `DESIGN.md` §5.
+
+use netsim::dist::{Dist, DurationDist};
+use netsim::rng::SimRng;
+use netsim::time::{Duration, Instant};
+
+/// Distributions for the three initiation-latency components.
+#[derive(Debug, Clone)]
+pub struct InitiationModel {
+    /// Residual PTP offset of a device clock, in signed microseconds.
+    pub ptp_offset_us: Dist,
+    /// OS scheduling delay between the timer and the control-plane send.
+    pub sched_jitter: DurationDist,
+    /// Per-unit latency from control-plane send to data-plane execution
+    /// (PCIe + pipeline injection).
+    pub cpu_to_unit: DurationDist,
+}
+
+impl InitiationModel {
+    /// The default model, calibrated against the paper's testbed numbers
+    /// (Fig. 9: median sync ≈ 6.4 µs, max ≈ 22–27 µs over 4 devices).
+    pub fn testbed() -> InitiationModel {
+        InitiationModel {
+            // ptp4l on a quiet LAN: ~±1.5 µs residual, bounded by ±6 µs.
+            ptp_offset_us: Dist::TruncNormal {
+                mean: 0.0,
+                std_dev: 1.5,
+                lo: -6.0,
+                hi: 6.0,
+            },
+            // User-space timer wakeup on OpenNetworkLinux: ~2 µs median
+            // with a heavy scheduling tail reaching tens of µs.
+            sched_jitter: DurationDist::micros(
+                Dist::lognormal_median(2.0, 0.55)
+                    .mixed(0.985, Dist::Uniform { lo: 8.0, hi: 18.0 }),
+            ),
+            // PCIe write + pipeline injection per unit: sub-µs, tight.
+            cpu_to_unit: DurationDist::micros(Dist::lognormal_median(0.6, 0.25)),
+        }
+    }
+
+    /// Sample the device-level part (offset + scheduling) once per device
+    /// per snapshot.
+    pub fn sample_device(&self, rng: &mut SimRng) -> DeviceInitiation {
+        DeviceInitiation {
+            offset_ns: (self.ptp_offset_us.sample(rng) * 1e3).round() as i64,
+            sched: self.sched_jitter.sample(rng),
+        }
+    }
+
+    /// Sample the full per-unit initiation instant for a snapshot scheduled
+    /// at true time `scheduled`.
+    pub fn sample_unit(
+        &self,
+        scheduled: Instant,
+        device: &DeviceInitiation,
+        rng: &mut SimRng,
+    ) -> InitiationSample {
+        let unit_latency = self.cpu_to_unit.sample(rng);
+        let base = shift_signed(scheduled, device.offset_ns);
+        InitiationSample {
+            executes_at: base + device.sched + unit_latency,
+        }
+    }
+}
+
+/// Device-level latency components, fixed for all units of one device
+/// within one snapshot (they share the clock and the control-plane wakeup).
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceInitiation {
+    /// Clock offset (local − true), signed nanoseconds.
+    pub offset_ns: i64,
+    /// Scheduling delay of the control-plane wakeup.
+    pub sched: Duration,
+}
+
+/// When one processing unit executes its initiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InitiationSample {
+    /// True time at which the unit's snapshot logic runs.
+    pub executes_at: Instant,
+}
+
+fn shift_signed(t: Instant, offset_ns: i64) -> Instant {
+    if offset_ns >= 0 {
+        t + Duration::from_nanos(offset_ns as u64)
+    } else {
+        Instant::from_nanos(t.as_nanos().saturating_sub(offset_ns.unsigned_abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_sample_reuse_keeps_units_correlated() {
+        let model = InitiationModel::testbed();
+        let mut rng = SimRng::new(1);
+        let scheduled = Instant::from_nanos(1_000_000_000);
+        let dev = model.sample_device(&mut rng);
+        let a = model.sample_unit(scheduled, &dev, &mut rng);
+        let b = model.sample_unit(scheduled, &dev, &mut rng);
+        // Units of one device differ only by the (small) per-unit latency.
+        let spread = a
+            .executes_at
+            .as_nanos()
+            .abs_diff(b.executes_at.as_nanos());
+        assert!(spread < 3_000, "spread {spread} ns");
+    }
+
+    #[test]
+    fn testbed_model_matches_paper_scale() {
+        // Reconstruct the Fig. 9 measurement: 4 devices × 28 units,
+        // synchronization = max−min of execution instants; over many
+        // snapshots the median must land in the paper's ballpark (≈6.4 µs)
+        // and the max must stay within ~40 µs.
+        let model = InitiationModel::testbed();
+        let mut rng = SimRng::new(42);
+        let scheduled = Instant::from_nanos(10_000_000);
+        let mut syncs = Vec::new();
+        for _ in 0..400 {
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            for _ in 0..4 {
+                let dev = model.sample_device(&mut rng);
+                for _ in 0..28 {
+                    let s = model.sample_unit(scheduled, &dev, &mut rng);
+                    lo = lo.min(s.executes_at.as_nanos());
+                    hi = hi.max(s.executes_at.as_nanos());
+                }
+            }
+            syncs.push(hi - lo);
+        }
+        syncs.sort_unstable();
+        let median_us = syncs[syncs.len() / 2] as f64 / 1e3;
+        let max_us = *syncs.last().unwrap() as f64 / 1e3;
+        assert!(
+            (3.0..12.0).contains(&median_us),
+            "median sync {median_us:.1} µs outside paper ballpark"
+        );
+        assert!(max_us < 45.0, "max sync {max_us:.1} µs too large");
+        assert!(max_us > median_us, "distribution must have a tail");
+    }
+
+    #[test]
+    fn negative_offsets_shift_earlier() {
+        let model = InitiationModel {
+            ptp_offset_us: Dist::constant(-2.0),
+            sched_jitter: DurationDist::fixed(Duration::ZERO),
+            cpu_to_unit: DurationDist::fixed(Duration::ZERO),
+        };
+        let mut rng = SimRng::new(0);
+        let dev = model.sample_device(&mut rng);
+        assert_eq!(dev.offset_ns, -2_000);
+        let s = model.sample_unit(Instant::from_nanos(10_000), &dev, &mut rng);
+        assert_eq!(s.executes_at.as_nanos(), 8_000);
+    }
+}

@@ -1,0 +1,29 @@
+//! Time synchronization substrate for Speedlight-rs.
+//!
+//! Speedlight initiates snapshots at a PTP-agreed wall-clock instant on
+//! every switch CPU (§6). The synchronization quality of the resulting
+//! snapshot (Fig. 9/11) is therefore governed by three error sources, each
+//! modeled here:
+//!
+//! * the residual **PTP offset** of each device's clock ([`clock`]),
+//! * **OS scheduling jitter** between the timer firing and the control
+//!   plane actually sending initiations (the paper's control plane runs as
+//!   a user-space process on OpenNetworkLinux), and
+//! * the **CPU→data-plane latency** until each processing unit executes the
+//!   initiation ([`initiation`]).
+//!
+//! [`ptp`] additionally implements the classic two-step offset/delay
+//! exchange so the threaded emulation can *earn* its offsets rather than
+//! assume them; the paper's testbed ran `ptp4l`/`phc2sys`, which this
+//! stands in for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod initiation;
+pub mod ptp;
+
+pub use clock::LocalClock;
+pub use initiation::{InitiationModel, InitiationSample};
+pub use ptp::{PtpExchange, PtpResult};

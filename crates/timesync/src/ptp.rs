@@ -1,0 +1,140 @@
+//! A two-step PTP offset/delay exchange (IEEE 1588 style).
+//!
+//! The master sends `Sync` (t1 stamped at master, t2 at slave arrival); the
+//! slave sends `Delay_Req` (t3 at slave, t4 at master arrival). The slave
+//! estimates:
+//!
+//! ```text
+//! offset = ((t2 - t1) - (t4 - t3)) / 2
+//! delay  = ((t2 - t1) + (t4 - t3)) / 2
+//! ```
+//!
+//! With symmetric path delays the offset estimate is exact; asymmetry `a`
+//! (forward − reverse) biases the estimate by `a / 2` — the classic PTP
+//! floor, and the reason Speedlight's residual offsets are microseconds
+//! rather than zero. The emulation runtime performs this exchange over its
+//! channel links; the DES experiments sample the residual directly.
+
+use crate::clock::LocalClock;
+use netsim::time::{Duration, Instant};
+
+/// Timestamps of one completed exchange (all in *local* clock readings, as
+/// a real implementation would observe them).
+#[derive(Debug, Clone, Copy)]
+pub struct PtpExchange {
+    /// Master's send stamp of `Sync`.
+    pub t1: Instant,
+    /// Slave's receive stamp of `Sync`.
+    pub t2: Instant,
+    /// Slave's send stamp of `Delay_Req`.
+    pub t3: Instant,
+    /// Master's receive stamp of `Delay_Req`.
+    pub t4: Instant,
+}
+
+/// The slave's estimates derived from an exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PtpResult {
+    /// Estimated slave−master offset, signed nanoseconds.
+    pub offset_ns: i64,
+    /// Estimated one-way path delay, nanoseconds.
+    pub delay_ns: i64,
+}
+
+impl PtpExchange {
+    /// Simulate an exchange between clocks over given one-way delays,
+    /// starting at true time `start`. `turnaround` is the slave's think
+    /// time between receiving `Sync` and sending `Delay_Req`.
+    pub fn simulate(
+        master: &LocalClock,
+        slave: &LocalClock,
+        forward_delay: Duration,
+        reverse_delay: Duration,
+        turnaround: Duration,
+        start: Instant,
+    ) -> PtpExchange {
+        let sync_sent = start;
+        let sync_recv = start + forward_delay;
+        let req_sent = sync_recv + turnaround;
+        let req_recv = req_sent + reverse_delay;
+        PtpExchange {
+            t1: master.to_local(sync_sent),
+            t2: slave.to_local(sync_recv),
+            t3: slave.to_local(req_sent),
+            t4: master.to_local(req_recv),
+        }
+    }
+
+    /// Compute the slave's offset/delay estimates.
+    pub fn result(&self) -> PtpResult {
+        let ms = self.t2.as_nanos() as i64 - self.t1.as_nanos() as i64; // master→slave
+        let sm = self.t4.as_nanos() as i64 - self.t3.as_nanos() as i64; // slave→master
+        PtpResult {
+            offset_ns: (ms - sm) / 2,
+            delay_ns: (ms + sm) / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn symmetric_paths_recover_offset_exactly() {
+        let master = LocalClock::perfect();
+        let slave = LocalClock::new(7_000, 0.0, Instant::ZERO);
+        let ex = PtpExchange::simulate(
+            &master,
+            &slave,
+            us(5),
+            us(5),
+            us(1),
+            Instant::from_nanos(1_000_000),
+        );
+        let r = ex.result();
+        assert_eq!(r.offset_ns, 7_000);
+        assert_eq!(r.delay_ns, 5_000);
+    }
+
+    #[test]
+    fn asymmetry_biases_offset_by_half() {
+        let master = LocalClock::perfect();
+        let slave = LocalClock::new(0, 0.0, Instant::ZERO);
+        // Forward 6 µs, reverse 4 µs: bias = (6−4)/2 = +1 µs.
+        let ex = PtpExchange::simulate(&master, &slave, us(6), us(4), us(1), Instant::ZERO);
+        let r = ex.result();
+        assert_eq!(r.offset_ns, 1_000);
+        assert_eq!(r.delay_ns, 5_000);
+    }
+
+    #[test]
+    fn correcting_with_the_estimate_cancels_true_offset() {
+        let master = LocalClock::perfect();
+        let mut slave = LocalClock::new(-12_345, 0.0, Instant::ZERO);
+        let now = Instant::from_nanos(50_000);
+        let ex = PtpExchange::simulate(&master, &slave, us(3), us(3), us(1), now);
+        let r = ex.result();
+        // Apply the correction: residual offset = old − estimate = 0.
+        let residual = slave.offset_at(now) - r.offset_ns;
+        slave.resync(residual, now);
+        assert_eq!(slave.offset_at(now), 0);
+    }
+
+    #[test]
+    fn drifting_slave_estimate_is_close_over_short_exchange() {
+        let master = LocalClock::perfect();
+        // 10 µs offset plus 5000 ppb drift.
+        let slave = LocalClock::new(10_000, 5_000.0, Instant::ZERO);
+        let now = Instant::from_nanos(1_000_000_000);
+        let ex = PtpExchange::simulate(&master, &slave, us(5), us(5), us(2), now);
+        let r = ex.result();
+        // True offset at `now` is 10_000 + 5_000 = 15_000; the exchange
+        // spans ~12 µs so drift contributes < 1 ns of error.
+        assert!((r.offset_ns - 15_000).abs() <= 1, "offset={}", r.offset_ns);
+    }
+}

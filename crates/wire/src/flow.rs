@@ -1,0 +1,134 @@
+//! Flow identification.
+//!
+//! The load balancers (ECMP and flowlet switching, §8) hash a flow key to
+//! pick among equal-cost next hops. We model the classic five-tuple with
+//! abstract host IDs instead of IP addresses — the simulator has no real IP
+//! layer, and nothing in the paper depends on address structure.
+
+/// A transport protocol discriminator for the five-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    /// TCP-like (Hadoop shuffle, GraphX, memcache TCP).
+    Tcp,
+    /// UDP-like (probes, broadcast keep-alives).
+    Udp,
+}
+
+/// A flow five-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Source host identifier.
+    pub src: u32,
+    /// Destination host identifier.
+    pub dst: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+}
+
+impl FlowKey {
+    /// Construct a TCP flow key.
+    pub fn tcp(src: u32, dst: u32, src_port: u16, dst_port: u16) -> Self {
+        FlowKey {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            proto: Proto::Tcp,
+        }
+    }
+
+    /// A stable, well-mixed 64-bit hash of the five-tuple.
+    ///
+    /// ECMP implementations must give the same answer for the same flow on
+    /// every switch, so this hash is deliberately independent of any
+    /// per-process state (no `RandomState`).
+    pub fn stable_hash(&self, salt: u64) -> u64 {
+        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ salt;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+            h ^= h >> 33;
+        };
+        mix(u64::from(self.src));
+        mix(u64::from(self.dst));
+        mix((u64::from(self.src_port) << 32) | u64::from(self.dst_port));
+        mix(match self.proto {
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+        });
+        h
+    }
+
+    /// The reverse direction of this flow.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_salted() {
+        let k = FlowKey::tcp(1, 2, 1000, 80);
+        assert_eq!(k.stable_hash(0), k.stable_hash(0));
+        assert_ne!(k.stable_hash(0), k.stable_hash(1));
+    }
+
+    #[test]
+    fn hash_distinguishes_fields() {
+        let base = FlowKey::tcp(1, 2, 1000, 80);
+        let variants = [
+            FlowKey::tcp(3, 2, 1000, 80),
+            FlowKey::tcp(1, 3, 1000, 80),
+            FlowKey::tcp(1, 2, 1001, 80),
+            FlowKey::tcp(1, 2, 1000, 81),
+            FlowKey {
+                proto: Proto::Udp,
+                ..base
+            },
+        ];
+        for v in variants {
+            assert_ne!(base.stable_hash(7), v.stable_hash(7), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn hash_spreads_over_buckets() {
+        // 1024 flows over 4 buckets should be roughly uniform.
+        let mut counts = [0u32; 4];
+        for src in 0..32u32 {
+            for sp in 0..32u16 {
+                let k = FlowKey::tcp(src, 99, 10_000 + sp, 80);
+                counts[(k.stable_hash(0) % 4) as usize] += 1;
+            }
+        }
+        for c in counts {
+            assert!((180..350).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let k = FlowKey::tcp(1, 2, 1000, 80);
+        let r = k.reversed();
+        assert_eq!(r.src, 2);
+        assert_eq!(r.dst, 1);
+        assert_eq!(r.src_port, 80);
+        assert_eq!(r.dst_port, 1000);
+        assert_eq!(r.reversed(), k);
+    }
+}

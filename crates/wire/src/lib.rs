@@ -1,0 +1,25 @@
+//! Wire formats for Speedlight-rs.
+//!
+//! The paper (§5.1) adds a small snapshot header to every packet traversing
+//! a snapshot-enabled network. Hosts never see it: the first snapshot-enabled
+//! router inserts it and the last one strips it. This crate defines that
+//! header, its binary encoding, and the flow five-tuple used by the load
+//! balancers.
+//!
+//! The header fields are exactly the paper's:
+//!
+//! * **Packet Type** — `Data` for ordinary traffic, `Initiation` for the
+//!   control-plane messages that start a snapshot (§6).
+//! * **Snapshot ID** — the (wrapped) epoch the *send* of this packet belongs
+//!   to; rewritten at every hop to the processing unit's current ID.
+//! * **Channel ID** — identifies the upstream neighbor / sub-channel; only
+//!   needed when channel state is collected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod header;
+
+pub use flow::FlowKey;
+pub use header::{DecodeError, PacketType, SnapshotHeader, WIRE_LEN};

@@ -1,0 +1,242 @@
+//! Spark GraphX PageRank-style superstep traffic.
+//!
+//! The paper runs a synthetic PageRank benchmark (100k vertices) on 5
+//! workers (§8). Network-wise, Pregel-style execution produces
+//! **barrier-synchronized supersteps**: every worker exchanges vertex
+//! messages with every other worker in a burst at the iteration boundary,
+//! then computes quietly. All workers share the global barrier clock, so
+//! their bursts align — the synchronized traffic Fig. 13's Spearman study
+//! detects (and that polling largely misses).
+
+use crate::MTU_BYTES;
+use fabric::traffic::{Emission, Source};
+use netsim::dist::Dist;
+use netsim::rng::SimRng;
+use netsim::time::{Duration, Instant};
+use wire::FlowKey;
+
+/// Tuning knobs for a GraphX worker.
+#[derive(Debug, Clone)]
+pub struct GraphXConfig {
+    /// Mean superstep period (barrier to barrier), milliseconds. Actual
+    /// step durations vary ±30% (shared across workers — the barrier is
+    /// global), like real iterations whose compute time fluctuates.
+    pub period_ms: f64,
+    /// Per-worker start-of-burst jitter, microseconds (workers fire the
+    /// barrier at slightly different moments).
+    pub jitter_us: Dist,
+    /// Bytes shipped to each peer per superstep.
+    pub bytes_per_peer: Dist,
+    /// Packets per paced burst inside the exchange.
+    pub burst_packets: u32,
+    /// Gap between paced bursts, microseconds.
+    pub burst_gap_us: Dist,
+}
+
+impl Default for GraphXConfig {
+    fn default() -> Self {
+        GraphXConfig {
+            period_ms: 15.0,
+            jitter_us: Dist::Uniform { lo: 0.0, hi: 250.0 },
+            // High-duty exchanges: the workers spend most of a superstep
+            // communicating, as a communication-bound PageRank does.
+            bytes_per_peer: Dist::Uniform {
+                lo: 250_000.0,
+                hi: 450_000.0,
+            },
+            burst_packets: 16,
+            burst_gap_us: Dist::Uniform { lo: 60.0, hi: 200.0 },
+        }
+    }
+}
+
+/// One GraphX worker's traffic generator.
+#[derive(Debug)]
+pub struct GraphXWorker {
+    src: u32,
+    peers: Vec<u32>,
+    cfg: GraphXConfig,
+    rng: SimRng,
+    /// Current superstep number.
+    step: u64,
+    /// Remaining bytes per peer in the current exchange (empty = waiting
+    /// for the next barrier).
+    remaining: Vec<u64>,
+    /// Shared stream of step durations (identical for every worker with
+    /// the same seed — it *is* the global barrier clock).
+    barrier_rng: SimRng,
+    /// Materialized barrier instants, extended lazily.
+    barriers: Vec<Instant>,
+}
+
+impl GraphXWorker {
+    /// Create a worker exchanging with `peers`. All workers must share
+    /// `seed` so they agree on the global barrier clock.
+    pub fn new(src: u32, peers: Vec<u32>, cfg: GraphXConfig, seed: u64) -> GraphXWorker {
+        assert!(!peers.is_empty());
+        GraphXWorker {
+            src,
+            // Per-worker stream forked off the shared seed: schedules stay
+            // aligned at barriers but payloads/jitter differ.
+            rng: SimRng::new(seed).fork_idx("graphx-worker", u64::from(src)),
+            barrier_rng: SimRng::new(seed).fork("graphx-barriers"),
+            barriers: vec![Instant::ZERO],
+            peers,
+            cfg,
+            step: 0,
+            remaining: Vec::new(),
+        }
+    }
+
+    /// True time of superstep `k`'s barrier (shared by all workers: the
+    /// duration stream comes from the shared seed, not the worker fork).
+    fn barrier(&mut self, k: u64) -> Instant {
+        while self.barriers.len() <= k as usize {
+            let dur_ms = self.cfg.period_ms
+                * Dist::Uniform { lo: 0.7, hi: 1.3 }.sample(&mut self.barrier_rng);
+            let last = *self.barriers.last().expect("non-empty");
+            self.barriers
+                .push(last + Duration::from_micros_f64(dur_ms * 1e3));
+        }
+        self.barriers[k as usize]
+    }
+}
+
+impl Source for GraphXWorker {
+    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+        if self.remaining.iter().all(|&r| r == 0) {
+            // Waiting at the barrier: arm the next superstep's exchange.
+            self.step += 1;
+            self.remaining = self
+                .peers
+                .iter()
+                .map(|_| self.cfg.bytes_per_peer.sample(&mut self.rng).max(0.0) as u64)
+                .collect();
+            let jitter = Duration::from_micros_f64(self.cfg.jitter_us.sample(&mut self.rng));
+            let next = self.barrier(self.step) + jitter;
+            return Some(next.max(now));
+        }
+        // Mid-exchange: round-robin a paced burst to the next pending peer.
+        let pi = self
+            .remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r > 0)
+            .map(|(i, _)| i)
+            .min_by_key(|&i| (u64::from(self.peers[i]) + self.step) % self.peers.len() as u64)
+            .expect("checked non-empty");
+        let peer = self.peers[pi];
+        let src_port = 40_000 + pi as u16;
+        for _ in 0..self.cfg.burst_packets {
+            if self.remaining[pi] == 0 {
+                break;
+            }
+            let bytes = MTU_BYTES.min(self.remaining[pi] as u32);
+            self.remaining[pi] -= u64::from(bytes);
+            out.push(Emission {
+                flow: FlowKey::tcp(self.src, peer, src_port, 7_777),
+                bytes,
+            });
+        }
+        if self.remaining.iter().all(|&r| r == 0) {
+            // Exchange finished: sleep to the next barrier, where the
+            // waiting branch re-arms (and applies that step's jitter).
+            return Some(self.barrier(self.step + 1).max(now));
+        }
+        let gap = Duration::from_micros_f64(self.cfg.burst_gap_us.sample(&mut self.rng));
+        Some(now + gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(src: &mut GraphXWorker, ms: u64) -> Vec<(Instant, Emission)> {
+        let mut rng = SimRng::new(0);
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        let mut t = Instant::ZERO;
+        let deadline = Instant::ZERO + Duration::from_millis(ms);
+        while t <= deadline {
+            out.clear();
+            let next = src.on_wake(t, &mut rng, &mut out);
+            events.extend(out.iter().map(|e| (t, *e)));
+            match next {
+                Some(n) if n > t => t = n,
+                Some(n) => t = n + Duration::from_nanos(1),
+                None => break,
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn exchanges_reach_every_peer_each_superstep() {
+        let mut w = GraphXWorker::new(0, vec![1, 2, 3], GraphXConfig::default(), 5);
+        let events = drain(&mut w, 60);
+        for p in [1u32, 2, 3] {
+            let bytes: u64 = events
+                .iter()
+                .filter(|(_, e)| e.flow.dst == p)
+                .map(|(_, e)| u64::from(e.bytes))
+                .sum();
+            assert!(bytes > 100_000, "peer {p} got {bytes} bytes");
+        }
+    }
+
+    #[test]
+    fn traffic_is_bursty_with_quiet_compute_phases() {
+        let mut w = GraphXWorker::new(0, vec![1], GraphXConfig::default(), 5);
+        let events = drain(&mut w, 100);
+        // There must be silences close to the period scale (compute gaps).
+        let max_gap = events
+            .windows(2)
+            .map(|win| win[1].0.saturating_since(win[0].0))
+            .max()
+            .unwrap();
+        assert!(
+            max_gap > Duration::from_millis(5),
+            "no compute phase found (max gap {max_gap})"
+        );
+    }
+
+    #[test]
+    fn workers_burst_at_synchronized_barriers() {
+        let cfg = GraphXConfig::default();
+        let a = drain(&mut GraphXWorker::new(0, vec![9], cfg.clone(), 5), 80);
+        let b = drain(&mut GraphXWorker::new(1, vec![9], cfg.clone(), 5), 80);
+        // For each of a's burst starts, b must have a burst start within
+        // the jitter bound (250 µs) — barrier synchronization.
+        let starts = |ev: &[(Instant, Emission)]| {
+            let mut s = vec![ev[0].0];
+            for w in ev.windows(2) {
+                if w[1].0.saturating_since(w[0].0) > Duration::from_millis(2) {
+                    s.push(w[1].0);
+                }
+            }
+            s
+        };
+        let sa = starts(&a);
+        let sb = starts(&b);
+        assert!(sa.len() >= 2);
+        for t in &sa {
+            let aligned = sb.iter().any(|u| {
+                u.as_nanos().abs_diff(t.as_nanos()) < 600_000 // 0.6 ms
+            });
+            assert!(aligned, "burst at {t} has no aligned peer burst");
+        }
+    }
+
+    #[test]
+    fn different_seeds_shift_the_barrier_payloads_not_the_clock() {
+        let cfg = GraphXConfig::default();
+        let a = drain(&mut GraphXWorker::new(0, vec![9], cfg.clone(), 5), 50);
+        // Same worker id, different seed: bytes differ.
+        let b = drain(&mut GraphXWorker::new(0, vec![9], cfg, 6), 50);
+        let bytes = |ev: &[(Instant, Emission)]| -> u64 {
+            ev.iter().map(|(_, e)| u64::from(e.bytes)).sum()
+        };
+        assert_ne!(bytes(&a), bytes(&b));
+    }
+}

@@ -1,0 +1,231 @@
+//! Hadoop Terasort-style shuffle traffic.
+//!
+//! The paper runs Terasort over 5B rows with 10 mappers and 8 reducers
+//! (§8). The network-relevant behaviour is the **shuffle**: each mapper
+//! streams its partitioned output to every reducer as a long-lived elephant
+//! flow, in application-paced bursts, wave after wave, with per-mapper
+//! straggler jitter. Characteristics the Fig. 12a result rests on:
+//!
+//! * **Few, large flows** — `mappers × reducers` elephants dominate; ECMP
+//!   hashes them once, so collisions persist for a whole wave.
+//! * **Paced bursts** — the sender alternates ~`burst_packets` MTU packets
+//!   with disk/CPU think-gaps that exceed a flowlet gap, so flowlet
+//!   switching gets many re-placement opportunities per wave.
+//! * **Waves + stragglers** — load is bursty at the 100 ms scale too.
+
+use crate::MTU_BYTES;
+use fabric::traffic::{Emission, Source};
+use netsim::dist::Dist;
+use netsim::rng::SimRng;
+use netsim::time::{Duration, Instant};
+use wire::FlowKey;
+
+/// Tuning knobs for a Hadoop mapper.
+#[derive(Debug, Clone)]
+pub struct HadoopConfig {
+    /// Packets per burst within a shuffle stream.
+    pub burst_packets: u32,
+    /// Think-gap between bursts, microseconds (distribution).
+    pub burst_gap_us: Dist,
+    /// Bytes each mapper ships to each reducer per wave.
+    pub bytes_per_reducer: u64,
+    /// Gap between shuffle waves (map compute), milliseconds.
+    pub wave_gap_ms: Dist,
+    /// Per-wave straggler delay of this mapper, milliseconds.
+    pub straggler_ms: Dist,
+}
+
+impl Default for HadoopConfig {
+    fn default() -> Self {
+        HadoopConfig {
+            burst_packets: 24,
+            // Bursts separated by 120–400 µs of think time: longer than a
+            // typical 50–100 µs flowlet gap.
+            burst_gap_us: Dist::Uniform { lo: 120.0, hi: 400.0 },
+            bytes_per_reducer: 3_000_000, // 2000 MTU packets per reducer/wave
+            wave_gap_ms: Dist::Uniform { lo: 20.0, hi: 60.0 },
+            straggler_ms: Dist::Exp { mean: 8.0 },
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Waiting for the next wave to start.
+    Computing,
+    /// Shuffling: remaining bytes per reducer.
+    Shuffling { remaining: Vec<u64>, wave: u64 },
+}
+
+/// One mapper host's traffic generator.
+#[derive(Debug)]
+pub struct HadoopMapper {
+    src: u32,
+    reducers: Vec<u32>,
+    cfg: HadoopConfig,
+    rng: SimRng,
+    phase: Phase,
+}
+
+impl HadoopMapper {
+    /// Create a mapper shipping to `reducers`; all mappers should share the
+    /// workload seed base but fork by their own ID.
+    pub fn new(src: u32, reducers: Vec<u32>, cfg: HadoopConfig, seed: u64) -> HadoopMapper {
+        assert!(!reducers.is_empty());
+        HadoopMapper {
+            src,
+            reducers,
+            cfg,
+            rng: SimRng::new(seed).fork_idx("hadoop-mapper", u64::from(src)),
+            phase: Phase::Computing,
+        }
+    }
+}
+
+impl Source for HadoopMapper {
+    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+        match &mut self.phase {
+            Phase::Computing => {
+                // Wave boundary: straggler jitter, then start shuffling.
+                let delay_ms =
+                    self.cfg.wave_gap_ms.sample(&mut self.rng) + self.cfg.straggler_ms.sample(&mut self.rng);
+                self.phase = Phase::Shuffling {
+                    remaining: vec![self.cfg.bytes_per_reducer; self.reducers.len()],
+                    wave: match &self.phase {
+                        Phase::Shuffling { wave, .. } => *wave + 1,
+                        Phase::Computing => 0,
+                    },
+                };
+                Some(now + Duration::from_micros_f64(delay_ms * 1e3))
+            }
+            Phase::Shuffling { remaining, wave } => {
+                // Stream reducers sequentially: one elephant at a time per
+                // mapper (like a fetch-limited reducer-side copy phase).
+                // This is what makes ECMP collisions *persist*: the active
+                // flow set changes only every elephant, not every burst.
+                let Some(ri) = remaining.iter().position(|r| *r > 0)
+                else {
+                    // Wave done: back to compute.
+                    self.phase = Phase::Computing;
+                    return self.on_wake_compute_transition(now);
+                };
+                let reducer = self.reducers[ri];
+                // Stable elephant flow per (mapper, reducer, wave).
+                let src_port = 30_000 + ((*wave as u16) << 4) + ri as u16;
+                let mut burst_bytes = 0u64;
+                for _ in 0..self.cfg.burst_packets {
+                    if remaining[ri] == 0 {
+                        break;
+                    }
+                    let bytes = MTU_BYTES.min(remaining[ri] as u32);
+                    remaining[ri] -= u64::from(bytes);
+                    burst_bytes += u64::from(bytes);
+                    out.push(Emission {
+                        flow: FlowKey::tcp(self.src, reducer, src_port, 7_337),
+                        bytes,
+                    });
+                }
+                let _ = burst_bytes;
+                let gap = self.cfg.burst_gap_us.sample(&mut self.rng);
+                Some(now + Duration::from_micros_f64(gap))
+            }
+        }
+    }
+}
+
+impl HadoopMapper {
+    fn on_wake_compute_transition(&mut self, now: Instant) -> Option<Instant> {
+        let delay_ms =
+            self.cfg.wave_gap_ms.sample(&mut self.rng) + self.cfg.straggler_ms.sample(&mut self.rng);
+        // Re-arm the shuffle for the next wave.
+        self.phase = Phase::Shuffling {
+            remaining: vec![self.cfg.bytes_per_reducer; self.reducers.len()],
+            wave: 1,
+        };
+        Some(now + Duration::from_micros_f64(delay_ms * 1e3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(src: &mut HadoopMapper, ms: u64) -> Vec<(Instant, Emission)> {
+        let mut rng = SimRng::new(0);
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        let mut t = Instant::ZERO;
+        let deadline = Instant::ZERO + Duration::from_millis(ms);
+        while t <= deadline {
+            out.clear();
+            let next = src.on_wake(t, &mut rng, &mut out);
+            events.extend(out.iter().map(|e| (t, *e)));
+            match next {
+                Some(n) if n > t => t = n,
+                Some(n) => t = n + Duration::from_nanos(1),
+                None => break,
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn shuffle_ships_full_volume_to_every_reducer() {
+        let cfg = HadoopConfig {
+            bytes_per_reducer: 150_000,
+            ..HadoopConfig::default()
+        };
+        let mut m = HadoopMapper::new(0, vec![10, 11, 12], cfg, 1);
+        let events = drain(&mut m, 400);
+        for r in [10u32, 11, 12] {
+            let bytes: u64 = events
+                .iter()
+                .filter(|(_, e)| e.flow.dst == r)
+                .map(|(_, e)| u64::from(e.bytes))
+                .sum();
+            assert!(
+                bytes >= 150_000,
+                "reducer {r} got only {bytes} bytes in the first waves"
+            );
+        }
+    }
+
+    #[test]
+    fn flows_are_elephants_with_stable_tuples_within_a_wave() {
+        let mut m = HadoopMapper::new(3, vec![20, 21], HadoopConfig::default(), 2);
+        let events = drain(&mut m, 100);
+        let mut tuples = std::collections::BTreeSet::new();
+        for (_, e) in &events {
+            tuples.insert(e.flow);
+        }
+        // Per wave: one flow per reducer; a few waves at most in 100 ms.
+        assert!(
+            tuples.len() <= 8,
+            "expected few elephant flows, got {}",
+            tuples.len()
+        );
+    }
+
+    #[test]
+    fn bursts_have_flowlet_scale_gaps() {
+        let mut m = HadoopMapper::new(1, vec![10], HadoopConfig::default(), 3);
+        let events = drain(&mut m, 60);
+        assert!(events.len() > 100);
+        // Count gaps above 100 µs between consecutive emissions: these are
+        // the burst think-gaps flowlet switching exploits.
+        let gaps = events
+            .windows(2)
+            .filter(|w| w[1].0.saturating_since(w[0].0) > Duration::from_micros(100))
+            .count();
+        assert!(gaps > 10, "only {gaps} inter-burst gaps");
+    }
+
+    #[test]
+    fn stragglers_desynchronize_mappers() {
+        let a = drain(&mut HadoopMapper::new(0, vec![9], HadoopConfig::default(), 7), 200);
+        let b = drain(&mut HadoopMapper::new(1, vec![9], HadoopConfig::default(), 7), 200);
+        let first_a = a.first().unwrap().0;
+        let first_b = b.first().unwrap().0;
+        assert_ne!(first_a, first_b, "straggler jitter must differ per mapper");
+    }
+}

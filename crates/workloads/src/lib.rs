@@ -1,0 +1,42 @@
+//! Synthetic application workloads (§8 "Workload").
+//!
+//! The paper's measurement study runs three distributed applications on
+//! the testbed; Fig. 12 and Fig. 13 depend on their *temporal traffic
+//! structure*, which these generators reproduce:
+//!
+//! * [`hadoop`] — Terasort-style map/shuffle waves: a handful of
+//!   **elephant flows** (mapper→reducer) sent in paced bursts, with
+//!   stragglers. Few large flows make ECMP collisions common and
+//!   persistent, while inter-burst gaps let flowlet switching re-spread
+//!   them — the Fig. 12a contrast.
+//! * [`graphx`] — PageRank-style supersteps: **barrier-synchronized**
+//!   all-to-all bursts separated by compute phases. The global
+//!   synchronization is what the Fig. 13 correlation study detects.
+//! * [`memcache`] — mc-crusher-style multi-gets: every request fans out to
+//!   all servers, which respond near-simultaneously with **small uniform
+//!   bursts** (gentle incast). Load is intrinsically even — the Fig. 12c
+//!   "polling overestimates imbalance" case.
+//! * [`primitives`] — Poisson and on/off building blocks.
+//!
+//! All generators own their RNG (seeded at construction) so that a
+//! workload's schedule is identical across load-balancer configurations —
+//! the experiments compare ECMP vs. flowlet under *the same offered load*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graphx;
+pub mod hadoop;
+pub mod memcache;
+pub mod primitives;
+
+pub use graphx::GraphXWorker;
+pub use hadoop::HadoopMapper;
+pub use memcache::{MemcacheClient, MemcacheServer};
+pub use primitives::{OnOffSource, PoissonSource};
+
+/// Standard MTU-sized payload used by bulk transfers.
+pub const MTU_BYTES: u32 = 1_500;
+
+/// Small control/RPC packet size.
+pub const RPC_BYTES: u32 = 256;

@@ -1,0 +1,280 @@
+//! memcached + mc-crusher multi-get traffic.
+//!
+//! The paper populates a memcache cluster and drives it with mc-crusher's
+//! 50-key multi-get workload (§8). Each multi-get fans out over the
+//! servers holding the keys; responses return to the client
+//! near-simultaneously (a gentle incast of small packets), at a steady
+//! request rate. Load is thus small-packet, frequent, and **intrinsically
+//! well balanced** — Fig. 12c's near-zero real imbalance that polling
+//! nonetheless overestimates.
+//!
+//! Client request schedules are derived deterministically from a shared
+//! `workload_seed`, so every server independently computes the same
+//! schedule (standing in for actual request packets triggering responses,
+//! which the client sources also emit for realism).
+
+use crate::RPC_BYTES;
+use fabric::traffic::{Emission, Source};
+use netsim::dist::Dist;
+use netsim::rng::SimRng;
+use netsim::time::{Duration, Instant};
+use wire::FlowKey;
+
+/// Shared workload parameters.
+#[derive(Debug, Clone)]
+pub struct MemcacheConfig {
+    /// Multi-get requests per second per client.
+    pub rate_rps: f64,
+    /// Keys per multi-get (mc-crusher default workload: 50).
+    pub keys_per_request: u32,
+    /// Bytes per key response.
+    pub value_bytes: u32,
+    /// Server think time before responding, microseconds.
+    pub service_us: Dist,
+}
+
+impl Default for MemcacheConfig {
+    fn default() -> Self {
+        MemcacheConfig {
+            rate_rps: 8_000.0,
+            keys_per_request: 50,
+            value_bytes: 100,
+            service_us: Dist::Uniform { lo: 4.0, hi: 12.0 },
+        }
+    }
+}
+
+/// Deterministic request schedule for one client (shared computation).
+fn request_gap(rng: &mut SimRng, rate_rps: f64) -> Duration {
+    let gap = Dist::Exp { mean: 1e9 / rate_rps }.sample(rng);
+    Duration::from_nanos(gap as u64)
+}
+
+/// A client: emits the (small) multi-get request packets to every server.
+#[derive(Debug)]
+pub struct MemcacheClient {
+    client: u32,
+    servers: Vec<u32>,
+    cfg: MemcacheConfig,
+    schedule_rng: SimRng,
+}
+
+impl MemcacheClient {
+    /// Create a client; `workload_seed` must match the servers'.
+    pub fn new(
+        client: u32,
+        servers: Vec<u32>,
+        cfg: MemcacheConfig,
+        workload_seed: u64,
+    ) -> MemcacheClient {
+        MemcacheClient {
+            schedule_rng: SimRng::new(workload_seed).fork_idx("mc-client", u64::from(client)),
+            client,
+            servers,
+            cfg,
+        }
+    }
+}
+
+impl Source for MemcacheClient {
+    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+        // One request packet to each server holding a shard of the keys.
+        for (i, &server) in self.servers.iter().enumerate() {
+            out.push(Emission {
+                flow: FlowKey::tcp(self.client, server, 11_000 + i as u16, 11_211),
+                bytes: RPC_BYTES,
+            });
+        }
+        Some(now + request_gap(&mut self.schedule_rng, self.cfg.rate_rps))
+    }
+}
+
+/// A server: answers each scheduled multi-get from each client with its
+/// shard of the keys, after a small service delay.
+#[derive(Debug)]
+pub struct MemcacheServer {
+    server: u32,
+    server_index: usize,
+    num_servers: usize,
+    clients: Vec<u32>,
+    cfg: MemcacheConfig,
+    /// Per-client deterministic schedule streams (mirroring the clients').
+    schedules: Vec<SimRng>,
+    /// Per-client next request time.
+    next_request: Vec<Instant>,
+    /// Local randomness (service time).
+    local_rng: SimRng,
+    started: bool,
+}
+
+impl MemcacheServer {
+    /// Create server `server_index` of `num_servers`, responding to
+    /// `clients`. `workload_seed` must match the clients'.
+    pub fn new(
+        server: u32,
+        server_index: usize,
+        num_servers: usize,
+        clients: Vec<u32>,
+        cfg: MemcacheConfig,
+        workload_seed: u64,
+    ) -> MemcacheServer {
+        let schedules: Vec<SimRng> = clients
+            .iter()
+            .map(|&c| SimRng::new(workload_seed).fork_idx("mc-client", u64::from(c)))
+            .collect();
+        MemcacheServer {
+            local_rng: SimRng::new(workload_seed)
+                .fork_idx("mc-server", u64::from(server)),
+            next_request: vec![Instant::ZERO; clients.len()],
+            server,
+            server_index,
+            num_servers,
+            clients,
+            cfg,
+            schedules,
+            started: false,
+        }
+    }
+
+    /// Response bytes this server contributes to one multi-get.
+    fn shard_bytes(&self) -> u32 {
+        let keys = self.cfg.keys_per_request / self.num_servers as u32;
+        let extra = u32::from(
+            (self.cfg.keys_per_request % self.num_servers as u32) > self.server_index as u32,
+        );
+        (keys + extra) * self.cfg.value_bytes + 40 // + protocol overhead
+    }
+}
+
+impl Source for MemcacheServer {
+    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+        if !self.started {
+            // Prime the per-client schedules with their first request time.
+            for (i, rng) in self.schedules.iter_mut().enumerate() {
+                self.next_request[i] = Instant::ZERO + request_gap(rng, self.cfg.rate_rps);
+            }
+            self.started = true;
+        } else {
+            // Respond to every client whose request time has arrived.
+            for i in 0..self.clients.len() {
+                while self.next_request[i] <= now {
+                    let service =
+                        Duration::from_micros_f64(self.cfg.service_us.sample(&mut self.local_rng));
+                    let _ = service; // service delay folded into wake cadence
+                    let bytes = self.shard_bytes();
+                    out.push(Emission {
+                        flow: FlowKey::tcp(
+                            self.server,
+                            self.clients[i],
+                            11_211,
+                            11_000 + self.server_index as u16,
+                        ),
+                        bytes,
+                    });
+                    self.next_request[i] =
+                        self.next_request[i] + request_gap(&mut self.schedules[i], self.cfg.rate_rps);
+                }
+            }
+        }
+        // Next wake: the earliest pending request across clients, plus this
+        // server's service delay (small, decorrelating servers slightly).
+        let earliest = self.next_request.iter().min().copied()?;
+        let service = Duration::from_micros_f64(self.cfg.service_us.sample(&mut self.local_rng));
+        Some(earliest.max(now) + service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<S: Source>(src: &mut S, ms: u64) -> Vec<(Instant, Emission)> {
+        let mut rng = SimRng::new(0);
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        let mut t = Instant::ZERO;
+        let deadline = Instant::ZERO + Duration::from_millis(ms);
+        while t <= deadline {
+            out.clear();
+            let next = src.on_wake(t, &mut rng, &mut out);
+            events.extend(out.iter().map(|e| (t, *e)));
+            match next {
+                Some(n) if n > t => t = n,
+                Some(n) => t = n + Duration::from_nanos(1),
+                None => break,
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn client_fans_out_to_all_servers() {
+        let mut c = MemcacheClient::new(0, vec![10, 11, 12], MemcacheConfig::default(), 42);
+        let events = drain(&mut c, 10);
+        for s in [10u32, 11, 12] {
+            assert!(events.iter().any(|(_, e)| e.flow.dst == s));
+        }
+        // Requests come in groups of 3 (one per server, same instant).
+        let first_t = events[0].0;
+        let first_group: Vec<_> = events.iter().filter(|(t, _)| *t == first_t).collect();
+        assert_eq!(first_group.len(), 3);
+    }
+
+    #[test]
+    fn servers_share_the_client_schedule() {
+        let cfg = MemcacheConfig::default();
+        let mut s0 = MemcacheServer::new(10, 0, 2, vec![0], cfg.clone(), 42);
+        let mut s1 = MemcacheServer::new(11, 1, 2, vec![0], cfg.clone(), 42);
+        let e0 = drain(&mut s0, 5);
+        let e1 = drain(&mut s1, 5);
+        assert!(!e0.is_empty() && !e1.is_empty());
+        assert!(
+            (e0.len() as i64 - e1.len() as i64).abs() <= 2,
+            "servers must answer the same requests: {} vs {}",
+            e0.len(),
+            e1.len()
+        );
+        // Responses to the same request land within the service-time bound.
+        let dt = e0[0].0.as_nanos().abs_diff(e1[0].0.as_nanos());
+        assert!(dt < 40_000, "first responses {dt} ns apart");
+    }
+
+    #[test]
+    fn response_rate_matches_request_rate() {
+        let cfg = MemcacheConfig {
+            rate_rps: 10_000.0,
+            ..MemcacheConfig::default()
+        };
+        let mut s = MemcacheServer::new(10, 0, 1, vec![0, 1], cfg, 7);
+        let events = drain(&mut s, 50);
+        // 2 clients × 10k rps × 50 ms = ~1000 responses.
+        let n = events.len() as f64;
+        assert!((700.0..1_400.0).contains(&n), "{n} responses");
+    }
+
+    #[test]
+    fn shard_sizes_cover_all_keys() {
+        let cfg = MemcacheConfig {
+            keys_per_request: 50,
+            value_bytes: 100,
+            ..MemcacheConfig::default()
+        };
+        let total: u32 = (0..3)
+            .map(|i| {
+                MemcacheServer::new(10 + i as u32, i, 3, vec![0], cfg.clone(), 1).shard_bytes()
+                    - 40
+            })
+            .sum();
+        assert_eq!(total, 50 * 100);
+    }
+
+    #[test]
+    fn responses_are_small_packets() {
+        let cfg = MemcacheConfig::default();
+        let mut s = MemcacheServer::new(10, 0, 4, vec![0], cfg, 3);
+        let events = drain(&mut s, 10);
+        for (_, e) in &events {
+            assert!(e.bytes < 1_500, "memcache responses stay sub-MTU");
+        }
+    }
+}

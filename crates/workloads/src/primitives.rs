@@ -1,0 +1,229 @@
+//! Generic traffic primitives: Poisson and on/off sources.
+
+use fabric::traffic::{Emission, Source};
+use netsim::dist::{Dist, DurationDist};
+use netsim::rng::SimRng;
+use netsim::time::{Duration, Instant};
+use wire::FlowKey;
+
+/// Poisson packet arrivals to a set of destinations.
+///
+/// Each `(src, dst)` pair is one long-lived flow (stable ports), so ECMP
+/// placement is persistent.
+#[derive(Debug)]
+pub struct PoissonSource {
+    src: u32,
+    dsts: Vec<u32>,
+    rate_pps: f64,
+    size: Dist,
+    flows_per_dst: u16,
+    rng: SimRng,
+    stop_at: Option<Instant>,
+}
+
+impl PoissonSource {
+    /// `rate_pps` packets per second spread uniformly over `dsts`, one
+    /// long-lived flow per destination.
+    pub fn new(src: u32, dsts: Vec<u32>, rate_pps: f64, size: Dist, seed: u64) -> PoissonSource {
+        assert!(!dsts.is_empty());
+        assert!(rate_pps > 0.0);
+        PoissonSource {
+            src,
+            dsts,
+            rate_pps,
+            size,
+            flows_per_dst: 1,
+            rng: SimRng::new(seed),
+            stop_at: None,
+        }
+    }
+
+    /// Spread each destination's traffic over `n` parallel flows (distinct
+    /// source ports). With hash-based multipath, more flows per pair means
+    /// every equal-cost path carries some of the traffic — like a busy
+    /// production workload rather than a single synthetic stream.
+    pub fn flows_per_dst(mut self, n: u16) -> Self {
+        assert!(n >= 1);
+        self.flows_per_dst = n;
+        self
+    }
+
+    /// Stop emitting at `t`.
+    pub fn until(mut self, t: Instant) -> Self {
+        self.stop_at = Some(t);
+        self
+    }
+}
+
+impl Source for PoissonSource {
+    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+        if let Some(stop) = self.stop_at {
+            if now >= stop {
+                return None;
+            }
+        }
+        let dst = *self.rng.pick(&self.dsts);
+        let bytes = self.size.sample(&mut self.rng).max(64.0) as u32;
+        let flow_idx = self.rng.below(u64::from(self.flows_per_dst)) as u16;
+        out.push(Emission {
+            flow: FlowKey::tcp(
+                self.src,
+                dst,
+                10_000 + (dst % 1_000) as u16 + 1_000 * flow_idx,
+                5_001,
+            ),
+            bytes,
+        });
+        let gap = Dist::Exp {
+            mean: 1e9 / self.rate_pps,
+        }
+        .sample(&mut self.rng);
+        Some(now + Duration::from_nanos(gap as u64))
+    }
+}
+
+/// On/off (bursty) source: exponential on and off periods; during "on",
+/// packets at a constant rate.
+#[derive(Debug)]
+pub struct OnOffSource {
+    src: u32,
+    dst: u32,
+    on: DurationDist,
+    off: DurationDist,
+    gap: Duration,
+    size: u32,
+    rng: SimRng,
+    /// End of the current on-period (if on).
+    on_until: Option<Instant>,
+}
+
+impl OnOffSource {
+    /// Create an on/off source toward a single destination.
+    pub fn new(
+        src: u32,
+        dst: u32,
+        on: DurationDist,
+        off: DurationDist,
+        rate_pps: f64,
+        size: u32,
+        seed: u64,
+    ) -> OnOffSource {
+        OnOffSource {
+            src,
+            dst,
+            on,
+            off,
+            gap: Duration::from_nanos((1e9 / rate_pps) as u64),
+            size,
+            rng: SimRng::new(seed),
+            on_until: None,
+        }
+    }
+}
+
+impl Source for OnOffSource {
+    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+        match self.on_until {
+            Some(until) if now < until => {
+                out.push(Emission {
+                    flow: FlowKey::tcp(self.src, self.dst, 20_000, 5_002),
+                    bytes: self.size,
+                });
+                Some(now + self.gap)
+            }
+            _ => {
+                // Start (or restart) a burst after an off period; the first
+                // wake enters here and schedules the first burst.
+                let off = self.off.sample(&mut self.rng);
+                let on = self.on.sample(&mut self.rng);
+                self.on_until = Some(now + off + on);
+                Some(now + off)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<S: Source>(src: &mut S, until_ms: u64) -> Vec<(Instant, Emission)> {
+        let mut rng = SimRng::new(0);
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        let mut t = Instant::ZERO;
+        let deadline = Instant::ZERO + Duration::from_millis(until_ms);
+        while t <= deadline {
+            out.clear();
+            let next = src.on_wake(t, &mut rng, &mut out);
+            for e in &out {
+                events.push((t, *e));
+            }
+            match next {
+                Some(n) if n > t => t = n,
+                Some(n) => t = n + Duration::from_nanos(1),
+                None => break,
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_right() {
+        let mut s = PoissonSource::new(0, vec![1, 2], 100_000.0, Dist::constant(500.0), 42);
+        let events = drain(&mut s, 100);
+        let rate = events.len() as f64 / 0.1;
+        assert!(
+            (rate - 100_000.0).abs() / 100_000.0 < 0.1,
+            "rate {rate:.0} pps"
+        );
+        // Both destinations used.
+        assert!(events.iter().any(|(_, e)| e.flow.dst == 1));
+        assert!(events.iter().any(|(_, e)| e.flow.dst == 2));
+    }
+
+    #[test]
+    fn poisson_flows_per_dst_spreads_ports() {
+        let mut s =
+            PoissonSource::new(0, vec![1], 500_000.0, Dist::constant(100.0), 3).flows_per_dst(4);
+        let events = drain(&mut s, 10);
+        let ports: std::collections::BTreeSet<u16> =
+            events.iter().map(|(_, e)| e.flow.src_port).collect();
+        assert_eq!(ports.len(), 4, "expected 4 distinct flows: {ports:?}");
+    }
+
+    #[test]
+    fn poisson_until_stops() {
+        let mut s = PoissonSource::new(0, vec![1], 1_000_000.0, Dist::constant(100.0), 1)
+            .until(Instant::ZERO + Duration::from_millis(1));
+        let events = drain(&mut s, 50);
+        let last = events.last().unwrap().0;
+        assert!(last <= Instant::ZERO + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn onoff_alternates_bursts_and_silence() {
+        let mut s = OnOffSource::new(
+            0,
+            1,
+            DurationDist::micros(Dist::constant(100.0)),
+            DurationDist::micros(Dist::constant(400.0)),
+            1_000_000.0, // 1 pkt/µs during bursts
+            200,
+            7,
+        );
+        let events = drain(&mut s, 10);
+        assert!(!events.is_empty());
+        // Duty cycle 20%: average rate ≈ 200k pps over 10 ms → ~2000 pkts.
+        let n = events.len() as f64;
+        assert!((1_000.0..3_500.0).contains(&n), "{n} packets");
+        // There must exist gaps ≥ off period between consecutive packets.
+        let mut found_gap = false;
+        for w in events.windows(2) {
+            if w[1].0.saturating_since(w[0].0) >= Duration::from_micros(300) {
+                found_gap = true;
+            }
+        }
+        assert!(found_gap, "no off-period gaps observed");
+    }
+}

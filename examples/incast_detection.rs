@@ -1,0 +1,121 @@
+//! Use case 3 (§2.2 Q3): catching synchronized incast with queue-depth
+//! snapshots.
+//!
+//! memcache multi-gets make all servers answer a client at once; the
+//! responses meet at the client's leaf and momentarily fill its egress
+//! queue. A consistent snapshot of queue depths catches all the queues of
+//! the incast *at the same instant*; asynchronous polling reads them at
+//! different moments and rarely sees the (tens of microseconds long)
+//! buildup at all.
+//!
+//! Run with: `cargo run --release --example incast_detection`
+
+use fabric::network::DriverConfig;
+use fabric::switchmod::SnapshotConfig;
+use fabric::testbed::{Testbed, TestbedConfig};
+use fabric::topology::Topology;
+use netsim::time::{Duration, Instant};
+use telemetry::MetricKind;
+use workloads::memcache::{MemcacheClient, MemcacheConfig, MemcacheServer};
+
+fn main() {
+    let topo = Topology::leaf_spine(2, 2, 3);
+    let mut cfg = TestbedConfig::new(SnapshotConfig {
+        modulus: 512,
+        channel_state: false,
+        ingress_metric: MetricKind::PacketCount,
+        egress_metric: MetricKind::QueueDepth, // snapshot the queues
+    });
+    cfg.driver = DriverConfig {
+        snapshot_period: Some(Duration::from_micros(500)),
+        poll_period: Some(Duration::from_millis(5)),
+        ..DriverConfig::default()
+    };
+    let mut tb = Testbed::new(topo, cfg);
+
+    // A heavy multi-get workload: clients on leaf 0, servers on leaf 1.
+    let mc = MemcacheConfig {
+        rate_rps: 30_000.0,
+        keys_per_request: 50,
+        value_bytes: 1_200,
+        ..MemcacheConfig::default()
+    };
+    for c in 0..3u32 {
+        tb.set_source(
+            c,
+            Instant::ZERO,
+            Box::new(MemcacheClient::new(c, vec![3, 4, 5], mc.clone(), 99)),
+        );
+    }
+    for (i, s) in [3u32, 4, 5].into_iter().enumerate() {
+        tb.set_source(
+            s,
+            Instant::ZERO,
+            Box::new(MemcacheServer::new(s, i, 3, vec![0, 1, 2], mc.clone(), 99)),
+        );
+    }
+    tb.run_until(Instant::ZERO + Duration::from_millis(300));
+
+    // For each snapshot: total queued packets across leaf-0 host-facing
+    // egress queues (where the incast lands), plus how many queues were
+    // non-empty simultaneously.
+    let mut best = (0u64, 0usize, 0u64); // (total, queues, epoch)
+    let mut nonzero_snaps = 0usize;
+    for rec in tb.snapshots() {
+        let mut total = 0;
+        let mut queues = 0;
+        for port in 2..5u16 {
+            if let Some(v) = rec
+                .snapshot
+                .units
+                .get(&speedlight_core::UnitId::egress(0, port))
+                .and_then(|o| o.local())
+            {
+                total += v;
+                queues += usize::from(v > 0);
+            }
+        }
+        if total > 0 {
+            nonzero_snaps += 1;
+        }
+        if total > best.0 {
+            best = (total, queues, rec.snapshot.epoch);
+        }
+    }
+    println!(
+        "{} snapshots taken; {} caught queue buildup at leaf 0",
+        tb.snapshots().len(),
+        nonzero_snaps
+    );
+    println!(
+        "worst incast (epoch {}): {} packets queued across {} host-facing \
+         queues *simultaneously* — synchronized buildup, the incast signature",
+        best.2, best.0, best.1
+    );
+
+    // The polling view of the same queues.
+    let mut poll_nonzero = 0usize;
+    let mut poll_best = 0u64;
+    for sweep in tb.polls() {
+        let total: u64 = sweep
+            .samples
+            .iter()
+            .filter(|(u, _, _)| {
+                u.device == 0
+                    && u.direction == speedlight_core::Direction::Egress
+                    && (2..5).contains(&u.port)
+            })
+            .map(|&(_, v, _)| v)
+            .sum();
+        poll_nonzero += usize::from(total > 0);
+        poll_best = poll_best.max(total);
+    }
+    println!(
+        "\npolling took {} sweeps: {} saw any buildup, max total {} packets \
+         — reads of the three queues happen ~100 µs apart, so the \
+         synchronized spike is gone before the sweep finishes",
+        tb.polls().len(),
+        poll_nonzero,
+        poll_best
+    );
+}

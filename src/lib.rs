@@ -1,0 +1,44 @@
+//! # speedlight — Synchronized Network Snapshots in Rust
+//!
+//! A from-scratch reproduction of *"Synchronized Network Snapshots"*
+//! (Yaseen, Sonchack, Liu — SIGCOMM 2018): the snapshot protocol itself,
+//! every substrate it needs (switch/network simulator, clock models,
+//! telemetry metrics, load balancers, application workloads, a Tofino
+//! resource model, a threaded live emulation), and a harness that
+//! regenerates every table and figure of the paper's evaluation.
+//!
+//! This umbrella crate re-exports the workspace members; see `README.md`
+//! for the map and `DESIGN.md`/`EXPERIMENTS.md` for the reproduction
+//! methodology and results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use speedlight::fabric::{Testbed, TestbedConfig, Topology};
+//! use speedlight::fabric::switchmod::SnapshotConfig;
+//! use speedlight::netsim::time::{Duration, Instant};
+//!
+//! // 2x2 leaf-spine, packet-count snapshots with channel state.
+//! let topo = Topology::leaf_spine(2, 2, 3);
+//! let mut tb = Testbed::new(topo, TestbedConfig::new(SnapshotConfig::packet_count_cs(64)));
+//! tb.snapshot_at(Instant::ZERO + Duration::from_millis(1));
+//! tb.run_until(Instant::ZERO + Duration::from_millis(50));
+//! assert_eq!(tb.snapshots().len(), 1);
+//! assert!(tb.snapshots()[0].snapshot.fully_consistent());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use emulation;
+pub use experiments;
+pub use fabric;
+pub use loadbalance;
+pub use netsim;
+pub use pipeline_model;
+pub use polling;
+pub use sim_stats;
+pub use speedlight_core as core;
+pub use telemetry;
+pub use timesync;
+pub use wire;
+pub use workloads;
