@@ -51,13 +51,11 @@ fn bench_cp(c: &mut Criterion) {
         b.iter(|| {
             epoch += 1;
             let w = WrappedId::wrap(epoch, 4_096);
-            let out = regs.units.get_mut(&uid).unwrap().on_packet(
-                ChannelId(0),
-                w,
-                epoch,
-                1,
-                false,
-            );
+            let out = regs
+                .units
+                .get_mut(&uid)
+                .unwrap()
+                .on_packet(ChannelId(0), w, epoch, 1, false);
             let n = out.notification.unwrap();
             black_box(cp.on_notification(&n, &mut regs));
         })

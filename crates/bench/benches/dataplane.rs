@@ -73,7 +73,7 @@ fn bench_metrics(c: &mut Criterion) {
         MetricKind::ByteCount,
         MetricKind::EwmaInterarrival,
     ] {
-        g.bench_function(format!("{kind:?}"), |b| {
+        g.bench_function(&format!("{kind:?}"), |b| {
             let mut bank = MetricBank::new(kind, 64);
             let mut t = 0u64;
             b.iter(|| {

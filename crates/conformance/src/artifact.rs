@@ -1,0 +1,122 @@
+//! Failure artifacts and one-command replay.
+//!
+//! When a scenario diverges, [`assert_conformant`] dumps a replayable
+//! artifact — the scenario spec, the master seed, and a minimized
+//! per-epoch diff — and panics with the artifact path plus a single shell
+//! command that re-executes exactly the failing scenario.
+
+use crate::diff::Divergence;
+use crate::runner::ScenarioOutcome;
+use crate::scenario::Scenario;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Environment variable the replay test reads a scenario spec from.
+pub const REPLAY_ENV: &str = "SPEEDLIGHT_SCENARIO";
+
+/// Environment variable that redirects artifact dumps (default: the
+/// system temp directory).
+pub const ARTIFACT_DIR_ENV: &str = "CONFORMANCE_ARTIFACT_DIR";
+
+/// The one-liner that re-executes exactly this scenario.
+pub fn replay_command(sc: &Scenario) -> String {
+    format!(
+        "{REPLAY_ENV}='{}' cargo test -p conformance --test scenarios replay_from_env -- --nocapture",
+        sc.spec()
+    )
+}
+
+/// Render the failure artifact: spec, seed, replay command, and a
+/// minimized per-epoch diff (the first divergent epoch in full, later
+/// epochs summarized to counts).
+pub fn render(sc: &Scenario, divergences: &[Divergence]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# speedlight conformance failure");
+    let _ = writeln!(out, "scenario: {}", sc.spec());
+    let _ = writeln!(out, "seed: 0x{:016x}", sc.seed);
+    let _ = writeln!(out, "divergences: {}", divergences.len());
+    let _ = writeln!(out, "\n## replay\n{}", replay_command(sc));
+
+    let mut by_epoch: BTreeMap<Option<u64>, Vec<&Divergence>> = BTreeMap::new();
+    for d in divergences {
+        by_epoch.entry(d.epoch()).or_default().push(d);
+    }
+    let _ = writeln!(out, "\n## minimized per-epoch diff");
+    let mut detailed = false;
+    for (epoch, ds) in &by_epoch {
+        match epoch {
+            // Epoch-less findings (e.g. unit-set mismatches) always print
+            // in full — there is nothing to minimize them to.
+            None => {
+                for d in ds {
+                    let _ = writeln!(out, "  {d}");
+                }
+            }
+            Some(e) if !detailed => {
+                detailed = true;
+                let _ = writeln!(out, "epoch {e} (first divergent epoch, in full):");
+                for d in ds {
+                    let _ = writeln!(out, "  {d}");
+                }
+            }
+            Some(e) => {
+                let _ = writeln!(out, "epoch {e}: {} divergence(s), e.g. {}", ds.len(), ds[0]);
+            }
+        }
+    }
+    out
+}
+
+/// Write the artifact to disk and return its path.
+pub fn dump(sc: &Scenario, divergences: &[Divergence]) -> PathBuf {
+    let dir = std::env::var_os(ARTIFACT_DIR_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("conformance-seed-{:016x}.txt", sc.seed));
+    let _ = std::fs::write(&path, render(sc, divergences));
+    path
+}
+
+/// Panic with a replayable artifact if the outcome diverged.
+pub fn assert_conformant(outcome: &ScenarioOutcome) {
+    if outcome.divergences.is_empty() {
+        return;
+    }
+    let path = dump(&outcome.scenario, &outcome.divergences);
+    panic!(
+        "scenario `{}` diverged ({} finding(s)); first: {}\nartifact: {}\nreplay: {}",
+        outcome.scenario.spec(),
+        outcome.divergences.len(),
+        outcome.divergences[0],
+        path.display(),
+        replay_command(&outcome.scenario),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_minimizes_later_epochs() {
+        let sc = Scenario::base(0xAB);
+        let uid = speedlight_core::types::UnitId::ingress(0, 0);
+        let ds: Vec<Divergence> = (1..=3)
+            .map(|epoch| Divergence::ValueMismatch {
+                substrate: "fabric",
+                unit: uid,
+                epoch,
+                reported: 1,
+                expected: 2,
+            })
+            .collect();
+        let text = render(&sc, &ds);
+        assert!(text.contains(&sc.spec()));
+        assert!(text.contains("replay_from_env"));
+        assert!(text.contains("epoch 1 (first divergent epoch, in full):"));
+        assert!(text.contains("epoch 2: 1 divergence(s)"));
+        assert!(text.contains("epoch 3: 1 divergence(s)"));
+    }
+}

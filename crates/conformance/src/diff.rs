@@ -1,0 +1,227 @@
+//! Divergence vocabulary: every way a substrate's snapshots can disagree
+//! with the idealized oracle or with the scenario's expectations.
+
+use speedlight_core::consistency::Violation;
+use speedlight_core::types::UnitId;
+use speedlight_core::Epoch;
+use std::fmt;
+
+/// One disagreement found by the conformance oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// A unit's reported local value differs from the ideal replay.
+    ValueMismatch {
+        /// The substrate the snapshot came from.
+        substrate: &'static str,
+        /// The unit.
+        unit: UnitId,
+        /// The epoch.
+        epoch: Epoch,
+        /// What the substrate reported.
+        reported: u64,
+        /// What the idealized protocol computed from the same deliveries.
+        expected: u64,
+    },
+    /// A unit's reported channel state differs from the ideal replay.
+    ChannelMismatch {
+        /// The substrate the snapshot came from.
+        substrate: &'static str,
+        /// The unit.
+        unit: UnitId,
+        /// The epoch.
+        epoch: Epoch,
+        /// What the substrate reported.
+        reported: u64,
+        /// What the idealized protocol computed from the same deliveries.
+        expected: u64,
+    },
+    /// A unit reported a value for an epoch the ideal replay never reached
+    /// (the delivery log cannot explain the report).
+    UnexplainedEpoch {
+        /// The substrate the snapshot came from.
+        substrate: &'static str,
+        /// The unit.
+        unit: UnitId,
+        /// The epoch.
+        epoch: Epoch,
+    },
+    /// A completed snapshot carries a `Missing` outcome.
+    MissingReport {
+        /// The substrate the snapshot came from.
+        substrate: &'static str,
+        /// The unit.
+        unit: UnitId,
+        /// The epoch.
+        epoch: Epoch,
+    },
+    /// A device was excluded that the fault schedule cannot account for.
+    UnexpectedExclusion {
+        /// The substrate the snapshot came from.
+        substrate: &'static str,
+        /// The epoch.
+        epoch: Epoch,
+        /// The excluded device.
+        device: u16,
+    },
+    /// A faulted device was *not* excluded from a forced snapshot.
+    MissingExclusion {
+        /// The substrate the snapshot came from.
+        substrate: &'static str,
+        /// The epoch.
+        epoch: Epoch,
+        /// The device that should have been excluded.
+        device: u16,
+    },
+    /// A snapshot was force-finalized in a fault-free scenario.
+    UnexpectedForce {
+        /// The substrate the snapshot came from.
+        substrate: &'static str,
+        /// The epoch.
+        epoch: Epoch,
+    },
+    /// Network-wide consistent totals went backwards across epochs.
+    NonMonotoneTotal {
+        /// The substrate the snapshot came from.
+        substrate: &'static str,
+        /// The offending epoch.
+        epoch: Epoch,
+        /// Total at the previous fully consistent epoch.
+        prev_total: u64,
+        /// Total at this epoch.
+        total: u64,
+    },
+    /// Two snapshots (within or across substrates) disagree on the set of
+    /// participating units.
+    UnitSetMismatch {
+        /// Label of the comparison (e.g. `fabric-epoch-3` or
+        /// `fabric-vs-emulation`).
+        context: String,
+        /// Units present on one side only.
+        missing: Vec<UnitId>,
+        /// Units present on the other side only.
+        extra: Vec<UnitId>,
+    },
+    /// The omniscient flow-conservation audit flagged a reported value.
+    Conservation {
+        /// The substrate the snapshot came from.
+        substrate: &'static str,
+        /// The underlying violation.
+        violation: Violation,
+    },
+}
+
+impl Divergence {
+    /// The epoch this divergence is anchored to, if any (for per-epoch
+    /// grouping in failure artifacts).
+    pub fn epoch(&self) -> Option<Epoch> {
+        match self {
+            Divergence::ValueMismatch { epoch, .. }
+            | Divergence::ChannelMismatch { epoch, .. }
+            | Divergence::UnexplainedEpoch { epoch, .. }
+            | Divergence::MissingReport { epoch, .. }
+            | Divergence::UnexpectedExclusion { epoch, .. }
+            | Divergence::MissingExclusion { epoch, .. }
+            | Divergence::UnexpectedForce { epoch, .. }
+            | Divergence::NonMonotoneTotal { epoch, .. } => Some(*epoch),
+            Divergence::Conservation { violation, .. } => Some(violation.epoch),
+            Divergence::UnitSetMismatch { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::ValueMismatch {
+                substrate,
+                unit,
+                epoch,
+                reported,
+                expected,
+            } => write!(
+                f,
+                "[{substrate}] epoch {epoch} {unit:?}: local value {reported} ≠ ideal {expected}"
+            ),
+            Divergence::ChannelMismatch {
+                substrate,
+                unit,
+                epoch,
+                reported,
+                expected,
+            } => write!(
+                f,
+                "[{substrate}] epoch {epoch} {unit:?}: channel state {reported} ≠ ideal {expected}"
+            ),
+            Divergence::UnexplainedEpoch {
+                substrate,
+                unit,
+                epoch,
+            } => write!(
+                f,
+                "[{substrate}] epoch {epoch} {unit:?}: reported, but the delivery log never \
+                 reaches this epoch"
+            ),
+            Divergence::MissingReport {
+                substrate,
+                unit,
+                epoch,
+            } => write!(
+                f,
+                "[{substrate}] epoch {epoch} {unit:?}: Missing outcome in a completed snapshot"
+            ),
+            Divergence::UnexpectedExclusion {
+                substrate,
+                epoch,
+                device,
+            } => write!(
+                f,
+                "[{substrate}] epoch {epoch}: device {device} excluded without a scheduled fault"
+            ),
+            Divergence::MissingExclusion {
+                substrate,
+                epoch,
+                device,
+            } => write!(
+                f,
+                "[{substrate}] epoch {epoch}: faulted device {device} not excluded"
+            ),
+            Divergence::UnexpectedForce { substrate, epoch } => write!(
+                f,
+                "[{substrate}] epoch {epoch}: force-finalized despite a fault-free schedule"
+            ),
+            Divergence::NonMonotoneTotal {
+                substrate,
+                epoch,
+                prev_total,
+                total,
+            } => write!(
+                f,
+                "[{substrate}] epoch {epoch}: consistent total {total} < previous {prev_total}"
+            ),
+            Divergence::UnitSetMismatch {
+                context,
+                missing,
+                extra,
+            } => write!(
+                f,
+                "[{context}] unit sets differ: {} missing, {} extra",
+                missing.len(),
+                extra.len()
+            ),
+            Divergence::Conservation {
+                substrate,
+                violation,
+            } => write!(
+                f,
+                "[{substrate}] epoch {} {:?}: conservation audit expected \
+                 local {} / channel {}, reported local {} / channel {}",
+                violation.epoch,
+                violation.unit,
+                violation.expected.local,
+                violation.expected.channel,
+                violation.reported.local,
+                violation.reported.channel
+            ),
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Cross-substrate differential conformance harness.
+//!
+//! The repository implements the Speedlight snapshot protocol three times,
+//! at three levels of realism:
+//!
+//! 1. the **idealized** Fig. 3 protocol in `speedlight_core::ideal` —
+//!    unbounded snapshot IDs, multi-slot writes, no hardware limits;
+//! 2. the **hardware-constrained** units driven by the deterministic
+//!    discrete-event fabric (`fabric::testbed`) — wrapped IDs, single-slot
+//!    writes, real queueing and latency;
+//! 3. the **threaded emulation** (`emulation::cluster`) — one OS thread
+//!    per device, real channels, wall-clock timing.
+//!
+//! A seeded [`scenario::Scenario`] pins topology, workload, load balancer,
+//! snapshot variant/modulus/schedule, and fault schedule. The
+//! [`runner`] executes it on substrates 2 and 3 while each substrate
+//! records a per-unit delivery log; the [`oracle`] replays that log through
+//! substrate 1 and diffs every reported snapshot value, channel state,
+//! exclusion set, and consistency verdict against the ideal result. The
+//! fabric run additionally feeds the omniscient flow-conservation audit
+//! (`speedlight_core::consistency::ConservationChecker`).
+//!
+//! Any divergence produces a replayable [`artifact`]: seed, scenario spec,
+//! and a minimized per-epoch diff, plus a one-command reproduction line.
+
+pub mod artifact;
+pub mod diff;
+pub mod oracle;
+pub mod runner;
+pub mod scenario;
+
+pub use artifact::{assert_conformant, replay_command};
+pub use diff::Divergence;
+pub use oracle::{check_run, check_unit_sets, Expectations, IdealReplay, SnapEntry, SubstrateRun};
+pub use runner::{run_scenario, ScenarioOutcome};
+pub use scenario::{FaultSpec, Lb, Scenario, Topo, WorkloadKind};

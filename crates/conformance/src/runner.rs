@@ -1,0 +1,241 @@
+//! Scenario execution: the same [`Scenario`] runs on the deterministic
+//! simulated fabric and (for line topologies) the threaded emulation, and
+//! every substrate's output is audited by the oracle in [`crate::oracle`].
+
+use crate::diff::Divergence;
+use crate::oracle::{check_run, check_unit_sets, Expectations, SnapEntry, SubstrateRun};
+use crate::scenario::{Lb, Scenario, Topo, WorkloadKind};
+use emulation::cluster::{Cluster, ClusterConfig};
+use experiments::common::{attach_workload, standard_testbed, Workload};
+use fabric::network::DriverConfig;
+use fabric::switchmod::SnapshotConfig;
+use fabric::testbed::{Testbed, TestbedConfig};
+use fabric::topology::{LbKind, Topology};
+use netsim::dist::Dist;
+use netsim::rng::SeedEcho;
+use netsim::time::{Duration, Instant};
+use speedlight_core::observer::UnitOutcome;
+use telemetry::MetricKind;
+use workloads::PoissonSource;
+
+/// Everything one scenario produced, across substrates, plus the oracle's
+/// verdict.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// The deterministic fabric run.
+    pub fabric: SubstrateRun,
+    /// The threaded emulation run, when the scenario asked for one.
+    pub emulation: Option<SubstrateRun>,
+    /// Every divergence the oracle found (empty = conformant).
+    pub divergences: Vec<Divergence>,
+}
+
+/// The oracle expectations a scenario implies.
+pub fn expectations(sc: &Scenario) -> Expectations {
+    Expectations {
+        channel_state: sc.channel_state,
+        faulted: sc.faulted_devices().into_iter().collect(),
+        // A dead device starves its neighbors' channels in channel-state
+        // mode, so exclusion can legitimately spread; without channel
+        // state only the dead device itself can time out.
+        strict_exclusions: !sc.channel_state,
+    }
+}
+
+fn snapshot_config(sc: &Scenario) -> SnapshotConfig {
+    SnapshotConfig {
+        modulus: sc.modulus,
+        channel_state: sc.channel_state,
+        ingress_metric: MetricKind::PacketCount,
+        egress_metric: MetricKind::PacketCount,
+    }
+}
+
+fn interval_nanos(sc: &Scenario) -> u64 {
+    sc.interval_ms * 1_000_000
+}
+
+/// Run the scenario on the simulated fabric. Returns the substrate run
+/// plus any flow-conservation violations from the omniscient audit (which
+/// only the fabric can provide: it sees headerless host packets the
+/// delivery log does not carry).
+pub fn run_fabric(sc: &Scenario) -> (SubstrateRun, Vec<Divergence>) {
+    let lb = match sc.lb {
+        Lb::Ecmp => LbKind::Ecmp,
+        Lb::Flowlet => LbKind::Flowlet { gap_us: 50 },
+    };
+    let mut driver = DriverConfig::default();
+    if sc.fault.is_some() {
+        // Force-finalize quickly so faulted epochs complete inside the run.
+        driver.device_timeout = Duration::from_millis(40);
+    }
+    let mut tb = match sc.topo {
+        Topo::LeafSpine => {
+            let wl = match sc.workload {
+                WorkloadKind::Hadoop => Workload::Hadoop,
+                WorkloadKind::GraphX => Workload::GraphX,
+                WorkloadKind::Memcache => Workload::Memcache,
+                WorkloadKind::Cbr => unreachable!("rejected by Scenario::validate"),
+            };
+            let mut tb = standard_testbed(snapshot_config(sc), lb, driver, sc.seed);
+            attach_workload(&mut tb, wl, sc.seed);
+            tb
+        }
+        Topo::Line(n) => {
+            let mut cfg = TestbedConfig::new(snapshot_config(sc));
+            cfg.lb = lb;
+            cfg.driver = driver;
+            cfg.seed = sc.seed;
+            let mut tb = Testbed::new(Topology::line(n), cfg);
+            // Bidirectional traffic so snapshot IDs piggyback across every
+            // inter-switch link (mirrors the emulation's host generators).
+            for (src, dst) in [(0u32, 1u32), (1, 0)] {
+                tb.set_source(
+                    src,
+                    Instant::ZERO,
+                    Box::new(PoissonSource::new(
+                        src,
+                        vec![dst],
+                        80_000.0,
+                        Dist::constant(400.0),
+                        sc.seed ^ (0x5EED * u64::from(src + 1)),
+                    )),
+                );
+            }
+            tb
+        }
+    };
+    tb.enable_delivery_log();
+    tb.network_mut().enable_audit();
+
+    let ival = interval_nanos(sc);
+    for i in 0..sc.snapshots {
+        tb.snapshot_at(Instant::from_nanos(ival * (i as u64 + 1)));
+    }
+    if let Some(f) = sc.fault {
+        // Disable half an interval before the k-th snapshot is scheduled.
+        let at = ival * (f.after_snapshots as u64) + ival / 2;
+        tb.run_until(Instant::from_nanos(at));
+        tb.network_mut().switches[usize::from(f.device)].snapshot_enabled = false;
+    }
+    let tail = if sc.fault.is_some() {
+        200_000_000
+    } else {
+        100_000_000
+    };
+    tb.run_until(Instant::from_nanos(ival * sc.snapshots as u64 + tail));
+
+    let snapshots: Vec<SnapEntry> = tb
+        .snapshots()
+        .iter()
+        .map(|r| SnapEntry {
+            snapshot: r.snapshot.clone(),
+            forced: r.forced,
+        })
+        .collect();
+    let log = tb
+        .delivery_log()
+        .expect("delivery log enabled above")
+        .to_vec();
+
+    let audit = tb.network().instr.audit.as_ref().expect("audit enabled");
+    let mut reports = Vec::new();
+    for entry in &snapshots {
+        for (&uid, outcome) in &entry.snapshot.units {
+            if let UnitOutcome::Value { local, channel } = *outcome {
+                reports.push((
+                    uid,
+                    entry.snapshot.epoch,
+                    local,
+                    sc.channel_state.then_some(channel),
+                ));
+            }
+        }
+    }
+    let conservation: Vec<Divergence> = audit
+        .audit(reports)
+        .into_iter()
+        .map(|violation| Divergence::Conservation {
+            substrate: "fabric",
+            violation,
+        })
+        .collect();
+
+    (
+        SubstrateRun {
+            substrate: "fabric",
+            snapshots,
+            log,
+        },
+        conservation,
+    )
+}
+
+/// Run the scenario on the threaded emulation cluster (line topologies
+/// only; wall-clock time).
+pub fn run_emulation(sc: &Scenario) -> SubstrateRun {
+    let Topo::Line(n) = sc.topo else {
+        unreachable!("rejected by Scenario::validate");
+    };
+    let report = Cluster::new(ClusterConfig {
+        switches: n,
+        modulus: sc.modulus,
+        channel_state: sc.channel_state,
+        snapshots: sc.snapshots,
+        // Wall-clock interval: never tighter than the OS scheduler can
+        // reliably hit.
+        interval: std::time::Duration::from_millis(sc.interval_ms.max(8)),
+        host_rate: 20_000,
+        // A faulted run waits out the whole timeout once per dead epoch;
+        // keep that bounded while staying generous for healthy runs.
+        timeout: std::time::Duration::from_millis(if sc.fault.is_some() { 300 } else { 1_000 }),
+        record_deliveries: true,
+        fail_devices: sc
+            .fault
+            .iter()
+            .map(|f| (f.device, f.after_snapshots))
+            .collect(),
+    })
+    .run();
+    let snapshots = report
+        .snapshots
+        .iter()
+        .map(|s| SnapEntry {
+            snapshot: s.clone(),
+            forced: report.forced_epochs.contains(&s.epoch),
+        })
+        .collect();
+    let log = report.delivery_logs.into_values().flatten().collect();
+    SubstrateRun {
+        substrate: "emulation",
+        snapshots,
+        log,
+    }
+}
+
+/// Run `sc` on every substrate it selects and collect the oracle verdict.
+pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
+    sc.validate().expect("scenario must be valid");
+    // Echo the master seed if anything below panics (satellite of the
+    // seed-on-failure policy; the fabric testbed echoes its own too).
+    let _seed_echo = SeedEcho::new("conformance::runner", sc.seed);
+
+    let expect = expectations(sc);
+    let (fabric, mut divergences) = run_fabric(sc);
+    divergences.extend(check_run(&fabric, &expect));
+
+    let emulation = sc.emulate.then(|| run_emulation(sc));
+    if let Some(emu) = &emulation {
+        divergences.extend(check_run(emu, &expect));
+        divergences.extend(check_unit_sets("fabric-vs-emulation", &fabric, emu));
+    }
+
+    ScenarioOutcome {
+        scenario: sc.clone(),
+        fabric,
+        emulation,
+        divergences,
+    }
+}

@@ -1,0 +1,308 @@
+//! The scenario DSL.
+//!
+//! A [`Scenario`] pins down everything a conformance run depends on —
+//! topology, workload, load balancer, snapshot variant and modulus,
+//! snapshot schedule, fault schedule, and the master seed — and round-trips
+//! through a compact `key=value;...` spec string. The spec string is the
+//! replay handle: failure artifacts embed it, and
+//! `SPEEDLIGHT_SCENARIO='<spec>' cargo test -p conformance --test scenarios
+//! replay_from_env` re-executes exactly the failing run.
+
+use std::fmt;
+
+/// Which topology the scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topo {
+    /// The paper's testbed shape: 2 leaves × 2 spines, 3 hosts per leaf.
+    LeafSpine,
+    /// A line of `n` switches with a host at each end (the only shape the
+    /// threaded emulation implements, so all three substrates can run it).
+    Line(u16),
+}
+
+/// Which traffic drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Terasort-style shuffle (leaf-spine only).
+    Hadoop,
+    /// PageRank supersteps (leaf-spine only).
+    GraphX,
+    /// mc-crusher multi-get (leaf-spine only).
+    Memcache,
+    /// Constant-rate bidirectional traffic (line topologies).
+    Cbr,
+}
+
+/// Load balancer selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lb {
+    /// Per-flow ECMP.
+    Ecmp,
+    /// Flowlet switching (50 µs gap).
+    Flowlet,
+}
+
+/// A mid-run device failure: `device` stops participating in the snapshot
+/// protocol (it keeps forwarding) just before the `after_snapshots`-th
+/// snapshot (0-based) is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The failing device.
+    pub device: u16,
+    /// Snapshots scheduled before the failure.
+    pub after_snapshots: usize,
+}
+
+/// A fully specified conformance run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Topology.
+    pub topo: Topo,
+    /// Workload.
+    pub workload: WorkloadKind,
+    /// Load balancer.
+    pub lb: Lb,
+    /// Channel-state variant?
+    pub channel_state: bool,
+    /// Snapshot ID modulus (small values stress §5.2 wraparound).
+    pub modulus: u16,
+    /// Number of snapshots to schedule.
+    pub snapshots: usize,
+    /// Schedule interval, milliseconds (simulated time for the fabric,
+    /// wall-clock for the emulation).
+    pub interval_ms: u64,
+    /// Optional mid-run device failure.
+    pub fault: Option<FaultSpec>,
+    /// Also run the threaded emulation (line topologies only).
+    pub emulate: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A small healthy default (line of 3, CBR, no channel state).
+    pub fn base(seed: u64) -> Scenario {
+        Scenario {
+            topo: Topo::Line(3),
+            workload: WorkloadKind::Cbr,
+            lb: Lb::Ecmp,
+            channel_state: false,
+            modulus: 16,
+            snapshots: 6,
+            interval_ms: 5,
+            fault: None,
+            emulate: false,
+            seed,
+        }
+    }
+
+    /// Parse a `key=value;...` spec string (the format [`Self::spec`]
+    /// produces). Unknown keys and malformed values are errors.
+    pub fn from_spec(spec: &str) -> Result<Scenario, String> {
+        let mut sc = Scenario::base(0);
+        for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed field {part:?} (expected key=value)"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "topo" => {
+                    sc.topo = if value == "leafspine" {
+                        Topo::LeafSpine
+                    } else if let Some(n) = value.strip_prefix("line:") {
+                        Topo::Line(n.parse().map_err(|_| format!("bad line length {n:?}"))?)
+                    } else {
+                        return Err(format!("unknown topo {value:?}"));
+                    };
+                }
+                "wl" => {
+                    sc.workload = match value {
+                        "hadoop" => WorkloadKind::Hadoop,
+                        "graphx" => WorkloadKind::GraphX,
+                        "memcache" => WorkloadKind::Memcache,
+                        "cbr" => WorkloadKind::Cbr,
+                        other => return Err(format!("unknown workload {other:?}")),
+                    };
+                }
+                "lb" => {
+                    sc.lb = match value {
+                        "ecmp" => Lb::Ecmp,
+                        "flowlet" => Lb::Flowlet,
+                        other => return Err(format!("unknown lb {other:?}")),
+                    };
+                }
+                "cs" => sc.channel_state = parse_bool(key, value)?,
+                "mod" => sc.modulus = parse_num(key, value)?,
+                "snaps" => sc.snapshots = parse_num(key, value)?,
+                "ival" => sc.interval_ms = parse_num(key, value)?,
+                "fault" => {
+                    let (dev, after) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("bad fault {value:?} (expected dev@k)"))?;
+                    sc.fault = Some(FaultSpec {
+                        device: parse_num("fault device", dev)?,
+                        after_snapshots: parse_num("fault snapshot", after)?,
+                    });
+                }
+                "emu" => sc.emulate = parse_bool(key, value)?,
+                "seed" => {
+                    sc.seed = match value.strip_prefix("0x") {
+                        Some(hex) => u64::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad seed {value:?}"))?,
+                        None => value.parse().map_err(|_| format!("bad seed {value:?}"))?,
+                    };
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// The canonical spec string ([`Self::from_spec`] round-trips it).
+    pub fn spec(&self) -> String {
+        let topo = match self.topo {
+            Topo::LeafSpine => "leafspine".to_string(),
+            Topo::Line(n) => format!("line:{n}"),
+        };
+        let wl = match self.workload {
+            WorkloadKind::Hadoop => "hadoop",
+            WorkloadKind::GraphX => "graphx",
+            WorkloadKind::Memcache => "memcache",
+            WorkloadKind::Cbr => "cbr",
+        };
+        let lb = match self.lb {
+            Lb::Ecmp => "ecmp",
+            Lb::Flowlet => "flowlet",
+        };
+        let mut spec = format!(
+            "topo={topo};wl={wl};lb={lb};cs={};mod={};snaps={};ival={}",
+            u8::from(self.channel_state),
+            self.modulus,
+            self.snapshots,
+            self.interval_ms,
+        );
+        if let Some(f) = self.fault {
+            spec.push_str(&format!(";fault={}@{}", f.device, f.after_snapshots));
+        }
+        if self.emulate {
+            spec.push_str(";emu=1");
+        }
+        spec.push_str(&format!(";seed=0x{:x}", self.seed));
+        spec
+    }
+
+    /// Structural sanity checks (workload/topology compatibility, fault
+    /// target in range, …).
+    pub fn validate(&self) -> Result<(), String> {
+        let line_only = matches!(self.workload, WorkloadKind::Cbr);
+        match self.topo {
+            Topo::LeafSpine if line_only => {
+                return Err("cbr workload requires a line topology".into())
+            }
+            Topo::Line(_) if !line_only => {
+                return Err("paper workloads require topo=leafspine".into())
+            }
+            Topo::Line(0) => return Err("line topology needs ≥ 1 switch".into()),
+            _ => {}
+        }
+        if self.emulate && !matches!(self.topo, Topo::Line(_)) {
+            return Err("emulation only implements line topologies".into());
+        }
+        if self.emulate && self.channel_state {
+            // A channel-state emulation run gates completion on real-thread
+            // traffic timing; conformance keeps the emulation arm on the
+            // no-channel-state variant (the fabric covers both).
+            return Err("emulation conformance runs are no-channel-state only".into());
+        }
+        let num_devices = match self.topo {
+            Topo::LeafSpine => 4,
+            Topo::Line(n) => n,
+        };
+        if let Some(f) = self.fault {
+            if f.device >= num_devices {
+                return Err(format!(
+                    "fault device {} out of range (topology has {num_devices})",
+                    f.device
+                ));
+            }
+            if f.after_snapshots == 0 || f.after_snapshots >= self.snapshots {
+                return Err("fault must strike strictly mid-run (0 < k < snaps)".into());
+            }
+        }
+        if self.modulus < 2 {
+            return Err("modulus must be ≥ 2".into());
+        }
+        if self.snapshots == 0 {
+            return Err("need at least one snapshot".into());
+        }
+        Ok(())
+    }
+
+    /// Devices this scenario expects to fail.
+    pub fn faulted_devices(&self) -> Vec<u16> {
+        self.fault.iter().map(|f| f.device).collect()
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "1" | "true" => Ok(true),
+        "0" | "false" => Ok(false),
+        other => Err(format!("bad {key} {other:?} (expected 0/1)")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value.parse().map_err(|_| format!("bad {key} {value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        let mut sc = Scenario::base(0xDEAD_BEEF);
+        sc.topo = Topo::Line(4);
+        sc.modulus = 8;
+        sc.fault = Some(FaultSpec {
+            device: 2,
+            after_snapshots: 3,
+        });
+        sc.emulate = true;
+        let spec = sc.spec();
+        assert_eq!(Scenario::from_spec(&spec).unwrap(), sc);
+    }
+
+    #[test]
+    fn leaf_spine_spec_round_trips() {
+        let sc = Scenario::from_spec(
+            "topo=leafspine;wl=memcache;lb=flowlet;cs=1;mod=64;snaps=8;ival=3;seed=0x5eed",
+        )
+        .unwrap();
+        assert_eq!(sc.topo, Topo::LeafSpine);
+        assert_eq!(sc.workload, WorkloadKind::Memcache);
+        assert_eq!(sc.lb, Lb::Flowlet);
+        assert_eq!(sc.seed, 0x5eed);
+        assert_eq!(Scenario::from_spec(&sc.spec()).unwrap(), sc);
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        assert!(Scenario::from_spec("topo=leafspine;wl=cbr").is_err());
+        assert!(Scenario::from_spec("topo=line:3;wl=hadoop").is_err());
+        assert!(Scenario::from_spec("topo=leafspine;wl=hadoop;emu=1").is_err());
+        assert!(Scenario::from_spec("topo=line:3;wl=cbr;emu=1;cs=1").is_err());
+        assert!(Scenario::from_spec("wl=cbr;topo=line:3;fault=7@2").is_err());
+        assert!(Scenario::from_spec("wl=cbr;topo=line:3;snaps=4;fault=1@0").is_err());
+        assert!(Scenario::from_spec("nonsense").is_err());
+        assert!(Scenario::from_spec("topo=ring").is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! The seeded conformance matrix.
+//!
+//! Every test runs one [`Scenario`] through `run_scenario` — the
+//! deterministic fabric always, the threaded emulation when `emu=1` — and
+//! asserts the oracle found no divergence. On failure a replayable
+//! artifact is dumped and the panic message carries the one-command
+//! reproduction line.
+
+use conformance::artifact::REPLAY_ENV;
+use conformance::oracle::check_run;
+use conformance::runner::{expectations, run_fabric};
+use conformance::{assert_conformant, run_scenario, Divergence, Lb, Scenario, WorkloadKind};
+use speedlight_core::observer::UnitOutcome;
+
+fn sc(spec: &str) -> Scenario {
+    Scenario::from_spec(spec).expect("matrix spec must parse")
+}
+
+fn run_and_check(spec: &str) {
+    let scenario = sc(spec);
+    let outcome = run_scenario(&scenario);
+    assert_conformant(&outcome);
+    assert_eq!(
+        outcome.fabric.snapshots.len(),
+        scenario.snapshots,
+        "fabric must complete every scheduled snapshot for `{spec}`"
+    );
+    assert!(
+        !outcome.fabric.log.is_empty(),
+        "fabric delivery log empty for `{spec}`"
+    );
+    if let Some(emu) = &outcome.emulation {
+        // Wall-clock substrate: the observer may skip a schedule slot
+        // under the no-lapping cap, but never more than one.
+        assert!(
+            emu.snapshots.len() + 1 >= scenario.snapshots,
+            "emulation completed only {} of {} snapshots for `{spec}`",
+            emu.snapshots.len(),
+            scenario.snapshots
+        );
+        assert!(
+            !emu.log.is_empty(),
+            "emulation delivery log empty for `{spec}`"
+        );
+    }
+}
+
+macro_rules! scenario_tests {
+    ($($name:ident => $spec:expr,)*) => {
+        $(
+            #[test]
+            fn $name() {
+                run_and_check($spec);
+            }
+        )*
+        const SCENARIOS: &[&str] = &[$($spec),*];
+    };
+}
+
+scenario_tests! {
+    // Paper workloads on the leaf-spine testbed: every workload × both
+    // load balancers × both snapshot variants, distinct seeds and moduli.
+    hadoop_ecmp_nocs => "topo=leafspine;wl=hadoop;lb=ecmp;cs=0;mod=16;snaps=6;ival=5;seed=0x1001",
+    hadoop_ecmp_cs => "topo=leafspine;wl=hadoop;lb=ecmp;cs=1;mod=16;snaps=6;ival=5;seed=0x1002",
+    hadoop_flowlet_nocs => "topo=leafspine;wl=hadoop;lb=flowlet;cs=0;mod=64;snaps=6;ival=5;seed=0x1003",
+    hadoop_flowlet_cs => "topo=leafspine;wl=hadoop;lb=flowlet;cs=1;mod=8;snaps=6;ival=5;seed=0x1004",
+    graphx_ecmp_nocs => "topo=leafspine;wl=graphx;lb=ecmp;cs=0;mod=8;snaps=6;ival=5;seed=0x2001",
+    graphx_ecmp_cs => "topo=leafspine;wl=graphx;lb=ecmp;cs=1;mod=64;snaps=6;ival=5;seed=0x2002",
+    graphx_flowlet_nocs => "topo=leafspine;wl=graphx;lb=flowlet;cs=0;mod=16;snaps=6;ival=5;seed=0x2003",
+    graphx_flowlet_cs => "topo=leafspine;wl=graphx;lb=flowlet;cs=1;mod=16;snaps=6;ival=5;seed=0x2004",
+    memcache_ecmp_nocs => "topo=leafspine;wl=memcache;lb=ecmp;cs=0;mod=64;snaps=6;ival=5;seed=0x3001",
+    memcache_ecmp_cs => "topo=leafspine;wl=memcache;lb=ecmp;cs=1;mod=8;snaps=6;ival=5;seed=0x3002",
+    memcache_flowlet_nocs => "topo=leafspine;wl=memcache;lb=flowlet;cs=0;mod=16;snaps=6;ival=5;seed=0x3003",
+    memcache_flowlet_cs => "topo=leafspine;wl=memcache;lb=flowlet;cs=1;mod=16;snaps=6;ival=5;seed=0x3004",
+
+    // §5.2 wraparound stress: tiny moduli force many snapshot-ID wraps
+    // while the oracle compares at full (unwrapped) epoch resolution.
+    line_wrap_mod4_nocs => "topo=line:3;wl=cbr;cs=0;mod=4;snaps=10;ival=4;seed=0x4001",
+    line_wrap_mod4_cs => "topo=line:3;wl=cbr;cs=1;mod=4;snaps=10;ival=4;seed=0x4002",
+    line_wrap_mod8_nocs => "topo=line:4;wl=cbr;cs=0;mod=8;snaps=12;ival=3;seed=0x4003",
+    line_wrap_mod8_cs => "topo=line:4;wl=cbr;cs=1;mod=8;snaps=12;ival=3;seed=0x4004",
+
+    // Mid-run device failures: the faulted device must be excluded from
+    // every forced snapshot; in no-channel-state mode *only* it may be.
+    fault_leafspine_cs => "topo=leafspine;wl=memcache;lb=ecmp;cs=1;mod=16;snaps=6;ival=5;fault=3@3;seed=0x5001",
+    fault_line_nocs_strict => "topo=line:4;wl=cbr;cs=0;mod=16;snaps=6;ival=5;fault=2@3;seed=0x5002",
+    fault_leafspine_nocs_strict => "topo=leafspine;wl=hadoop;lb=flowlet;cs=0;mod=16;snaps=6;ival=5;fault=1@2;seed=0x5003",
+
+    // Fabric vs threaded emulation on the same line topologies: both
+    // substrates are oracle-checked and their unit sets must agree.
+    emu_line3 => "topo=line:3;wl=cbr;cs=0;mod=16;snaps=6;ival=8;emu=1;seed=0x6001",
+    emu_line2_wrap => "topo=line:2;wl=cbr;cs=0;mod=8;snaps=6;ival=8;emu=1;seed=0x6002",
+    emu_line4 => "topo=line:4;wl=cbr;cs=0;mod=64;snaps=5;ival=10;emu=1;seed=0x6003",
+    emu_line3_fault => "topo=line:3;wl=cbr;cs=0;mod=16;snaps=6;ival=8;emu=1;fault=1@2;seed=0x6004",
+}
+
+/// The acceptance floor for the matrix itself: ≥ 20 scenarios spanning
+/// every workload, both load balancers, both snapshot variants, at least
+/// one fault schedule, and at least one emulation arm.
+#[test]
+fn matrix_meets_coverage_floor() {
+    let scenarios: Vec<Scenario> = SCENARIOS.iter().map(|s| sc(s)).collect();
+    assert!(scenarios.len() >= 20, "only {} scenarios", scenarios.len());
+    for wl in [
+        WorkloadKind::Hadoop,
+        WorkloadKind::GraphX,
+        WorkloadKind::Memcache,
+        WorkloadKind::Cbr,
+    ] {
+        assert!(
+            scenarios.iter().any(|s| s.workload == wl),
+            "workload {wl:?} missing from the matrix"
+        );
+    }
+    for lb in [Lb::Ecmp, Lb::Flowlet] {
+        assert!(scenarios.iter().any(|s| s.lb == lb), "{lb:?} missing");
+    }
+    for cs in [false, true] {
+        assert!(scenarios.iter().any(|s| s.channel_state == cs));
+    }
+    assert!(scenarios.iter().any(|s| s.fault.is_some()));
+    assert!(scenarios.iter().any(|s| s.emulate));
+    // Seeds are distinct: no scenario accidentally re-runs another.
+    let mut seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), scenarios.len(), "duplicate seeds in matrix");
+}
+
+/// Mutation sensitivity: corrupting a single unit's reported local value
+/// in an otherwise-conformant run must be flagged, naming that unit.
+#[test]
+fn mutation_corrupt_local_value_is_detected() {
+    let scenario = sc("topo=line:3;wl=cbr;cs=0;mod=16;snaps=6;ival=5;seed=0x7001");
+    let expect = expectations(&scenario);
+    let (run, conservation) = run_fabric(&scenario);
+    assert!(conservation.is_empty(), "{conservation:?}");
+    assert!(check_run(&run, &expect).is_empty(), "clean run must pass");
+
+    let mut corrupted = run.clone();
+    let entry = corrupted.snapshots.last_mut().expect("snapshots exist");
+    let (&target, outcome) = entry
+        .snapshot
+        .units
+        .iter_mut()
+        .find(|(_, o)| matches!(o, UnitOutcome::Value { .. }))
+        .expect("a Value outcome exists");
+    let UnitOutcome::Value { local, .. } = outcome else {
+        unreachable!()
+    };
+    *local += 1;
+
+    let divergences = check_run(&corrupted, &expect);
+    assert!(
+        divergences.iter().any(|d| matches!(
+            d,
+            Divergence::ValueMismatch { unit, .. } if *unit == target
+        )),
+        "single-unit corruption must be detected, got {divergences:?}"
+    );
+}
+
+/// Mutation sensitivity for the channel-state variant: corrupting one
+/// unit's reported *channel* state must be flagged.
+#[test]
+fn mutation_corrupt_channel_state_is_detected() {
+    let scenario = sc("topo=line:3;wl=cbr;cs=1;mod=16;snaps=6;ival=5;seed=0x7002");
+    let expect = expectations(&scenario);
+    let (run, conservation) = run_fabric(&scenario);
+    assert!(conservation.is_empty(), "{conservation:?}");
+    assert!(check_run(&run, &expect).is_empty(), "clean run must pass");
+
+    let mut corrupted = run.clone();
+    let entry = corrupted.snapshots.first_mut().expect("snapshots exist");
+    let (&target, outcome) = entry
+        .snapshot
+        .units
+        .iter_mut()
+        .find(|(_, o)| matches!(o, UnitOutcome::Value { .. }))
+        .expect("a Value outcome exists");
+    let UnitOutcome::Value { channel, .. } = outcome else {
+        unreachable!()
+    };
+    *channel += 7;
+
+    let divergences = check_run(&corrupted, &expect);
+    assert!(
+        divergences.iter().any(|d| matches!(
+            d,
+            Divergence::ChannelMismatch { unit, .. } if *unit == target
+        )),
+        "channel-state corruption must be detected, got {divergences:?}"
+    );
+}
+
+/// Replay hook: when `SPEEDLIGHT_SCENARIO` holds a spec string (as every
+/// failure artifact prescribes), re-execute exactly that scenario. A
+/// no-op otherwise, so the test is always safe to run.
+#[test]
+fn replay_from_env() {
+    let Ok(spec) = std::env::var(REPLAY_ENV) else {
+        return;
+    };
+    eprintln!("[conformance] replaying scenario from {REPLAY_ENV}: {spec}");
+    run_and_check(&spec);
+}

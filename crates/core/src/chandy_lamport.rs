@@ -196,11 +196,7 @@ impl ClassicSystem {
     /// The recorded global state: (per-node states, per-channel states).
     /// Meaningful once [`ClassicSystem::snapshot_complete`] holds.
     pub fn recorded_snapshot(&self) -> (Vec<u64>, BTreeMap<(NodeId, NodeId), u64>) {
-        let nodes = self
-            .nodes
-            .iter()
-            .map(|n| n.recorded.unwrap_or(0))
-            .collect();
+        let nodes = self.nodes.iter().map(|n| n.recorded.unwrap_or(0)).collect();
         let mut chans = BTreeMap::new();
         for (to, node) in self.nodes.iter().enumerate() {
             for (&from, &tokens) in &node.channel_state {

@@ -23,7 +23,7 @@
 //! protocol; epochs reported `Value{..}` by the hardware-constrained one).
 
 use crate::id::Epoch;
-use crate::types::UnitId;
+use crate::types::{ChannelId, UnitId};
 use std::collections::BTreeMap;
 
 /// One packet delivery, as observed by the omniscient test harness.
@@ -38,6 +38,31 @@ pub struct Delivery {
     /// The packet's metric contribution (1 for packet counts, bytes for
     /// byte counts, …).
     pub contrib: u64,
+}
+
+/// One delivery as seen by a substrate's instrumentation tap, with enough
+/// detail to *replay* the run through [`crate::ideal::IdealUnit`].
+///
+/// Where [`Delivery`] is a post-hoc conservation record (it stores the
+/// receiver's epoch after processing), `DeliveryEvent` captures the inputs
+/// the receiving unit was given — unwrapped tag epoch, pre-update metric
+/// value, contribution, initiation flag — so an oracle can feed the exact
+/// same sequence to the idealized protocol and diff the resulting
+/// snapshots against what the substrate reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryEvent {
+    /// The receiving unit.
+    pub unit: UnitId,
+    /// The channel the packet arrived on (`CPU_CHANNEL` for initiations).
+    pub channel: ChannelId,
+    /// The *unwrapped* epoch tagged on the packet.
+    pub tag: Epoch,
+    /// The receiver's metric value *before* this packet's update.
+    pub local_state: u64,
+    /// The packet's metric contribution.
+    pub contrib: u64,
+    /// Whether this was a snapshot initiation rather than a data packet.
+    pub init: bool,
 }
 
 /// Expected values for one `(unit, epoch)`.

@@ -324,11 +324,7 @@ impl ControlPlane {
                     None => ReportValue::Missing,
                 }
             };
-            reports.push(Report {
-                unit,
-                epoch,
-                value,
-            });
+            reports.push(Report { unit, epoch, value });
         }
         if to_read > t.last_read {
             t.last_read = to_read;
@@ -480,11 +476,11 @@ mod tests {
         contrib: u64,
     ) -> Vec<Report> {
         let w = WrappedId::wrap(epoch, M);
-        let out = regs
-            .units
-            .get_mut(&uid)
-            .unwrap()
-            .on_packet(ChannelId(ch), w, state, contrib, false);
+        let out =
+            regs.units
+                .get_mut(&uid)
+                .unwrap()
+                .on_packet(ChannelId(ch), w, state, contrib, false);
         match out.notification {
             Some(n) => cp.on_notification(&n, regs),
             None => Vec::new(),

@@ -43,7 +43,10 @@ impl WrappedId {
     /// Construct from a raw register value.
     pub fn from_raw(value: u16, modulus: u16) -> WrappedId {
         assert!(modulus >= 2, "snapshot ID modulus must be at least 2");
-        assert!(value < modulus, "wrapped ID {value} out of range (mod {modulus})");
+        assert!(
+            value < modulus,
+            "wrapped ID {value} out of range (mod {modulus})"
+        );
         WrappedId { value, modulus }
     }
 

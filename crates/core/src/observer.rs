@@ -146,7 +146,7 @@ impl Observer {
     pub fn new(cfg: ObserverConfig) -> Observer {
         assert!(cfg.max_outstanding >= 1);
         assert!(
-            cfg.max_outstanding <= cfg.modulus - 1,
+            cfg.max_outstanding < cfg.modulus,
             "outstanding epochs must stay below the modulus (no-lapping)"
         );
         Observer {
@@ -323,9 +323,15 @@ mod tests {
         let mut obs = two_device_observer();
         let epoch = obs.begin_snapshot().unwrap();
         assert_eq!(epoch, 1);
-        assert!(obs.on_report(0, report(UnitId::ingress(0, 0), 1, 10)).is_none());
-        assert!(obs.on_report(0, report(UnitId::egress(0, 0), 1, 11)).is_none());
-        assert!(obs.on_report(1, report(UnitId::ingress(1, 0), 1, 12)).is_none());
+        assert!(obs
+            .on_report(0, report(UnitId::ingress(0, 0), 1, 10))
+            .is_none());
+        assert!(obs
+            .on_report(0, report(UnitId::egress(0, 0), 1, 11))
+            .is_none());
+        assert!(obs
+            .on_report(1, report(UnitId::ingress(1, 0), 1, 12))
+            .is_none());
         let snap = obs
             .on_report(1, report(UnitId::egress(1, 0), 1, 13))
             .expect("final report completes the snapshot");
@@ -350,7 +356,8 @@ mod tests {
         assert_eq!(obs.begin_snapshot(), Some(3));
         assert_eq!(obs.begin_snapshot(), None, "cap reached");
         // Completing epoch 1 frees a slot.
-        obs.on_report(0, report(UnitId::ingress(0, 0), 1, 5)).unwrap();
+        obs.on_report(0, report(UnitId::ingress(0, 0), 1, 5))
+            .unwrap();
         assert_eq!(obs.begin_snapshot(), Some(4));
     }
 
@@ -368,7 +375,9 @@ mod tests {
         obs.on_report(0, report(UnitId::ingress(0, 0), 1, 10));
         // Duplicate (e.g., a retry raced with the original) is ignored and
         // keeps the first value.
-        assert!(obs.on_report(0, report(UnitId::ingress(0, 0), 1, 99)).is_none());
+        assert!(obs
+            .on_report(0, report(UnitId::ingress(0, 0), 1, 99))
+            .is_none());
         let snap = obs
             .on_report(0, report(UnitId::egress(0, 0), 1, 11))
             .unwrap();
@@ -389,14 +398,22 @@ mod tests {
         // Device 1 attaches after epoch 1 was initiated.
         obs.register_device(1, vec![UnitId::ingress(1, 0)]);
         // Its (spurious) epoch-1 report is ignored.
-        assert!(obs.on_report(1, report(UnitId::ingress(1, 0), 1, 7)).is_none());
-        let snap = obs.on_report(0, report(UnitId::ingress(0, 0), 1, 5)).unwrap();
+        assert!(obs
+            .on_report(1, report(UnitId::ingress(1, 0), 1, 7))
+            .is_none());
+        let snap = obs
+            .on_report(0, report(UnitId::ingress(0, 0), 1, 5))
+            .unwrap();
         assert_eq!(snap.units.len(), 1);
         // But epoch 2 includes it.
         let e2 = obs.begin_snapshot().unwrap();
         assert_eq!(e2, 2);
-        assert!(obs.on_report(0, report(UnitId::ingress(0, 0), 2, 6)).is_none());
-        let snap2 = obs.on_report(1, report(UnitId::ingress(1, 0), 2, 8)).unwrap();
+        assert!(obs
+            .on_report(0, report(UnitId::ingress(0, 0), 2, 6))
+            .is_none());
+        let snap2 = obs
+            .on_report(1, report(UnitId::ingress(1, 0), 2, 8))
+            .unwrap();
         assert_eq!(snap2.units.len(), 2);
     }
 
@@ -417,7 +434,43 @@ mod tests {
         assert!(!snap.fully_consistent());
         assert_eq!(snap.consistent_total(), 21);
         // Excluded device's late report arrives afterwards: epoch is gone.
-        assert!(obs.on_report(1, report(UnitId::ingress(1, 0), 1, 12)).is_none());
+        assert!(obs
+            .on_report(1, report(UnitId::ingress(1, 0), 1, 12))
+            .is_none());
+    }
+
+    #[test]
+    fn force_finalize_excludes_two_devices_failing_in_the_same_epoch() {
+        // Regression: force_finalize must cope with MULTIPLE lagging
+        // devices at once — every unit of both is marked DeviceExcluded,
+        // both land in `excluded`, and a third healthy device's values
+        // survive untouched.
+        let mut obs = Observer::new(ObserverConfig::for_modulus(8));
+        for d in 0..3u16 {
+            obs.register_device(d, vec![UnitId::ingress(d, 0), UnitId::egress(d, 0)]);
+        }
+        obs.begin_snapshot().unwrap();
+        obs.on_report(0, report(UnitId::ingress(0, 0), 1, 10));
+        obs.on_report(0, report(UnitId::egress(0, 0), 1, 11));
+        // Devices 1 and 2 both died: no reports at all.
+        assert_eq!(obs.lagging_devices(1), BTreeSet::from([1, 2]));
+        let snap = obs.force_finalize(1).unwrap();
+        assert_eq!(snap.excluded, BTreeSet::from([1, 2]));
+        assert_eq!(snap.devices, BTreeSet::from([0]));
+        for (uid, outcome) in &snap.units {
+            match uid.device {
+                0 => assert!(matches!(outcome, UnitOutcome::Value { .. })),
+                _ => assert_eq!(*outcome, UnitOutcome::DeviceExcluded),
+            }
+        }
+        assert_eq!(snap.consistent_total(), 21);
+        assert_eq!(obs.outstanding(), 0);
+        // The epoch is gone: stragglers' late reports are ignored and the
+        // next epoch proceeds normally with all three devices expected.
+        assert!(obs
+            .on_report(1, report(UnitId::ingress(1, 0), 1, 9))
+            .is_none());
+        assert_eq!(obs.begin_snapshot(), Some(2));
     }
 
     #[test]
@@ -435,7 +488,9 @@ mod tests {
     fn reports_for_unknown_epochs_or_units_are_ignored() {
         let mut obs = two_device_observer();
         obs.begin_snapshot().unwrap();
-        assert!(obs.on_report(0, report(UnitId::ingress(0, 0), 7, 1)).is_none());
+        assert!(obs
+            .on_report(0, report(UnitId::ingress(0, 0), 7, 1))
+            .is_none());
         assert!(obs
             .on_report(0, report(UnitId::ingress(9, 9), 1, 1))
             .is_none());

@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn unit_ids_order_deterministically() {
-        let mut v = vec![
+        let mut v = [
             UnitId::egress(1, 0),
             UnitId::ingress(0, 1),
             UnitId::ingress(0, 0),

@@ -12,14 +12,20 @@
 //!    omniscient flow-conservation audit ([`speedlight_core::consistency`]).
 //! 4. **No-CS inference** — values inferred across skipped epochs equal the
 //!    ideal protocol's values for those epochs.
+//! 5. **§5.2 wraparound** — schedules that march the snapshot-ID frontier
+//!    across several modulus boundaries still agree with the unbounded-ID
+//!    ideal protocol on every reported epoch.
+//! 6. **Observer no-lapping** — the observer never has two in-flight
+//!    epochs sharing a wrapped ID and refuses initiations only at the cap.
 
 use proptest::prelude::*;
 use speedlight_core::consistency::{ConservationChecker, Delivery};
 use speedlight_core::control::{ControlPlane, Registers, ReportValue};
 use speedlight_core::ideal::IdealUnit;
+use speedlight_core::observer::{Observer, ObserverConfig};
 use speedlight_core::unit::{DataPlaneUnit, SnapSlot, UnitConfig};
-use speedlight_core::{ChannelId, Epoch, UnitId, WrappedId};
-use std::collections::BTreeMap;
+use speedlight_core::{ChannelId, Epoch, Report, UnitId, WrappedId};
+use std::collections::{BTreeMap, BTreeSet};
 
 const MODULUS: u16 = 8;
 
@@ -33,8 +39,11 @@ struct Schedule {
 }
 
 fn schedule_strategy() -> impl Strategy<Value = Schedule> {
-    (1usize..=4, proptest::collection::vec((0usize..4, 0u8..8, 1u64..5), 1..120)).prop_map(
-        |(num_channels, raw)| {
+    (
+        1usize..=4,
+        proptest::collection::vec((0usize..4, 0u8..8, 1u64..5), 1..120),
+    )
+        .prop_map(|(num_channels, raw)| {
             let window = Epoch::from(MODULUS) - 1;
             let mut chan_tag = vec![0u64; num_channels];
             let mut global_max = 0u64;
@@ -59,8 +68,44 @@ fn schedule_strategy() -> impl Strategy<Value = Schedule> {
                 num_channels,
                 packets,
             }
-        },
+        })
+}
+
+/// §5.2 wraparound stress: the global frontier marches steadily across
+/// several modulus boundaries (final epoch ≥ 2 × modulus by construction)
+/// while each channel trails by a random lag inside the no-lapping window.
+fn wraparound_schedule_strategy() -> impl Strategy<Value = Schedule> {
+    let window = Epoch::from(MODULUS) - 1;
+    (
+        1usize..=4,
+        proptest::collection::vec(
+            (1u64..=2, proptest::collection::vec((0u64..7, 1u64..5), 4)),
+            16..40,
+        ),
     )
+        .prop_map(move |(num_channels, segments)| {
+            let mut frontier = 0u64;
+            let mut chan_tag = vec![0u64; num_channels];
+            let mut packets = Vec::new();
+            for (s, (step, lags)) in segments.into_iter().enumerate() {
+                frontier += step;
+                for i in 0..num_channels {
+                    let ch = (i + s) % num_channels; // rotate arrival order
+                    let (lag, contrib) = lags[ch];
+                    // Monotone per channel. The rollover comparison uses a
+                    // channel's Last Seen as reference, so the unit's sid
+                    // must stay within `window` of it even after the *next*
+                    // segment's step: lag ≤ window − max_step − 1.
+                    let tag = chan_tag[ch].max(frontier.saturating_sub(lag.min(window - 3)));
+                    chan_tag[ch] = tag;
+                    packets.push((ch, tag, contrib));
+                }
+            }
+            Schedule {
+                num_channels,
+                packets,
+            }
+        })
 }
 
 struct OneUnitRegs {
@@ -85,11 +130,7 @@ impl Registers for OneUnitRegs {
 fn run_schedule(
     sched: &Schedule,
     channel_state: bool,
-) -> (
-    BTreeMap<Epoch, ReportValue>,
-    IdealUnit,
-    ConservationChecker,
-) {
+) -> (BTreeMap<Epoch, ReportValue>, IdealUnit, ConservationChecker) {
     let uid = UnitId::ingress(0, 0);
     let n = sched.num_channels as u16;
     let mut regs = OneUnitRegs {
@@ -242,6 +283,100 @@ proptest! {
                 matches!(v, ReportValue::Value { .. }),
                 "epoch {} was {:?}", epoch, v
             );
+        }
+    }
+
+    #[test]
+    fn wraparound_consistent_values_match_ideal(sched in wraparound_schedule_strategy()) {
+        // §5.2: across ≥ 2 modulus boundaries, every epoch the hardware
+        // reports consistent must carry the exact ideal value — wrapped-ID
+        // arithmetic never silently aliases one epoch onto another.
+        let (reports, ideal, checker) = run_schedule(&sched, true);
+        prop_assert!(
+            ideal.epoch() >= 2 * Epoch::from(MODULUS),
+            "schedule must cross ≥ 2 modulus boundaries, reached {}", ideal.epoch()
+        );
+        prop_assert!(!reports.is_empty(), "lagging channels stay inside the \
+                                           window, so early epochs complete");
+        let mut audited = Vec::new();
+        for (&epoch, &value) in &reports {
+            match value {
+                ReportValue::Value { local, channel } => {
+                    let isnap = ideal.snapshot(epoch)
+                        .expect("ideal has every completed epoch");
+                    prop_assert_eq!(local, isnap.value, "epoch {} local across wrap", epoch);
+                    prop_assert_eq!(channel, isnap.channel, "epoch {} channel across wrap", epoch);
+                    audited.push((UnitId::ingress(0, 0), epoch, local, Some(channel)));
+                }
+                ReportValue::Inconsistent => {} // skipped epochs: allowed
+                other => prop_assert!(false, "unexpected CS outcome {:?} at {}", other, epoch),
+            }
+        }
+        let violations = checker.audit(audited);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn wraparound_no_cs_inference_matches_ideal(sched in wraparound_schedule_strategy()) {
+        // Without channel state, *every* epoch up to the final ID must be
+        // reported (directly or inferred) and equal the ideal value, even
+        // after many wraps of the modulus.
+        let (reports, ideal, _) = run_schedule(&sched, false);
+        prop_assert!(ideal.epoch() >= 2 * Epoch::from(MODULUS));
+        for epoch in 1..=ideal.epoch() {
+            let Some(&value) = reports.get(&epoch) else {
+                return Err(TestCaseError::fail(format!("epoch {epoch} unreported")));
+            };
+            let isnap = ideal.snapshot(epoch).expect("ideal has all epochs");
+            match value {
+                ReportValue::Value { local, .. } | ReportValue::Inferred { local } => {
+                    prop_assert_eq!(local, isnap.value, "epoch {} across wrap", epoch);
+                }
+                other => prop_assert!(false, "unexpected no-CS outcome {:?} at {}", other, epoch),
+            }
+        }
+    }
+
+    #[test]
+    fn observer_enforces_no_lapping(
+        modulus in 2u16..=16,
+        ops in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        // The observer may never let two in-flight epochs share a wrapped
+        // snapshot ID (§5.2 no-lapping), and may refuse an initiation only
+        // when the outstanding cap is the reason.
+        let uid = UnitId::ingress(0, 0);
+        let mut obs = Observer::new(ObserverConfig::for_modulus(modulus));
+        obs.register_device(0, vec![uid]);
+        let mut pending: Vec<Epoch> = Vec::new();
+        for begin in ops {
+            if begin {
+                match obs.begin_snapshot() {
+                    Some(epoch) => {
+                        pending.push(epoch);
+                        let wrapped: BTreeSet<u16> = pending
+                            .iter()
+                            .map(|&e| WrappedId::wrap(e, modulus).raw())
+                            .collect();
+                        prop_assert_eq!(
+                            wrapped.len(), pending.len(),
+                            "in-flight epochs {:?} alias under modulus {}", &pending, modulus
+                        );
+                    }
+                    None => prop_assert_eq!(
+                        pending.len(), usize::from(modulus - 1),
+                        "observer refused below the no-lapping cap"
+                    ),
+                }
+            } else if !pending.is_empty() {
+                let epoch = pending.remove(0);
+                let snap = obs.on_report(0, Report {
+                    unit: uid,
+                    epoch,
+                    value: ReportValue::Value { local: 0, channel: 0 },
+                });
+                prop_assert!(snap.is_some(), "single report completes epoch {}", epoch);
+            }
         }
     }
 }

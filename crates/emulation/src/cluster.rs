@@ -9,6 +9,7 @@
 use crate::device::{Device, DeviceConfig, PortTarget};
 use crate::messages::{DeviceMsg, Frame, ObserverMsg};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use speedlight_core::consistency::DeliveryEvent;
 use speedlight_core::observer::{GlobalSnapshot, Observer, ObserverConfig};
 use speedlight_core::Epoch;
 use std::collections::BTreeMap;
@@ -35,6 +36,11 @@ pub struct ClusterConfig {
     pub host_rate: u64,
     /// Per-snapshot completion timeout.
     pub timeout: WallDuration,
+    /// Record per-device replay logs for the conformance oracle.
+    pub record_deliveries: bool,
+    /// Fault schedule: `(device, k)` disables snapshot participation on
+    /// `device` just before the `k`-th snapshot (0-based) is scheduled.
+    pub fail_devices: Vec<(u16, usize)>,
 }
 
 impl Default for ClusterConfig {
@@ -47,6 +53,8 @@ impl Default for ClusterConfig {
             interval: WallDuration::from_millis(10),
             host_rate: 20_000,
             timeout: WallDuration::from_millis(500),
+            record_deliveries: false,
+            fail_devices: Vec::new(),
         }
     }
 }
@@ -60,6 +68,10 @@ pub struct ClusterReport {
     pub sync_spread_us: BTreeMap<Epoch, f64>,
     /// Frames generated per host.
     pub frames_sent: u64,
+    /// Epochs that only finished via `force_finalize` (device timeout).
+    pub forced_epochs: Vec<Epoch>,
+    /// Per-device replay logs (empty unless recording was enabled).
+    pub delivery_logs: BTreeMap<u16, Vec<DeliveryEvent>>,
 }
 
 /// A live cluster run.
@@ -116,6 +128,7 @@ impl Cluster {
                 targets: vec![left, right],
                 fib: BTreeMap::from([(0u32, 0u16), (1u32, 1u16)]),
                 host_ports: vec![d == 0, d == n - 1],
+                record_deliveries: cfg.record_deliveries,
             };
             observer.register_device(d, Device::unit_ids(&dev_cfg));
             let device = Device::new(dev_cfg, obs_tx.clone(), t0);
@@ -165,8 +178,15 @@ impl Cluster {
 
         // Observer loop (inline on this thread).
         let mut snapshots = Vec::new();
+        let mut forced_epochs = Vec::new();
         let mut sync: BTreeMap<Epoch, (u64, u64)> = BTreeMap::new();
         for k in 0..cfg.snapshots {
+            for &(d, at) in &cfg.fail_devices {
+                if at == k {
+                    let _ =
+                        txs[usize::from(d)].send(DeviceMsg::SetSnapshotEnabled { enabled: false });
+                }
+            }
             let fire_at = t0 + cfg.interval * (k as u32 + 1);
             // PTP-scheduled initiation: all devices told "now" when the
             // wall clock reaches the instant (the broadcast loop below is
@@ -202,6 +222,7 @@ impl Cluster {
             }
             if observer.pending_epochs().any(|e| e == epoch) {
                 if let Some(snap) = observer.force_finalize(epoch) {
+                    forced_epochs.push(snap.epoch);
                     snapshots.push(snap);
                 }
             }
@@ -216,10 +237,16 @@ impl Cluster {
             let _ = tx.send(DeviceMsg::Shutdown);
         }
         let mut done = 0;
+        let mut delivery_logs = BTreeMap::new();
         let drain_deadline = WallInstant::now() + WallDuration::from_secs(5);
         while done < n && WallInstant::now() < drain_deadline {
             match obs_rx.recv_timeout(WallDuration::from_millis(20)) {
-                Ok(ObserverMsg::DeviceDone { .. }) => done += 1,
+                Ok(ObserverMsg::DeviceDone { device, deliveries }) => {
+                    if !deliveries.is_empty() {
+                        delivery_logs.insert(device, deliveries);
+                    }
+                    done += 1;
+                }
                 Ok(ObserverMsg::Progress { epoch, at_nanos }) => {
                     let e = sync.entry(epoch).or_insert((at_nanos, at_nanos));
                     e.0 = e.0.min(at_nanos);
@@ -241,6 +268,8 @@ impl Cluster {
                 .map(|(e, (lo, hi))| (e, (hi - lo) as f64 / 1e3))
                 .collect(),
             frames_sent: frames_sent.load(Ordering::Relaxed),
+            forced_epochs,
+            delivery_logs,
         }
     }
 }
@@ -274,7 +303,10 @@ mod tests {
                 snap.epoch,
                 snap.units
                     .values()
-                    .filter(|o| !matches!(o, UnitOutcome::Value { .. } | UnitOutcome::Inferred { .. }))
+                    .filter(|o| !matches!(
+                        o,
+                        UnitOutcome::Value { .. } | UnitOutcome::Inferred { .. }
+                    ))
                     .collect::<Vec<_>>()
             );
         }

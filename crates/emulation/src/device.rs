@@ -9,6 +9,7 @@
 use crate::messages::{DeviceMsg, Frame, ObserverMsg};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
+use speedlight_core::consistency::DeliveryEvent;
 use speedlight_core::control::ControlPlane;
 use speedlight_core::types::{ChannelId, Direction, Notification, UnitId, CPU_CHANNEL};
 use speedlight_core::unit::{DataPlaneUnit, UnitConfig};
@@ -48,6 +49,8 @@ pub struct DeviceConfig {
     /// Host-facing ports (strip the shim on egress; ingress channel not
     /// considered for completion).
     pub host_ports: Vec<bool>,
+    /// Record a per-delivery replay log for the conformance oracle.
+    pub record_deliveries: bool,
 }
 
 /// The running state of a device actor.
@@ -64,6 +67,13 @@ pub struct Device {
     observer: Sender<ObserverMsg>,
     epoch_shadow: BTreeMap<UnitId, Epoch>,
     t0: WallInstant,
+    /// Snapshot participation (fault injection flips this off).
+    snapshot_enabled: bool,
+    /// Replay log (when `cfg.record_deliveries`).
+    delivery_log: Option<Vec<DeliveryEvent>>,
+    /// Per-(unit, channel) monotone shadow of unwrapped tags, feeding the
+    /// replay log only (never the protocol).
+    ls_shadow: BTreeMap<(UnitId, u16), Epoch>,
 }
 
 struct Units<'a> {
@@ -78,7 +88,11 @@ impl speedlight_core::control::Registers for Units<'_> {
     fn read_last_seen(&mut self, unit: UnitId, channel: ChannelId) -> WrappedId {
         self.unit(unit).last_seen(channel)
     }
-    fn take_slot(&mut self, unit: UnitId, id: WrappedId) -> Option<speedlight_core::unit::SnapSlot> {
+    fn take_slot(
+        &mut self,
+        unit: UnitId,
+        id: WrappedId,
+    ) -> Option<speedlight_core::unit::SnapSlot> {
         self.unit_mut(unit).take_slot(id)
     }
 }
@@ -121,8 +135,13 @@ impl Device {
             // Ingress external channel considered only for switch peers.
             let considered = matches!(cfg.targets[usize::from(p)], PortTarget::Device { .. });
             cp.register_unit(UnitId::ingress(cfg.id, p), 1, vec![considered]);
-            cp.register_unit(UnitId::egress(cfg.id, p), ports, vec![true; usize::from(ports)]);
+            cp.register_unit(
+                UnitId::egress(cfg.id, p),
+                ports,
+                vec![true; usize::from(ports)],
+            );
         }
+        let delivery_log = cfg.record_deliveries.then(Vec::new);
         Device {
             ingress,
             egress,
@@ -134,6 +153,9 @@ impl Device {
             epoch_shadow: BTreeMap::new(),
             cfg,
             t0,
+            snapshot_enabled: true,
+            delivery_log,
+            ls_shadow: BTreeMap::new(),
         }
     }
 
@@ -178,6 +200,44 @@ impl Device {
         }
     }
 
+    /// Append one delivery to the replay log (no-op unless recording).
+    ///
+    /// `true_epoch` carries the known unwrapped epoch for CPU-channel
+    /// initiations (their epoch stream is not monotone under retries);
+    /// everything else unwraps against the per-channel monotone shadow.
+    #[allow(clippy::too_many_arguments)]
+    fn record_delivery(
+        &mut self,
+        unit: UnitId,
+        channel: ChannelId,
+        wrapped: WrappedId,
+        true_epoch: Option<Epoch>,
+        local_state: u64,
+        contrib: u64,
+        init: bool,
+    ) {
+        let Some(log) = self.delivery_log.as_mut() else {
+            return;
+        };
+        let tag = match true_epoch {
+            Some(e) => e,
+            None => {
+                let shadow = self.ls_shadow.entry((unit, channel.0)).or_insert(0);
+                let t = wrapped.unwrap_from(*shadow);
+                *shadow = t;
+                t
+            }
+        };
+        log.push(DeliveryEvent {
+            unit,
+            channel,
+            tag,
+            local_state,
+            contrib,
+            init,
+        });
+    }
+
     fn decode_shim(frame: &Frame) -> Option<SnapshotHeader> {
         frame
             .shim
@@ -188,18 +248,38 @@ impl Device {
     /// Process a frame arriving on `port`; forwards it onward.
     pub fn on_frame(&mut self, port: u16, mut frame: Frame) {
         let modulus = self.cfg.modulus;
+        if !self.snapshot_enabled {
+            // A failed snapshot agent: forwarding (and the metric) keeps
+            // working, shims pass through untouched, no unit processing.
+            self.ing_count[usize::from(port)] += 1;
+            let Some(&out_port) = self.cfg.fib.get(&frame.dst_host) else {
+                return;
+            };
+            self.eg_count[usize::from(out_port)] += 1;
+            if let PortTarget::Device { tx, peer_port } = &self.cfg.targets[usize::from(out_port)] {
+                let _ = tx.send(DeviceMsg::Frame {
+                    port: *peer_port,
+                    frame,
+                });
+            }
+            return;
+        }
         // ---- Ingress unit ----
         let pre = self.ing_count[usize::from(port)];
         let in_sid = match Self::decode_shim(&frame) {
             Some(hdr) => {
                 let wrapped = WrappedId::from_raw(hdr.snapshot_id % modulus, modulus);
-                let out = self.ingress[usize::from(port)].on_packet(
+                self.record_delivery(
+                    UnitId::ingress(self.cfg.id, port),
                     ChannelId(0),
                     wrapped,
+                    None,
                     pre,
                     1,
                     false,
                 );
+                let out =
+                    self.ingress[usize::from(port)].on_packet(ChannelId(0), wrapped, pre, 1, false);
                 if let Some(n) = out.notification {
                     self.push_notification(n);
                 }
@@ -217,13 +297,17 @@ impl Device {
 
         // ---- Egress unit (channel = ingress port) ----
         let pre = self.eg_count[usize::from(out_port)];
-        let out = self.egress[usize::from(out_port)].on_packet(
+        self.record_delivery(
+            UnitId::egress(self.cfg.id, out_port),
             ChannelId(port),
             in_sid,
+            None,
             pre,
             1,
             false,
         );
+        let out =
+            self.egress[usize::from(out_port)].on_packet(ChannelId(port), in_sid, pre, 1, false);
         if let Some(n) = out.notification {
             self.push_notification(n);
         }
@@ -252,8 +336,20 @@ impl Device {
     /// Control-plane initiation: CPU → every ingress → same-port egress
     /// (Fig. 6 path 3).
     pub fn on_initiate(&mut self, epoch: Epoch) {
+        if !self.snapshot_enabled {
+            return;
+        }
         let wrapped = WrappedId::wrap(epoch, self.cfg.modulus);
         for p in 0..self.cfg.targets.len() as u16 {
+            self.record_delivery(
+                UnitId::ingress(self.cfg.id, p),
+                CPU_CHANNEL,
+                wrapped,
+                Some(epoch),
+                self.ing_count[usize::from(p)],
+                0,
+                true,
+            );
             let out = self.ingress[usize::from(p)].on_packet(
                 CPU_CHANNEL,
                 wrapped,
@@ -265,6 +361,15 @@ impl Device {
                 self.push_notification(n);
             }
             // Same-port egress; dropped after processing.
+            self.record_delivery(
+                UnitId::egress(self.cfg.id, p),
+                ChannelId(p),
+                out.out_sid,
+                None,
+                self.eg_count[usize::from(p)],
+                0,
+                true,
+            );
             let eg = self.egress[usize::from(p)].on_packet(
                 ChannelId(p),
                 out.out_sid,
@@ -285,11 +390,13 @@ impl Device {
             match msg {
                 DeviceMsg::Frame { port, frame } => self.on_frame(port, frame),
                 DeviceMsg::Initiate { epoch } => self.on_initiate(epoch),
+                DeviceMsg::SetSnapshotEnabled { enabled } => self.snapshot_enabled = enabled,
                 DeviceMsg::Shutdown => break,
             }
         }
         let _ = self.observer.send(ObserverMsg::DeviceDone {
             device: self.cfg.id,
+            deliveries: self.delivery_log.take().unwrap_or_default(),
         });
     }
 }
@@ -307,6 +414,7 @@ mod tests {
             targets: vec![PortTarget::Host(0), PortTarget::Host(1)],
             fib: BTreeMap::from([(0, 0), (1, 1)]),
             host_ports: vec![true, true],
+            record_deliveries: false,
         };
         Device::new(cfg, observer, WallInstant::now())
     }
@@ -367,7 +475,7 @@ mod tests {
         handle.join().unwrap();
         let done = orx
             .try_iter()
-            .any(|m| matches!(m, ObserverMsg::DeviceDone { device: 0 }));
+            .any(|m| matches!(m, ObserverMsg::DeviceDone { device: 0, .. }));
         assert!(done);
     }
 }

@@ -1,6 +1,7 @@
 //! Channel message types of the live emulation.
 
 use bytes::Bytes;
+use speedlight_core::consistency::DeliveryEvent;
 use speedlight_core::control::Report;
 use speedlight_core::Epoch;
 use wire::FlowKey;
@@ -34,6 +35,13 @@ pub enum DeviceMsg {
         /// The epoch to initiate.
         epoch: Epoch,
     },
+    /// Fault injection: enable/disable snapshot participation. A disabled
+    /// device keeps forwarding frames (shim untouched) but skips all unit
+    /// processing and ignores initiations, like a crashed snapshot agent.
+    SetSnapshotEnabled {
+        /// New participation state.
+        enabled: bool,
+    },
     /// Drain and terminate.
     Shutdown,
 }
@@ -60,6 +68,8 @@ pub enum ObserverMsg {
     DeviceDone {
         /// The device.
         device: u16,
+        /// The device's replay log (empty unless recording was enabled).
+        deliveries: Vec<DeliveryEvent>,
     },
 }
 
@@ -77,8 +87,7 @@ mod tests {
             size: 100,
             shim: Some(Bytes::from(hdr.encode_to_vec())),
         };
-        let decoded =
-            SnapshotHeader::decode(&mut frame.shim.as_ref().unwrap().as_ref()).unwrap();
+        let decoded = SnapshotHeader::decode(&mut frame.shim.as_ref().unwrap().as_ref()).unwrap();
         assert_eq!(decoded, hdr);
     }
 }

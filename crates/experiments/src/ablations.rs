@@ -76,11 +76,17 @@ fn run_completion(channel_state: bool, keepalives: bool, seed: u64) -> (Vec<f64>
             h,
             Instant::ZERO,
             Box::new(
-                PoissonSource::new(h, dsts, 60_000.0, Dist::constant(700.0), seed ^ u64::from(h))
-                    // One flow per destination: with so few flows, ECMP can
-                    // leave considered channels silent — the condition the
-                    // keepalive ablation probes.
-                    .flows_per_dst(1),
+                PoissonSource::new(
+                    h,
+                    dsts,
+                    60_000.0,
+                    Dist::constant(700.0),
+                    seed ^ u64::from(h),
+                )
+                // One flow per destination: with so few flows, ECMP can
+                // leave considered channels silent — the condition the
+                // keepalive ablation probes.
+                .flows_per_dst(1),
             ),
         );
     }
@@ -175,7 +181,11 @@ pub fn render_all(seed: u64) -> String {
         .collect();
     out.push_str(&render_table(
         "Ablation 2: channel-state cost",
-        &["Channel state", "Median completion (us)", "Notifications/snapshot"],
+        &[
+            "Channel state",
+            "Median completion (us)",
+            "Notifications/snapshot",
+        ],
         &rows,
     ));
     out.push('\n');

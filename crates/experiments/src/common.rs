@@ -212,10 +212,7 @@ mod tests {
         let s = render_table(
             "T",
             &["a", "bbbb"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines[0], "T");

@@ -14,9 +14,7 @@
 //! * memcache — load is nearly perfectly balanced (µs-scale deviations),
 //!   and polling *overestimates* the imbalance.
 
-use crate::common::{
-    attach_workload, leaf_uplinks, render_cdf, standard_testbed, Workload,
-};
+use crate::common::{attach_workload, leaf_uplinks, render_cdf, standard_testbed, Workload};
 use fabric::network::DriverConfig;
 use fabric::switchmod::SnapshotConfig;
 use fabric::topology::LbKind;

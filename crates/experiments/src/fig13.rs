@@ -256,8 +256,16 @@ impl Fig13 {
             ],
             vec![
                 "ECMP pairs found positive".into(),
-                format!("{}/{}", self.ecmp_pairs_positive(&self.snapshots), self.ecmp_pairs.len()),
-                format!("{}/{}", self.ecmp_pairs_positive(&self.polling), self.ecmp_pairs.len()),
+                format!(
+                    "{}/{}",
+                    self.ecmp_pairs_positive(&self.snapshots),
+                    self.ecmp_pairs.len()
+                ),
+                format!(
+                    "{}/{}",
+                    self.ecmp_pairs_positive(&self.polling),
+                    self.ecmp_pairs.len()
+                ),
             ],
             vec![
                 "master port uncorrelated".into(),

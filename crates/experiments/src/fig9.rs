@@ -60,11 +60,11 @@ fn run_variant(cfg: &Fig9Config, channel_state: bool, poll: bool) -> (Cdf, Cdf) 
         ingress_metric: MetricKind::PacketCount,
         egress_metric: MetricKind::PacketCount,
     };
-    let mut driver = DriverConfig::default();
-    driver.snapshot_period = Some(cfg.period);
-    if poll {
-        driver.poll_period = Some(cfg.period);
-    }
+    let driver = DriverConfig {
+        snapshot_period: Some(cfg.period),
+        poll_period: poll.then_some(cfg.period),
+        ..DriverConfig::default()
+    };
     let mut tb = standard_testbed(snapshot, LbKind::Ecmp, driver, cfg.seed);
     // All-to-all background traffic so snapshot IDs piggyback promptly on
     // every internal and external channel (the testbed measured while its
@@ -126,9 +126,8 @@ pub fn run(cfg: &Fig9Config) -> Fig9 {
 impl Fig9 {
     /// Render the three CDFs.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Fig. 9: CDF of synchronization of network-wide measurements (us)\n\n",
-        );
+        let mut out =
+            String::from("Fig. 9: CDF of synchronization of network-wide measurements (us)\n\n");
         out.push_str(&render_cdf("Switch State", &self.switch_state, 20, "us"));
         out.push('\n');
         out.push_str(&render_cdf(
@@ -167,7 +166,10 @@ mod tests {
         let m_poll = f.polling.median();
         // Paper ballpark: medians a handful of µs, polling ~2.6 ms.
         assert!((2.0..25.0).contains(&m_ss), "switch-state median {m_ss} us");
-        assert!((2.0..150.0).contains(&m_cs), "channel-state median {m_cs} us");
+        assert!(
+            (2.0..150.0).contains(&m_cs),
+            "channel-state median {m_cs} us"
+        );
         // Our virtual switches have 10 units each (the paper's had 28),
         // so the sweep is proportionally shorter than 2.6 ms; the
         // 28-unit/4-device configuration is cross-checked in

@@ -96,7 +96,13 @@ mod tests {
         };
         let pc = by_variant(Variant::PacketCount);
         assert_eq!(
-            (pc.stateless_alus, pc.stateful_alus, pc.logical_tables, pc.gateways, pc.physical_stages),
+            (
+                pc.stateless_alus,
+                pc.stateful_alus,
+                pc.logical_tables,
+                pc.gateways,
+                pc.physical_stages
+            ),
             (17, 9, 27, 15, 10)
         );
         assert_eq!(pc.sram_kb.round() as u32, 606);
@@ -104,7 +110,13 @@ mod tests {
 
         let wa = by_variant(Variant::WrapAround);
         assert_eq!(
-            (wa.stateless_alus, wa.stateful_alus, wa.logical_tables, wa.gateways, wa.physical_stages),
+            (
+                wa.stateless_alus,
+                wa.stateful_alus,
+                wa.logical_tables,
+                wa.gateways,
+                wa.physical_stages
+            ),
             (19, 9, 35, 19, 10)
         );
         assert_eq!(wa.sram_kb.round() as u32, 671);
@@ -112,7 +124,13 @@ mod tests {
 
         let cs = by_variant(Variant::ChannelState);
         assert_eq!(
-            (cs.stateless_alus, cs.stateful_alus, cs.logical_tables, cs.gateways, cs.physical_stages),
+            (
+                cs.stateless_alus,
+                cs.stateful_alus,
+                cs.logical_tables,
+                cs.gateways,
+                cs.physical_stages
+            ),
             (24, 11, 37, 19, 12)
         );
         assert_eq!(cs.sram_kb.round() as u32, 770);

@@ -53,20 +53,22 @@ impl Default for LatencyModel {
             // Counter polls through the CP agent: ~85 µs median with a
             // heavy tail (scheduling); a 28-unit sweep spans ≈2.6 ms,
             // matching §8.1's polling baseline.
-            poll_read: DurationDist::micros(
-                Dist::lognormal_median(85.0, 0.35).mixed(0.97, Dist::Uniform {
+            poll_read: DurationDist::micros(Dist::lognormal_median(85.0, 0.35).mixed(
+                0.97,
+                Dist::Uniform {
                     lo: 300.0,
                     hi: 900.0,
-                }),
-            ),
+                },
+            )),
             // Agents start their sweeps a few hundred µs apart (RPC +
             // process wakeup), occasionally milliseconds.
-            poll_agent_start: DurationDist::micros(
-                Dist::lognormal_median(250.0, 0.6).mixed(0.95, Dist::Uniform {
+            poll_agent_start: DurationDist::micros(Dist::lognormal_median(250.0, 0.6).mixed(
+                0.95,
+                Dist::Uniform {
                     lo: 1_000.0,
                     hi: 3_000.0,
-                }),
-            ),
+                },
+            )),
         }
     }
 }
@@ -86,14 +88,20 @@ mod tests {
             .map(|_| m.cp_process.sample(&mut rng).as_micros_f64())
             .sum();
         let rate = 1e6 / total_us;
-        assert!((50.0..110.0).contains(&rate), "implied max rate {rate:.0} Hz");
+        assert!(
+            (50.0..110.0).contains(&rate),
+            "implied max rate {rate:.0} Hz"
+        );
 
         // Polling: a 28-unit sequential sweep spans a couple of ms.
         let sweep_ms: f64 = (0..28)
             .map(|_| m.poll_read.sample(&mut rng).as_micros_f64())
             .sum::<f64>()
             / 1e3;
-        assert!((1.5..5.0).contains(&sweep_ms), "poll sweep {sweep_ms:.2} ms");
+        assert!(
+            (1.5..5.0).contains(&sweep_ms),
+            "poll sweep {sweep_ms:.2} ms"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::traffic::Source;
 use netsim::rng::SimRng;
 use netsim::sim::{Scheduler, World};
 use netsim::time::{Duration, Instant};
-use speedlight_core::consistency::{ConservationChecker, Delivery};
+use speedlight_core::consistency::{ConservationChecker, Delivery, DeliveryEvent};
 use speedlight_core::control::Report;
 use speedlight_core::observer::{GlobalSnapshot, Observer, ObserverConfig};
 use speedlight_core::types::{ChannelId, Direction, Notification, UnitId, CPU_CHANNEL};
@@ -195,6 +195,10 @@ pub struct Instrumentation {
     pub polls: Vec<PollSweepRecord>,
     /// Omniscient conservation audit (tests enable this).
     pub audit: Option<ConservationChecker>,
+    /// Per-delivery replay log for the conformance oracle (opt-in): every
+    /// tagged packet a unit processed, with unwrapped tag and pre-update
+    /// metric value, in processing order.
+    pub delivery_log: Option<Vec<DeliveryEvent>>,
     /// Packets delivered per host.
     pub host_rx: BTreeMap<u32, u64>,
     /// Packets dropped because a FIB had no route.
@@ -320,6 +324,11 @@ impl Network {
         self.instr.audit = Some(ConservationChecker::new());
     }
 
+    /// Enable the per-delivery replay log (conformance tests).
+    pub fn enable_delivery_log(&mut self) {
+        self.instr.delivery_log = Some(Vec::new());
+    }
+
     /// The snapshot configuration.
     pub fn snapshot_cfg(&self) -> &SnapshotConfig {
         &self.snapshot_cfg
@@ -373,7 +382,9 @@ impl Network {
     }
 
     /// Run one unit's snapshot + metric pipeline over a packet, stamping
-    /// the outgoing shim header.
+    /// the outgoing shim header. `init_epoch` is the true (unwrapped)
+    /// epoch when the packet is a CPU-channel initiation.
+    #[allow(clippy::too_many_arguments)]
     fn unit_process(
         &mut self,
         sw: u16,
@@ -383,6 +394,7 @@ impl Network {
         pkt: &mut Packet,
         now: Instant,
         sched: &mut Scheduler<NetEvent>,
+        init_epoch: Option<Epoch>,
     ) {
         let uid = UnitId {
             device: sw,
@@ -414,6 +426,25 @@ impl Network {
                 } else {
                     wrapped.unwrap_from(*self.shadow_ls.entry((uid, channel.0)).or_insert(0))
                 };
+                if let Some(log) = &mut self.instr.delivery_log {
+                    // CPU-channel initiations carry a non-monotone epoch
+                    // stream (retries re-initiate older epochs), so their
+                    // true epoch comes from the initiating event rather
+                    // than shadow unwrapping.
+                    let tag = if channel == CPU_CHANNEL {
+                        init_epoch.unwrap_or(0)
+                    } else {
+                        tag_epoch
+                    };
+                    log.push(DeliveryEvent {
+                        unit: uid,
+                        channel,
+                        tag,
+                        local_state: pre_value,
+                        contrib,
+                        init: is_init,
+                    });
+                }
                 let out = {
                     let switch = &mut self.switches[usize::from(sw)];
                     let unit = match direction {
@@ -567,7 +598,16 @@ impl Network {
             };
             self.update_queue_gauge(sw, port);
             let channel = ChannelId(qp.from_port);
-            self.unit_process(sw, port, Direction::Egress, channel, &mut qp.pkt, now, sched);
+            self.unit_process(
+                sw,
+                port,
+                Direction::Egress,
+                channel,
+                &mut qp.pkt,
+                now,
+                sched,
+                None,
+            );
             if qp.pkt.is_initiation() {
                 continue; // dropped after egress processing (§6)
             }
@@ -683,8 +723,8 @@ fn used_port_pairs(topo: &Topology, fibs: &[crate::topology::Fib], s: u16) -> Ve
     }
     for h in 0..topo.num_hosts() {
         let outs = fibs[usize::from(s)].next_hops(h);
-        for p in 0..ports {
-            let feeds = match topo.ports[usize::from(s)][p] {
+        for (p, peer) in topo.ports[usize::from(s)].iter().enumerate().take(ports) {
+            let feeds = match *peer {
                 PortPeer::Host(src) => src != h,
                 PortPeer::Switch {
                     switch: peer,
@@ -711,7 +751,16 @@ impl World for Network {
         match event {
             NetEvent::ArriveIngress { sw, port, mut pkt } => {
                 self.switches[usize::from(sw)].stats.ingress_packets += 1;
-                self.unit_process(sw, port, Direction::Ingress, ChannelId(0), &mut pkt, now, sched);
+                self.unit_process(
+                    sw,
+                    port,
+                    Direction::Ingress,
+                    ChannelId(0),
+                    &mut pkt,
+                    now,
+                    sched,
+                    None,
+                );
                 if pkt.role == PacketRole::Keepalive {
                     return; // keepalives die after propagating their ID
                 }
@@ -803,7 +852,16 @@ impl World for Network {
                 }
                 let id = self.next_id();
                 let mut pkt = Packet::initiation(id, self.wrap(epoch).raw());
-                self.unit_process(sw, port, Direction::Ingress, CPU_CHANNEL, &mut pkt, now, sched);
+                self.unit_process(
+                    sw,
+                    port,
+                    Direction::Ingress,
+                    CPU_CHANNEL,
+                    &mut pkt,
+                    now,
+                    sched,
+                    Some(epoch),
+                );
                 // Forward to the same-port egress unit through the fabric
                 // (Fig. 6, arrow 3).
                 sched.after(
@@ -933,10 +991,23 @@ impl World for Network {
                     return;
                 };
                 let delay = self.latency.poll_read.sample(&mut self.rng);
-                sched.after(delay, NetEvent::PollComplete { sw, idx, sweep, uid });
+                sched.after(
+                    delay,
+                    NetEvent::PollComplete {
+                        sw,
+                        idx,
+                        sweep,
+                        uid,
+                    },
+                );
             }
 
-            NetEvent::PollComplete { sw, idx, sweep, uid } => {
+            NetEvent::PollComplete {
+                sw,
+                idx,
+                sweep,
+                uid,
+            } => {
                 let value = {
                     let switch = &self.switches[usize::from(sw)];
                     let bank = match uid.direction {

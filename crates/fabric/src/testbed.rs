@@ -10,8 +10,10 @@ use crate::network::{DriverConfig, NetEvent, Network, PollSweepRecord, SnapshotR
 use crate::switchmod::SnapshotConfig;
 use crate::topology::{LbKind, Topology};
 use crate::traffic::Source;
+use netsim::rng::SeedEcho;
 use netsim::sim::Simulation;
 use netsim::time::{Duration, Instant};
+use speedlight_core::consistency::DeliveryEvent;
 use speedlight_core::Epoch;
 
 /// Everything needed to stand a testbed up.
@@ -49,6 +51,9 @@ impl TestbedConfig {
 /// A ready-to-run simulated deployment.
 pub struct Testbed {
     sim: Simulation<Network>,
+    /// Echoes the master seed if a test panics while the testbed is alive,
+    /// so any failing deterministic run is replayable.
+    _seed_echo: SeedEcho,
 }
 
 impl Testbed {
@@ -74,7 +79,10 @@ impl Testbed {
         if let Some(first) = cfg.driver.poll_period {
             sim.schedule_after(first, NetEvent::PollSweep);
         }
-        Testbed { sim }
+        Testbed {
+            sim,
+            _seed_echo: SeedEcho::new("fabric::testbed", cfg.seed),
+        }
     }
 
     /// Attach a traffic source to `host` and schedule its first wake.
@@ -121,6 +129,16 @@ impl Testbed {
     /// Polling sweeps so far.
     pub fn polls(&self) -> &[PollSweepRecord] {
         &self.sim.world().instr.polls
+    }
+
+    /// Enable the per-delivery replay log (conformance tests).
+    pub fn enable_delivery_log(&mut self) {
+        self.sim.world_mut().enable_delivery_log();
+    }
+
+    /// The replay log, if enabled.
+    pub fn delivery_log(&self) -> Option<&[DeliveryEvent]> {
+        self.sim.world().instr.delivery_log.as_deref()
     }
 
     /// Fig. 9's synchronization metric: for each epoch with at least
@@ -234,8 +252,12 @@ mod tests {
         tb.snapshot_at(Instant::from_nanos(2_000_000));
         tb.run_until(Instant::from_nanos(100_000_000));
         let snaps = tb.snapshots();
-        assert_eq!(snaps.len(), 1, "CS snapshot must complete, even if it \
-                                    needs keepalives");
+        assert_eq!(
+            snaps.len(),
+            1,
+            "CS snapshot must complete, even if it \
+                                    needs keepalives"
+        );
         assert!(!snaps[0].forced);
         // Consistent packet-count snapshots: every unit usable.
         assert!(

@@ -183,7 +183,7 @@ impl Topology {
     /// uplinks and `k/2..k` for downlinks; core switch `c` connects pod
     /// `p` on port `p`.
     pub fn fat_tree(k: u16) -> Topology {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
         let half = k / 2;
         let edges_per_pod = half;
         let aggs_per_pod = half;
@@ -321,20 +321,8 @@ mod tests {
         assert_eq!(t.num_switches(), 4);
         assert_eq!(t.num_hosts(), 6);
         // Leaf 0 uplinks to both spines.
-        assert_eq!(
-            t.ports[0][0],
-            PortPeer::Switch {
-                switch: 2,
-                port: 0
-            }
-        );
-        assert_eq!(
-            t.ports[0][1],
-            PortPeer::Switch {
-                switch: 3,
-                port: 0
-            }
-        );
+        assert_eq!(t.ports[0][0], PortPeer::Switch { switch: 2, port: 0 });
+        assert_eq!(t.ports[0][1], PortPeer::Switch { switch: 3, port: 0 });
         assert_eq!(t.ports[0][2], PortPeer::Host(0));
     }
 
@@ -442,7 +430,10 @@ mod tests {
 
         let topo = Topology::fat_tree(4);
         let hosts = topo.num_hosts();
-        let mut tb = Testbed::new(topo, TestbedConfig::new(SnapshotConfig::packet_count_cs(64)));
+        let mut tb = Testbed::new(
+            topo,
+            TestbedConfig::new(SnapshotConfig::packet_count_cs(64)),
+        );
         // Cross-pod flows in both directions.
         tb.set_source(0, Instant::ZERO, Box::new(Cbr(0, hosts - 1)));
         tb.set_source(hosts - 1, Instant::ZERO, Box::new(Cbr(hosts - 1, 0)));

@@ -23,8 +23,12 @@ pub struct Emission {
 pub trait Source: Send {
     /// Called at a wake instant: fill `out` with packets to send now and
     /// return the next wake time (`None` = finished).
-    fn on_wake(&mut self, now: Instant, rng: &mut SimRng, out: &mut Vec<Emission>)
-        -> Option<Instant>;
+    fn on_wake(
+        &mut self,
+        now: Instant,
+        rng: &mut SimRng,
+        out: &mut Vec<Emission>,
+    ) -> Option<Instant>;
 }
 
 /// A source that sends nothing (placeholder for receive-only hosts).
@@ -76,9 +80,9 @@ impl Source for MultiSource {
         let mut earliest: Option<Instant> = None;
         for child in &mut self.children {
             let due = match child.next {
-                None => true,                       // never woken yet
-                Some(Some(at)) => at <= now,        // scheduled and due
-                Some(None) => false,                // finished
+                None => true,                // never woken yet
+                Some(Some(at)) => at <= now, // scheduled and due
+                Some(None) => false,         // finished
             };
             if due {
                 child.next = Some(child.source.on_wake(now, rng, out));

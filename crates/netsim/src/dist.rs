@@ -171,9 +171,7 @@ impl Dist {
             Dist::Normal { mean, .. } => Some(*mean),
             Dist::TruncNormal { .. } => None,
             Dist::LogNormal { mu, sigma } => Some((mu + sigma * sigma / 2.0).exp()),
-            Dist::Pareto { x_min, alpha } => {
-                (*alpha > 1.0).then(|| alpha * x_min / (alpha - 1.0))
-            }
+            Dist::Pareto { x_min, alpha } => (*alpha > 1.0).then(|| alpha * x_min / (alpha - 1.0)),
             Dist::Empirical(s) => Some(s.iter().sum::<f64>() / s.len() as f64),
             Dist::Shifted { offset, inner } => inner.mean().map(|m| m + offset),
             Dist::Mix { p, a, b } => match (a.mean(), b.mean()) {
@@ -207,26 +205,17 @@ impl DurationDist {
 
     /// Interpret samples of `dist` as microseconds.
     pub fn micros(dist: Dist) -> Self {
-        DurationDist {
-            dist,
-            unit_ns: 1e3,
-        }
+        DurationDist { dist, unit_ns: 1e3 }
     }
 
     /// Interpret samples of `dist` as milliseconds.
     pub fn millis(dist: Dist) -> Self {
-        DurationDist {
-            dist,
-            unit_ns: 1e6,
-        }
+        DurationDist { dist, unit_ns: 1e6 }
     }
 
     /// Interpret samples of `dist` as seconds.
     pub fn secs(dist: Dist) -> Self {
-        DurationDist {
-            dist,
-            unit_ns: 1e9,
-        }
+        DurationDist { dist, unit_ns: 1e9 }
     }
 
     /// A constant duration.
@@ -352,7 +341,9 @@ mod tests {
 
     #[test]
     fn shifted_and_mixed_compose() {
-        let d = Dist::constant(1.0).shifted(2.0).mixed(1.0, Dist::constant(9.0));
+        let d = Dist::constant(1.0)
+            .shifted(2.0)
+            .mixed(1.0, Dist::constant(9.0));
         let mut rng = SimRng::new(9);
         assert_eq!(d.sample(&mut rng), 3.0);
         assert_eq!(d.mean(), Some(3.0));

@@ -178,6 +178,43 @@ impl SeedableRng for SimRng {
     }
 }
 
+/// RAII guard that echoes an RNG seed if the current thread panics while
+/// the guard is alive.
+///
+/// Deterministic harnesses (the fabric testbed, the conformance runner)
+/// hold one of these so that *any* assertion failure in a seeded test
+/// prints the one value needed to replay it, without every assertion
+/// having to thread the seed through its message.
+#[derive(Debug)]
+pub struct SeedEcho {
+    label: &'static str,
+    seed: u64,
+}
+
+impl SeedEcho {
+    /// Create a guard for `seed`; `label` names the harness that owns it.
+    pub fn new(label: &'static str, seed: u64) -> SeedEcho {
+        SeedEcho { label, seed }
+    }
+
+    /// The guarded seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Drop for SeedEcho {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "[seed-echo] {}: failing run used seed 0x{:016x} ({}); \
+                 rerun with this seed to reproduce",
+                self.label, self.seed, self.seed
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

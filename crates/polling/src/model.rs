@@ -71,12 +71,13 @@ mod tests {
         let m = PollingModel {
             devices: 4,
             units_per_device: 28,
-            read_latency: DurationDist::micros(
-                Dist::lognormal_median(85.0, 0.35).mixed(0.97, Dist::Uniform {
+            read_latency: DurationDist::micros(Dist::lognormal_median(85.0, 0.35).mixed(
+                0.97,
+                Dist::Uniform {
                     lo: 300.0,
                     hi: 900.0,
-                }),
-            ),
+                },
+            )),
         };
         let mut rng = SimRng::new(2);
         let mut spreads = m.sample_many(500, &mut rng);

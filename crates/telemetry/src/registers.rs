@@ -144,7 +144,11 @@ mod tests {
         assert_eq!(b.read(0), 0);
         b.set_gauge(0, 17);
         assert_eq!(b.read(0), 17);
-        assert_eq!(b.contrib(1500), 0, "instantaneous gauges skip channel state");
+        assert_eq!(
+            b.contrib(1500),
+            0,
+            "instantaneous gauges skip channel state"
+        );
     }
 
     #[test]

@@ -47,8 +47,7 @@ impl InitiationModel {
             // User-space timer wakeup on OpenNetworkLinux: ~2 µs median
             // with a heavy scheduling tail reaching tens of µs.
             sched_jitter: DurationDist::micros(
-                Dist::lognormal_median(2.0, 0.55)
-                    .mixed(0.985, Dist::Uniform { lo: 8.0, hi: 18.0 }),
+                Dist::lognormal_median(2.0, 0.55).mixed(0.985, Dist::Uniform { lo: 8.0, hi: 18.0 }),
             ),
             // PCIe write + pipeline injection per unit: sub-µs, tight.
             cpu_to_unit: DurationDist::micros(Dist::lognormal_median(0.6, 0.25)),
@@ -118,10 +117,7 @@ mod tests {
         let a = model.sample_unit(scheduled, &dev, &mut rng);
         let b = model.sample_unit(scheduled, &dev, &mut rng);
         // Units of one device differ only by the (small) per-unit latency.
-        let spread = a
-            .executes_at
-            .as_nanos()
-            .abs_diff(b.executes_at.as_nanos());
+        let spread = a.executes_at.as_nanos().abs_diff(b.executes_at.as_nanos());
         assert!(spread < 3_000, "spread {spread} ns");
     }
 

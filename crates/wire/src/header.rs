@@ -133,9 +133,7 @@ impl SnapshotHeader {
     /// (magic + version match), without fully decoding. Used at the edge of
     /// a partial deployment to decide whether to insert a header.
     pub fn present(bytes: &[u8]) -> bool {
-        bytes.len() >= 3
-            && u16::from_be_bytes([bytes[0], bytes[1]]) == MAGIC
-            && bytes[2] == VERSION
+        bytes.len() >= 3 && u16::from_be_bytes([bytes[0], bytes[1]]) == MAGIC && bytes[2] == VERSION
     }
 }
 
@@ -161,7 +159,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::Truncated { need, have } => {
-                write!(f, "truncated snapshot header: need {need} bytes, have {have}")
+                write!(
+                    f,
+                    "truncated snapshot header: need {need} bytes, have {have}"
+                )
             }
             DecodeError::BadMagic(m) => write!(f, "bad snapshot header magic {m:#06x}"),
             DecodeError::BadVersion(v) => write!(f, "unsupported snapshot header version {v}"),

@@ -45,7 +45,10 @@ impl Default for GraphXConfig {
                 hi: 450_000.0,
             },
             burst_packets: 16,
-            burst_gap_us: Dist::Uniform { lo: 60.0, hi: 200.0 },
+            burst_gap_us: Dist::Uniform {
+                lo: 60.0,
+                hi: 200.0,
+            },
         }
     }
 }
@@ -103,7 +106,12 @@ impl GraphXWorker {
 }
 
 impl Source for GraphXWorker {
-    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+    fn on_wake(
+        &mut self,
+        now: Instant,
+        _: &mut SimRng,
+        out: &mut Vec<Emission>,
+    ) -> Option<Instant> {
         if self.remaining.iter().all(|&r| r == 0) {
             // Waiting at the barrier: arm the next superstep's exchange.
             self.step += 1;

@@ -41,7 +41,10 @@ impl Default for HadoopConfig {
             burst_packets: 24,
             // Bursts separated by 120–400 µs of think time: longer than a
             // typical 50–100 µs flowlet gap.
-            burst_gap_us: Dist::Uniform { lo: 120.0, hi: 400.0 },
+            burst_gap_us: Dist::Uniform {
+                lo: 120.0,
+                hi: 400.0,
+            },
             bytes_per_reducer: 3_000_000, // 2000 MTU packets per reducer/wave
             wave_gap_ms: Dist::Uniform { lo: 20.0, hi: 60.0 },
             straggler_ms: Dist::Exp { mean: 8.0 },
@@ -83,12 +86,17 @@ impl HadoopMapper {
 }
 
 impl Source for HadoopMapper {
-    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+    fn on_wake(
+        &mut self,
+        now: Instant,
+        _: &mut SimRng,
+        out: &mut Vec<Emission>,
+    ) -> Option<Instant> {
         match &mut self.phase {
             Phase::Computing => {
                 // Wave boundary: straggler jitter, then start shuffling.
-                let delay_ms =
-                    self.cfg.wave_gap_ms.sample(&mut self.rng) + self.cfg.straggler_ms.sample(&mut self.rng);
+                let delay_ms = self.cfg.wave_gap_ms.sample(&mut self.rng)
+                    + self.cfg.straggler_ms.sample(&mut self.rng);
                 self.phase = Phase::Shuffling {
                     remaining: vec![self.cfg.bytes_per_reducer; self.reducers.len()],
                     wave: match &self.phase {
@@ -103,8 +111,7 @@ impl Source for HadoopMapper {
                 // mapper (like a fetch-limited reducer-side copy phase).
                 // This is what makes ECMP collisions *persist*: the active
                 // flow set changes only every elephant, not every burst.
-                let Some(ri) = remaining.iter().position(|r| *r > 0)
-                else {
+                let Some(ri) = remaining.iter().position(|r| *r > 0) else {
                     // Wave done: back to compute.
                     self.phase = Phase::Computing;
                     return self.on_wake_compute_transition(now);
@@ -135,8 +142,8 @@ impl Source for HadoopMapper {
 
 impl HadoopMapper {
     fn on_wake_compute_transition(&mut self, now: Instant) -> Option<Instant> {
-        let delay_ms =
-            self.cfg.wave_gap_ms.sample(&mut self.rng) + self.cfg.straggler_ms.sample(&mut self.rng);
+        let delay_ms = self.cfg.wave_gap_ms.sample(&mut self.rng)
+            + self.cfg.straggler_ms.sample(&mut self.rng);
         // Re-arm the shuffle for the next wave.
         self.phase = Phase::Shuffling {
             remaining: vec![self.cfg.bytes_per_reducer; self.reducers.len()],
@@ -222,8 +229,14 @@ mod tests {
 
     #[test]
     fn stragglers_desynchronize_mappers() {
-        let a = drain(&mut HadoopMapper::new(0, vec![9], HadoopConfig::default(), 7), 200);
-        let b = drain(&mut HadoopMapper::new(1, vec![9], HadoopConfig::default(), 7), 200);
+        let a = drain(
+            &mut HadoopMapper::new(0, vec![9], HadoopConfig::default(), 7),
+            200,
+        );
+        let b = drain(
+            &mut HadoopMapper::new(1, vec![9], HadoopConfig::default(), 7),
+            200,
+        );
         let first_a = a.first().unwrap().0;
         let first_b = b.first().unwrap().0;
         assert_ne!(first_a, first_b, "straggler jitter must differ per mapper");

@@ -46,7 +46,10 @@ impl Default for MemcacheConfig {
 
 /// Deterministic request schedule for one client (shared computation).
 fn request_gap(rng: &mut SimRng, rate_rps: f64) -> Duration {
-    let gap = Dist::Exp { mean: 1e9 / rate_rps }.sample(rng);
+    let gap = Dist::Exp {
+        mean: 1e9 / rate_rps,
+    }
+    .sample(rng);
     Duration::from_nanos(gap as u64)
 }
 
@@ -77,7 +80,12 @@ impl MemcacheClient {
 }
 
 impl Source for MemcacheClient {
-    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+    fn on_wake(
+        &mut self,
+        now: Instant,
+        _: &mut SimRng,
+        out: &mut Vec<Emission>,
+    ) -> Option<Instant> {
         // One request packet to each server holding a shard of the keys.
         for (i, &server) in self.servers.iter().enumerate() {
             out.push(Emission {
@@ -123,8 +131,7 @@ impl MemcacheServer {
             .map(|&c| SimRng::new(workload_seed).fork_idx("mc-client", u64::from(c)))
             .collect();
         MemcacheServer {
-            local_rng: SimRng::new(workload_seed)
-                .fork_idx("mc-server", u64::from(server)),
+            local_rng: SimRng::new(workload_seed).fork_idx("mc-server", u64::from(server)),
             next_request: vec![Instant::ZERO; clients.len()],
             server,
             server_index,
@@ -147,7 +154,12 @@ impl MemcacheServer {
 }
 
 impl Source for MemcacheServer {
-    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+    fn on_wake(
+        &mut self,
+        now: Instant,
+        _: &mut SimRng,
+        out: &mut Vec<Emission>,
+    ) -> Option<Instant> {
         if !self.started {
             // Prime the per-client schedules with their first request time.
             for (i, rng) in self.schedules.iter_mut().enumerate() {
@@ -171,8 +183,8 @@ impl Source for MemcacheServer {
                         ),
                         bytes,
                     });
-                    self.next_request[i] =
-                        self.next_request[i] + request_gap(&mut self.schedules[i], self.cfg.rate_rps);
+                    self.next_request[i] +=
+                        request_gap(&mut self.schedules[i], self.cfg.rate_rps);
                 }
             }
         }
@@ -261,8 +273,7 @@ mod tests {
         };
         let total: u32 = (0..3)
             .map(|i| {
-                MemcacheServer::new(10 + i as u32, i, 3, vec![0], cfg.clone(), 1).shard_bytes()
-                    - 40
+                MemcacheServer::new(10 + i as u32, i, 3, vec![0], cfg.clone(), 1).shard_bytes() - 40
             })
             .sum();
         assert_eq!(total, 50 * 100);

@@ -56,7 +56,12 @@ impl PoissonSource {
 }
 
 impl Source for PoissonSource {
-    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+    fn on_wake(
+        &mut self,
+        now: Instant,
+        _: &mut SimRng,
+        out: &mut Vec<Emission>,
+    ) -> Option<Instant> {
         if let Some(stop) = self.stop_at {
             if now >= stop {
                 return None;
@@ -122,7 +127,12 @@ impl OnOffSource {
 }
 
 impl Source for OnOffSource {
-    fn on_wake(&mut self, now: Instant, _: &mut SimRng, out: &mut Vec<Emission>) -> Option<Instant> {
+    fn on_wake(
+        &mut self,
+        now: Instant,
+        _: &mut SimRng,
+        out: &mut Vec<Emission>,
+    ) -> Option<Instant> {
         match self.on_until {
             Some(until) if now < until => {
                 out.push(Emission {

@@ -19,6 +19,8 @@ fn main() {
         interval: Duration::from_millis(10),
         host_rate: 50_000,
         timeout: Duration::from_millis(500),
+        record_deliveries: false,
+        fail_devices: Vec::new(),
     };
     println!(
         "spinning up {} switch threads + 2 host generators, {} snapshots \

@@ -35,7 +35,13 @@ fn main() {
         tb.set_source(
             h,
             Instant::ZERO,
-            Box::new(PoissonSource::new(h, dsts, 80_000.0, Dist::constant(800.0), 7 + u64::from(h))),
+            Box::new(PoissonSource::new(
+                h,
+                dsts,
+                80_000.0,
+                Dist::constant(800.0),
+                7 + u64::from(h),
+            )),
         );
     }
 

@@ -31,7 +31,11 @@ fn every_workload_completes_snapshots_under_both_balancers() {
                 snaps.len()
             );
             for rec in snaps {
-                assert!(!rec.forced, "{workload:?}/{lb:?} epoch {}", rec.snapshot.epoch);
+                assert!(
+                    !rec.forced,
+                    "{workload:?}/{lb:?} epoch {}",
+                    rec.snapshot.epoch
+                );
                 assert!(rec.snapshot.fully_consistent());
             }
         }
@@ -151,7 +155,14 @@ fn queue_depth_snapshots_capture_plausible_gauges() {
         tb.set_source(
             srv,
             Instant::ZERO,
-            Box::new(MemcacheServer::new(srv, i, 3, vec![0, 1, 2], mc.clone(), 11)),
+            Box::new(MemcacheServer::new(
+                srv,
+                i,
+                3,
+                vec![0, 1, 2],
+                mc.clone(),
+                11,
+            )),
         );
     }
     tb.run_until(Instant::ZERO + Duration::from_millis(100));

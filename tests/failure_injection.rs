@@ -50,6 +50,51 @@ fn failed_device_is_excluded_not_wedging_the_observer() {
 }
 
 #[test]
+fn two_devices_failing_in_the_same_epoch_are_both_excluded() {
+    // Regression for `observer::force_finalize` with multiple lagging
+    // devices: when two switches die simultaneously mid-epoch, every
+    // forced snapshot after the failure must exclude BOTH of them while
+    // the surviving devices keep reporting usable values.
+    let mut tb = standard_testbed(
+        SnapshotConfig::packet_count_cs(128),
+        LbKind::Ecmp,
+        DriverConfig {
+            snapshot_period: Some(Duration::from_millis(10)),
+            device_timeout: Duration::from_millis(40),
+            ..DriverConfig::default()
+        },
+        7,
+    );
+    attach_workload(&mut tb, Workload::Memcache, 7);
+    tb.run_until(Instant::ZERO + Duration::from_millis(35));
+    // Both spines fail in the same instant — same epoch, same timeout.
+    tb.network_mut().switches[2].snapshot_enabled = false;
+    tb.network_mut().switches[3].snapshot_enabled = false;
+    tb.run_until(Instant::ZERO + Duration::from_millis(200));
+
+    let snaps = tb.snapshots();
+    assert!(snaps.iter().filter(|r| !r.forced).count() >= 2);
+    let forced: Vec<_> = snaps.iter().filter(|r| r.forced).collect();
+    assert!(
+        forced.len() >= 5,
+        "post-failure snapshots should force-finalize"
+    );
+    let last = forced.last().unwrap();
+    assert!(
+        last.snapshot.excluded.contains(&2) && last.snapshot.excluded.contains(&3),
+        "both failed devices must be excluded, got {:?}",
+        last.snapshot.excluded
+    );
+    assert!(last.snapshot.devices.contains(&0));
+    assert!(last.snapshot.usable().count() > 0, "survivors still report");
+    for (uid, outcome) in &last.snapshot.units {
+        if uid.device == 2 || uid.device == 3 {
+            assert_eq!(*outcome, UnitOutcome::DeviceExcluded);
+        }
+    }
+}
+
+#[test]
 fn tiny_notification_buffer_degrades_gracefully() {
     let topo = Topology::leaf_spine(2, 2, 3);
     let mut cfg = TestbedConfig::new(SnapshotConfig {
@@ -66,11 +111,22 @@ fn tiny_notification_buffer_degrades_gracefully() {
         tb.set_source(
             h,
             Instant::ZERO,
-            Box::new(PoissonSource::new(h, dsts, 50_000.0, Dist::constant(500.0), 5)),
+            Box::new(PoissonSource::new(
+                h,
+                dsts,
+                50_000.0,
+                Dist::constant(500.0),
+                5,
+            )),
         );
     }
     tb.run_until(Instant::ZERO + Duration::from_millis(250));
-    let drops: u64 = tb.network().switches.iter().map(|s| s.stats.notify_drops).sum();
+    let drops: u64 = tb
+        .network()
+        .switches
+        .iter()
+        .map(|s| s.stats.notify_drops)
+        .sum();
     assert!(drops > 0, "the test must actually drop notifications");
     // Snapshots still finish (retries + conservative marking), and any
     // value that IS reported consistent remains trustworthy.
@@ -103,12 +159,24 @@ fn partial_deployment_on_a_line_still_snapshots_consistently() {
     tb.set_source(
         0,
         Instant::ZERO,
-        Box::new(PoissonSource::new(0, vec![1], 80_000.0, Dist::constant(400.0), 3)),
+        Box::new(PoissonSource::new(
+            0,
+            vec![1],
+            80_000.0,
+            Dist::constant(400.0),
+            3,
+        )),
     );
     tb.set_source(
         1,
         Instant::ZERO,
-        Box::new(PoissonSource::new(1, vec![0], 80_000.0, Dist::constant(400.0), 4)),
+        Box::new(PoissonSource::new(
+            1,
+            vec![0],
+            80_000.0,
+            Dist::constant(400.0),
+            4,
+        )),
     );
     tb.run_until(Instant::ZERO + Duration::from_millis(150));
 

@@ -1,0 +1,356 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel` is provided: MPMC channels with cloneable
+//! senders *and* receivers, blocking/timeout receives, and disconnect
+//! semantics matching upstream (sends fail once all receivers are gone;
+//! receives fail once the queue is empty and all senders are gone). Built
+//! on `std::sync::{Mutex, Condvar}` — slower than upstream's lock-free
+//! queues but semantically equivalent for the emulation layer's needs.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when the queue gains an item or the last sender leaves.
+        readable: Condvar,
+        /// Signalled when the queue loses an item or the last receiver leaves.
+        writable: Condvar,
+    }
+
+    /// Sending half of a channel. Cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a channel. Cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A bounded channel; sends block while `cap` messages are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(
+            cap > 0,
+            "zero-capacity rendezvous channels are not supported by this vendored subset"
+        );
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                let full = st.cap.is_some_and(|c| st.queue.len() >= c);
+                if !full {
+                    st.queue.push_back(msg);
+                    self.shared.readable.notify_one();
+                    return Ok(());
+                }
+                st = self.shared.writable.wait(st).unwrap();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a message arrives or all senders leave.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.shared.writable.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.readable.wait(st).unwrap();
+            }
+        }
+
+        /// Receive with a deadline relative to now.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.shared.writable.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .readable
+                    .wait_timeout(st, deadline - now)
+                    .unwrap();
+                st = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            if let Some(msg) = st.queue.pop_front() {
+                self.shared.writable.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking iterator; ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// Non-blocking iterator over currently queued messages.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Non-blocking iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake blocked senders so they observe the disconnect.
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn basic_send_recv() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn queued_messages_survive_sender_drop() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn iter_ends_on_disconnect() {
+            let (tx, rx) = unbounded();
+            let h = thread::spawn(move || {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = rx.iter().collect();
+            h.join().unwrap();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let h = thread::spawn(move || {
+                tx.send(3).unwrap(); // blocks until a slot frees
+                "done"
+            });
+            thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(h.join().unwrap(), "done");
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+        }
+
+        #[test]
+        fn mpmc_receivers_share_work() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let h = thread::spawn(move || rx2.iter().count());
+            let a = rx.iter().count();
+            let b = h.join().unwrap();
+            assert_eq!(a + b, 100);
+        }
+    }
+}

@@ -1,0 +1,727 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Implements the surface this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, `any::<T>()`, numeric range
+//! strategies, tuple strategies, `collection::vec`, a small `[a-z]{m,n}`
+//! char-class string strategy, and the `proptest!` / `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** On failure the full generated input is printed along
+//!   with the case seed; cases are small enough here that shrinking is a
+//!   nicety, not a necessity.
+//! - **Deterministic by default.** Case seeds derive from the test name, so
+//!   CI runs are reproducible. Set `PROPTEST_SEED` to explore a different
+//!   stream, and `PROPTEST_CASES` to change the case count (default 96).
+//! - **Regression files** (`proptest-regressions/<file>.txt`, lines of
+//!   `cc <hex seed>`) are loaded first and replayed before the random
+//!   cases, and failures are appended automatically, like upstream.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, RngCore};
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filter generated values; rejected values are regenerated (upstream
+    /// rejects the whole case — with no shrinker the retry is equivalent
+    /// and wastes fewer cases).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 candidates: {}", self.whence);
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Strategy over every value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values spanning a wide dynamic range.
+        let mantissa = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let exp: i32 = rng.gen_range(-64..64);
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * mantissa * (2.0f64).powi(exp)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+),)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+    (A, B, C, D, E, F, G),
+    (A, B, C, D, E, F, G, H),
+}
+
+/// A `&str` used as a strategy is a regex-like pattern. This subset
+/// supports concatenations of literals and `[a-z]`-style character classes,
+/// each optionally followed by `{n}`, `{m,n}`, `?`, `*`, or `+`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+    use rand::Rng;
+
+    enum Piece {
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let piece = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars.next().unwrap_or_else(|| unsupported(pattern));
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars.next().unwrap_or_else(|| unsupported(pattern));
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    Piece::Class(ranges)
+                }
+                '\\' => Piece::Literal(chars.next().unwrap_or_else(|| unsupported(pattern))),
+                '{' | '}' | '?' | '*' | '+' | '(' | ')' | '|' | '.' => unsupported(pattern),
+                c => Piece::Literal(c),
+            };
+            // Optional repetition suffix.
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().unwrap_or_else(|_| unsupported(pattern)),
+                            n.trim().parse().unwrap_or_else(|_| unsupported(pattern)),
+                        ),
+                        None => {
+                            let n: usize =
+                                spec.trim().parse().unwrap_or_else(|_| unsupported(pattern));
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            let count = rng.gen_range(lo..=hi);
+            for _ in 0..count {
+                match &piece {
+                    Piece::Literal(c) => out.push(*c),
+                    Piece::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                        out.push(
+                            char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn unsupported(pattern: &str) -> ! {
+        panic!(
+            "string pattern {pattern:?} uses regex features beyond the vendored \
+             proptest subset (literals, [a-z] classes, {{m,n}}/?/*/+ repetition)"
+        )
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable size specifications for [`vec`].
+    pub trait SizeRange {
+        /// Draw a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-case outcomes and the runner loop used by `proptest!`.
+pub mod test_runner {
+    use super::{Strategy, TestRng};
+    use rand::SeedableRng;
+    use std::io::Write;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::{Path, PathBuf};
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    fn default_cases() -> u64 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(96),
+            Err(_) => 96,
+        }
+    }
+
+    fn base_seed(test_name: &str) -> u64 {
+        if let Ok(v) = std::env::var("PROPTEST_SEED") {
+            let v = v.trim().trim_start_matches("0x");
+            if let Ok(s) = u64::from_str_radix(v, 16) {
+                return s;
+            }
+        }
+        // FNV-1a over the test name: deterministic per test, stable per run.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+        let stem = Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt"))
+    }
+
+    fn load_regression_seeds(path: &Path) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                let token = rest.split_whitespace().next()?;
+                u64::from_str_radix(token.trim_start_matches("0x"), 16).ok()
+            })
+            .collect()
+    }
+
+    fn persist_failure(path: &Path, seed: u64) {
+        if load_regression_seeds(path).contains(&seed) {
+            return;
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let header_needed = !path.exists();
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            if header_needed {
+                let _ = writeln!(
+                    f,
+                    "# Seeds for failure cases found by proptest. It is recommended to\n\
+                     # check this file into source control so that everyone who runs the\n\
+                     # tests benefits from these saved cases."
+                );
+            }
+            let _ = writeln!(f, "cc 0x{seed:016x}");
+        }
+    }
+
+    /// Execute one property: regression seeds first, then `PROPTEST_CASES`
+    /// fresh cases. Panics (with seed echo + persistence) on failure.
+    pub fn run<S, F>(manifest_dir: &str, source_file: &str, test_name: &str, strategy: &S, f: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let reg_path = regression_path(manifest_dir, source_file);
+        let regression = load_regression_seeds(&reg_path);
+        let cases = default_cases();
+        let base = base_seed(test_name);
+
+        let mut rejected: u64 = 0;
+        let mut executed: u64 = 0;
+        let mut case_index: u64 = 0;
+        let budget = cases * 20;
+
+        let seeds = regression
+            .iter()
+            .copied()
+            .map(|s| (s, true))
+            .chain((0..).map(|i| (splitmix(base.wrapping_add(i)), false)));
+        #[allow(clippy::explicit_counter_loop)] // counter spans assume-rejections, not items
+        for (seed, from_regression) in seeds {
+            if executed >= cases + regression.len() as u64 {
+                break;
+            }
+            if case_index >= budget + regression.len() as u64 {
+                panic!(
+                    "proptest '{test_name}': too many prop_assume rejections \
+                     ({rejected} of {case_index} cases)"
+                );
+            }
+            case_index += 1;
+
+            let mut rng = TestRng::seed_from_u64(seed);
+            let value = strategy.generate(&mut rng);
+            let shown = format!("{value:?}");
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(value)));
+            match outcome {
+                Ok(Ok(())) => executed += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejected += 1;
+                    if from_regression {
+                        executed += 1; // don't loop forever on a rejecting regression seed
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    persist_failure(&reg_path, seed);
+                    panic!(
+                        "proptest '{test_name}' failed (case seed 0x{seed:016x}, \
+                         persisted to {reg_path:?})\n  input: {shown}\n  error: {msg}\n  \
+                         replay: PROPTEST_SEED=0x{seed:016x} PROPTEST_CASES=1 cargo test {test_name}"
+                    );
+                }
+                Err(panic) => {
+                    persist_failure(&reg_path, seed);
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!(
+                        "proptest '{test_name}' panicked (case seed 0x{seed:016x}, \
+                         persisted to {reg_path:?})\n  input: {shown}\n  panic: {msg}\n  \
+                         replay: PROPTEST_SEED=0x{seed:016x} PROPTEST_CASES=1 cargo test {test_name}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The conventional glob import for proptest users.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Arbitrary, Just, Strategy};
+}
+
+/// Define property tests. Each function body runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:tt in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run(
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                &strategy,
+                |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            *l, *r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            *l, *r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fail the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            *l
+        );
+        let _ = r;
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            *l, format!($($fmt)*)
+        );
+        let _ = r;
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in -2i32..=2, f in 0.5f64..1.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vec_compose(
+            pair in (any::<bool>(), 0u8..4),
+            items in collection::vec((0usize..4, 1u64..5), 1..20),
+        ) {
+            let (_flag, small) = pair;
+            prop_assert!(small < 4);
+            prop_assert!(!items.is_empty() && items.len() < 20);
+            for (a, b) in items {
+                prop_assert!(a < 4 && (1..5).contains(&b));
+            }
+        }
+
+        #[test]
+        fn string_classes_match_shape(s in "[a-z]{1,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn prop_map_transforms(v in (0u32..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(v < 200);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = (0u64..1000, "[a-z]{1,12}");
+        let mut a = TestRng::seed_from_u64(42);
+        let mut b = TestRng::seed_from_u64(42);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn failures_report_seed_and_input() {
+        let tmp = std::env::temp_dir().join("proptest-shim-selfcheck");
+        let tmp_str = tmp.to_str().unwrap().to_string();
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(
+                &tmp_str,
+                "self_check.rs",
+                "always_fails",
+                &(0u64..10),
+                |_v| Err(TestCaseError::fail("forced")),
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("case seed 0x"), "{msg}");
+        assert!(msg.contains("PROPTEST_SEED="), "{msg}");
+        assert!(msg.contains("forced"), "{msg}");
+        // And the seed was persisted in regression-file format.
+        let reg = tmp.join("proptest-regressions").join("self_check.txt");
+        let text = std::fs::read_to_string(&reg).unwrap();
+        assert!(text.lines().any(|l| l.starts_with("cc 0x")), "{text}");
+        let _ = std::fs::remove_dir_all(tmp);
+    }
+}
