@@ -112,7 +112,7 @@ impl IdealUnit {
                 );
             }
             self.sid = pkt_epoch;
-            PacketVerdict::Advanced(adv.min(u64::from(u16::MAX)) as u16)
+            PacketVerdict::Advanced(u16::try_from(adv).unwrap_or(u16::MAX))
         } else if pkt_epoch < self.sid {
             // In-flight: credit every epoch in (pkt_epoch, sid] (l. 9–10).
             if self.channel_state && !is_initiation {
@@ -120,7 +120,7 @@ impl IdealUnit {
                     self.snaps.entry(e).or_default().channel += contrib;
                 }
             }
-            PacketVerdict::InFlight((self.sid - pkt_epoch).min(u64::from(u16::MAX)) as u16)
+            PacketVerdict::InFlight(u16::try_from(self.sid - pkt_epoch).unwrap_or(u16::MAX))
         } else {
             PacketVerdict::Current
         };

@@ -158,7 +158,7 @@ impl Cluster {
                 std::thread::Builder::new()
                     .name(format!("host-{src}"))
                     .spawn(move || {
-                        while !stop.load(Ordering::Relaxed) {
+                        while !stop.load(Ordering::Acquire) {
                             let frame = Frame {
                                 flow: FlowKey::tcp(src, dst, 10_000, 80),
                                 dst_host: dst,
@@ -168,6 +168,7 @@ impl Cluster {
                             if tx.send(DeviceMsg::Frame { port, frame }).is_err() {
                                 break;
                             }
+                            // invariants: allow(relaxed-ordering) — pure frame statistic; no other memory depends on its order
                             sent.fetch_add(1, Ordering::Relaxed);
                             std::thread::sleep(gap);
                         }
@@ -229,7 +230,7 @@ impl Cluster {
         }
 
         // ---- Graceful shutdown ----
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
         for h in gen_handles {
             let _ = h.join();
         }
@@ -267,6 +268,7 @@ impl Cluster {
                 .into_iter()
                 .map(|(e, (lo, hi))| (e, (hi - lo) as f64 / 1e3))
                 .collect(),
+            // invariants: allow(relaxed-ordering) — read after every generator joined; join supplies the happens-before edge
             frames_sent: frames_sent.load(Ordering::Relaxed),
             forced_epochs,
             delivery_logs,

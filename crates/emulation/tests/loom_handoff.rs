@@ -1,0 +1,115 @@
+//! Loom model of the register-update / notification-export handoff.
+//!
+//! §5.3/§6 of the paper: the data plane bumps a unit's snapshot-ID
+//! register and exports a notification over PCIe; the CPU's completion
+//! check polls the register and consumes the notification queue. The
+//! protocol is only sound if the notification is visible *no later than*
+//! the register value it explains — a poll that observes `sid == S` but
+//! finds no notification for `S` concludes the unit is mid-snapshot
+//! forever (the stale-poll hazard the `relaxed-ordering` lint guards).
+//!
+//! The models here check the ordering contract exhaustively over every
+//! interleaving (sequentially-consistent exploration; Relaxed-specific
+//! reorderings are covered by the lint plus the CI TSan job instead).
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::{Arc, ModelQueue};
+use loom::thread;
+
+/// Correct handoff: export the notification, then publish the register.
+/// No interleaving lets the poll observe the register without the
+/// notification already being available.
+#[test]
+fn notification_visible_when_register_observed() {
+    loom::model(|| {
+        let sid = Arc::new(AtomicU64::new(0));
+        let notifs: Arc<ModelQueue<u64>> = Arc::new(ModelQueue::new());
+
+        let dp = {
+            let sid = Arc::clone(&sid);
+            let notifs = Arc::clone(&notifs);
+            thread::spawn(move || {
+                // Data plane: notification export first...
+                notifs.send(1);
+                // ...then the register update that makes it discoverable.
+                sid.store(1, Ordering::Release);
+            })
+        };
+
+        // Control plane poll (§6 completion check).
+        if sid.load(Ordering::Acquire) == 1 {
+            assert!(
+                notifs.try_recv().is_some(),
+                "poll observed sid=1 but its notification was not yet exported"
+            );
+        }
+
+        dp.join().unwrap();
+    });
+}
+
+/// The inverted handoff (register before export) is a real race: loom
+/// must find the interleaving where the poll sees the register but the
+/// queue is still empty. This keeps the model honest — if the checker
+/// stopped exploring, this test would fail first.
+#[test]
+fn inverted_handoff_is_caught() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let sid = Arc::new(AtomicU64::new(0));
+            let notifs: Arc<ModelQueue<u64>> = Arc::new(ModelQueue::new());
+
+            let dp = {
+                let sid = Arc::clone(&sid);
+                let notifs = Arc::clone(&notifs);
+                thread::spawn(move || {
+                    // BUG under test: register published before the export.
+                    sid.store(1, Ordering::Release);
+                    notifs.send(1);
+                })
+            };
+
+            if sid.load(Ordering::Acquire) == 1 {
+                assert!(notifs.try_recv().is_some());
+            }
+
+            dp.join().unwrap();
+        });
+    });
+    let err = result.expect_err("model must find the register-before-export race");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".into());
+    assert!(
+        msg.contains("schedule:"),
+        "failure report should carry the offending schedule, got: {msg}"
+    );
+}
+
+/// The single-writer register is monotone across the handoff: a poller
+/// that reads twice never observes the snapshot ID moving backwards,
+/// even with the data plane racing ahead to the next epoch.
+#[test]
+fn register_never_regresses_under_poll() {
+    loom::model(|| {
+        let sid = Arc::new(AtomicU64::new(0));
+
+        let dp = {
+            let sid = Arc::clone(&sid);
+            thread::spawn(move || {
+                sid.store(1, Ordering::Release);
+                sid.store(2, Ordering::Release);
+            })
+        };
+
+        let first = sid.load(Ordering::Acquire);
+        let second = sid.load(Ordering::Acquire);
+        assert!(
+            second >= first,
+            "snapshot register regressed: {first} -> {second}"
+        );
+
+        dp.join().unwrap();
+    });
+}

@@ -1,0 +1,94 @@
+//! Loom regression for the §6 register-polling race: two devices
+//! exchanging a snapshot marker while the control plane polls their
+//! snapshot-ID registers concurrently.
+//!
+//! Causality is the invariant. Device B only advances to epoch 1 after
+//! receiving A's marker, and A stamps its own register before sending
+//! the marker — so no poll may ever observe B at epoch 1 while A still
+//! reads epoch 0. A controller trusting such a read would conclude "B
+//! complete, A not yet initiated" and mis-time the §6 completion check.
+//! The second test pins down why the order matters: stamping after the
+//! send reintroduces the race, and the model must find it.
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::{Arc, ModelQueue};
+use loom::thread;
+
+/// How many times device B polls its inbox before giving up. try_recv is
+/// a scheduling point, so a bounded retry keeps the state space finite;
+/// executions where B gives up leave its register at 0, which satisfies
+/// the invariant vacuously.
+const RECV_RETRIES: usize = 3;
+
+fn marker_exchange(stamp_before_send: bool) {
+    let reg_a = Arc::new(AtomicU64::new(0));
+    let reg_b = Arc::new(AtomicU64::new(0));
+    let link: Arc<ModelQueue<u64>> = Arc::new(ModelQueue::new());
+
+    // Device A: initiate epoch 1 and forward the in-band marker.
+    let a = {
+        let reg_a = Arc::clone(&reg_a);
+        let link = Arc::clone(&link);
+        thread::spawn(move || {
+            if stamp_before_send {
+                reg_a.store(1, Ordering::Release);
+                link.send(1);
+            } else {
+                // BUG under test: marker leaves before the local stamp.
+                link.send(1);
+                reg_a.store(1, Ordering::Release);
+            }
+        })
+    };
+
+    // Device B: receive the marker, adopt its snapshot ID.
+    let b = {
+        let reg_b = Arc::clone(&reg_b);
+        let link = Arc::clone(&link);
+        thread::spawn(move || {
+            for _ in 0..RECV_RETRIES {
+                if let Some(sid) = link.try_recv() {
+                    reg_b.store(sid, Ordering::Release);
+                    return;
+                }
+                thread::yield_now();
+            }
+        })
+    };
+
+    // Control-plane poll, concurrent with both devices. Downstream (B)
+    // is read first so the causal claim is checkable: if B has adopted
+    // epoch 1, A's stamp happened strictly earlier and must be visible
+    // to the later read.
+    let b_seen = reg_b.load(Ordering::Acquire);
+    let a_seen = reg_a.load(Ordering::Acquire);
+    if b_seen == 1 {
+        assert_eq!(
+            a_seen, 1,
+            "poll observed downstream register at epoch 1 while upstream still reads 0"
+        );
+    }
+
+    a.join().unwrap();
+    b.join().unwrap();
+}
+
+/// Stamp-then-send: the poll can never catch B ahead of A.
+#[test]
+fn poll_never_sees_downstream_ahead_of_upstream() {
+    loom::model(|| marker_exchange(true));
+}
+
+/// Send-then-stamp is the race §6 warns about; the model must exhibit
+/// the interleaving where B has adopted the marker's ID before A's own
+/// register update lands.
+#[test]
+fn send_before_stamp_race_is_caught() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| marker_exchange(false));
+    });
+    assert!(
+        result.is_err(),
+        "model failed to find the send-before-stamp polling race"
+    );
+}

@@ -1,0 +1,346 @@
+//! A minimal Rust token scanner.
+//!
+//! The lint rules need far less than a full parse: identifier/punctuation
+//! streams with line numbers, with comments, strings, char literals, and
+//! lifetimes stripped so they can never produce false matches. Crucially
+//! the scanner *does* capture comment text, because that is where the
+//! `// invariants: allow(<rule>) — <reason>` escape hatches live.
+
+/// One lexical token of interest to the rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`match`, `Ordering`, `as`, ...).
+    Ident(String),
+    /// A single punctuation character (`{`, `:`, `=`, ...). Multi-char
+    /// operators arrive as consecutive tokens (`::` is `:`, `:`).
+    Punct(char),
+    /// Any literal (string, char, number). The payload is dropped; the
+    /// token exists only to keep expression shapes intact.
+    Lit,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A comment captured during scanning (line or block), with the line its
+/// text starts on. Block comments yield one entry per line of content.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Scanner output: the token stream and every comment.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Tokens in source order.
+    pub tokens: Vec<Spanned>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. Never fails: unterminated constructs consume to EOF,
+/// matching how rustc would already have rejected the file before we see
+/// it (the lint runs on sources that compile).
+pub fn scan(src: &str) -> Scan {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Scan::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advance over `n` chars, counting newlines.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < b.len() {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // --- whitespace ---
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+        // --- line comment ---
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: b[start..j].iter().collect::<String>().trim().to_string(),
+                line,
+            });
+            bump!(j - i);
+            continue;
+        }
+        // --- block comment (nesting, per Rust) ---
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut text_start = j;
+            let mut inner_line = line;
+            while j < b.len() && depth > 0 {
+                if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if b[j] == '\n' {
+                        out.comments.push(Comment {
+                            text: b[text_start..j]
+                                .iter()
+                                .collect::<String>()
+                                .trim()
+                                .to_string(),
+                            line: inner_line,
+                        });
+                        inner_line += 1;
+                        text_start = j + 1;
+                    }
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(text_start);
+            out.comments.push(Comment {
+                text: b[text_start..end]
+                    .iter()
+                    .collect::<String>()
+                    .trim()
+                    .to_string(),
+                line: inner_line,
+            });
+            bump!(j - i);
+            continue;
+        }
+        // --- raw strings: r"..." / r#"..."# / br#"..."# ---
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let mut j = i;
+            if b[j] == 'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0usize;
+            while j < b.len() && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // past opening quote
+                    // scan to `"` followed by `hashes` times '#'
+            while j < b.len() {
+                if b[j] == '"' {
+                    let mut k = 0usize;
+                    while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        j += 1 + hashes;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            out.tokens.push(Spanned {
+                tok: Tok::Lit,
+                line,
+            });
+            bump!(j - i);
+            continue;
+        }
+        // --- string literal (also b"...") ---
+        if c == '"' || (c == 'b' && i + 1 < b.len() && b[i + 1] == '"') {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < b.len() {
+                if b[j] == '\\' {
+                    j += 2;
+                } else if b[j] == '"' {
+                    j += 1;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            out.tokens.push(Spanned {
+                tok: Tok::Lit,
+                line,
+            });
+            bump!(j - i);
+            continue;
+        }
+        // --- char literal vs lifetime ---
+        if c == '\'' {
+            // Lifetime: 'ident not followed by closing quote.
+            let is_char =
+                (i + 1 < b.len() && b[i + 1] == '\\') || (i + 2 < b.len() && b[i + 2] == '\'');
+            if is_char {
+                let mut j = i + 1;
+                if j < b.len() && b[j] == '\\' {
+                    j += 2;
+                    // \u{...}
+                    while j < b.len() && b[j] != '\'' {
+                        j += 1;
+                    }
+                } else {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Spanned {
+                    tok: Tok::Lit,
+                    line,
+                });
+                bump!(j - i);
+            } else {
+                // lifetime: skip quote + ident
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                bump!(j - i);
+            }
+            continue;
+        }
+        // --- number literal ---
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.') {
+                // Don't swallow a range operator `..` or a method call `.f()`.
+                if b[j] == '.' && j + 1 < b.len() && !b[j + 1].is_ascii_digit() {
+                    break;
+                }
+                j += 1;
+            }
+            out.tokens.push(Spanned {
+                tok: Tok::Lit,
+                line,
+            });
+            bump!(j - i);
+            continue;
+        }
+        // --- identifier / keyword ---
+        if c.is_alphanumeric() || c == '_' {
+            let mut j = i;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Spanned {
+                tok: Tok::Ident(b[i..j].iter().collect()),
+                line,
+            });
+            bump!(j - i);
+            continue;
+        }
+        // --- punctuation ---
+        out.tokens.push(Spanned {
+            tok: Tok::Punct(c),
+            line,
+        });
+        bump!(1);
+    }
+    out
+}
+
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= b.len() || b[j] != 'r' {
+            return false;
+        }
+    }
+    // at 'r'
+    j += 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            // Instant::now in a comment
+            let x = "Instant::now in a string";
+            /* HashMap in a block comment */
+            let r = r#"HashMap raw"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// invariants: allow(x) — y\nlet b = 2;\n";
+        let s = scan(src);
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 2);
+        assert!(s.comments[0].text.starts_with("invariants:"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let s = scan(src);
+        // No literal tokens at all: the lifetimes vanish.
+        assert!(s.tokens.iter().all(|t| t.tok != Tok::Lit));
+    }
+
+    #[test]
+    fn char_literals_are_literals() {
+        let src = "let c = 'x'; let nl = '\\n';";
+        let s = scan(src);
+        let lits = s.tokens.iter().filter(|t| t.tok == Tok::Lit).count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\nc";
+        let s = scan(src);
+        let lines: Vec<u32> = s.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn punctuation_is_split() {
+        let src = "Ordering::Relaxed";
+        let s = scan(src);
+        assert_eq!(s.tokens.len(), 4); // Ident : : Ident
+    }
+}

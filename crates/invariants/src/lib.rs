@@ -1,0 +1,196 @@
+//! Speedlight's determinism & concurrency invariants as a workspace lint.
+//!
+//! The compiler cannot check the two properties this reproduction lives
+//! or dies by:
+//!
+//! 1. **Determinism** — the DES substrates (`netsim`, `fabric`, `core`,
+//!    `conformance`, `loadbalance`, `workloads`) must be bit-for-bit
+//!    reproducible under a fixed seed, or the conformance oracle and
+//!    SeedEcho replay silently stop meaning anything.
+//! 2. **Race/deadlock freedom** — the threaded `emulation` runtime must
+//!    keep its snapshot registers and notification queues safe, the
+//!    property the paper's Tofino gets from hardware (§5).
+//!
+//! This crate enforces both mechanically: a token-level lint pass over
+//! every workspace source file, run as `cargo test -p invariants` and as
+//! a required CI job. See [`rules`] for the individual rules and
+//! [`source`] for the `// invariants: allow(<rule>) — <reason>` escape
+//! hatch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use source::SourceFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (what an `allow` directive would reference).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(file: &SourceFile, rule: &str, line: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            path: file.path.clone(),
+            line,
+            rule: rule.to_string(),
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Lint a single source string as if it were a file of `crate_name`.
+/// This is the entry point the negative-fixture self-tests use.
+pub fn lint_source(path: &Path, crate_name: &str, src: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(path.to_path_buf(), crate_name, src);
+    lint_file(&file)
+}
+
+/// Run every rule over one parsed file, honoring `allow` directives and
+/// reporting unexplained or stale ones.
+fn lint_file(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    for rule in rules::all_rules() {
+        rule.check(file, &mut raw);
+    }
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| !file.allowed(&d.rule, d.line))
+        .collect();
+    for a in &file.allows {
+        if !a.has_reason {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: a.line,
+                rule: "allow-missing-reason".to_string(),
+                message: format!(
+                    "`invariants: allow({})` without a reason; append `— <why this exception is sound>`",
+                    a.rule
+                ),
+            });
+        }
+        if !a.used.get() {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: a.line,
+                rule: "unused-allow".to_string(),
+                message: format!(
+                    "`invariants: allow({})` suppresses nothing; remove the stale escape hatch",
+                    a.rule
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Locate the workspace root from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/invariants lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Lint every workspace source file under `root`.
+///
+/// Scope: `crates/*/{src,tests,examples,benches}/**/*.rs` plus the
+/// top-level `src/` and `tests/` of the `speedlight` facade crate.
+/// `vendor/` is out of scope (offline API-compatible shims, not ours to
+/// hold to simulation invariants), as are this crate's own negative
+/// fixtures (they violate the rules on purpose).
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs = std::fs::read_dir(&crates_dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", crates_dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect::<Vec<_>>();
+    crate_dirs.sort();
+    // (crate dir name, roots to scan)
+    let mut units: Vec<(String, Vec<PathBuf>)> = crate_dirs
+        .into_iter()
+        .map(|dir| {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let subs = ["src", "tests", "examples", "benches"]
+                .iter()
+                .map(|s| dir.join(s))
+                .collect();
+            (name, subs)
+        })
+        .collect();
+    // The top-level facade crate.
+    units.push((
+        "speedlight".to_string(),
+        vec![root.join("src"), root.join("tests"), root.join("examples")],
+    ));
+
+    for (crate_name, dirs) in units {
+        let mut files = Vec::new();
+        for d in &dirs {
+            collect_rs(d, &mut files);
+        }
+        // Negative fixtures violate the rules on purpose.
+        files.retain(|p| !p.components().any(|c| c.as_os_str() == "fixtures"));
+        for path in files {
+            let src = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            let file = SourceFile::parse(rel, &crate_name, &src);
+            out.extend(lint_file(&file));
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted for stable output).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Source-file model: a scanned file plus its escape-hatch directives.
+//!
+//! The escape hatch is a comment of the form
+//!
+//! ```text
+//! // invariants: allow(<rule>) — <reason>
+//! ```
+//!
+//! It suppresses diagnostics of `<rule>` on the directive's own line and
+//! on the next source line (so it works both trailing and standalone).
+//! The reason is mandatory: an allow without one is itself reported, which
+//! is what makes "zero unexplained escapes" checkable in CI. An allow that
+//! suppresses nothing is reported as stale so escapes cannot outlive the
+//! code they excused.
+
+use crate::lexer::{self, Scan};
+use std::path::PathBuf;
+
+/// A parsed `invariants: allow` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// 1-based line the directive appears on.
+    pub line: u32,
+    /// Whether a non-empty reason follows the closing parenthesis.
+    pub has_reason: bool,
+    /// Set by the engine when the directive suppressed a diagnostic.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// One file under lint, with everything the rules need.
+pub struct SourceFile {
+    /// Path as reported in diagnostics (workspace-relative when possible).
+    pub path: PathBuf,
+    /// Name of the crate the file belongs to (directory under `crates/`).
+    pub crate_name: String,
+    /// Token/comment scan.
+    pub scan: Scan,
+    /// Raw source lines (wire-hygiene rules look at line text for
+    /// identifier context).
+    pub lines: Vec<String>,
+    /// Escape hatches found in the file.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl SourceFile {
+    /// Scan `src` as a file of `crate_name` at `path`.
+    pub fn parse(path: PathBuf, crate_name: &str, src: &str) -> SourceFile {
+        let scan = lexer::scan(src);
+        let allows = scan
+            .comments
+            .iter()
+            .filter_map(|c| {
+                parse_allow(&c.text).map(|(rule, has_reason)| AllowDirective {
+                    rule,
+                    line: c.line,
+                    has_reason,
+                    used: std::cell::Cell::new(false),
+                })
+            })
+            .collect();
+        SourceFile {
+            path,
+            crate_name: crate_name.to_string(),
+            scan,
+            lines: src.lines().map(str::to_string).collect(),
+            allows,
+        }
+    }
+
+    /// Text of 1-based line `n` (empty if out of range).
+    pub fn line_text(&self, n: u32) -> &str {
+        self.lines
+            .get(n.saturating_sub(1) as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Is a diagnostic of `rule` at `line` excused by an allow directive?
+    /// Marks the directive used.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        for a in &self.allows {
+            if a.rule == rule && (a.line == line || a.line + 1 == line) {
+                a.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Parse `invariants: allow(<rule>) — <reason>` out of a comment body.
+/// Returns `(rule, has_reason)`.
+fn parse_allow(text: &str) -> Option<(String, bool)> {
+    let rest = text.trim().strip_prefix("invariants:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return None;
+    }
+    let tail = rest[close + 1..].trim_start();
+    // A reason must follow an em-dash / double-dash / colon separator and
+    // contain some actual words.
+    let reason = tail
+        .strip_prefix('—')
+        .or_else(|| tail.strip_prefix("--"))
+        .or_else(|| tail.strip_prefix('-'))
+        .or_else(|| tail.strip_prefix(':'))
+        .map(str::trim)
+        .unwrap_or("");
+    Some((rule, reason.len() >= 3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_with_reason_parses() {
+        let (rule, reasoned) =
+            parse_allow("invariants: allow(relaxed-ordering) — pure statistic, no ordering")
+                .unwrap();
+        assert_eq!(rule, "relaxed-ordering");
+        assert!(reasoned);
+    }
+
+    #[test]
+    fn allow_without_reason_is_flagged() {
+        let (rule, reasoned) = parse_allow("invariants: allow(hash-collection)").unwrap();
+        assert_eq!(rule, "hash-collection");
+        assert!(!reasoned);
+    }
+
+    #[test]
+    fn allow_accepts_ascii_dash_separators() {
+        let (_, reasoned) = parse_allow("invariants: allow(x) -- because physics").unwrap();
+        assert!(reasoned);
+        let (_, reasoned) = parse_allow("invariants: allow(x) - because physics").unwrap();
+        assert!(reasoned);
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        assert!(parse_allow("just a comment").is_none());
+        assert!(parse_allow("invariants: allow(").is_none());
+        assert!(parse_allow("invariants: allow()").is_none());
+    }
+
+    #[test]
+    fn allow_covers_same_and_next_line() {
+        let src = "// invariants: allow(r) — why not\nlet x = 1;\nlet y = 2;\n";
+        let f = SourceFile::parse(PathBuf::from("t.rs"), "c", src);
+        assert!(f.allowed("r", 1));
+        assert!(f.allowed("r", 2));
+        assert!(!f.allowed("r", 3));
+        assert!(!f.allowed("other", 2));
+    }
+}

@@ -1,0 +1,157 @@
+//! Negative-fixture self-tests: one known-bad source file per rule under
+//! `tests/fixtures/`, each asserted to produce exactly its expected
+//! diagnostics (rule + line) and nothing else. This is the lint linting
+//! itself — if a rule regresses to silence or to noise, these fail first.
+
+use std::path::Path;
+
+/// Lint a fixture as if it were a file of `crate_name`, returning the
+/// `(rule, line)` pairs in reporting order.
+fn lint_fixture(name: &str, crate_name: &str, src: &str) -> Vec<(String, u32)> {
+    let path = Path::new("tests/fixtures").join(name);
+    invariants::lint_source(&path, crate_name, src)
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+fn expect(name: &str, crate_name: &str, src: &str, want: &[(&str, u32)]) {
+    let got = lint_fixture(name, crate_name, src);
+    let want: Vec<(String, u32)> = want.iter().map(|(r, l)| (r.to_string(), *l)).collect();
+    assert_eq!(
+        got, want,
+        "fixture {name} (as crate `{crate_name}`) produced unexpected diagnostics"
+    );
+}
+
+#[test]
+fn wall_clock_fixture() {
+    expect(
+        "wall_clock.rs",
+        "netsim",
+        include_str!("fixtures/wall_clock.rs"),
+        &[("wall-clock", 6), ("wall-clock", 11), ("wall-clock", 15)],
+    );
+}
+
+#[test]
+fn hash_collection_fixture() {
+    // The `use` line counts too: imports of HashMap/HashSet into a
+    // deterministic crate are exactly what the rule exists to stop.
+    expect(
+        "hash_collection.rs",
+        "fabric",
+        include_str!("fixtures/hash_collection.rs"),
+        &[
+            ("hash-collection", 3),
+            ("hash-collection", 6),
+            ("hash-collection", 6),
+        ],
+    );
+}
+
+#[test]
+fn relaxed_ordering_fixture() {
+    expect(
+        "relaxed_ordering.rs",
+        "emulation",
+        include_str!("fixtures/relaxed_ordering.rs"),
+        &[("relaxed-ordering", 9), ("relaxed-ordering", 13)],
+    );
+}
+
+#[test]
+fn match_lock_send_fixture() {
+    // Only the arm that both locks and sends is flagged; the lock-only
+    // and send-only arms are clean.
+    expect(
+        "match_lock_send.rs",
+        "emulation",
+        include_str!("fixtures/match_lock_send.rs"),
+        &[("match-lock-send", 7)],
+    );
+}
+
+#[test]
+fn bare_id_cast_fixture() {
+    // Lines 4 and 6 handle snapshot IDs; line 12's `frame_len as u16`
+    // carries no ID context and must stay unflagged.
+    expect(
+        "bare_id_cast.rs",
+        "wire",
+        include_str!("fixtures/bare_id_cast.rs"),
+        &[("bare-id-cast", 4), ("bare-id-cast", 6)],
+    );
+}
+
+#[test]
+fn wildcard_packet_match_fixture() {
+    // The wildcard on `match n` (a plain integer) must stay unflagged.
+    expect(
+        "wildcard_packet_match.rs",
+        "fabric",
+        include_str!("fixtures/wildcard_packet_match.rs"),
+        &[("wildcard-packet-match", 9)],
+    );
+}
+
+#[test]
+fn allow_hygiene_fixture() {
+    // A directive covers its own line and the next one only, so the
+    // HashMap import on line 4 still fires; the reasonless allow on
+    // line 7 suppresses line 8 but is reported itself; the allow on
+    // line 10 suppresses nothing and is reported as stale.
+    expect(
+        "allow_hygiene.rs",
+        "netsim",
+        include_str!("fixtures/allow_hygiene.rs"),
+        &[
+            ("hash-collection", 4),
+            ("allow-missing-reason", 7),
+            ("unused-allow", 10),
+        ],
+    );
+}
+
+#[test]
+fn diagnostics_render_with_path_line_and_rule() {
+    let diags = invariants::lint_source(
+        Path::new("tests/fixtures/wall_clock.rs"),
+        "netsim",
+        include_str!("fixtures/wall_clock.rs"),
+    );
+    let first = diags
+        .first()
+        .expect("fixture produces diagnostics")
+        .to_string();
+    assert_eq!(
+        first,
+        "tests/fixtures/wall_clock.rs:6: [wall-clock] wall-clock read; \
+         use the simulated `netsim::time` clock"
+    );
+}
+
+#[test]
+fn fixtures_are_crate_scoped() {
+    // The same sources linted under non-matching crates produce nothing:
+    // determinism rules don't apply to `emulation`, concurrency rules
+    // don't apply to the deterministic crates.
+    expect(
+        "wall_clock.rs",
+        "emulation",
+        include_str!("fixtures/wall_clock.rs"),
+        &[],
+    );
+    expect(
+        "relaxed_ordering.rs",
+        "netsim",
+        include_str!("fixtures/relaxed_ordering.rs"),
+        &[],
+    );
+    expect(
+        "match_lock_send.rs",
+        "fabric",
+        include_str!("fixtures/match_lock_send.rs"),
+        &[],
+    );
+}

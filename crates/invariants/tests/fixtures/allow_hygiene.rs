@@ -1,0 +1,11 @@
+// Fixture for escape-hatch hygiene (linted as crate `netsim`): an allow
+// without a reason is reported, and an allow that suppresses nothing is
+// reported as stale. Line numbers matter.
+use std::collections::HashMap; // line 4: NOT suppressed — the directive
+// below sits on line 7 and covers lines 7-8 only.
+
+// invariants: allow(hash-collection)
+pub type Bad = HashMap<u32, u32>; // line 8: suppressed, but reasonless
+
+// invariants: allow(wall-clock) — stale: nothing on the next line reads a clock
+pub fn quiet() {}

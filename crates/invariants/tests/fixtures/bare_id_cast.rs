@@ -1,0 +1,13 @@
+// Known-bad fixture for the `bare-id-cast` rule (linted as crate `wire`).
+// Line numbers matter: the self-test asserts exact diagnostics.
+pub fn shrink(snapshot_id: u64, channel: u64) -> (u16, u16) {
+    let sid = snapshot_id as u16; // line 4: truncating ID cast
+    let chan = (channel & 0xFFFF) as u16; // masked, but the line names no ID word
+    let _epoch_lo = (sid as u32) << 1; // line 6: sid cast again
+    (sid, chan)
+}
+
+pub fn fine(frame_len: usize) -> u16 {
+    // No ID context on this line: not the rule's business.
+    frame_len as u16
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture for the `hash-collection` rule (linted as crate
+// `fabric`). Line numbers matter: the self-test asserts exact diagnostics.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut m: HashMap<u32, u32> = HashMap::new(); // line 6: two uses
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.into_iter().collect() // order leaks into the result
+}

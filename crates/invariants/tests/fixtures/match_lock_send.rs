@@ -1,0 +1,20 @@
+// Known-bad fixture for the `match-lock-send` rule (linted as crate
+// `emulation`). Line numbers matter: the self-test asserts exact
+// diagnostics.
+pub fn handle(msg: Msg, state: &std::sync::Mutex<u64>, tx: &Sender<u64>) {
+    match msg {
+        Msg::Frame { seq } => {
+            let mut guard = state.lock().unwrap(); // line 7: lock ...
+            *guard += seq;
+            tx.send(*guard).unwrap(); // ... and send in the same arm
+        }
+        Msg::Poll => {
+            // A send alone is fine: no lock held in this arm.
+            tx.send(0).unwrap();
+        }
+        Msg::Shutdown => {
+            // A lock alone is fine too.
+            let _guard = state.lock().unwrap();
+        }
+    }
+}

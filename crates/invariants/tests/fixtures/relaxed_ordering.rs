@@ -1,0 +1,14 @@
+// Known-bad fixture for the `relaxed-ordering` rule (linted as crate
+// `emulation`). Line numbers matter: the self-test asserts exact
+// diagnostics.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static SNAPSHOT_ID: AtomicU64 = AtomicU64::new(0);
+
+pub fn publish(epoch: u64) {
+    SNAPSHOT_ID.store(epoch, Ordering::Relaxed); // line 9: stale-poll hazard
+}
+
+pub fn poll() -> u64 {
+    SNAPSHOT_ID.load(Ordering::Relaxed) // line 13: stale-poll hazard
+}

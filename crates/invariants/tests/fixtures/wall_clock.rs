@@ -1,0 +1,17 @@
+// Known-bad fixture for the `wall-clock` rule (linted as crate `netsim`).
+// Line numbers matter: the self-test asserts exact diagnostics.
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    let t = Instant::now(); // line 6: wall-clock read
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn pause() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // line 11: sleep
+}
+
+pub fn roll() -> u64 {
+    let mut r = rand::thread_rng(); // line 15: ambient RNG
+    r.next()
+}

@@ -1,0 +1,19 @@
+// Known-bad fixture for the `wildcard-packet-match` rule (linted as
+// crate `fabric`). Line numbers matter: the self-test asserts exact
+// diagnostics.
+use wire::PacketType;
+
+pub fn classify(hdr: &SnapshotHeader) -> &'static str {
+    match hdr.packet_type {
+        PacketType::Data => "data",
+        _ => "other", // line 9: swallows future packet types
+    }
+}
+
+pub fn fine(n: u32) -> &'static str {
+    // Wildcards on non-wire enums are out of scope.
+    match n {
+        0 => "zero",
+        _ => "many",
+    }
+}

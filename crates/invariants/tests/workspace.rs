@@ -1,0 +1,35 @@
+//! The CI gate: the whole workspace must satisfy every invariant rule,
+//! with zero unexplained or stale escape hatches.
+
+#[test]
+fn workspace_satisfies_all_invariants() {
+    let root = invariants::workspace_root();
+    let diagnostics = invariants::lint_workspace(&root);
+    if !diagnostics.is_empty() {
+        let mut report = String::new();
+        for d in &diagnostics {
+            report.push_str(&format!("  {d}\n"));
+        }
+        panic!(
+            "\n{n} invariant violation(s):\n{report}\
+             Fix the code, or — only where the exception is sound — add\n  \
+             // invariants: allow(<rule>) — <reason>\n\
+             on or directly above the offending line.",
+            n = diagnostics.len()
+        );
+    }
+}
+
+#[test]
+fn rules_are_documented_and_named_consistently() {
+    // Every rule must have a non-empty name and description, and names
+    // must be unique — `allow(...)` directives address rules by name.
+    let rules = invariants::rules::all_rules();
+    let mut names = std::collections::BTreeSet::new();
+    for r in &rules {
+        assert!(!r.name().is_empty());
+        assert!(!r.description().is_empty());
+        assert!(names.insert(r.name().to_string()), "duplicate {}", r.name());
+    }
+    assert_eq!(rules.len(), 6);
+}

@@ -17,7 +17,7 @@
 #![warn(missing_docs)]
 
 use netsim::time::{Duration, Instant};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use wire::FlowKey;
 
 /// A multipath next-hop selector.
@@ -62,8 +62,11 @@ impl LoadBalancer for Ecmp {
 pub struct FlowletSwitch {
     salt: u64,
     gap: Duration,
-    /// Per-flow: (last packet time, flowlet sequence number).
-    table: HashMap<FlowKey, (Instant, u64)>,
+    /// Per-flow: (last packet time, flowlet sequence number). A `BTreeMap`
+    /// so that iteration (aging, occupancy dumps, telemetry) is in stable
+    /// key order — `HashMap` order varies per process and would leak into
+    /// any result derived from a table walk.
+    table: BTreeMap<FlowKey, (Instant, u64)>,
 }
 
 impl FlowletSwitch {
@@ -75,7 +78,7 @@ impl FlowletSwitch {
         FlowletSwitch {
             salt,
             gap,
-            table: HashMap::new(),
+            table: BTreeMap::new(),
         }
     }
 
@@ -93,6 +96,13 @@ impl FlowletSwitch {
     /// hardware flowlet table would do implicitly by overwrite).
     pub fn expire_before(&mut self, horizon: Instant) {
         self.table.retain(|_, (last, _)| *last >= horizon);
+    }
+
+    /// Tracked flows with their last-activity time and flowlet sequence
+    /// number, in stable (key-sorted) order — safe to fold into snapshots
+    /// or telemetry without leaking iteration order into results.
+    pub fn tracked(&self) -> impl Iterator<Item = (&FlowKey, Instant, u64)> {
+        self.table.iter().map(|(k, (last, seq))| (k, *last, *seq))
     }
 }
 
@@ -229,6 +239,44 @@ mod tests {
         assert_eq!(lb.tracked_flows(), 10);
         lb.expire_before(t(5));
         assert_eq!(lb.tracked_flows(), 5);
+    }
+
+    /// Fixed-seed regression: the full observable behavior of a balancer
+    /// run — every pick plus a sorted walk of the flowlet table — must be
+    /// bit-for-bit identical across two runs. This is the property the
+    /// `hash-collection` invariant protects: with the old `HashMap` table
+    /// any result derived from a table walk depended on per-process hash
+    /// seeding.
+    #[test]
+    fn fixed_seed_runs_are_identical() {
+        fn run(seed: u64) -> (Vec<usize>, Vec<(FlowKey, u64, u64)>) {
+            let mut rng = netsim::rng::SimRng::new(seed);
+            let mut lb = FlowletSwitch::new(seed, Duration::from_micros(100));
+            let mut picks = Vec::new();
+            let mut now = 0u64;
+            for _ in 0..2_000 {
+                let f = flow(rng.below(32) as u32);
+                now += rng.below(300);
+                picks.push(lb.pick(&f, t(now), 4));
+                if now.is_multiple_of(7) {
+                    lb.expire_before(t(now.saturating_sub(5_000)));
+                }
+            }
+            let table: Vec<(FlowKey, u64, u64)> = lb
+                .tracked()
+                .map(|(k, last, seq)| (*k, last.as_nanos(), seq))
+                .collect();
+            (picks, table)
+        }
+        let a = run(0xD15EA5E);
+        let b = run(0xD15EA5E);
+        assert_eq!(a.0, b.0, "pick sequences diverged under a fixed seed");
+        assert_eq!(a.1, b.1, "table walks diverged under a fixed seed");
+        // And the walk really is in stable sorted order.
+        let keys: Vec<FlowKey> = a.1.iter().map(|(k, _, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

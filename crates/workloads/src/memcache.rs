@@ -183,8 +183,7 @@ impl Source for MemcacheServer {
                         ),
                         bytes,
                     });
-                    self.next_request[i] +=
-                        request_gap(&mut self.schedules[i], self.cfg.rate_rps);
+                    self.next_request[i] += request_gap(&mut self.schedules[i], self.cfg.rate_rps);
                 }
             }
         }

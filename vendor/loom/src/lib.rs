@@ -1,0 +1,798 @@
+//! Offline API-compatible subset of [loom](https://crates.io/crates/loom).
+//!
+//! This build environment has no registry access, so this shim implements
+//! the slice of loom's API the workspace uses, backed by a real — if
+//! deliberately simple — model checker:
+//!
+//! * model threads are OS threads, but **exactly one runs at a time**;
+//!   control changes hands only at synchronization operations (atomic
+//!   access, mutex lock/unlock, spawn, join, yield);
+//! * [`model`] re-runs the closure under depth-first search over the
+//!   scheduling decisions at those points, bounded by a preemption budget
+//!   (`LOOM_MAX_PREEMPTIONS`, default 2 — the classic CHESS result is
+//!   that almost all real concurrency bugs need ≤ 2 preemptions) and an
+//!   execution cap (`LOOM_MAX_ITERATIONS`, default 20 000);
+//! * a schedule in which every thread is blocked panics with a deadlock
+//!   report; an assertion failure inside the closure panics with the
+//!   offending schedule appended, so failures are replayable by reading
+//!   the trace.
+//!
+//! **Fidelity caveat:** because every interleaving executes under the
+//! scheduler's own lock, the memory model explored is sequential
+//! consistency. Reorderings allowed by `Relaxed`/`Acquire`/`Release` but
+//! not by SeqCst are *not* explored (orderings are accepted and ignored).
+//! That is exactly why the workspace pairs this checker with the
+//! `relaxed-ordering` lint (`crates/invariants`), which bans `Relaxed`
+//! on cross-thread snapshot state outright, and with ThreadSanitizer in
+//! CI: the model checker covers interleaving logic (lost updates, stale
+//! polls, deadlocks); the lint and TSan cover the weak-memory residue.
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::{Arc as StdArc, Condvar, Mutex as StdMutex};
+
+// ---------------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    /// Waiting for the mutex with this ID.
+    BlockedMutex(usize),
+    /// Waiting for the thread with this ID to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One scheduling decision: who could run, who was picked, and whether
+/// picking them preempted a still-runnable predecessor.
+#[derive(Debug, Clone)]
+struct Decision {
+    runnable: Vec<usize>,
+    chosen_idx: usize,
+    preemptive: bool,
+}
+
+struct Inner {
+    states: Vec<ThreadState>,
+    active: usize,
+    /// Prefix of absolute thread IDs to replay this execution.
+    preset: Vec<usize>,
+    pos: usize,
+    trace: Vec<Decision>,
+    preemptions: u32,
+    /// Mutex shadow table: `true` = currently held.
+    mutexes: Vec<bool>,
+    /// First panic payload message observed (with its schedule position).
+    failure: Option<String>,
+    /// Execution is being torn down (after failure/deadlock); every
+    /// waiting thread must wake and unwind.
+    teardown: bool,
+}
+
+struct Scheduler {
+    inner: StdMutex<Inner>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// (scheduler, my thread id) for the current model thread, if any.
+    static CTX: RefCell<Option<(StdArc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<(StdArc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Scheduler {
+    fn new(preset: Vec<usize>) -> Scheduler {
+        Scheduler {
+            inner: StdMutex::new(Inner {
+                states: vec![ThreadState::Runnable], // thread 0 = model body
+                active: 0,
+                preset,
+                pos: 0,
+                trace: Vec::new(),
+                preemptions: 0,
+                mutexes: Vec::new(),
+                failure: None,
+                teardown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Pick and activate the next thread. Callers hold the lock. `me` is
+    /// the deciding thread; it may or may not be runnable.
+    fn pick_next(inner: &mut Inner, me: usize) {
+        let runnable: Vec<usize> = inner
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == ThreadState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            let finished = inner
+                .states
+                .iter()
+                .filter(|s| **s == ThreadState::Finished)
+                .count();
+            if finished == inner.states.len() {
+                return; // everything done; nothing to schedule
+            }
+            // Someone is blocked and nobody can unblock them.
+            let report = format!(
+                "deadlock: all live threads blocked (states: {:?})\nschedule so far: {:?}",
+                inner.states,
+                schedule_of(&inner.trace),
+            );
+            inner.failure.get_or_insert(report);
+            inner.teardown = true;
+            return;
+        }
+        let prev = inner.active;
+        let prev_runnable = runnable.contains(&prev);
+        // Canonical child order: the no-preemption continuation first,
+        // then the rest by ascending ID. Backtracking enumerates siblings
+        // strictly after the chosen index, so the default spine choice
+        // must sit at index 0 or lower-ID threads would never be tried.
+        let mut order = runnable;
+        if prev_runnable {
+            order.retain(|&t| t != prev);
+            order.insert(0, prev);
+        }
+        let chosen = if inner.pos < inner.preset.len() {
+            let c = inner.preset[inner.pos];
+            debug_assert!(
+                order.contains(&c),
+                "non-deterministic model: replayed choice {c} not runnable in {order:?}"
+            );
+            c
+        } else {
+            // Default: index 0 = keep running the current thread
+            // (depth-first down the no-preemption spine).
+            order[0]
+        };
+        // Free choices never preempt by construction (we continue `prev`
+        // whenever runnable), so preemptions only enter via the replayed
+        // preset — whose budget next_preset() already enforced.
+        let preemptive = prev_runnable && chosen != prev;
+        if preemptive {
+            inner.preemptions += 1;
+        }
+        inner.trace.push(Decision {
+            chosen_idx: order.iter().position(|&r| r == chosen).unwrap(),
+            runnable: order,
+            preemptive,
+        });
+        inner.pos += 1;
+        inner.active = chosen;
+        let _ = me;
+    }
+
+    /// A synchronization point for runnable thread `me`: give the
+    /// scheduler a chance to run somebody else.
+    fn switch(self: &StdArc<Self>, me: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.teardown {
+            drop(inner);
+            panic!("loom teardown");
+        }
+        Self::pick_next(&mut inner, me);
+        self.cv.notify_all();
+        self.wait_for_turn(inner, me);
+    }
+
+    /// Block `me` with `state` until somebody flips it back to Runnable.
+    fn block(self: &StdArc<Self>, me: usize, state: ThreadState) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.states[me] = state;
+        Self::pick_next(&mut inner, me);
+        self.cv.notify_all();
+        self.wait_for_turn(inner, me);
+    }
+
+    fn wait_for_turn(self: &StdArc<Self>, mut inner: std::sync::MutexGuard<'_, Inner>, me: usize) {
+        loop {
+            if inner.teardown {
+                drop(inner);
+                panic!("loom teardown");
+            }
+            if inner.active == me && inner.states[me] == ThreadState::Runnable {
+                return;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
+
+    /// Thread `me` finished (normally or by panic); wake joiners, pick a
+    /// successor.
+    fn finish(self: &StdArc<Self>, me: usize, panic_msg: Option<String>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.states[me] = ThreadState::Finished;
+        for s in inner.states.iter_mut() {
+            if *s == ThreadState::BlockedJoin(me) {
+                *s = ThreadState::Runnable;
+            }
+        }
+        if let Some(msg) = panic_msg {
+            let report = format!("{msg}\nschedule: {:?}", schedule_of(&inner.trace));
+            inner.failure.get_or_insert(report);
+            inner.teardown = true;
+        } else {
+            Self::pick_next(&mut inner, me);
+        }
+        self.cv.notify_all();
+    }
+}
+
+fn schedule_of(trace: &[Decision]) -> Vec<usize> {
+    trace.iter().map(|d| d.runnable[d.chosen_idx]).collect()
+}
+
+/// A switch point usable from sync primitives: no-op outside a model.
+fn switch_point() {
+    if let Some((sched, me)) = current_ctx() {
+        sched.switch(me);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// model()
+// ---------------------------------------------------------------------------
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Run `f` under every explored interleaving. Panics (with the offending
+/// schedule) if any execution panics or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2) as u32;
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 20_000);
+    let f = StdArc::new(f);
+    let mut preset: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let sched = StdArc::new(Scheduler::new(preset.clone()));
+        let trace = run_one(&sched, StdArc::clone(&f));
+        let trace = match trace {
+            Ok(t) => t,
+            Err(report) => panic!("loom model failed after {executions} execution(s):\n{report}"),
+        };
+        if executions >= max_iterations {
+            // Bounded search exhausted its budget; the explored prefix is
+            // still a meaningful certificate, mirroring loom's own
+            // LOOM_MAX_BRANCHES cutoff.
+            return;
+        }
+        // Backtrack: deepest decision with an unexplored sibling whose
+        // prefix stays within the preemption budget.
+        match next_preset(&trace, max_preemptions) {
+            Some(p) => preset = p,
+            None => return,
+        }
+    }
+}
+
+/// Compute the next DFS preset from a finished execution's trace.
+fn next_preset(trace: &[Decision], max_preemptions: u32) -> Option<Vec<usize>> {
+    for d in (0..trace.len()).rev() {
+        let dec = &trace[d];
+        for alt in dec.chosen_idx + 1..dec.runnable.len() {
+            // Preemptions of the prefix trace[..d] plus this new choice.
+            let mut count: u32 = trace[..d].iter().map(|x| u32::from(x.preemptive)).sum();
+            // The alternative differs from the default spine, so if the
+            // previously-running thread was runnable and is not the pick,
+            // it costs a preemption. The previously-running thread is
+            // whatever the decision actually chose by default... we can
+            // reconstruct: the alternative is preemptive iff the original
+            // choice was the "continue" choice and we now deviate while
+            // the original choice is still available, or the original was
+            // already preemptive.
+            let alt_thread = dec.runnable[alt];
+            let prev_thread = if d == 0 {
+                0
+            } else {
+                trace[d - 1].runnable[trace[d - 1].chosen_idx]
+            };
+            if dec.runnable.contains(&prev_thread) && alt_thread != prev_thread {
+                count += 1;
+            }
+            if count > max_preemptions {
+                continue;
+            }
+            let mut preset = schedule_of(&trace[..d]);
+            preset.push(alt_thread);
+            return Some(preset);
+        }
+    }
+    None
+}
+
+struct ExecState {
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+thread_local! {
+    static EXEC: RefCell<Option<StdArc<StdMutex<ExecState>>>> = const { RefCell::new(None) };
+}
+
+/// Run one execution; returns the trace, or a failure report.
+fn run_one<F>(sched: &StdArc<Scheduler>, f: StdArc<F>) -> Result<Vec<Decision>, String>
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let exec = StdArc::new(StdMutex::new(ExecState {
+        os_handles: Vec::new(),
+    }));
+    CTX.with(|c| *c.borrow_mut() = Some((StdArc::clone(sched), 0)));
+    EXEC.with(|e| *e.borrow_mut() = Some(StdArc::clone(&exec)));
+    let body = catch_unwind(AssertUnwindSafe(|| (*f)()));
+
+    // Body done (or panicked): drive remaining threads to completion.
+    {
+        let mut inner = sched.inner.lock().unwrap();
+        inner.states[0] = ThreadState::Finished;
+        if let Err(p) = &body {
+            let report = format!(
+                "{}\nschedule: {:?}",
+                panic_msg(p),
+                schedule_of(&inner.trace)
+            );
+            inner.failure.get_or_insert(report);
+            inner.teardown = true;
+        } else {
+            Scheduler::pick_next(&mut inner, 0);
+        }
+        sched.cv.notify_all();
+        // Wait for every spawned thread to finish (or teardown to empty).
+        while !inner.teardown && inner.states.iter().any(|s| *s != ThreadState::Finished) {
+            inner = sched.cv.wait(inner).unwrap();
+        }
+    }
+
+    // Join the OS threads; under teardown they unwind via the teardown
+    // panic, which their wrappers swallow.
+    let handles = std::mem::take(&mut exec.lock().unwrap().os_handles);
+    for h in handles {
+        let _ = h.join();
+    }
+    CTX.with(|c| *c.borrow_mut() = None);
+    EXEC.with(|e| *e.borrow_mut() = None);
+
+    let inner = sched.inner.lock().unwrap();
+    match &inner.failure {
+        Some(report) => Err(report.clone()),
+        None => Ok(inner.trace.clone()),
+    }
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model panicked".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+/// Model-aware replacement for `std::thread`.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        id: usize,
+        sched: StdArc<Scheduler>,
+        result: StdArc<StdMutex<Option<std::thread::Result<T>>>>,
+    }
+
+    /// Spawn a model thread. Must be called inside [`crate::model`].
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sched, me) = current_ctx().expect("loom::thread::spawn outside loom::model");
+        let exec = EXEC.with(|e| e.borrow().clone()).expect("no execution");
+        let id = {
+            let mut inner = sched.inner.lock().unwrap();
+            inner.states.push(ThreadState::Runnable);
+            inner.states.len() - 1
+        };
+        let result = StdArc::new(StdMutex::new(None));
+        let slot = StdArc::clone(&result);
+        let child_sched = StdArc::clone(&sched);
+        let os = std::thread::Builder::new()
+            .name(format!("loom-{id}"))
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((StdArc::clone(&child_sched), id)));
+                // Wait to be scheduled for the first time.
+                {
+                    let inner = child_sched.inner.lock().unwrap();
+                    child_sched.wait_for_turn(inner, id);
+                }
+                let out = catch_unwind(AssertUnwindSafe(f));
+                let panic_msg = match &out {
+                    Ok(_) => None,
+                    Err(p) => Some(super::panic_msg(p.as_ref())),
+                };
+                let is_teardown = panic_msg.as_deref() == Some("loom teardown");
+                *slot.lock().unwrap() = Some(out.map_err(|e| e as _));
+                child_sched.finish(id, if is_teardown { None } else { panic_msg });
+                CTX.with(|c| *c.borrow_mut() = None);
+            })
+            .expect("spawn loom thread");
+        exec.lock().unwrap().os_handles.push(os);
+        // Spawn is itself a switch point (the child may run immediately).
+        sched.switch(me);
+        JoinHandle { id, sched, result }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish and take its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            let (sched, me) = current_ctx().expect("join outside loom::model");
+            let finished = {
+                let inner = sched.inner.lock().unwrap();
+                inner.states[self.id] == ThreadState::Finished
+            };
+            if !finished {
+                self.sched.block(me, ThreadState::BlockedJoin(self.id));
+            }
+            self.result
+                .lock()
+                .unwrap()
+                .take()
+                .expect("joined thread left no result")
+        }
+    }
+
+    /// Voluntary switch point.
+    pub fn yield_now() {
+        super::switch_point();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sync
+// ---------------------------------------------------------------------------
+
+/// Model-aware replacements for `std::sync` types.
+pub mod sync {
+    use super::*;
+
+    pub use std::sync::Arc;
+
+    /// Model-aware mutex: lock/unlock are scheduling points; contention
+    /// blocks in the model scheduler (with deadlock detection), never in
+    /// the OS.
+    pub struct Mutex<T> {
+        id: usize,
+        data: StdMutex<T>,
+    }
+
+    static MUTEX_IDS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    impl<T> Mutex<T> {
+        /// Create a mutex.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                id: MUTEX_IDS.fetch_add(1, StdOrdering::SeqCst),
+                data: StdMutex::new(value),
+            }
+        }
+
+        /// Acquire the lock (a scheduling point; blocks in the model
+        /// scheduler if contended, with deadlock detection).
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            if let Some((sched, me)) = current_ctx() {
+                sched.switch(me);
+                loop {
+                    let acquired = {
+                        let mut inner = sched.inner.lock().unwrap();
+                        while inner.mutexes.len() <= self.id {
+                            inner.mutexes.push(false);
+                        }
+                        if inner.mutexes[self.id] {
+                            false
+                        } else {
+                            inner.mutexes[self.id] = true;
+                            true
+                        }
+                    };
+                    if acquired {
+                        break;
+                    }
+                    sched.block(me, ThreadState::BlockedMutex(self.id));
+                }
+            }
+            match self.data.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    mutex: self,
+                    guard: Some(g),
+                }),
+                Err(poison) => Err(std::sync::PoisonError::new(MutexGuard {
+                    mutex: self,
+                    guard: Some(poison.into_inner()),
+                })),
+            }
+        }
+
+        /// Release the model shadow and wake blocked threads (guard Drop).
+        fn unlock_shadow(&self) {
+            if let Some((sched, _me)) = current_ctx() {
+                let mut inner = sched.inner.lock().unwrap();
+                if self.id < inner.mutexes.len() {
+                    inner.mutexes[self.id] = false;
+                }
+                for s in inner.states.iter_mut() {
+                    if *s == ThreadState::BlockedMutex(self.id) {
+                        *s = ThreadState::Runnable;
+                    }
+                }
+                sched.cv.notify_all();
+            }
+        }
+    }
+
+    /// Guard returned by [`Mutex::lock`]; releases the model shadow (and
+    /// wakes blocked model threads) on drop.
+    pub struct MutexGuard<'a, T> {
+        mutex: &'a Mutex<T>,
+        guard: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.guard.as_ref().unwrap()
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.guard.as_mut().unwrap()
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.guard.take();
+            self.mutex.unlock_shadow();
+        }
+    }
+
+    /// Model-aware atomics: every access is a scheduling point. Memory
+    /// orderings are accepted for API compatibility and executed as
+    /// SeqCst (see the crate docs for what that does and does not check).
+    pub mod atomic {
+        use super::super::switch_point;
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_type {
+            ($name:ident, $std:ident, $prim:ty, rmw: $($fetch:ident),*) => {
+                /// Model-aware atomic: every access is a scheduling point.
+                #[derive(Debug, Default)]
+                pub struct $name(std::sync::atomic::$std);
+
+                impl $name {
+                    /// Create with `value`.
+                    pub fn new(value: $prim) -> Self {
+                        Self(std::sync::atomic::$std::new(value))
+                    }
+
+                    /// Load (scheduling point; ordering executed as SeqCst).
+                    pub fn load(&self, _order: Ordering) -> $prim {
+                        switch_point();
+                        self.0.load(Ordering::SeqCst)
+                    }
+
+                    /// Store (scheduling point; ordering executed as SeqCst).
+                    pub fn store(&self, value: $prim, _order: Ordering) {
+                        switch_point();
+                        self.0.store(value, Ordering::SeqCst)
+                    }
+
+                    /// Swap (scheduling point).
+                    pub fn swap(&self, value: $prim, _order: Ordering) -> $prim {
+                        switch_point();
+                        self.0.swap(value, Ordering::SeqCst)
+                    }
+
+                    /// Compare-exchange (scheduling point).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        switch_point();
+                        self.0
+                            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+
+                    $(
+                        /// Read-modify-write (scheduling point).
+                        pub fn $fetch(&self, value: $prim, _order: Ordering) -> $prim {
+                            switch_point();
+                            self.0.$fetch(value, Ordering::SeqCst)
+                        }
+                    )*
+                }
+            };
+        }
+
+        atomic_type!(AtomicBool, AtomicBool, bool, rmw: fetch_or, fetch_and);
+        atomic_type!(AtomicU16, AtomicU16, u16, rmw: fetch_add, fetch_sub, fetch_max, fetch_or);
+        atomic_type!(AtomicU64, AtomicU64, u64, rmw: fetch_add, fetch_sub, fetch_max, fetch_or);
+        atomic_type!(AtomicUsize, AtomicUsize, usize, rmw: fetch_add, fetch_sub, fetch_max, fetch_or);
+    }
+
+    /// A minimal model-aware SPSC/MPSC queue built on [`Mutex`]: enough
+    /// channel surface for handoff models (`send` never blocks;
+    /// `try_recv` returns `None` when empty — poll under the model).
+    pub struct ModelQueue<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for ModelQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> ModelQueue<T> {
+        /// Empty queue.
+        pub fn new() -> ModelQueue<T> {
+            ModelQueue {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push (scheduling points via the inner mutex).
+        pub fn send(&self, value: T) {
+            self.q.lock().unwrap().push_back(value);
+        }
+
+        /// Pop if non-empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.q.lock().unwrap().pop_front()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_single_thread() {
+        super::model(|| {
+            let a = AtomicU64::new(0);
+            a.store(7, Ordering::SeqCst);
+            assert_eq!(a.load(Ordering::SeqCst), 7);
+        });
+    }
+
+    #[test]
+    fn model_explores_interleavings() {
+        // Counts how many distinct (x, y) observation pairs the reader
+        // sees across interleavings of a two-step writer: must include
+        // intermediate states, proving the scheduler really interleaves.
+        use std::collections::BTreeSet;
+        use std::sync::Mutex as StdMutex;
+        let seen: &'static StdMutex<BTreeSet<(u64, u64)>> =
+            Box::leak(Box::new(StdMutex::new(BTreeSet::new())));
+        super::model(move || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (xw, yw) = (Arc::clone(&x), Arc::clone(&y));
+            let t = super::thread::spawn(move || {
+                xw.store(1, Ordering::SeqCst);
+                yw.store(1, Ordering::SeqCst);
+            });
+            // Message-passing litmus: read y (the "flag") BEFORE x (the
+            // "data"); under SC, y=1 then implies x=1.
+            let oy = y.load(Ordering::SeqCst);
+            let ox = x.load(Ordering::SeqCst);
+            seen.lock().unwrap().insert((ox, oy));
+            t.join().unwrap();
+        });
+        let seen = seen.lock().unwrap();
+        // (0,0) before, (1,1) after, (1,0) in between. (0,1) impossible
+        // under SC — and must NOT be observed.
+        assert!(seen.contains(&(0, 0)), "{seen:?}");
+        assert!(seen.contains(&(1, 0)), "{seen:?}");
+        assert!(seen.contains(&(1, 1)), "{seen:?}");
+        assert!(!seen.contains(&(0, 1)), "{seen:?}");
+    }
+
+    #[test]
+    fn model_catches_lost_update() {
+        // Non-atomic read-modify-write must be caught by some schedule.
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let c = Arc::new(AtomicU64::new(0));
+                let c2 = Arc::clone(&c);
+                let t = super::thread::spawn(move || {
+                    let v = c2.load(Ordering::SeqCst);
+                    c2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(
+            result.is_err(),
+            "the lost update interleaving must be found"
+        );
+    }
+
+    #[test]
+    fn model_detects_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(Mutex::new(0u32));
+                let b = Arc::new(Mutex::new(0u32));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = super::thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop(_ga);
+                drop(_gb);
+                t.join().unwrap();
+            });
+        });
+        assert!(result.is_err(), "AB-BA deadlock must be detected");
+        let msg = format!("{:?}", result.unwrap_err().downcast_ref::<String>());
+        assert!(msg.contains("deadlock"), "{msg}");
+    }
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let m2 = Arc::clone(&m);
+            let t = super::thread::spawn(move || {
+                let mut g = m2.lock().unwrap();
+                let v = *g;
+                *g = v + 1;
+            });
+            {
+                let mut g = m.lock().unwrap();
+                let v = *g;
+                *g = v + 1;
+            }
+            t.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 2, "mutexed RMW must never lose updates");
+        });
+    }
+}
