@@ -1,0 +1,323 @@
+//! End-to-end DES throughput harness with a machine-readable output.
+//!
+//! Runs a fig9-scale scenario (the paper's 2×2 leaf-spine testbed under
+//! dense all-to-all Poisson traffic with periodic channel-state snapshots)
+//! and emits `BENCH_netsim.json`: events/sec, wall-clock, events
+//! dispatched, seed, and a deterministic digest of the completed snapshots
+//! so a queue/hot-path change can prove it altered nothing observable.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_netsim -- [options]
+//!   --scenario fig9|smoke     scenario scale (default fig9)
+//!   --seed <u64>              master seed (default 9)
+//!   --out <path>              output JSON (default BENCH_netsim.json)
+//!   --baseline <path>         embed speedup vs a previous run's JSON
+//!   --check <path>            validate <path>'s schema and fail if this
+//!                             run regresses >threshold below it
+//!   --threshold <f64>         regression threshold for --check (default 0.30)
+//! ```
+
+use fabric::network::DriverConfig;
+use fabric::switchmod::SnapshotConfig;
+use fabric::testbed::{Testbed, TestbedConfig};
+use fabric::topology::Topology;
+use netsim::dist::Dist;
+use netsim::time::{Duration, Instant};
+use telemetry::MetricKind;
+use workloads::PoissonSource;
+
+use std::process::ExitCode;
+use std::time::Instant as WallInstant;
+
+/// Scenario scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    /// Fig. 9 scale: the full testbed under dense traffic, ~40 ms of
+    /// simulated time (hundreds of thousands of events).
+    Fig9,
+    /// CI smoke scale: same shape, ~8 ms of simulated time.
+    Smoke,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Fig9 => "fig9",
+            Scenario::Smoke => "smoke",
+        }
+    }
+
+    fn sim_horizon(self) -> Duration {
+        match self {
+            Scenario::Fig9 => Duration::from_millis(40),
+            Scenario::Smoke => Duration::from_millis(8),
+        }
+    }
+}
+
+struct Measurement {
+    scenario: Scenario,
+    seed: u64,
+    sim_time_s: f64,
+    wall_clock_s: f64,
+    events_dispatched: u64,
+    events_per_sec: f64,
+    snapshots_completed: usize,
+    forced_snapshots: usize,
+    host_packets_delivered: u64,
+    snapshot_digest: u64,
+}
+
+/// Build the fig9-scale testbed: channel-state snapshots every 4 ms on the
+/// 2×2 leaf-spine under 600k pps all-to-all Poisson traffic (mirrors
+/// `experiments::fig9`'s channel-state variant).
+fn build(seed: u64) -> Testbed {
+    let topo = Topology::leaf_spine(2, 2, 3);
+    let snapshot = SnapshotConfig {
+        modulus: 512,
+        channel_state: true,
+        ingress_metric: MetricKind::PacketCount,
+        egress_metric: MetricKind::PacketCount,
+    };
+    let mut cfg = TestbedConfig::new(snapshot);
+    cfg.seed = seed;
+    cfg.driver = DriverConfig {
+        snapshot_period: Some(Duration::from_millis(4)),
+        ..DriverConfig::default()
+    };
+    let num_hosts = topo.num_hosts();
+    let mut tb = Testbed::new(topo, cfg);
+    for h in 0..num_hosts {
+        let dsts: Vec<u32> = (0..num_hosts).filter(|&d| d != h).collect();
+        tb.set_source(
+            h,
+            Instant::ZERO,
+            Box::new(
+                PoissonSource::new(
+                    h,
+                    dsts,
+                    600_000.0,
+                    Dist::constant(700.0),
+                    seed ^ u64::from(h),
+                )
+                .flows_per_dst(8),
+            ),
+        );
+    }
+    tb
+}
+
+/// FNV-1a 64-bit, the digest accumulator.
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn run(scenario: Scenario, seed: u64) -> Measurement {
+    let mut tb = build(seed);
+    let horizon = scenario.sim_horizon();
+    let start = WallInstant::now();
+    tb.run_until(Instant::ZERO + horizon);
+    let wall = start.elapsed();
+
+    let events = tb.events_dispatched();
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for rec in tb.snapshots() {
+        digest = fnv1a(digest, &rec.snapshot.epoch.to_le_bytes());
+        digest = fnv1a(digest, &rec.snapshot.consistent_total().to_le_bytes());
+        digest = fnv1a(digest, &[u8::from(rec.forced)]);
+        digest = fnv1a(digest, &(rec.snapshot.excluded.len() as u64).to_le_bytes());
+        digest = fnv1a(digest, &(rec.snapshot.units.len() as u64).to_le_bytes());
+        digest = fnv1a(digest, &rec.completed_at.as_nanos().to_le_bytes());
+    }
+    let wall_s = wall.as_secs_f64();
+    Measurement {
+        scenario,
+        seed,
+        sim_time_s: horizon.as_secs_f64(),
+        wall_clock_s: wall_s,
+        events_dispatched: events,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        snapshots_completed: tb.snapshots().len(),
+        forced_snapshots: tb.snapshots().iter().filter(|r| r.forced).count(),
+        host_packets_delivered: tb.network().instr.host_rx.iter().sum(),
+        snapshot_digest: digest,
+    }
+}
+
+fn render_json(m: &Measurement, baseline_eps: Option<f64>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"speedlight-bench-netsim/v1\",\n");
+    out.push_str(&format!("  \"scenario\": \"{}\",\n", m.scenario.name()));
+    out.push_str(&format!("  \"seed\": {},\n", m.seed));
+    out.push_str(&format!("  \"sim_time_s\": {},\n", m.sim_time_s));
+    out.push_str(&format!("  \"wall_clock_s\": {:.6},\n", m.wall_clock_s));
+    out.push_str(&format!(
+        "  \"events_dispatched\": {},\n",
+        m.events_dispatched
+    ));
+    out.push_str(&format!("  \"events_per_sec\": {:.1},\n", m.events_per_sec));
+    out.push_str(&format!(
+        "  \"snapshots_completed\": {},\n",
+        m.snapshots_completed
+    ));
+    out.push_str(&format!(
+        "  \"forced_snapshots\": {},\n",
+        m.forced_snapshots
+    ));
+    out.push_str(&format!(
+        "  \"host_packets_delivered\": {},\n",
+        m.host_packets_delivered
+    ));
+    if let Some(base) = baseline_eps {
+        out.push_str(&format!("  \"baseline_events_per_sec\": {base:.1},\n"));
+        out.push_str(&format!(
+            "  \"speedup_vs_baseline\": {:.3},\n",
+            m.events_per_sec / base.max(1e-9)
+        ));
+    }
+    out.push_str(&format!(
+        "  \"snapshot_digest\": \"{:016x}\"\n",
+        m.snapshot_digest
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Pull one scalar field out of a flat JSON object (the harness's own
+/// schema — no nesting, no escapes in the values we read).
+fn json_field<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = doc.find(&pat)?;
+    let rest = doc[at + pat.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Validate that `doc` carries the v1 schema with sane field types.
+/// Returns the baseline events/sec on success.
+fn validate_schema(doc: &str) -> Result<f64, String> {
+    let schema = json_field(doc, "schema").ok_or("missing \"schema\" field")?;
+    if schema != "speedlight-bench-netsim/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    for key in ["scenario", "snapshot_digest"] {
+        if json_field(doc, key).is_none() {
+            return Err(format!("missing \"{key}\" field"));
+        }
+    }
+    for key in ["seed", "events_dispatched", "snapshots_completed"] {
+        let raw = json_field(doc, key).ok_or_else(|| format!("missing \"{key}\" field"))?;
+        raw.parse::<u64>()
+            .map_err(|_| format!("field \"{key}\" is not an integer: {raw:?}"))?;
+    }
+    for key in ["sim_time_s", "wall_clock_s", "events_per_sec"] {
+        let raw = json_field(doc, key).ok_or_else(|| format!("missing \"{key}\" field"))?;
+        let v: f64 = raw
+            .parse()
+            .map_err(|_| format!("field \"{key}\" is not a number: {raw:?}"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("field \"{key}\" must be positive, got {v}"));
+        }
+    }
+    Ok(json_field(doc, "events_per_sec").unwrap().parse().unwrap())
+}
+
+fn main() -> ExitCode {
+    let mut scenario = Scenario::Fig9;
+    let mut seed: u64 = 9;
+    let mut out_path = String::from("BENCH_netsim.json");
+    let mut baseline_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut threshold: f64 = 0.30;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => {
+                scenario = match value("--scenario").as_str() {
+                    "fig9" => Scenario::Fig9,
+                    "smoke" => Scenario::Smoke,
+                    other => panic!("unknown scenario {other:?} (fig9|smoke)"),
+                }
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed takes a u64"),
+            "--out" => out_path = value("--out"),
+            "--baseline" => baseline_path = Some(value("--baseline")),
+            "--check" => check_path = Some(value("--check")),
+            "--threshold" => {
+                threshold = value("--threshold")
+                    .parse()
+                    .expect("--threshold takes a f64")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let m = run(scenario, seed);
+    eprintln!(
+        "scenario={} seed={} events={} wall={:.3}s throughput={:.0} events/s \
+         snapshots={} (forced {}) digest={:016x}",
+        m.scenario.name(),
+        m.seed,
+        m.events_dispatched,
+        m.wall_clock_s,
+        m.events_per_sec,
+        m.snapshots_completed,
+        m.forced_snapshots,
+        m.snapshot_digest,
+    );
+
+    let baseline_eps = baseline_path.map(|p| {
+        let doc =
+            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
+        validate_schema(&doc).unwrap_or_else(|e| panic!("bad baseline {p}: {e}"))
+    });
+
+    std::fs::write(&out_path, render_json(&m, baseline_eps))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    if let Some(p) = check_path {
+        let doc = match std::fs::read_to_string(&p) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("check FAILED: cannot read committed baseline {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let committed_eps = match validate_schema(&doc) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("check FAILED: committed baseline {p} invalid: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let floor = committed_eps * (1.0 - threshold);
+        if m.events_per_sec < floor {
+            eprintln!(
+                "check FAILED: {:.0} events/s is below the regression floor {:.0} \
+                 ({}% under committed baseline {:.0})",
+                m.events_per_sec,
+                floor,
+                (threshold * 100.0) as u32,
+                committed_eps,
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "check ok: {:.0} events/s vs committed {:.0} (floor {:.0})",
+            m.events_per_sec, committed_eps, floor
+        );
+    }
+    ExitCode::SUCCESS
+}

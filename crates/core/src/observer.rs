@@ -104,15 +104,32 @@ impl GlobalSnapshot {
 
     /// Sum of `local + channel` over consistent values — for counting
     /// metrics this is the causally-consistent network-wide total.
+    ///
+    /// Overflow policy: the total **saturates** at `u64::MAX`. Counter
+    /// values near the u64 boundary are already degenerate (real switch
+    /// counters wrap far below it), so a saturated total is a readable
+    /// "off the scale" marker — preferable to a panic in release builds
+    /// or, worse, a silently wrapped small number that looks plausible.
+    /// Callers that must distinguish saturation use
+    /// [`GlobalSnapshot::checked_consistent_total`].
     pub fn consistent_total(&self) -> u64 {
-        self.units
-            .values()
-            .map(|o| match o {
-                UnitOutcome::Value { local, channel } => local + channel,
-                UnitOutcome::Inferred { local } => *local,
-                _ => 0,
-            })
-            .sum()
+        self.units.values().fold(0u64, |acc, o| match o {
+            UnitOutcome::Value { local, channel } => {
+                acc.saturating_add(*local).saturating_add(*channel)
+            }
+            UnitOutcome::Inferred { local } => acc.saturating_add(*local),
+            _ => acc,
+        })
+    }
+
+    /// [`GlobalSnapshot::consistent_total`] without the saturation: `None`
+    /// when the exact sum does not fit in a `u64`.
+    pub fn checked_consistent_total(&self) -> Option<u64> {
+        self.units.values().try_fold(0u64, |acc, o| match o {
+            UnitOutcome::Value { local, channel } => acc.checked_add(*local)?.checked_add(*channel),
+            UnitOutcome::Inferred { local } => acc.checked_add(*local),
+            _ => Some(acc),
+        })
     }
 
     /// True when every unit reported a consistent or inferred value.
@@ -519,5 +536,49 @@ mod tests {
             modulus: 4,
             max_outstanding: 4,
         });
+    }
+
+    #[test]
+    fn consistent_total_saturates_at_the_u64_boundary() {
+        let snap = GlobalSnapshot {
+            epoch: 1,
+            devices: BTreeSet::from([0]),
+            excluded: BTreeSet::new(),
+            units: BTreeMap::from([
+                (
+                    UnitId::ingress(0, 0),
+                    UnitOutcome::Value {
+                        local: u64::MAX - 1,
+                        channel: 1,
+                    },
+                ),
+                (UnitId::egress(0, 0), UnitOutcome::Inferred { local: 7 }),
+            ]),
+        };
+        // local + channel alone hits u64::MAX exactly; the inferred unit
+        // pushes past it and the total clamps instead of wrapping.
+        assert_eq!(snap.consistent_total(), u64::MAX);
+        assert_eq!(snap.checked_consistent_total(), None);
+    }
+
+    #[test]
+    fn checked_consistent_total_matches_when_in_range() {
+        let snap = GlobalSnapshot {
+            epoch: 1,
+            devices: BTreeSet::from([0]),
+            excluded: BTreeSet::new(),
+            units: BTreeMap::from([
+                (
+                    UnitId::ingress(0, 0),
+                    UnitOutcome::Value {
+                        local: 10,
+                        channel: 2,
+                    },
+                ),
+                (UnitId::egress(0, 0), UnitOutcome::Inconsistent),
+            ]),
+        };
+        assert_eq!(snap.consistent_total(), 12);
+        assert_eq!(snap.checked_consistent_total(), Some(12));
     }
 }

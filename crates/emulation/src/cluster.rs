@@ -188,7 +188,15 @@ impl Cluster {
                         txs[usize::from(d)].send(DeviceMsg::SetSnapshotEnabled { enabled: false });
                 }
             }
-            let fire_at = t0 + cfg.interval * (k as u32 + 1);
+            // `k as u32` would silently truncate a >4B snapshot count and
+            // `Duration * u32` aborts opaquely on overflow — fail with a
+            // diagnosable message for both.
+            let reps = u32::try_from(k + 1).expect("snapshot count exceeds u32 schedule range");
+            let fire_at = t0
+                + cfg
+                    .interval
+                    .checked_mul(reps)
+                    .expect("snapshot schedule overflows wall-clock Duration");
             // PTP-scheduled initiation: all devices told "now" when the
             // wall clock reaches the instant (the broadcast loop below is
             // the real-world jitter source we are measuring).

@@ -5,7 +5,7 @@ use crate::latency::LatencyModel;
 use crate::packet::{Packet, PacketRole};
 use crate::switchmod::{QueuedPacket, SnapshotConfig, Switch};
 use crate::topology::{LbKind, PortPeer, Topology};
-use crate::traffic::Source;
+use crate::traffic::{Emission, Source};
 use netsim::rng::SimRng;
 use netsim::sim::{Scheduler, World};
 use netsim::time::{Duration, Instant};
@@ -199,8 +199,8 @@ pub struct Instrumentation {
     /// tagged packet a unit processed, with unwrapped tag and pre-update
     /// metric value, in processing order.
     pub delivery_log: Option<Vec<DeliveryEvent>>,
-    /// Packets delivered per host.
-    pub host_rx: BTreeMap<u32, u64>,
+    /// Packets delivered per host, indexed by host ID.
+    pub host_rx: Vec<u64>,
     /// Packets dropped because a FIB had no route.
     pub unroutable_drops: u64,
 }
@@ -230,12 +230,26 @@ pub struct Network {
     retried: BTreeMap<Epoch, Instant>,
     next_sweep: u32,
     /// Omniscient shadow of each unit's unwrapped epoch (instrumentation
-    /// only — never feeds the protocol).
-    shadow_sid: BTreeMap<UnitId, Epoch>,
-    /// Shadow of last seen per (unit, channel).
-    shadow_ls: BTreeMap<(UnitId, u16), Epoch>,
-    /// Base RNG for per-host traffic streams (stable across wakes).
-    host_rng_base: SimRng,
+    /// only — never feeds the protocol). Flat, indexed by
+    /// [`Network::unit_slot`]; these shadows sit on the per-packet path,
+    /// so they are plain arrays rather than maps.
+    shadow_sid: Vec<Epoch>,
+    /// Shadow of last seen per (unit, channel), indexed by
+    /// [`Network::ls_slot`].
+    shadow_ls: Vec<Epoch>,
+    /// `sid_base[device]` — first [`Network::unit_slot`] of that device.
+    sid_base: Vec<usize>,
+    /// `ls_base[device]` — first [`Network::ls_slot`] of that device.
+    ls_base: Vec<usize>,
+    /// Port count per device (flat copy of `topo.ports[d].len()`; the slot
+    /// helpers sit on the per-packet path, where the nested-Vec indirection
+    /// shows up).
+    ports_of: Vec<usize>,
+    /// Per-host traffic RNGs, pre-forked from the base stream once
+    /// (forking is pure, so caching it preserves every draw exactly).
+    host_rngs: Vec<SimRng>,
+    /// Reused emission buffer for host wakes (avoids a per-wake alloc).
+    scratch_emissions: Vec<Emission>,
     /// Instrumentation outputs.
     pub instr: Instrumentation,
 }
@@ -254,8 +268,18 @@ impl Network {
         let rng = SimRng::new(seed);
         let fibs = topo.build_fibs();
         let num_sw = topo.num_switches();
+        // The pair analysis needs every FIB at once; compute it for all
+        // switches first so each FIB can then be moved (not cloned) into
+        // its switch.
+        let pairs: Vec<Vec<bool>> = (0..num_sw)
+            .map(|s| used_port_pairs(&topo, &fibs, s))
+            .collect();
         let mut switches = Vec::with_capacity(usize::from(num_sw));
-        for s in 0..num_sw {
+        let mut sid_base = Vec::with_capacity(usize::from(num_sw));
+        let mut ls_base = Vec::with_capacity(usize::from(num_sw));
+        let mut ports_of = Vec::with_capacity(usize::from(num_sw));
+        let (mut sid_len, mut ls_len) = (0usize, 0usize);
+        for ((s, fib), considered_pair) in (0..num_sw).zip(fibs).zip(pairs) {
             let ports = topo.num_ports(s);
             // External channel considered iff the peer is a switch (hosts
             // do not participate in the snapshot protocol).
@@ -267,7 +291,11 @@ impl Network {
                     )
                 })
                 .collect();
-            let considered_pair = used_port_pairs(&topo, &fibs, s);
+            sid_base.push(sid_len);
+            ls_base.push(ls_len);
+            ports_of.push(usize::from(ports));
+            sid_len += 2 * usize::from(ports);
+            ls_len += 2 * usize::from(ports) * usize::from(ports);
             switches.push(Switch::new(
                 s,
                 ports,
@@ -275,7 +303,7 @@ impl Network {
                 lb_kind,
                 rng.fork_idx("lb-salt", u64::from(s)).below(u64::MAX),
                 queue_capacity_bytes,
-                fibs[usize::from(s)].clone(),
+                fib,
                 considered_ext,
                 considered_pair,
             ));
@@ -284,7 +312,7 @@ impl Network {
         for sw in &switches {
             observer.register_device(sw.id, sw.unit_ids());
         }
-        let hosts = topo
+        let hosts: Vec<Host> = topo
             .hosts
             .iter()
             .map(|&attached| Host {
@@ -294,6 +322,13 @@ impl Network {
             })
             .collect();
         let host_rng_base = rng.fork("hosts");
+        let host_rngs = (0..hosts.len() as u64)
+            .map(|h| host_rng_base.fork_idx("host", h))
+            .collect();
+        let instr = Instrumentation {
+            host_rx: vec![0; hosts.len()],
+            ..Instrumentation::default()
+        };
         Network {
             topo,
             switches,
@@ -307,11 +342,40 @@ impl Network {
             issued: BTreeMap::new(),
             retried: BTreeMap::new(),
             next_sweep: 0,
-            shadow_sid: BTreeMap::new(),
-            shadow_ls: BTreeMap::new(),
-            host_rng_base,
-            instr: Instrumentation::default(),
+            shadow_sid: vec![0; sid_len],
+            shadow_ls: vec![0; ls_len],
+            sid_base,
+            ls_base,
+            ports_of,
+            host_rngs,
+            scratch_emissions: Vec::new(),
+            instr,
         }
+    }
+
+    /// Index of `u`'s slot in the flat per-unit shadow array.
+    #[inline]
+    fn unit_slot(&self, u: UnitId) -> usize {
+        let ports = self.ports_of[usize::from(u.device)];
+        let dir = match u.direction {
+            Direction::Ingress => 0,
+            Direction::Egress => 1,
+        };
+        self.sid_base[usize::from(u.device)] + dir * ports + usize::from(u.port)
+    }
+
+    /// Index of `(u, ch)`'s slot in the flat per-channel shadow array
+    /// (`ch` is an internal channel, i.e. an ingress port of the device).
+    #[inline]
+    fn ls_slot(&self, u: UnitId, ch: u16) -> usize {
+        let ports = self.ports_of[usize::from(u.device)];
+        let dir = match u.direction {
+            Direction::Ingress => 0,
+            Direction::Egress => 1,
+        };
+        self.ls_base[usize::from(u.device)]
+            + (dir * ports + usize::from(u.port)) * ports
+            + usize::from(ch)
     }
 
     /// Attach a traffic source to a host.
@@ -356,7 +420,8 @@ impl Network {
     /// Update sync instrumentation + shadow state from a notification at
     /// data-plane time `now`.
     fn track_notification(&mut self, n: &Notification, now: Instant) {
-        let sid_ref = self.shadow_sid.entry(n.unit).or_insert(0);
+        let slot = self.unit_slot(n.unit);
+        let sid_ref = &mut self.shadow_sid[slot];
         let new_sid = n.new_sid.unwrap_from(*sid_ref);
         let advanced = new_sid > *sid_ref;
         *sid_ref = new_sid;
@@ -368,7 +433,8 @@ impl Network {
         }
         if let Some(ch) = n.channel {
             if ch != CPU_CHANNEL {
-                let ls_ref = self.shadow_ls.entry((n.unit, ch.0)).or_insert(0);
+                let slot = self.ls_slot(n.unit, ch.0);
+                let ls_ref = &mut self.shadow_ls[slot];
                 let new_ls = n.new_last_seen.unwrap_from(*ls_ref);
                 if new_ls > *ls_ref {
                     *ls_ref = new_ls;
@@ -403,16 +469,20 @@ impl Network {
         };
         let is_init = pkt.is_initiation();
         let modulus = self.snapshot_cfg.modulus;
-        let enabled = self.switches[usize::from(sw)].snapshot_enabled;
 
-        // Metric pre-read (the value a snapshot would save) + contribution.
-        let (pre_value, contrib) = {
+        // Metric pre-read (the value a snapshot would save) + contribution,
+        // sharing one switch borrow with the enabled flag.
+        let (enabled, pre_value, contrib) = {
             let switch = &self.switches[usize::from(sw)];
             let bank = match direction {
                 Direction::Ingress => &switch.ing_metrics,
                 Direction::Egress => &switch.eg_metrics,
             };
-            (bank.read(port), bank.contrib(pkt.size))
+            (
+                switch.snapshot_enabled,
+                bank.read(port),
+                bank.contrib(pkt.size),
+            )
         };
 
         let incoming_channel_id = pkt.snapshot.map(|h| h.channel_id).unwrap_or(0);
@@ -421,10 +491,10 @@ impl Network {
                 let wrapped = WrappedId::from_raw(hdr.snapshot_id % modulus, modulus);
                 // Audit tag: unwrap against the channel's pre-update shadow
                 // (CPU-channel initiations are excluded from the audit).
-                let tag_epoch = if channel == CPU_CHANNEL {
-                    0
-                } else {
-                    wrapped.unwrap_from(*self.shadow_ls.entry((uid, channel.0)).or_insert(0))
+                let ls = (channel != CPU_CHANNEL).then(|| self.ls_slot(uid, channel.0));
+                let tag_epoch = match ls {
+                    Some(slot) => wrapped.unwrap_from(self.shadow_ls[slot]),
+                    None => 0,
                 };
                 if let Some(log) = &mut self.instr.delivery_log {
                     // CPU-channel initiations carry a non-monotone epoch
@@ -451,18 +521,18 @@ impl Network {
                         Direction::Ingress => &mut switch.units.ingress[usize::from(port)],
                         Direction::Egress => &mut switch.units.egress[usize::from(port)],
                     };
-                    unit.on_packet(channel, wrapped, pre_value, contrib, is_init)
+                    let out = unit.on_packet(channel, wrapped, pre_value, contrib, is_init);
+                    // Metric update after the snapshot logic (Fig. 3 l.13);
+                    // initiations skip the update-counter stage (§6).
+                    if !is_init {
+                        let bank = match direction {
+                            Direction::Ingress => &mut switch.ing_metrics,
+                            Direction::Egress => &mut switch.eg_metrics,
+                        };
+                        bank.on_packet(port, now, pkt.size);
+                    }
+                    out
                 };
-                // Metric update after the snapshot logic (Fig. 3 l.13);
-                // initiations skip the update-counter stage (§6).
-                if !is_init {
-                    let switch = &mut self.switches[usize::from(sw)];
-                    let bank = match direction {
-                        Direction::Ingress => &mut switch.ing_metrics,
-                        Direction::Egress => &mut switch.eg_metrics,
-                    };
-                    bank.on_packet(port, now, pkt.size);
-                }
                 if let Some(n) = out.notification {
                     self.track_notification(&n, now);
                     let delay = self.latency.notify_pcie.sample(&mut self.rng);
@@ -470,13 +540,14 @@ impl Network {
                 }
                 // Keep the channel shadow monotone even when the Last Seen
                 // update produced no notification (equal IDs / no-CS mode).
-                if channel != CPU_CHANNEL {
-                    let ls_ref = self.shadow_ls.entry((uid, channel.0)).or_insert(0);
+                if let Some(slot) = ls {
+                    let ls_ref = &mut self.shadow_ls[slot];
                     *ls_ref = (*ls_ref).max(tag_epoch);
                 }
                 if !is_init && channel != CPU_CHANNEL {
+                    let slot = self.unit_slot(uid);
                     if let Some(audit) = &mut self.instr.audit {
-                        let local_after = *self.shadow_sid.entry(uid).or_insert(0);
+                        let local_after = self.shadow_sid[slot];
                         audit.record(Delivery {
                             unit: uid,
                             tag: tag_epoch,
@@ -509,8 +580,9 @@ impl Network {
                         bank.on_packet(port, now, pkt.size);
                     }
                     if enabled {
+                        let slot = self.unit_slot(uid);
                         if let Some(audit) = &mut self.instr.audit {
-                            let local_after = *self.shadow_sid.entry(uid).or_insert(0);
+                            let local_after = self.shadow_sid[slot];
                             audit.record(Delivery {
                                 unit: uid,
                                 tag: local_after,
@@ -545,24 +617,30 @@ impl Network {
         sched: &mut Scheduler<NetEvent>,
     ) {
         let out_port = {
-            let switch = &mut self.switches[usize::from(sw)];
-            let hops = switch.fib.next_hops(pkt.dst_host);
-            match hops.len() {
-                0 => {
-                    self.instr.unroutable_drops += 1;
-                    return;
-                }
-                1 => hops[0],
-                n => {
-                    let pick = switch.lb.pick(&pkt.flow, now, n);
-                    switch.fib.next_hops(pkt.dst_host)[pick]
-                }
+            // Destructure so the ECMP pick can borrow the load balancer
+            // while the next-hop slice stays borrowed from the FIB — one
+            // lookup instead of three (version stamp included).
+            let Switch {
+                fib,
+                lb,
+                fib_version_seen,
+                ..
+            } = &mut self.switches[usize::from(sw)];
+            let hops = fib.next_hops(pkt.dst_host);
+            let out = match hops.len() {
+                0 => None,
+                1 => Some(hops[0]),
+                n => Some(hops[lb.pick(&pkt.flow, now, n)]),
+            };
+            if out.is_some() {
+                *fib_version_seen = fib.version;
             }
+            out
         };
-        {
-            let switch = &mut self.switches[usize::from(sw)];
-            switch.fib_version_seen = switch.fib.version;
-        }
+        let Some(out_port) = out_port else {
+            self.instr.unroutable_drops += 1;
+            return;
+        };
         if let Some(hdr) = &mut pkt.snapshot {
             hdr.channel_id = in_port; // §5.1 Channel ID
         }
@@ -579,24 +657,29 @@ impl Network {
         );
     }
 
-    fn update_queue_gauge(&mut self, sw: u16, port: u16) {
-        let switch = &mut self.switches[usize::from(sw)];
-        if switch.eg_metrics.kind() == MetricKind::QueueDepth {
-            let depth = switch.egress_ports[usize::from(port)].queue.len() as u64;
-            switch.eg_metrics.set_gauge(port, depth);
-        }
-    }
-
     /// Transmit loop for a port: initiations are processed and die in
     /// place; the next real packet starts serializing.
     fn start_tx(&mut self, sw: u16, port: u16, now: Instant, sched: &mut Scheduler<NetEvent>) {
         loop {
-            let popped = self.switches[usize::from(sw)].egress_ports[usize::from(port)].dequeue();
+            let popped = {
+                // One switch borrow for dequeue + idle flag + gauge.
+                let switch = &mut self.switches[usize::from(sw)];
+                let (popped, depth) = {
+                    let ep = &mut switch.egress_ports[usize::from(port)];
+                    let popped = ep.dequeue();
+                    if popped.is_none() {
+                        ep.busy = false;
+                    }
+                    (popped, ep.queue.len() as u64)
+                };
+                if popped.is_some() && switch.eg_metrics.kind() == MetricKind::QueueDepth {
+                    switch.eg_metrics.set_gauge(port, depth);
+                }
+                popped
+            };
             let Some(mut qp) = popped else {
-                self.switches[usize::from(sw)].egress_ports[usize::from(port)].busy = false;
                 return;
             };
-            self.update_queue_gauge(sw, port);
             let channel = ChannelId(qp.from_port);
             self.unit_process(
                 sw,
@@ -611,7 +694,11 @@ impl Network {
             if qp.pkt.is_initiation() {
                 continue; // dropped after egress processing (§6)
             }
-            self.switches[usize::from(sw)].stats.egress_packets += 1;
+            {
+                let switch = &mut self.switches[usize::from(sw)];
+                switch.stats.egress_packets += 1;
+                switch.egress_ports[usize::from(port)].busy = true;
+            }
             let props = self.topo.link_props[usize::from(sw)][usize::from(port)];
             let ser = Duration::from_nanos(props.serialize_ns(qp.pkt.size));
             let prop = Duration::from_nanos(props.prop_ns);
@@ -637,7 +724,6 @@ impl Network {
                 }
                 PortPeer::Unused => {}
             }
-            self.switches[usize::from(sw)].egress_ports[usize::from(port)].busy = true;
             sched.after(ser, NetEvent::TxDone { sw, port });
             return;
         }
@@ -714,12 +800,13 @@ impl Network {
 /// routes out `q` while `p` can feed traffic toward it (host ports feed
 /// everything they attach; switch ports feed what their owner routes
 /// through us). Same-port pairs are always considered — initiations
-/// traverse them (§6).
-fn used_port_pairs(topo: &Topology, fibs: &[crate::topology::Fib], s: u16) -> Vec<Vec<bool>> {
+/// traverse them (§6). Returned as a row-major `ports × ports` matrix
+/// (`[p * ports + q]`), the layout [`Switch::new`] consumes.
+fn used_port_pairs(topo: &Topology, fibs: &[crate::topology::Fib], s: u16) -> Vec<bool> {
     let ports = usize::from(topo.num_ports(s));
-    let mut used = vec![vec![false; ports]; ports];
-    for (p, row) in used.iter_mut().enumerate() {
-        row[p] = true;
+    let mut used = vec![false; ports * ports];
+    for p in 0..ports {
+        used[p * ports + p] = true;
     }
     for h in 0..topo.num_hosts() {
         let outs = fibs[usize::from(s)].next_hops(h);
@@ -735,7 +822,7 @@ fn used_port_pairs(topo: &Topology, fibs: &[crate::topology::Fib], s: u16) -> Ve
             if feeds {
                 for &q in outs {
                     if usize::from(q) != p {
-                        used[p][usize::from(q)] = true;
+                        used[p * ports + usize::from(q)] = true;
                     }
                 }
             }
@@ -768,17 +855,26 @@ impl World for Network {
             }
 
             NetEvent::EnqueueEgress { sw, port, qp } => {
-                let accepted =
-                    self.switches[usize::from(sw)].egress_ports[usize::from(port)].enqueue(qp);
+                // One switch borrow for enqueue + busy transition + gauge.
+                let switch = &mut self.switches[usize::from(sw)];
+                let (accepted, was_busy, depth) = {
+                    let ep = &mut switch.egress_ports[usize::from(port)];
+                    let accepted = ep.enqueue(qp);
+                    let was_busy = ep.busy;
+                    if accepted {
+                        ep.busy = true;
+                    }
+                    (accepted, was_busy, ep.queue.len() as u64)
+                };
                 if accepted {
-                    self.update_queue_gauge(sw, port);
-                    let busy = self.switches[usize::from(sw)].egress_ports[usize::from(port)].busy;
-                    if !busy {
-                        self.switches[usize::from(sw)].egress_ports[usize::from(port)].busy = true;
+                    if switch.eg_metrics.kind() == MetricKind::QueueDepth {
+                        switch.eg_metrics.set_gauge(port, depth);
+                    }
+                    if !was_busy {
                         sched.now_event(NetEvent::StartTx { sw, port });
                     }
                 } else {
-                    self.switches[usize::from(sw)].stats.queue_drops += 1;
+                    switch.stats.queue_drops += 1;
                 }
             }
 
@@ -789,25 +885,25 @@ impl World for Network {
             NetEvent::DeliverHost { host, pkt } => {
                 debug_assert!(pkt.snapshot.is_none(), "shim must be stripped");
                 let _ = pkt;
-                *self.instr.host_rx.entry(host).or_insert(0) += 1;
+                self.instr.host_rx[host as usize] += 1;
             }
 
             NetEvent::HostWake { host } => {
-                let mut emissions = Vec::new();
+                if self.hosts[host as usize].source.is_none() {
+                    return;
+                }
+                let mut emissions = std::mem::take(&mut self.scratch_emissions);
                 let next = {
+                    // The per-host fork is cached (forking is pure); only
+                    // the per-wake fork is derived here.
+                    let mut rng = self.host_rngs[host as usize].fork_idx("wake", now.as_nanos());
                     let h = &mut self.hosts[host as usize];
-                    let Some(source) = h.source.as_mut() else {
-                        return;
-                    };
-                    let mut rng = self
-                        .host_rng_base
-                        .fork_idx("host", u64::from(host))
-                        .fork_idx("wake", now.as_nanos());
+                    let source = h.source.as_mut().expect("checked above");
                     source.on_wake(now, &mut rng, &mut emissions)
                 };
                 let (sw, port) = self.hosts[host as usize].attached;
                 let props = self.topo.link_props[usize::from(sw)][usize::from(port)];
-                for em in emissions {
+                for em in emissions.drain(..) {
                     let start = self.hosts[host as usize].nic_busy_until.max(now);
                     let ser = Duration::from_nanos(props.serialize_ns(em.bytes));
                     self.hosts[host as usize].nic_busy_until = start + ser;
@@ -822,6 +918,7 @@ impl World for Network {
                         },
                     );
                 }
+                self.scratch_emissions = emissions;
                 if let Some(next) = next {
                     sched.at(next.max(now), NetEvent::HostWake { host });
                 }

@@ -207,9 +207,10 @@ impl Switch {
     ///
     /// `considered_ext[p]` — whether ingress port `p`'s external upstream
     /// channel counts toward completion (true iff the peer is a
-    /// snapshot-enabled switch). `considered_pair[p][q]` — whether the
-    /// internal channel ingress `p` → egress `q` counts (derived from the
-    /// routing analysis; §6 "operators can configure the removal of
+    /// snapshot-enabled switch). `considered_pair` is a row-major
+    /// `ports × ports` matrix: `considered_pair[p * ports + q]` — whether
+    /// the internal channel ingress `p` → egress `q` counts (derived from
+    /// the routing analysis; §6 "operators can configure the removal of
     /// non-utilized upstream neighbors").
     #[allow(clippy::too_many_arguments)]
     pub fn new(
@@ -221,10 +222,13 @@ impl Switch {
         queue_capacity_bytes: u64,
         fib: Fib,
         considered_ext: Vec<bool>,
-        considered_pair: Vec<Vec<bool>>,
+        considered_pair: Vec<bool>,
     ) -> Switch {
         assert_eq!(considered_ext.len(), usize::from(ports));
-        assert_eq!(considered_pair.len(), usize::from(ports));
+        assert_eq!(
+            considered_pair.len(),
+            usize::from(ports) * usize::from(ports)
+        );
         let mk_unit = |unit: UnitId, num_channels: u16| {
             DataPlaneUnit::new(UnitConfig {
                 unit,
@@ -249,7 +253,7 @@ impl Switch {
             );
             // Egress unit q's channel i is ingress port i.
             let mask: Vec<bool> = (0..ports)
-                .map(|i| considered_pair[usize::from(i)][usize::from(p)])
+                .map(|i| considered_pair[usize::from(i) * usize::from(ports) + usize::from(p)])
                 .collect();
             cp.register_unit(UnitId::egress(id, p), ports, mask);
         }
@@ -315,7 +319,7 @@ mod tests {
             100_000,
             Fib::default(),
             vec![true; n],
-            vec![vec![true; n]; n],
+            vec![true; n * n],
         )
     }
 
@@ -373,7 +377,8 @@ mod tests {
             100_000,
             Fib::default(),
             vec![false, true], // port 0 faces a host
-            vec![vec![true, false], vec![true, true]],
+            // Row-major pair matrix: [0→0, 0→1, 1→0, 1→1].
+            vec![true, false, true, true],
         );
         // Host-facing ingress never gates completion: a CP-view check —
         // no stalled channel for epoch 1 on that unit even though silent.
@@ -399,7 +404,7 @@ mod tests {
             100_000,
             Fib::default(),
             vec![true; 2],
-            vec![vec![true; 2]; 2],
+            vec![true; 4],
         );
         assert_eq!(sw.lb.name(), "flowlet");
         assert!(!sw.cp.channel_state());

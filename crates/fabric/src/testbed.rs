@@ -111,6 +111,16 @@ impl Testbed {
         self.sim.now()
     }
 
+    /// Total events the underlying simulation has dispatched.
+    pub fn events_dispatched(&self) -> u64 {
+        self.sim.events_dispatched()
+    }
+
+    /// Number of pending events in the simulation queue.
+    pub fn pending(&self) -> usize {
+        self.sim.pending()
+    }
+
     /// The network (for inspection and advanced setup).
     pub fn network(&self) -> &Network {
         self.sim.world()
@@ -223,7 +233,7 @@ mod tests {
     fn traffic_flows_end_to_end() {
         let mut tb = leaf_spine_testbed(false);
         tb.run_until(Instant::from_nanos(10_000_000)); // 10 ms
-        let rx: u64 = tb.network().instr.host_rx.values().sum();
+        let rx: u64 = tb.network().instr.host_rx.iter().sum();
         assert!(rx > 2_000, "expected steady delivery, got {rx}");
         assert_eq!(tb.network().instr.unroutable_drops, 0);
         for sw in &tb.network().switches {

@@ -5,7 +5,7 @@
 //! switch's FIB maps a destination host to the set of equal-cost next-hop
 //! ports (the ECMP group handed to the load balancer).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// What a switch port is wired to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,7 +240,13 @@ impl Topology {
     /// switch.
     pub fn build_fibs(&self) -> Vec<Fib> {
         let n = usize::from(self.num_switches());
-        let mut fibs: Vec<Fib> = (0..n).map(|_| Fib::default()).collect();
+        let num_hosts = self.hosts.len();
+        let mut fibs: Vec<Fib> = (0..n)
+            .map(|_| Fib {
+                routes: vec![Vec::new(); num_hosts],
+                version: 0,
+            })
+            .collect();
 
         for (host, &(hsw, hport)) in self.hosts.iter().enumerate() {
             // BFS distances to `hsw` over switch-switch links.
@@ -276,9 +282,7 @@ impl Topology {
                     }
                     ports
                 };
-                if !entry.is_empty() {
-                    fibs[usize::from(s)].routes.insert(host as u32, entry);
-                }
+                fibs[usize::from(s)].routes[host] = entry;
             }
         }
         fibs
@@ -287,23 +291,35 @@ impl Topology {
 
 /// A switch's forwarding table with a version tag (§10 "Measuring
 /// Forwarding State": the version can itself be snapshotted).
+///
+/// Host IDs are small and dense, so routes live in a host-indexed vector:
+/// the per-packet lookup on the forwarding hot path is one bounds check
+/// and a slice borrow instead of a tree walk.
 #[derive(Debug, Clone, Default)]
 pub struct Fib {
-    /// Destination host → equal-cost next-hop ports.
-    pub routes: BTreeMap<u32, Vec<u16>>,
+    /// `routes[dst]` = equal-cost next-hop ports (empty = unreachable).
+    pub routes: Vec<Vec<u16>>,
     /// Version number, bumped on every update.
     pub version: u64,
 }
 
 impl Fib {
     /// Next-hop ports for `dst`, empty if unreachable.
+    #[inline]
     pub fn next_hops(&self, dst: u32) -> &[u16] {
-        self.routes.get(&dst).map(Vec::as_slice).unwrap_or(&[])
+        self.routes
+            .get(dst as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Replace the route for one destination (bumps the version).
     pub fn set_route(&mut self, dst: u32, ports: Vec<u16>) {
-        self.routes.insert(dst, ports);
+        let slot = dst as usize;
+        if slot >= self.routes.len() {
+            self.routes.resize_with(slot + 1, Vec::new);
+        }
+        self.routes[slot] = ports;
         self.version += 1;
     }
 }
@@ -440,7 +456,7 @@ mod tests {
         tb.snapshot_at(Instant::ZERO + Duration::from_millis(2));
         tb.run_until(Instant::ZERO + Duration::from_millis(60));
         assert_eq!(tb.network().instr.unroutable_drops, 0);
-        let rx: u64 = tb.network().instr.host_rx.values().sum();
+        let rx: u64 = tb.network().instr.host_rx.iter().sum();
         assert!(rx > 1_000, "fat-tree delivery failed: {rx}");
         // The snapshot completes across all 20 devices.
         assert_eq!(tb.snapshots().len(), 1);

@@ -50,8 +50,13 @@ impl<E> Scheduler<E> {
     }
 
     /// Schedule `event` to fire `delay` from now.
+    ///
+    /// Routes through [`Scheduler::at`] so it is subject to the same
+    /// schedule-into-the-past check (`now + delay` can only land in the
+    /// past by wrapping, which the overflow-checked [`Instant`] addition
+    /// turns into a loud panic instead of silent causality corruption).
     pub fn after(&mut self, delay: Duration, event: E) {
-        self.queue.push(self.now + delay, event);
+        self.at(self.now + delay, event);
     }
 
     /// Schedule `event` for the current instant (after already-queued events
@@ -111,6 +116,16 @@ impl<W: World> Simulation<W> {
         &mut self.world
     }
 
+    /// Total events dispatched over this simulation's lifetime.
+    pub fn events_dispatched(&self) -> u64 {
+        self.sched.queue.popped()
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.sched.pending()
+    }
+
     /// Schedule an initial/external event at an absolute time.
     pub fn schedule_at(&mut self, at: Instant, event: W::Event) {
         self.sched.at(at, event);
@@ -126,16 +141,16 @@ impl<W: World> Simulation<W> {
     pub fn run_until(&mut self, deadline: Instant) -> RunOutcome {
         let mut dispatched: u64 = 0;
         loop {
-            let Some(next) = self.sched.queue.peek_time() else {
-                return RunOutcome::Drained;
-            };
-            if next > deadline {
+            // One queue operation per event: pop iff due by the deadline.
+            let Some((time, event)) = self.sched.queue.pop_at_or_before(deadline) else {
+                if self.sched.queue.is_empty() {
+                    return RunOutcome::Drained;
+                }
                 // Park the clock at the deadline so subsequent scheduling is
                 // relative to where the run stopped.
                 self.sched.now = deadline;
                 return RunOutcome::DeadlineReached;
-            }
-            let (time, event) = self.sched.queue.pop().expect("peeked");
+            };
             self.sched.now = time;
             self.world.handle(time, event, &mut self.sched);
             dispatched += 1;
@@ -220,6 +235,25 @@ mod tests {
         sim.schedule_at(Instant::ZERO, Ev::Tick(1_000_000));
         assert_eq!(sim.run_to_completion(), RunOutcome::EventLimit);
         assert_eq!(sim.world().fired.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated time overflow")]
+    fn near_max_schedule_fails_loudly_instead_of_wrapping() {
+        // Regression: `after` used to push `now + delay` with wrapping
+        // arithmetic, so near-u64::MAX schedules silently landed in the
+        // deep past and corrupted causality. Now the addition itself
+        // panics before the queue is touched.
+        struct Wrap;
+        impl World for Wrap {
+            type Event = ();
+            fn handle(&mut self, _: Instant, _: (), sched: &mut Scheduler<()>) {
+                sched.after(Duration::from_nanos(u64::MAX), ());
+            }
+        }
+        let mut sim = Simulation::new(Wrap);
+        sim.schedule_at(Instant::from_nanos(10), ());
+        sim.run_to_completion();
     }
 
     #[test]

@@ -51,6 +51,17 @@ impl Instant {
     pub fn checked_since(self, earlier: Instant) -> Option<Duration> {
         self.0.checked_sub(earlier.0).map(Duration)
     }
+
+    /// Checked addition: `None` if the sum leaves the `u64` nanosecond
+    /// range (the panicking `+` operator routes through this).
+    pub fn checked_add(self, rhs: Duration) -> Option<Instant> {
+        self.0.checked_add(rhs.0).map(Instant)
+    }
+
+    /// Addition that clamps at the end of representable time.
+    pub fn saturating_add(self, rhs: Duration) -> Instant {
+        Instant(self.0.saturating_add(rhs.0))
+    }
 }
 
 impl Duration {
@@ -62,19 +73,28 @@ impl Duration {
         Duration(ns)
     }
 
-    /// Construct from microseconds.
+    /// Construct from microseconds (panics on `u64` nanosecond overflow).
     pub const fn from_micros(us: u64) -> Self {
-        Duration(us * 1_000)
+        match us.checked_mul(1_000) {
+            Some(ns) => Duration(ns),
+            None => panic!("duration overflow: microseconds exceed the u64 nanosecond range"),
+        }
     }
 
-    /// Construct from milliseconds.
+    /// Construct from milliseconds (panics on `u64` nanosecond overflow).
     pub const fn from_millis(ms: u64) -> Self {
-        Duration(ms * 1_000_000)
+        match ms.checked_mul(1_000_000) {
+            Some(ns) => Duration(ns),
+            None => panic!("duration overflow: milliseconds exceed the u64 nanosecond range"),
+        }
     }
 
-    /// Construct from whole seconds.
+    /// Construct from whole seconds (panics on `u64` nanosecond overflow).
     pub const fn from_secs(s: u64) -> Self {
-        Duration(s * 1_000_000_000)
+        match s.checked_mul(1_000_000_000) {
+            Some(ns) => Duration(ns),
+            None => panic!("duration overflow: seconds exceed the u64 nanosecond range"),
+        }
     }
 
     /// Construct from floating point seconds, rounding to nanoseconds and
@@ -113,65 +133,110 @@ impl Duration {
     pub fn saturating_sub(self, rhs: Duration) -> Duration {
         Duration(self.0.saturating_sub(rhs.0))
     }
+
+    /// Checked addition: `None` on `u64` nanosecond overflow.
+    pub fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        self.0.checked_add(rhs.0).map(Duration)
+    }
+
+    /// Checked scalar multiplication: `None` on `u64` nanosecond overflow
+    /// (the panicking `*` operator routes through this).
+    pub fn checked_mul(self, rhs: u64) -> Option<Duration> {
+        self.0.checked_mul(rhs).map(Duration)
+    }
+
+    /// Saturating scalar multiplication.
+    pub fn saturating_mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
 }
+
+// Arithmetic on simulated time is overflow-checked in every build profile:
+// a wrapped timestamp would schedule an event in the deep past and corrupt
+// causality *silently* (release-mode `u64` ops wrap), so the operators
+// panic with a clear message instead. Use the `checked_*` / `saturating_*`
+// methods where overflow is an expected outcome.
 
 impl Add<Duration> for Instant {
     type Output = Instant;
+    #[inline]
     fn add(self, rhs: Duration) -> Instant {
-        Instant(self.0 + rhs.0)
+        self.checked_add(rhs).unwrap_or_else(|| {
+            panic!("simulated time overflow: {self} + {rhs} exceeds the u64 nanosecond range")
+        })
     }
 }
 
 impl AddAssign<Duration> for Instant {
+    #[inline]
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
 impl Sub<Duration> for Instant {
     type Output = Instant;
+    #[inline]
     fn sub(self, rhs: Duration) -> Instant {
-        Instant(self.0 - rhs.0)
+        match self.0.checked_sub(rhs.0) {
+            Some(ns) => Instant(ns),
+            None => panic!("simulated time underflow: {self} - {rhs} is before time zero"),
+        }
     }
 }
 
 impl Sub<Instant> for Instant {
     type Output = Duration;
+    #[inline]
     fn sub(self, rhs: Instant) -> Duration {
-        Duration(self.0 - rhs.0)
+        self.checked_since(rhs).unwrap_or_else(|| {
+            panic!("simulated time underflow: {self} - {rhs} is negative; use saturating_since")
+        })
     }
 }
 
 impl Add for Duration {
     type Output = Duration;
+    #[inline]
     fn add(self, rhs: Duration) -> Duration {
-        Duration(self.0 + rhs.0)
+        self.checked_add(rhs).unwrap_or_else(|| {
+            panic!("duration overflow: {self} + {rhs} exceeds the u64 nanosecond range")
+        })
     }
 }
 
 impl AddAssign for Duration {
+    #[inline]
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
 impl Sub for Duration {
     type Output = Duration;
+    #[inline]
     fn sub(self, rhs: Duration) -> Duration {
-        Duration(self.0 - rhs.0)
+        match self.0.checked_sub(rhs.0) {
+            Some(ns) => Duration(ns),
+            None => panic!("duration underflow: {self} - {rhs} is negative; use saturating_sub"),
+        }
     }
 }
 
 impl SubAssign for Duration {
+    #[inline]
     fn sub_assign(&mut self, rhs: Duration) {
-        self.0 -= rhs.0;
+        *self = *self - rhs;
     }
 }
 
 impl Mul<u64> for Duration {
     type Output = Duration;
+    #[inline]
     fn mul(self, rhs: u64) -> Duration {
-        Duration(self.0 * rhs)
+        self.checked_mul(rhs).unwrap_or_else(|| {
+            panic!("duration overflow: {self} * {rhs} exceeds the u64 nanosecond range")
+        })
     }
 }
 
@@ -251,5 +316,51 @@ mod tests {
     fn scalar_ops() {
         assert_eq!(Duration::from_micros(3) * 4, Duration::from_micros(12));
         assert_eq!(Duration::from_micros(12) / 4, Duration::from_micros(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated time overflow")]
+    fn instant_add_overflow_panics_loudly() {
+        let _ = Instant::from_nanos(u64::MAX - 10) + Duration::from_nanos(11);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated time overflow")]
+    fn instant_add_assign_overflow_panics_loudly() {
+        let mut t = Instant::from_nanos(u64::MAX);
+        t += Duration::from_nanos(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration overflow")]
+    fn duration_mul_overflow_panics_loudly() {
+        let _ = Duration::from_nanos(u64::MAX / 2) * 3;
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated time underflow")]
+    fn instant_sub_underflow_panics_loudly() {
+        let _ = Instant::from_nanos(3) - Duration::from_nanos(4);
+    }
+
+    #[test]
+    fn checked_and_saturating_variants_do_not_panic() {
+        let end = Instant::from_nanos(u64::MAX);
+        assert_eq!(end.checked_add(Duration::from_nanos(1)), None);
+        assert_eq!(end.saturating_add(Duration::from_nanos(5)), end);
+        assert_eq!(Duration::from_nanos(u64::MAX).checked_mul(2), None);
+        assert_eq!(
+            Duration::from_nanos(u64::MAX).saturating_mul(7),
+            Duration::from_nanos(u64::MAX)
+        );
+        assert_eq!(
+            Duration::from_nanos(u64::MAX).checked_add(Duration::from_nanos(1)),
+            None
+        );
+        // In-range arithmetic is unaffected.
+        assert_eq!(
+            Instant::from_nanos(5).checked_add(Duration::from_nanos(6)),
+            Some(Instant::from_nanos(11))
+        );
     }
 }
