@@ -10,6 +10,9 @@
 //! cargo run --release -p bench --bin bench_netsim -- [options]
 //!   --scenario fig9|smoke     scenario scale (default fig9)
 //!   --seed <u64>              master seed (default 9)
+//!   --trials <usize>          trials to run in parallel (default 1);
+//!                             events/sec is the median, and every trial's
+//!                             snapshot digest must agree
 //!   --out <path>              output JSON (default BENCH_netsim.json)
 //!   --baseline <path>         embed speedup vs a previous run's JSON
 //!   --check <path>            validate <path>'s schema and fail if this
@@ -107,16 +110,6 @@ fn build(seed: u64) -> Testbed {
     tb
 }
 
-/// FNV-1a 64-bit, the digest accumulator.
-fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
-    let mut h = hash;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 fn run(scenario: Scenario, seed: u64) -> Measurement {
     let mut tb = build(seed);
     let horizon = scenario.sim_horizon();
@@ -125,15 +118,16 @@ fn run(scenario: Scenario, seed: u64) -> Measurement {
     let wall = start.elapsed();
 
     let events = tb.events_dispatched();
-    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = parfan::digest::Fnv64::new();
     for rec in tb.snapshots() {
-        digest = fnv1a(digest, &rec.snapshot.epoch.to_le_bytes());
-        digest = fnv1a(digest, &rec.snapshot.consistent_total().to_le_bytes());
-        digest = fnv1a(digest, &[u8::from(rec.forced)]);
-        digest = fnv1a(digest, &(rec.snapshot.excluded.len() as u64).to_le_bytes());
-        digest = fnv1a(digest, &(rec.snapshot.units.len() as u64).to_le_bytes());
-        digest = fnv1a(digest, &rec.completed_at.as_nanos().to_le_bytes());
+        h.update(&rec.snapshot.epoch.to_le_bytes());
+        h.update(&rec.snapshot.consistent_total().to_le_bytes());
+        h.update(&[u8::from(rec.forced)]);
+        h.write_u64(rec.snapshot.excluded.len() as u64);
+        h.write_u64(rec.snapshot.units.len() as u64);
+        h.write_u64(rec.completed_at.as_nanos());
     }
+    let digest = h.finish();
     let wall_s = wall.as_secs_f64();
     Measurement {
         scenario,
@@ -149,7 +143,53 @@ fn run(scenario: Scenario, seed: u64) -> Measurement {
     }
 }
 
-fn render_json(m: &Measurement, baseline_eps: Option<f64>) -> String {
+/// Aggregate of `--trials` runs of the same seeded scenario.
+struct Report {
+    trials: usize,
+    events_per_sec_min: f64,
+    wall_clock_stddev_s: f64,
+    /// Representative measurement: deterministic fields from trial 0, wall
+    /// clock and events/sec replaced by the across-trial medians (so
+    /// `events_per_sec` — the field `--check` gates on — is the median).
+    m: Measurement,
+}
+
+fn run_trials(scenario: Scenario, seed: u64, trials: usize) -> Report {
+    let idx: Vec<usize> = (0..trials.max(1)).collect();
+    let mut ms = parfan::map_labeled(
+        &idx,
+        |_, &t| format!("bench trial {t} scenario={} seed={seed}", scenario.name()),
+        |_, _| run(scenario, seed),
+    );
+    // Every trial replays the same seeded scenario, so digests and event
+    // counts must agree bit for bit; a disagreement is a real determinism
+    // bug, not measurement noise.
+    for (t, m) in ms.iter().enumerate() {
+        assert_eq!(
+            (m.snapshot_digest, m.events_dispatched),
+            (ms[0].snapshot_digest, ms[0].events_dispatched),
+            "trial {t} diverged from trial 0: the simulation is not deterministic"
+        );
+    }
+    let eps: Vec<f64> = ms.iter().map(|m| m.events_per_sec).collect();
+    let walls: Vec<f64> = ms.iter().map(|m| m.wall_clock_s).collect();
+    let mut m = ms.swap_remove(0);
+    m.events_per_sec = sim_stats::percentile(&eps, 0.5);
+    m.wall_clock_s = sim_stats::percentile(&walls, 0.5);
+    Report {
+        trials: idx.len(),
+        events_per_sec_min: eps.iter().copied().fold(f64::INFINITY, f64::min),
+        wall_clock_stddev_s: if walls.len() > 1 {
+            sim_stats::std_dev(&walls)
+        } else {
+            0.0
+        },
+        m,
+    }
+}
+
+fn render_json(r: &Report, baseline_eps: Option<f64>) -> String {
+    let m = &r.m;
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"speedlight-bench-netsim/v1\",\n");
     out.push_str(&format!("  \"scenario\": \"{}\",\n", m.scenario.name()));
@@ -161,6 +201,19 @@ fn render_json(m: &Measurement, baseline_eps: Option<f64>) -> String {
         m.events_dispatched
     ));
     out.push_str(&format!("  \"events_per_sec\": {:.1},\n", m.events_per_sec));
+    out.push_str(&format!("  \"trials\": {},\n", r.trials));
+    out.push_str(&format!(
+        "  \"events_per_sec_median\": {:.1},\n",
+        m.events_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"events_per_sec_min\": {:.1},\n",
+        r.events_per_sec_min
+    ));
+    out.push_str(&format!(
+        "  \"wall_clock_stddev_s\": {:.6},\n",
+        r.wall_clock_stddev_s
+    ));
     out.push_str(&format!(
         "  \"snapshots_completed\": {},\n",
         m.snapshots_completed
@@ -231,6 +284,7 @@ fn validate_schema(doc: &str) -> Result<f64, String> {
 fn main() -> ExitCode {
     let mut scenario = Scenario::Fig9;
     let mut seed: u64 = 9;
+    let mut trials: usize = 1;
     let mut out_path = String::from("BENCH_netsim.json");
     let mut baseline_path: Option<String> = None;
     let mut check_path: Option<String> = None;
@@ -251,6 +305,10 @@ fn main() -> ExitCode {
                 }
             }
             "--seed" => seed = value("--seed").parse().expect("--seed takes a u64"),
+            "--trials" => {
+                trials = value("--trials").parse().expect("--trials takes a usize");
+                assert!(trials >= 1, "--trials must be at least 1");
+            }
             "--out" => out_path = value("--out"),
             "--baseline" => baseline_path = Some(value("--baseline")),
             "--check" => check_path = Some(value("--check")),
@@ -263,15 +321,20 @@ fn main() -> ExitCode {
         }
     }
 
-    let m = run(scenario, seed);
+    let r = run_trials(scenario, seed, trials);
+    let m = &r.m;
     eprintln!(
-        "scenario={} seed={} events={} wall={:.3}s throughput={:.0} events/s \
-         snapshots={} (forced {}) digest={:016x}",
+        "scenario={} seed={} trials={} events={} wall={:.3}s (stddev {:.3}s) \
+         throughput={:.0} events/s (median; min {:.0}) snapshots={} (forced {}) \
+         digest={:016x}",
         m.scenario.name(),
         m.seed,
+        r.trials,
         m.events_dispatched,
         m.wall_clock_s,
+        r.wall_clock_stddev_s,
         m.events_per_sec,
+        r.events_per_sec_min,
         m.snapshots_completed,
         m.forced_snapshots,
         m.snapshot_digest,
@@ -283,7 +346,7 @@ fn main() -> ExitCode {
         validate_schema(&doc).unwrap_or_else(|e| panic!("bad baseline {p}: {e}"))
     });
 
-    std::fs::write(&out_path, render_json(&m, baseline_eps))
+    std::fs::write(&out_path, render_json(&r, baseline_eps))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 

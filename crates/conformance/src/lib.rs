@@ -25,6 +25,7 @@
 
 pub mod artifact;
 pub mod diff;
+pub mod matrix;
 pub mod oracle;
 pub mod runner;
 pub mod scenario;
@@ -32,5 +33,5 @@ pub mod scenario;
 pub use artifact::{assert_conformant, replay_command};
 pub use diff::Divergence;
 pub use oracle::{check_run, check_unit_sets, Expectations, IdealReplay, SnapEntry, SubstrateRun};
-pub use runner::{run_scenario, ScenarioOutcome};
+pub use runner::{fabric_digest, matrix_digest, run_matrix, run_scenario, ScenarioOutcome};
 pub use scenario::{FaultSpec, Lb, Scenario, Topo, WorkloadKind};

@@ -1,0 +1,141 @@
+//! The seeded conformance matrix, as data.
+//!
+//! The scenario list lives here (rather than inline in the test file) so
+//! that both the per-scenario tests and the parallel whole-matrix runner
+//! ([`crate::runner::run_matrix`]) draw from one source of truth.
+
+/// `(name, spec)` for every scenario in the matrix.
+pub const SCENARIOS: &[(&str, &str)] = &[
+    // Paper workloads on the leaf-spine testbed: every workload × both
+    // load balancers × both snapshot variants, distinct seeds and moduli.
+    (
+        "hadoop_ecmp_nocs",
+        "topo=leafspine;wl=hadoop;lb=ecmp;cs=0;mod=16;snaps=6;ival=5;seed=0x1001",
+    ),
+    (
+        "hadoop_ecmp_cs",
+        "topo=leafspine;wl=hadoop;lb=ecmp;cs=1;mod=16;snaps=6;ival=5;seed=0x1002",
+    ),
+    (
+        "hadoop_flowlet_nocs",
+        "topo=leafspine;wl=hadoop;lb=flowlet;cs=0;mod=64;snaps=6;ival=5;seed=0x1003",
+    ),
+    (
+        "hadoop_flowlet_cs",
+        "topo=leafspine;wl=hadoop;lb=flowlet;cs=1;mod=8;snaps=6;ival=5;seed=0x1004",
+    ),
+    (
+        "graphx_ecmp_nocs",
+        "topo=leafspine;wl=graphx;lb=ecmp;cs=0;mod=8;snaps=6;ival=5;seed=0x2001",
+    ),
+    (
+        "graphx_ecmp_cs",
+        "topo=leafspine;wl=graphx;lb=ecmp;cs=1;mod=64;snaps=6;ival=5;seed=0x2002",
+    ),
+    (
+        "graphx_flowlet_nocs",
+        "topo=leafspine;wl=graphx;lb=flowlet;cs=0;mod=16;snaps=6;ival=5;seed=0x2003",
+    ),
+    (
+        "graphx_flowlet_cs",
+        "topo=leafspine;wl=graphx;lb=flowlet;cs=1;mod=16;snaps=6;ival=5;seed=0x2004",
+    ),
+    (
+        "memcache_ecmp_nocs",
+        "topo=leafspine;wl=memcache;lb=ecmp;cs=0;mod=64;snaps=6;ival=5;seed=0x3001",
+    ),
+    (
+        "memcache_ecmp_cs",
+        "topo=leafspine;wl=memcache;lb=ecmp;cs=1;mod=8;snaps=6;ival=5;seed=0x3002",
+    ),
+    (
+        "memcache_flowlet_nocs",
+        "topo=leafspine;wl=memcache;lb=flowlet;cs=0;mod=16;snaps=6;ival=5;seed=0x3003",
+    ),
+    (
+        "memcache_flowlet_cs",
+        "topo=leafspine;wl=memcache;lb=flowlet;cs=1;mod=16;snaps=6;ival=5;seed=0x3004",
+    ),
+    // §5.2 wraparound stress: tiny moduli force many snapshot-ID wraps
+    // while the oracle compares at full (unwrapped) epoch resolution.
+    (
+        "line_wrap_mod4_nocs",
+        "topo=line:3;wl=cbr;cs=0;mod=4;snaps=10;ival=4;seed=0x4001",
+    ),
+    (
+        "line_wrap_mod4_cs",
+        "topo=line:3;wl=cbr;cs=1;mod=4;snaps=10;ival=4;seed=0x4002",
+    ),
+    (
+        "line_wrap_mod8_nocs",
+        "topo=line:4;wl=cbr;cs=0;mod=8;snaps=12;ival=3;seed=0x4003",
+    ),
+    (
+        "line_wrap_mod8_cs",
+        "topo=line:4;wl=cbr;cs=1;mod=8;snaps=12;ival=3;seed=0x4004",
+    ),
+    // Mid-run device failures: the faulted device must be excluded from
+    // every forced snapshot; in no-channel-state mode *only* it may be.
+    (
+        "fault_leafspine_cs",
+        "topo=leafspine;wl=memcache;lb=ecmp;cs=1;mod=16;snaps=6;ival=5;fault=3@3;seed=0x5001",
+    ),
+    (
+        "fault_line_nocs_strict",
+        "topo=line:4;wl=cbr;cs=0;mod=16;snaps=6;ival=5;fault=2@3;seed=0x5002",
+    ),
+    (
+        "fault_leafspine_nocs_strict",
+        "topo=leafspine;wl=hadoop;lb=flowlet;cs=0;mod=16;snaps=6;ival=5;fault=1@2;seed=0x5003",
+    ),
+    // Fabric vs threaded emulation on the same line topologies: both
+    // substrates are oracle-checked and their unit sets must agree.
+    (
+        "emu_line3",
+        "topo=line:3;wl=cbr;cs=0;mod=16;snaps=6;ival=8;emu=1;seed=0x6001",
+    ),
+    (
+        "emu_line2_wrap",
+        "topo=line:2;wl=cbr;cs=0;mod=8;snaps=6;ival=8;emu=1;seed=0x6002",
+    ),
+    (
+        "emu_line4",
+        "topo=line:4;wl=cbr;cs=0;mod=64;snaps=5;ival=10;emu=1;seed=0x6003",
+    ),
+    (
+        "emu_line3_fault",
+        "topo=line:3;wl=cbr;cs=0;mod=16;snaps=6;ival=8;emu=1;fault=1@2;seed=0x6004",
+    ),
+];
+
+/// Look up a scenario spec by name. Panics on an unknown name so a typo in
+/// a test is a hard error, not a silently skipped scenario.
+pub fn spec(name: &str) -> &'static str {
+    SCENARIOS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, s)| s)
+        .unwrap_or_else(|| panic!("unknown scenario name `{name}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+
+    #[test]
+    fn every_spec_parses_and_round_trips_its_seed() {
+        for &(name, spec) in SCENARIOS {
+            let sc = Scenario::from_spec(spec)
+                .unwrap_or_else(|e| panic!("scenario `{name}` does not parse: {e}"));
+            sc.validate()
+                .unwrap_or_else(|e| panic!("scenario `{name}` invalid: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario name")]
+    fn unknown_name_panics() {
+        spec("no_such_scenario");
+    }
+}

@@ -239,3 +239,48 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
         divergences,
     }
 }
+
+/// Run every scenario in the matrix, fanning out across cores. Scenarios
+/// are independent seeded runs, so the outcome vector is identical (in
+/// order and content) at any `SPEEDLIGHT_JOBS`; each job's label carries
+/// the full spec string, so a panicking scenario is reproducible from the
+/// failure message alone.
+pub fn run_matrix(scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
+    parfan::map_labeled(
+        scenarios,
+        |_, sc| format!("scenario `{}`", sc.spec()),
+        |_, sc| run_scenario(sc),
+    )
+}
+
+/// Digest of the deterministic arm of one outcome: the spec, the full
+/// fabric run (every snapshot, outcome, and delivery-log entry via its
+/// `Debug` rendering), and the divergence list. The emulation arm is
+/// deliberately excluded — it is a wall-clock substrate and not
+/// byte-reproducible, which is exactly why the oracle (not a digest)
+/// checks it.
+pub fn fabric_digest(outcome: &ScenarioOutcome) -> u64 {
+    let mut h = parfan::digest::Fnv64::new();
+    h.update(outcome.scenario.spec().as_bytes());
+    h.update(format!("{:?}", outcome.fabric).as_bytes());
+    // Emulation-derived divergences never appear here for a conformant
+    // matrix (the list is empty); for a diverging one the fabric-side
+    // entries still make serial and parallel runs comparable.
+    for d in outcome
+        .divergences
+        .iter()
+        .filter(|d| !format!("{d:?}").contains("emulation"))
+    {
+        h.update(format!("{d:?}").as_bytes());
+    }
+    h.finish()
+}
+
+/// Order-sensitive digest of a whole matrix run's deterministic arms.
+pub fn matrix_digest(outcomes: &[ScenarioOutcome]) -> u64 {
+    let mut h = parfan::digest::Fnv64::new();
+    for o in outcomes {
+        h.write_u64(fabric_digest(o));
+    }
+    h.finish()
+}

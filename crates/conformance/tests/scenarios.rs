@@ -9,7 +9,10 @@
 use conformance::artifact::REPLAY_ENV;
 use conformance::oracle::check_run;
 use conformance::runner::{expectations, run_fabric};
-use conformance::{assert_conformant, run_scenario, Divergence, Lb, Scenario, WorkloadKind};
+use conformance::{
+    assert_conformant, matrix, matrix_digest, run_matrix, run_scenario, Divergence, Lb, Scenario,
+    WorkloadKind,
+};
 use speedlight_core::observer::UnitOutcome;
 
 fn sc(spec: &str) -> Scenario {
@@ -45,53 +48,56 @@ fn run_and_check(spec: &str) {
     }
 }
 
+// One test per scenario; specs live in `conformance::matrix::SCENARIOS`
+// (the single source of truth, shared with the parallel whole-matrix
+// runner). `covered_scenarios` below proves this list matches the matrix.
 macro_rules! scenario_tests {
-    ($($name:ident => $spec:expr,)*) => {
+    ($($name:ident,)*) => {
         $(
             #[test]
             fn $name() {
-                run_and_check($spec);
+                run_and_check(matrix::spec(stringify!($name)));
             }
         )*
-        const SCENARIOS: &[&str] = &[$($spec),*];
+        const TESTED_NAMES: &[&str] = &[$(stringify!($name)),*];
     };
 }
 
 scenario_tests! {
-    // Paper workloads on the leaf-spine testbed: every workload × both
-    // load balancers × both snapshot variants, distinct seeds and moduli.
-    hadoop_ecmp_nocs => "topo=leafspine;wl=hadoop;lb=ecmp;cs=0;mod=16;snaps=6;ival=5;seed=0x1001",
-    hadoop_ecmp_cs => "topo=leafspine;wl=hadoop;lb=ecmp;cs=1;mod=16;snaps=6;ival=5;seed=0x1002",
-    hadoop_flowlet_nocs => "topo=leafspine;wl=hadoop;lb=flowlet;cs=0;mod=64;snaps=6;ival=5;seed=0x1003",
-    hadoop_flowlet_cs => "topo=leafspine;wl=hadoop;lb=flowlet;cs=1;mod=8;snaps=6;ival=5;seed=0x1004",
-    graphx_ecmp_nocs => "topo=leafspine;wl=graphx;lb=ecmp;cs=0;mod=8;snaps=6;ival=5;seed=0x2001",
-    graphx_ecmp_cs => "topo=leafspine;wl=graphx;lb=ecmp;cs=1;mod=64;snaps=6;ival=5;seed=0x2002",
-    graphx_flowlet_nocs => "topo=leafspine;wl=graphx;lb=flowlet;cs=0;mod=16;snaps=6;ival=5;seed=0x2003",
-    graphx_flowlet_cs => "topo=leafspine;wl=graphx;lb=flowlet;cs=1;mod=16;snaps=6;ival=5;seed=0x2004",
-    memcache_ecmp_nocs => "topo=leafspine;wl=memcache;lb=ecmp;cs=0;mod=64;snaps=6;ival=5;seed=0x3001",
-    memcache_ecmp_cs => "topo=leafspine;wl=memcache;lb=ecmp;cs=1;mod=8;snaps=6;ival=5;seed=0x3002",
-    memcache_flowlet_nocs => "topo=leafspine;wl=memcache;lb=flowlet;cs=0;mod=16;snaps=6;ival=5;seed=0x3003",
-    memcache_flowlet_cs => "topo=leafspine;wl=memcache;lb=flowlet;cs=1;mod=16;snaps=6;ival=5;seed=0x3004",
+    hadoop_ecmp_nocs,
+    hadoop_ecmp_cs,
+    hadoop_flowlet_nocs,
+    hadoop_flowlet_cs,
+    graphx_ecmp_nocs,
+    graphx_ecmp_cs,
+    graphx_flowlet_nocs,
+    graphx_flowlet_cs,
+    memcache_ecmp_nocs,
+    memcache_ecmp_cs,
+    memcache_flowlet_nocs,
+    memcache_flowlet_cs,
+    line_wrap_mod4_nocs,
+    line_wrap_mod4_cs,
+    line_wrap_mod8_nocs,
+    line_wrap_mod8_cs,
+    fault_leafspine_cs,
+    fault_line_nocs_strict,
+    fault_leafspine_nocs_strict,
+    emu_line3,
+    emu_line2_wrap,
+    emu_line4,
+    emu_line3_fault,
+}
 
-    // §5.2 wraparound stress: tiny moduli force many snapshot-ID wraps
-    // while the oracle compares at full (unwrapped) epoch resolution.
-    line_wrap_mod4_nocs => "topo=line:3;wl=cbr;cs=0;mod=4;snaps=10;ival=4;seed=0x4001",
-    line_wrap_mod4_cs => "topo=line:3;wl=cbr;cs=1;mod=4;snaps=10;ival=4;seed=0x4002",
-    line_wrap_mod8_nocs => "topo=line:4;wl=cbr;cs=0;mod=8;snaps=12;ival=3;seed=0x4003",
-    line_wrap_mod8_cs => "topo=line:4;wl=cbr;cs=1;mod=8;snaps=12;ival=3;seed=0x4004",
-
-    // Mid-run device failures: the faulted device must be excluded from
-    // every forced snapshot; in no-channel-state mode *only* it may be.
-    fault_leafspine_cs => "topo=leafspine;wl=memcache;lb=ecmp;cs=1;mod=16;snaps=6;ival=5;fault=3@3;seed=0x5001",
-    fault_line_nocs_strict => "topo=line:4;wl=cbr;cs=0;mod=16;snaps=6;ival=5;fault=2@3;seed=0x5002",
-    fault_leafspine_nocs_strict => "topo=leafspine;wl=hadoop;lb=flowlet;cs=0;mod=16;snaps=6;ival=5;fault=1@2;seed=0x5003",
-
-    // Fabric vs threaded emulation on the same line topologies: both
-    // substrates are oracle-checked and their unit sets must agree.
-    emu_line3 => "topo=line:3;wl=cbr;cs=0;mod=16;snaps=6;ival=8;emu=1;seed=0x6001",
-    emu_line2_wrap => "topo=line:2;wl=cbr;cs=0;mod=8;snaps=6;ival=8;emu=1;seed=0x6002",
-    emu_line4 => "topo=line:4;wl=cbr;cs=0;mod=64;snaps=5;ival=10;emu=1;seed=0x6003",
-    emu_line3_fault => "topo=line:3;wl=cbr;cs=0;mod=16;snaps=6;ival=8;emu=1;fault=1@2;seed=0x6004",
+/// Every matrix scenario has a per-scenario test and vice versa — a
+/// scenario added to one list but not the other is a hard failure, not a
+/// silent coverage gap.
+#[test]
+fn covered_scenarios() {
+    let tested: std::collections::BTreeSet<&str> = TESTED_NAMES.iter().copied().collect();
+    let in_matrix: std::collections::BTreeSet<&str> =
+        matrix::SCENARIOS.iter().map(|&(n, _)| n).collect();
+    assert_eq!(tested, in_matrix);
 }
 
 /// The acceptance floor for the matrix itself: ≥ 20 scenarios spanning
@@ -99,7 +105,7 @@ scenario_tests! {
 /// one fault schedule, and at least one emulation arm.
 #[test]
 fn matrix_meets_coverage_floor() {
-    let scenarios: Vec<Scenario> = SCENARIOS.iter().map(|s| sc(s)).collect();
+    let scenarios: Vec<Scenario> = matrix::SCENARIOS.iter().map(|&(_, s)| sc(s)).collect();
     assert!(scenarios.len() >= 20, "only {} scenarios", scenarios.len());
     for wl in [
         WorkloadKind::Hadoop,
@@ -203,4 +209,45 @@ fn replay_from_env() {
     };
     eprintln!("[conformance] replaying scenario from {REPLAY_ENV}: {spec}");
     run_and_check(&spec);
+}
+
+/// The tentpole acceptance bar: the whole matrix run through the parallel
+/// fan-out produces byte-identical deterministic results to a serial run.
+/// The emulation arms are forced off here — they are wall-clock substrates
+/// and excluded from the digest by design (see `fabric_digest`); the next
+/// test exercises them in parallel separately.
+#[test]
+fn matrix_parallel_matches_serial() {
+    let scenarios: Vec<Scenario> = matrix::SCENARIOS
+        .iter()
+        .map(|&(_, s)| {
+            let mut s = sc(s);
+            s.emulate = false;
+            s
+        })
+        .collect();
+    let serial = parfan::with_jobs(1, || matrix_digest(&run_matrix(&scenarios)));
+    let parallel = parfan::with_jobs(4, || matrix_digest(&run_matrix(&scenarios)));
+    assert_eq!(
+        serial, parallel,
+        "parallel matrix digest {parallel:#018x} != serial {serial:#018x}"
+    );
+}
+
+/// The emulation-bearing scenarios still pass the oracle when their
+/// (thread-spawning, wall-clock) runs are themselves co-scheduled by the
+/// parallel fan-out.
+#[test]
+fn matrix_parallel_runs_emulation_arms() {
+    let scenarios: Vec<Scenario> = matrix::SCENARIOS
+        .iter()
+        .map(|&(_, s)| sc(s))
+        .filter(|s| s.emulate)
+        .collect();
+    assert!(scenarios.len() >= 3, "emulation arms missing from matrix");
+    let outcomes = parfan::with_jobs(2, || run_matrix(&scenarios));
+    for o in &outcomes {
+        assert_conformant(o);
+        assert!(o.emulation.is_some(), "emulation arm did not run");
+    }
 }

@@ -107,19 +107,22 @@ fn run_completion(channel_state: bool, keepalives: bool, seed: u64) -> (Vec<f64>
     (completions, notifications as f64 / n.max(1) as f64, n)
 }
 
-/// Ablation 2: the cost of channel state.
+/// Ablation 2: the cost of channel state. The two arms are independent
+/// seeded runs and fan out across cores.
 pub fn channel_state_cost(seed: u64) -> Vec<CsCostRow> {
-    [false, true]
-        .into_iter()
-        .map(|cs| {
+    let arms = [false, true];
+    parfan::map_labeled(
+        &arms,
+        |_, &cs| format!("ablation channel-state cs={cs} seed={seed}"),
+        |_, &cs| {
             let (completions, notifs, _) = run_completion(cs, true, seed);
             CsCostRow {
                 channel_state: cs,
                 median_completion_us: sim_stats::percentile(&completions, 0.5),
                 notifications_per_snapshot: notifs,
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Keepalive ablation row.
@@ -134,18 +137,21 @@ pub struct KeepaliveRow {
 }
 
 /// Ablation 3: keepalives vs. traffic-only ID propagation (channel state).
+/// The two arms fan out across cores.
 pub fn keepalive_ablation(seed: u64) -> Vec<KeepaliveRow> {
-    [true, false]
-        .into_iter()
-        .map(|ka| {
+    let arms = [true, false];
+    parfan::map_labeled(
+        &arms,
+        |_, &ka| format!("ablation keepalive ka={ka} seed={seed}"),
+        |_, &ka| {
             let (completions, _, _) = run_completion(true, ka, seed);
             KeepaliveRow {
                 keepalives: ka,
                 completed: completions.len(),
                 median_completion_us: sim_stats::percentile(&completions, 0.5),
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Render all three ablations.

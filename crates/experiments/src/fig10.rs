@@ -85,32 +85,40 @@ fn sustainable(ports: u16, rate_hz: f64, secs: u64, seed: u64) -> bool {
     issued_enough && sw.stats.notify_drops == 0 && drained
 }
 
-/// Run the experiment.
-pub fn run(cfg: &Fig10Config) -> Fig10 {
-    let mut points = Vec::new();
-    for &ports in &cfg.port_counts {
-        // Bracket, then binary-search the sustainability frontier.
-        let lo = 1.0f64;
-        let mut hi = 20_000.0f64;
-        // Shrink hi quickly with a coarse geometric probe.
-        while hi / 2.0 > lo && !sustainable(ports, hi / 2.0, cfg.trial_secs, cfg.seed) {
-            hi /= 2.0;
-        }
-        let mut lo_ok = lo;
-        let mut hi_bad = hi;
-        while hi_bad - lo_ok > cfg.resolution_hz {
-            let mid = (lo_ok + hi_bad) / 2.0;
-            if sustainable(ports, mid, cfg.trial_secs, cfg.seed) {
-                lo_ok = mid;
-            } else {
-                hi_bad = mid;
-            }
-        }
-        points.push(RatePoint {
-            ports,
-            max_rate_hz: lo_ok,
-        });
+/// Find the sustainability frontier for one port count: bracket with a
+/// coarse geometric probe, then binary-search. Each trial builds its own
+/// testbed from `seed`, so one point is a pure function of its inputs.
+fn search_point(ports: u16, trial_secs: u64, resolution_hz: f64, seed: u64) -> RatePoint {
+    let lo = 1.0f64;
+    let mut hi = 20_000.0f64;
+    while hi / 2.0 > lo && !sustainable(ports, hi / 2.0, trial_secs, seed) {
+        hi /= 2.0;
     }
+    let mut lo_ok = lo;
+    let mut hi_bad = hi;
+    while hi_bad - lo_ok > resolution_hz {
+        let mid = (lo_ok + hi_bad) / 2.0;
+        if sustainable(ports, mid, trial_secs, seed) {
+            lo_ok = mid;
+        } else {
+            hi_bad = mid;
+        }
+    }
+    RatePoint {
+        ports,
+        max_rate_hz: lo_ok,
+    }
+}
+
+/// Run the experiment. The rate search per port count is sequential (each
+/// probe brackets the next), but the sweep points are independent and fan
+/// out across cores.
+pub fn run(cfg: &Fig10Config) -> Fig10 {
+    let points = parfan::map_labeled(
+        &cfg.port_counts,
+        |_, &ports| format!("fig10 ports={ports} seed={}", cfg.seed),
+        |_, &ports| search_point(ports, cfg.trial_secs, cfg.resolution_hz, cfg.seed),
+    );
     Fig10 { points }
 }
 

@@ -73,14 +73,17 @@ fn one_snapshot(model: &InitiationModel, routers: usize, units: usize, rng: &mut
     (hi - lo) as f64 / 1e3
 }
 
-/// Run the experiment.
+/// Run the experiment. Every sweep point forks its own RNG stream from the
+/// seed (rather than threading one generator through the sweep), so a
+/// point's result depends only on its own inputs — not on which points ran
+/// before it — and the sweep fans out across cores.
 pub fn run(cfg: &Fig11Config) -> Fig11 {
     let model = InitiationModel::testbed();
-    let mut rng = SimRng::new(cfg.seed);
-    let points = cfg
-        .router_counts
-        .iter()
-        .map(|&routers| {
+    let points = parfan::map_labeled(
+        &cfg.router_counts,
+        |idx, &routers| format!("fig11 routers={routers} point={idx} seed={}", cfg.seed),
+        |idx, &routers| {
+            let mut rng = SimRng::new(cfg.seed).fork_idx("fig11-point", idx as u64);
             // Cap total unit-draws per point so the largest networks do not
             // dominate the runtime; ≥3 trials always.
             let budget = 4_000_000usize;
@@ -95,8 +98,8 @@ pub fn run(cfg: &Fig11Config) -> Fig11 {
                 routers,
                 avg_sync_us: total / trials as f64,
             }
-        })
-        .collect();
+        },
+    );
     Fig11 { points }
 }
 

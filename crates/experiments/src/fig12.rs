@@ -136,19 +136,35 @@ pub fn run_cell(cfg: &Fig12Config, workload: Workload, lb: LbKind) -> (Vec<f64>,
     (snap_devs, poll_devs)
 }
 
-/// Run the experiment.
+/// Run the experiment. The workload × load-balancer grid flattens into six
+/// independent cells (each builds its own testbed from `cfg.seed`) that fan
+/// out across cores; panels reassemble in `Workload::all()` order.
 pub fn run(cfg: &Fig12Config) -> Fig12 {
+    let cells: Vec<(Workload, LbKind)> = Workload::all()
+        .into_iter()
+        .flat_map(|w| {
+            [
+                (w, LbKind::Ecmp),
+                (
+                    w,
+                    LbKind::Flowlet {
+                        gap_us: cfg.flowlet_gap_us,
+                    },
+                ),
+            ]
+        })
+        .collect();
+    let results = parfan::map_labeled(
+        &cells,
+        |_, &(w, lb)| format!("fig12 workload={w:?} lb={lb:?} seed={}", cfg.seed),
+        |_, &(w, lb)| run_cell(cfg, w, lb),
+    );
+    let mut cells_out = results.into_iter();
     let panels = Workload::all()
         .into_iter()
         .map(|workload| {
-            let (es, ep) = run_cell(cfg, workload, LbKind::Ecmp);
-            let (fs, fp) = run_cell(
-                cfg,
-                workload,
-                LbKind::Flowlet {
-                    gap_us: cfg.flowlet_gap_us,
-                },
-            );
+            let (es, ep) = cells_out.next().expect("ecmp cell");
+            let (fs, fp) = cells_out.next().expect("flowlet cell");
             Fig12Panel {
                 workload,
                 ecmp_polling: Cdf::new(ep),

@@ -84,16 +84,27 @@ fn correlate(
     ports: &[UnitId],
     alpha: f64,
 ) -> CorrelationMatrix {
+    // One job per matrix row i (all pairs (i, j > i)); rows are independent
+    // and merge back in row order, so `significant` keeps its (i, j)
+    // lexicographic order regardless of worker count.
+    let rows: Vec<usize> = (0..ports.len()).collect();
+    let row_results = parfan::map(&rows, |_, &i| {
+        ((i + 1)..ports.len())
+            .map(|j| {
+                let r = spearman(&series[&ports[i]], &series[&ports[j]]);
+                (j, r.rho, r.p_value, r.significant(alpha))
+            })
+            .collect::<Vec<_>>()
+    });
     let mut significant = Vec::new();
     let mut all = BTreeMap::new();
     let mut pairs = 0;
-    for i in 0..ports.len() {
-        for j in (i + 1)..ports.len() {
+    for (i, row) in row_results.into_iter().enumerate() {
+        for (j, rho, p, sig) in row {
             pairs += 1;
-            let r = spearman(&series[&ports[i]], &series[&ports[j]]);
-            all.insert((i, j), (r.rho, r.p_value));
-            if r.significant(alpha) {
-                significant.push((i, j, r.rho));
+            all.insert((i, j), (rho, p));
+            if sig {
+                significant.push((i, j, rho));
             }
         }
     }

@@ -112,10 +112,19 @@ fn run_variant(cfg: &Fig9Config, channel_state: bool, poll: bool) -> (Cdf, Cdf) 
     (Cdf::new(spreads), Cdf::new(polls))
 }
 
-/// Run the experiment.
+/// Run the experiment. The two variant simulations are independent seeded
+/// runs (each builds its own testbed from `cfg.seed`), so they fan out
+/// across cores; results are identical at any `SPEEDLIGHT_JOBS`.
 pub fn run(cfg: &Fig9Config) -> Fig9 {
-    let (switch_state, polling) = run_variant(cfg, false, true);
-    let (channel_state, _) = run_variant(cfg, true, false);
+    // (channel_state, poll) per variant, in output order.
+    let variants = [(false, true), (true, false)];
+    let mut results = parfan::map_labeled(
+        &variants,
+        |_, &(cs, _)| format!("fig9 variant cs={cs} seed={}", cfg.seed),
+        |_, &(cs, poll)| run_variant(cfg, cs, poll),
+    );
+    let (channel_state, _) = results.pop().expect("two variants");
+    let (switch_state, polling) = results.pop().expect("two variants");
     Fig9 {
         switch_state,
         channel_state,

@@ -27,6 +27,11 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// time and atomics are legitimate, and where the concurrency rules bite).
 pub const THREADED_CRATE: &str = "emulation";
 
+/// The only crates allowed to create threads or probe core counts:
+/// `parfan` (the deterministic fan-out runner every parallel call site
+/// must route through) and the threaded emulation runtime.
+pub const THREADING_CRATES: &[&str] = &["parfan", THREADED_CRATE];
+
 /// A lint rule: a name (used in `allow(...)` directives) plus a checker.
 pub trait Rule {
     /// Rule name as referenced by escape hatches.
@@ -42,6 +47,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(WallClock),
         Box::new(HashCollection),
+        Box::new(Threading),
         Box::new(RelaxedOrdering),
         Box::new(MatchLockSend),
         Box::new(BareIdCast),
@@ -144,6 +150,52 @@ impl Rule for HashCollection {
                     t.line,
                     &format!("{name} iteration order is nondeterministic; use BTree{} or sort before iterating", &name[4..]),
                 ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: threading
+// ---------------------------------------------------------------------------
+
+/// Concurrency discipline: thread creation and core-count probes are
+/// confined to `parfan` (the deterministic fan-out runner) and the
+/// threaded `emulation` runtime. An ad-hoc `thread::spawn` anywhere else
+/// either breaks determinism outright or bypasses parfan's discipline —
+/// input-ordered results, labeled panic propagation, and the
+/// `SPEEDLIGHT_JOBS` override would no longer govern it.
+pub struct Threading;
+
+impl Rule for Threading {
+    fn name(&self) -> &'static str {
+        "threading"
+    }
+    fn description(&self) -> &'static str {
+        "thread creation and parallelism probes are confined to parfan and emulation"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if THREADING_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let toks = &file.scan.tokens;
+        for i in 0..toks.len() {
+            let bad = if path_pair(toks, i, "thread", "spawn")
+                || path_pair(toks, i, "thread", "scope")
+                || path_pair(toks, i, "thread", "Builder")
+            {
+                Some(
+                    "thread creation outside parfan/emulation; route parallel work through `parfan::map` so ordering, panic labeling, and SPEEDLIGHT_JOBS still apply",
+                )
+            } else if ident(&toks[i]) == Some("available_parallelism") {
+                Some(
+                    "core-count probe outside parfan; use `parfan::resolved_jobs()` so the SPEEDLIGHT_JOBS override is honored",
+                )
+            } else {
+                None
+            };
+            if let Some(why) = bad {
+                out.push(Diagnostic::new(file, self.name(), toks[i].line, why));
             }
         }
     }

@@ -51,6 +51,23 @@ fn hash_collection_fixture() {
 }
 
 #[test]
+fn threading_fixture() {
+    // spawn, scope, a core-count probe, and a Builder spawn — all outside
+    // the sanctioned threading homes.
+    expect(
+        "threading.rs",
+        "experiments",
+        include_str!("fixtures/threading.rs"),
+        &[
+            ("threading", 7),
+            ("threading", 15),
+            ("threading", 23),
+            ("threading", 27),
+        ],
+    );
+}
+
+#[test]
 fn relaxed_ordering_fixture() {
     expect(
         "relaxed_ordering.rs",
@@ -152,6 +169,19 @@ fn fixtures_are_crate_scoped() {
         "match_lock_send.rs",
         "fabric",
         include_str!("fixtures/match_lock_send.rs"),
+        &[],
+    );
+    // The threading rule is silent inside its sanctioned homes.
+    expect(
+        "threading.rs",
+        "parfan",
+        include_str!("fixtures/threading.rs"),
+        &[],
+    );
+    expect(
+        "threading.rs",
+        "emulation",
+        include_str!("fixtures/threading.rs"),
         &[],
     );
 }

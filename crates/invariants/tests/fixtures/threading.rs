@@ -1,0 +1,31 @@
+//! Known-bad fixture for the `threading` rule: ad-hoc thread creation and
+//! core-count probes outside parfan/emulation.
+
+fn fan_out(jobs: Vec<Job>) {
+    let handles: Vec<_> = jobs
+        .into_iter()
+        .map(|j| std::thread::spawn(move || j.run()))
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn scoped(items: &[u32]) {
+    std::thread::scope(|s| {
+        for item in items {
+            s.spawn(move || work(item));
+        }
+    });
+}
+
+fn pick_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn named_worker() {
+    std::thread::Builder::new()
+        .name("worker".into())
+        .spawn(|| {})
+        .unwrap();
+}

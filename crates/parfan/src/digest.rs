@@ -1,0 +1,92 @@
+//! A tiny deterministic digest (FNV-1a, 64-bit).
+//!
+//! The serial-vs-parallel equality tests, the conformance matrix, and the
+//! bench harness all need the same thing: a stable fingerprint of a run's
+//! observable output, so "the parallel execution changed nothing" is a
+//! single `u64` comparison. FNV-1a is enough — this is a determinism
+//! check, not a collision-resistant hash — and keeping it here means every
+//! caller fingerprints bytes the same way.
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// Start a digest from the standard FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorb a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.update(&v.to_le_bytes())
+    }
+
+    /// Absorb an `f64` by bit pattern (exact, not printed).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.update(&v.to_bits().to_le_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot digest of a byte string.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    Fnv64::new().update(bytes).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo").update(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn writes_are_positional() {
+        let mut a = Fnv64::new();
+        a.write_u64(1).write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        assert_ne!(Fnv64::new().write_f64(0.0).finish(), {
+            // -0.0 and 0.0 differ by bit pattern: the digest is exact.
+            Fnv64::new().write_f64(-0.0).finish()
+        });
+    }
+}
