@@ -18,7 +18,15 @@
 //!   --check <path>            validate <path>'s schema and fail if this
 //!                             run regresses >threshold below it
 //!   --threshold <f64>         regression threshold for --check (default 0.30)
+//!   --metrics-out <path>      obs metrics JSON from trial 0, plus the
+//!                             measured throughput as a gauge
+//!                             (default BENCH_netsim_metrics.json)
 //! ```
+//!
+//! With `SPEEDLIGHT_TRACE=<path>` in the environment, trial 0 runs with
+//! the JSONL trace sink enabled and its trace is written to `<path>`
+//! (inspect it with the `speedlight-trace` binary). Tracing perturbs
+//! trial 0's wall clock, so leave it unset when measuring.
 
 use fabric::network::DriverConfig;
 use fabric::switchmod::SnapshotConfig;
@@ -69,6 +77,8 @@ struct Measurement {
     forced_snapshots: usize,
     host_packets_delivered: u64,
     snapshot_digest: u64,
+    metrics: obs::metrics::Metrics,
+    trace_lines: Vec<String>,
 }
 
 /// Build the fig9-scale testbed: channel-state snapshots every 4 ms on the
@@ -110,8 +120,11 @@ fn build(seed: u64) -> Testbed {
     tb
 }
 
-fn run(scenario: Scenario, seed: u64) -> Measurement {
+fn run(scenario: Scenario, seed: u64, trace: bool) -> Measurement {
     let mut tb = build(seed);
+    if trace {
+        tb.enable_trace();
+    }
     let horizon = scenario.sim_horizon();
     let start = WallInstant::now();
     tb.run_until(Instant::ZERO + horizon);
@@ -140,6 +153,8 @@ fn run(scenario: Scenario, seed: u64) -> Measurement {
         forced_snapshots: tb.snapshots().iter().filter(|r| r.forced).count(),
         host_packets_delivered: tb.network().instr.host_rx.iter().sum(),
         snapshot_digest: digest,
+        metrics: tb.network_mut().take_metrics(),
+        trace_lines: tb.take_trace_lines(),
     }
 }
 
@@ -154,12 +169,13 @@ struct Report {
     m: Measurement,
 }
 
-fn run_trials(scenario: Scenario, seed: u64, trials: usize) -> Report {
+fn run_trials(scenario: Scenario, seed: u64, trials: usize, trace: bool) -> Report {
     let idx: Vec<usize> = (0..trials.max(1)).collect();
     let mut ms = parfan::map_labeled(
         &idx,
         |_, &t| format!("bench trial {t} scenario={} seed={seed}", scenario.name()),
-        |_, _| run(scenario, seed),
+        // Only trial 0 traces: the sink changes wall clock, never results.
+        |_, &t| run(scenario, seed, trace && t == 0),
     );
     // Every trial replays the same seeded scenario, so digests and event
     // counts must agree bit for bit; a disagreement is a real determinism
@@ -286,9 +302,11 @@ fn main() -> ExitCode {
     let mut seed: u64 = 9;
     let mut trials: usize = 1;
     let mut out_path = String::from("BENCH_netsim.json");
+    let mut metrics_out_path = String::from("BENCH_netsim_metrics.json");
     let mut baseline_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut threshold: f64 = 0.30;
+    let trace_path = std::env::var("SPEEDLIGHT_TRACE").ok();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -310,6 +328,7 @@ fn main() -> ExitCode {
                 assert!(trials >= 1, "--trials must be at least 1");
             }
             "--out" => out_path = value("--out"),
+            "--metrics-out" => metrics_out_path = value("--metrics-out"),
             "--baseline" => baseline_path = Some(value("--baseline")),
             "--check" => check_path = Some(value("--check")),
             "--threshold" => {
@@ -321,7 +340,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let r = run_trials(scenario, seed, trials);
+    let r = run_trials(scenario, seed, trials, trace_path.is_some());
     let m = &r.m;
     eprintln!(
         "scenario={} seed={} trials={} events={} wall={:.3}s (stddev {:.3}s) \
@@ -349,6 +368,22 @@ fn main() -> ExitCode {
     std::fs::write(&out_path, render_json(&r, baseline_eps))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+
+    // Trial 0's obs metrics, with the measured throughput folded in as a
+    // gauge (truncated to u64: the registry is float-free by design).
+    let mut metrics = r.m.metrics.clone();
+    metrics.gauge_set("bench.events_per_sec", m.events_per_sec as u64);
+    metrics.gauge_set("bench.events_dispatched", m.events_dispatched);
+    std::fs::write(&metrics_out_path, metrics.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {metrics_out_path}: {e}"));
+    eprintln!("wrote {metrics_out_path}");
+
+    if let Some(p) = &trace_path {
+        let mut doc = r.m.trace_lines.join("\n");
+        doc.push('\n');
+        std::fs::write(p, doc).unwrap_or_else(|e| panic!("cannot write trace {p}: {e}"));
+        eprintln!("wrote trace {p} ({} events)", r.m.trace_lines.len());
+    }
 
     if let Some(p) = check_path {
         let doc = match std::fs::read_to_string(&p) {

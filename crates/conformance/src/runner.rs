@@ -62,6 +62,17 @@ fn interval_nanos(sc: &Scenario) -> u64 {
 /// only the fabric can provide: it sees headerless host packets the
 /// delivery log does not carry).
 pub fn run_fabric(sc: &Scenario) -> (SubstrateRun, Vec<Divergence>) {
+    let (run, divergences, _) = run_fabric_inner(sc, false);
+    (run, divergences)
+}
+
+/// [`run_fabric`] with the snapshot-lifecycle trace captured as JSONL
+/// lines (deterministic sim-time stamps, so golden-file comparable).
+pub fn run_fabric_traced(sc: &Scenario) -> (SubstrateRun, Vec<Divergence>, Vec<String>) {
+    run_fabric_inner(sc, true)
+}
+
+fn run_fabric_inner(sc: &Scenario, trace: bool) -> (SubstrateRun, Vec<Divergence>, Vec<String>) {
     let lb = match sc.lb {
         Lb::Ecmp => LbKind::Ecmp,
         Lb::Flowlet => LbKind::Flowlet { gap_us: 50 },
@@ -109,6 +120,9 @@ pub fn run_fabric(sc: &Scenario) -> (SubstrateRun, Vec<Divergence>) {
     };
     tb.enable_delivery_log();
     tb.network_mut().enable_audit();
+    if trace {
+        tb.enable_trace();
+    }
 
     let ival = interval_nanos(sc);
     for i in 0..sc.snapshots {
@@ -170,6 +184,7 @@ pub fn run_fabric(sc: &Scenario) -> (SubstrateRun, Vec<Divergence>) {
             log,
         },
         conservation,
+        tb.take_trace_lines(),
     )
 }
 

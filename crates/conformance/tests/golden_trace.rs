@@ -1,0 +1,48 @@
+//! Golden-trace test: a small channel-state scenario's snapshot-lifecycle
+//! trace is pinned byte-for-byte.
+//!
+//! The trace is pure sim-time JSONL, so any change to protocol event
+//! ordering, event vocabulary, field layout, or the JSON writer shows up
+//! here as a diff. To re-bless after an *intentional* change:
+//!
+//! ```text
+//! SPEEDLIGHT_BLESS=1 cargo test -p conformance --test golden_trace
+//! ```
+//!
+//! then review `git diff` on the golden file before committing it.
+
+use conformance::runner::run_fabric_traced;
+use conformance::scenario::Scenario;
+
+const SPEC: &str = "topo=line:2;wl=cbr;lb=ecmp;cs=1;mod=16;snaps=2;ival=2;seed=0x60de";
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/line2_cs_trace.jsonl"
+);
+
+#[test]
+fn line2_channel_state_trace_matches_golden() {
+    let sc = Scenario::from_spec(SPEC).expect("golden spec is valid");
+    let (run, divergences, lines) = run_fabric_traced(&sc);
+    assert!(divergences.is_empty(), "golden scenario must be conformant");
+    assert_eq!(run.snapshots.len(), sc.snapshots);
+    assert!(!lines.is_empty());
+
+    let mut got = lines.join("\n");
+    got.push('\n');
+
+    if std::env::var_os("SPEEDLIGHT_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden trace");
+        return;
+    }
+
+    let want = include_str!("golden/line2_cs_trace.jsonl");
+    assert!(
+        got == want,
+        "trace diverged from golden file ({} vs {} lines).\n\
+         If the change is intentional, re-bless with\n\
+         SPEEDLIGHT_BLESS=1 cargo test -p conformance --test golden_trace",
+        got.lines().count(),
+        want.lines().count(),
+    );
+}

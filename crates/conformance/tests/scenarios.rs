@@ -207,7 +207,9 @@ fn replay_from_env() {
     let Ok(spec) = std::env::var(REPLAY_ENV) else {
         return;
     };
-    eprintln!("[conformance] replaying scenario from {REPLAY_ENV}: {spec}");
+    obs::sinks::stderr_line(&format!(
+        "[conformance] replaying scenario from {REPLAY_ENV}: {spec}"
+    ));
     run_and_check(&spec);
 }
 

@@ -63,6 +63,18 @@ pub enum ReportValue {
     Missing,
 }
 
+impl ReportValue {
+    /// Stable trace label for this outcome (`cp.report` events).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReportValue::Value { .. } => "value",
+            ReportValue::Inferred { .. } => "inferred",
+            ReportValue::Inconsistent => "inconsistent",
+            ReportValue::Missing => "missing",
+        }
+    }
+}
+
 /// A finished `(unit, epoch)` measurement, shipped to the snapshot observer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Report {
@@ -237,24 +249,44 @@ impl ControlPlane {
         if idx < t.considered.len() {
             t.considered[idx] = false;
         }
-        self.drain_completions(unit, regs)
+        self.drain_completions(unit, regs, &mut obs::NoopSink, 0)
     }
 
     /// Handle one data-plane notification (Fig. 7). Returns the reports for
     /// every epoch that this notification finished.
     pub fn on_notification(&mut self, n: &Notification, regs: &mut dyn Registers) -> Vec<Report> {
+        self.on_notification_traced(n, regs, &mut obs::NoopSink, 0)
+    }
+
+    /// [`ControlPlane::on_notification`] with trace emission: `cp.report`
+    /// for every epoch the notification finishes and `cp.inconsistent` when
+    /// hardware limits condemn an epoch. `on_notification` delegates here
+    /// with [`obs::NoopSink`], which folds the instrumentation away.
+    pub fn on_notification_traced<S: obs::Sink>(
+        &mut self,
+        n: &Notification,
+        regs: &mut dyn Registers,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Vec<Report> {
         if !self.units.contains_key(&n.unit) {
             return Vec::new(); // unknown unit (e.g., pre-registration traffic)
         }
         if self.channel_state {
-            self.on_notify_cs(n, regs)
+            self.on_notify_cs(n, regs, sink, t_ns)
         } else {
-            self.on_notify_no_cs(n, regs)
+            self.on_notify_no_cs(n, regs, sink, t_ns)
         }
     }
 
     /// Fig. 7 `OnNotifyCS`.
-    fn on_notify_cs(&mut self, n: &Notification, regs: &mut dyn Registers) -> Vec<Report> {
+    fn on_notify_cs<S: obs::Sink>(
+        &mut self,
+        n: &Notification,
+        regs: &mut dyn Registers,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Vec<Report> {
         let t = self.units.get_mut(&n.unit).expect("checked");
         let mut changed = false;
 
@@ -286,6 +318,13 @@ impl ControlPlane {
             for epoch in (done + 1)..new_sid {
                 if epoch > t.last_read && t.inconsistent.insert(epoch) {
                     self.stats.inconsistent_epochs += 1;
+                    obs::event!(
+                        sink,
+                        t_ns,
+                        "cp.inconsistent",
+                        dev = self.device,
+                        epoch = epoch,
+                    );
                 }
             }
             t.ctrl_sid = new_sid;
@@ -297,12 +336,18 @@ impl ControlPlane {
             return Vec::new();
         }
         self.stats.notifications += 1;
-        self.drain_completions(n.unit, regs)
+        self.drain_completions(n.unit, regs, sink, t_ns)
     }
 
     /// Read out every epoch of `unit` that is now complete (channel-state
     /// mode; Fig. 7 ll. 11–15).
-    fn drain_completions(&mut self, unit: UnitId, regs: &mut dyn Registers) -> Vec<Report> {
+    fn drain_completions<S: obs::Sink>(
+        &mut self,
+        unit: UnitId,
+        regs: &mut dyn Registers,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Vec<Report> {
         let modulus = self.modulus;
         let t = self.units.get_mut(&unit).expect("registered");
         let to_read = t.min_considered_ls().min(t.ctrl_sid);
@@ -324,6 +369,15 @@ impl ControlPlane {
                     None => ReportValue::Missing,
                 }
             };
+            obs::event!(
+                sink,
+                t_ns,
+                "cp.report",
+                dev = unit.device,
+                port = unit.port,
+                epoch = epoch,
+                outcome = value.label(),
+            );
             reports.push(Report { unit, epoch, value });
         }
         if to_read > t.last_read {
@@ -334,7 +388,13 @@ impl ControlPlane {
 
     /// Fig. 7 `OnNotifyNoCS`: completion is immediate on ID advance; skipped
     /// epochs inherit the value of the next written slot (ll. 16–22).
-    fn on_notify_no_cs(&mut self, n: &Notification, regs: &mut dyn Registers) -> Vec<Report> {
+    fn on_notify_no_cs<S: obs::Sink>(
+        &mut self,
+        n: &Notification,
+        regs: &mut dyn Registers,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Vec<Report> {
         let modulus = self.modulus;
         let t = self.units.get_mut(&n.unit).expect("checked");
         let new_sid = n.new_sid.unwrap_from(t.ctrl_sid);
@@ -365,6 +425,15 @@ impl ControlPlane {
                     None => ReportValue::Missing,
                 },
             };
+            obs::event!(
+                sink,
+                t_ns,
+                "cp.report",
+                dev = n.unit.device,
+                port = n.unit.port,
+                epoch = epoch,
+                outcome = value.label(),
+            );
             reports.push(Report {
                 unit: n.unit,
                 epoch,
@@ -403,7 +472,7 @@ impl ControlPlane {
                     old_last_seen: ls,
                     new_last_seen: ls,
                 };
-                reports.extend(self.on_notify_cs(&synth, regs));
+                reports.extend(self.on_notify_cs(&synth, regs, &mut obs::NoopSink, 0));
             }
         }
         let synth = Notification {
@@ -415,9 +484,9 @@ impl ControlPlane {
             new_last_seen: sid,
         };
         reports.extend(if self.channel_state {
-            self.on_notify_cs(&synth, regs)
+            self.on_notify_cs(&synth, regs, &mut obs::NoopSink, 0)
         } else {
-            self.on_notify_no_cs(&synth, regs)
+            self.on_notify_no_cs(&synth, regs, &mut obs::NoopSink, 0)
         });
         reports
     }

@@ -214,6 +214,16 @@ impl Observer {
     /// The caller is responsible for fanning the returned epoch out to every
     /// registered device control plane as a scheduled initiation.
     pub fn begin_snapshot(&mut self) -> Option<Epoch> {
+        self.begin_snapshot_traced(&mut obs::NoopSink, 0)
+    }
+
+    /// [`Observer::begin_snapshot`] with trace emission: a `snap.initiate`
+    /// event carrying the epoch and the expected device/unit counts.
+    pub fn begin_snapshot_traced<S: obs::Sink>(
+        &mut self,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Option<Epoch> {
         if self.pending.len() >= usize::from(self.cfg.max_outstanding) {
             return None;
         }
@@ -228,6 +238,14 @@ impl Observer {
             .values()
             .flat_map(|units| units.iter().copied())
             .collect();
+        obs::event!(
+            sink,
+            t_ns,
+            "snap.initiate",
+            epoch = epoch,
+            devices = device_set.len(),
+            units = expected.len(),
+        );
         self.pending.insert(
             epoch,
             PendingSnapshot {
@@ -246,6 +264,18 @@ impl Observer {
     /// Reports for unknown epochs, for devices outside the epoch's device
     /// set (late attachers, §6), or duplicates are ignored.
     pub fn on_report(&mut self, device: u16, report: Report) -> Option<GlobalSnapshot> {
+        self.on_report_traced(device, report, &mut obs::NoopSink, 0)
+    }
+
+    /// [`Observer::on_report`] with trace emission: an `obs.finalize` event
+    /// when this report completes its epoch.
+    pub fn on_report_traced<S: obs::Sink>(
+        &mut self,
+        device: u16,
+        report: Report,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Option<GlobalSnapshot> {
         let pending = self.pending.get_mut(&report.epoch)?;
         if !pending.device_set.contains(&device) || pending.excluded.contains(&device) {
             return None; // spurious: device not in this epoch's set
@@ -258,7 +288,17 @@ impl Observer {
             .entry(report.unit)
             .or_insert_with(|| report.value.into());
         if pending.values.len() == pending.expected.len() {
-            return Some(self.finalize(report.epoch));
+            let snap = self.finalize(report.epoch);
+            obs::event!(
+                sink,
+                t_ns,
+                "obs.finalize",
+                epoch = snap.epoch,
+                units = snap.units.len(),
+                excluded = snap.excluded.len(),
+                forced = false,
+            );
+            return Some(snap);
         }
         None
     }
@@ -285,6 +325,17 @@ impl Observer {
     /// finalize the snapshot with what arrived (§6: "If a device fails, it
     /// may timeout and be excluded from the global snapshot").
     pub fn force_finalize(&mut self, epoch: Epoch) -> Option<GlobalSnapshot> {
+        self.force_finalize_traced(epoch, &mut obs::NoopSink, 0)
+    }
+
+    /// [`Observer::force_finalize`] with trace emission: one `snap.exclude`
+    /// per timed-out device, then an `obs.finalize` marked `forced`.
+    pub fn force_finalize_traced<S: obs::Sink>(
+        &mut self,
+        epoch: Epoch,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Option<GlobalSnapshot> {
         let pending = self.pending.get_mut(&epoch)?;
         let lagging: BTreeSet<u16> = pending
             .expected
@@ -294,6 +345,7 @@ impl Observer {
             .collect();
         for dev in &lagging {
             pending.excluded.insert(*dev);
+            obs::event!(sink, t_ns, "snap.exclude", epoch = epoch, dev = *dev);
         }
         let expected = pending.expected.clone();
         for unit in expected {
@@ -301,7 +353,17 @@ impl Observer {
                 pending.values.insert(unit, UnitOutcome::DeviceExcluded);
             }
         }
-        Some(self.finalize(epoch))
+        let snap = self.finalize(epoch);
+        obs::event!(
+            sink,
+            t_ns,
+            "obs.finalize",
+            epoch = snap.epoch,
+            units = snap.units.len(),
+            excluded = snap.excluded.len(),
+            forced = true,
+        );
+        Some(snap)
     }
 
     fn finalize(&mut self, epoch: Epoch) -> GlobalSnapshot {

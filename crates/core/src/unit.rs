@@ -22,7 +22,7 @@
 //! packet that triggers the snapshot — its send belongs to the new epoch.
 
 use crate::id::{Epoch, WrappedId};
-use crate::types::{ChannelId, Notification, PacketVerdict, UnitId, CPU_CHANNEL};
+use crate::types::{ChannelId, Direction, Notification, PacketVerdict, UnitId, CPU_CHANNEL};
 
 /// Static configuration of a processing unit.
 #[derive(Debug, Clone)]
@@ -128,6 +128,33 @@ impl DataPlaneUnit {
         contrib: u64,
         is_initiation: bool,
     ) -> PacketOutcome {
+        self.on_packet_traced(
+            channel,
+            pkt_sid,
+            local_state,
+            contrib,
+            is_initiation,
+            &mut obs::NoopSink,
+            0,
+        )
+    }
+
+    /// [`DataPlaneUnit::on_packet`] with trace emission: `unit.save` when
+    /// the packet advances the local epoch (the state-save of Fig. 3), and
+    /// `marker.seen` when it moves a Last Seen register (first marker of an
+    /// epoch on that channel). With [`obs::NoopSink`] the whole
+    /// instrumentation folds away — `on_packet` delegates here at zero cost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_packet_traced<S: obs::Sink>(
+        &mut self,
+        channel: ChannelId,
+        pkt_sid: WrappedId,
+        local_state: u64,
+        contrib: u64,
+        is_initiation: bool,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> PacketOutcome {
         debug_assert_eq!(pkt_sid.modulus(), self.cfg.modulus);
         let ls = self.last_seen(channel);
         let old_sid = self.sid;
@@ -151,6 +178,16 @@ impl DataPlaneUnit {
                 channel: 0,
                 written: true,
             };
+            obs::event!(
+                sink,
+                t_ns,
+                "unit.save",
+                dev = self.cfg.unit.device,
+                port = self.cfg.unit.port,
+                dir = dir_label(self.cfg.unit.direction),
+                sid = pkt_sid.raw(),
+                adv = adv,
+            );
             PacketVerdict::Advanced(adv)
         } else if d_pkt < d_sid {
             // In-flight packet from an older epoch. The ideal algorithm
@@ -177,6 +214,16 @@ impl DataPlaneUnit {
             } else {
                 self.last_seen[usize::from(channel.0)] = pkt_sid;
             }
+            obs::event!(
+                sink,
+                t_ns,
+                "marker.seen",
+                dev = self.cfg.unit.device,
+                port = self.cfg.unit.port,
+                dir = dir_label(self.cfg.unit.direction),
+                ch = channel.0,
+                sid = pkt_sid.raw(),
+            );
         }
 
         // Notification on any update of the local ID or a Last Seen entry
@@ -228,6 +275,14 @@ impl DataPlaneUnit {
             sid: self.sid,
             last_seen: self.last_seen.clone(),
         }
+    }
+}
+
+/// Trace label for a unit direction (matches the [`UnitId`] display form).
+fn dir_label(d: Direction) -> &'static str {
+    match d {
+        Direction::Ingress => "in",
+        Direction::Egress => "out",
     }
 }
 

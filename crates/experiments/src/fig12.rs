@@ -77,6 +77,25 @@ pub struct Fig12 {
 /// Run one (workload, lb) cell; returns (snapshot stddevs, polling
 /// stddevs) in microseconds. Public for the examples and debug bins.
 pub fn run_cell(cfg: &Fig12Config, workload: Workload, lb: LbKind) -> (Vec<f64>, Vec<f64>) {
+    let (snap, poll, _) = run_cell_inner(cfg, workload, lb, false);
+    (snap, poll)
+}
+
+/// [`run_cell`] with the snapshot-lifecycle trace captured as JSONL lines.
+pub fn run_cell_traced(
+    cfg: &Fig12Config,
+    workload: Workload,
+    lb: LbKind,
+) -> (Vec<f64>, Vec<f64>, Vec<String>) {
+    run_cell_inner(cfg, workload, lb, true)
+}
+
+fn run_cell_inner(
+    cfg: &Fig12Config,
+    workload: Workload,
+    lb: LbKind,
+    trace: bool,
+) -> (Vec<f64>, Vec<f64>, Vec<String>) {
     let snapshot = SnapshotConfig::ewma(512);
     let driver = DriverConfig {
         snapshot_period: Some(cfg.snapshot_period),
@@ -85,7 +104,11 @@ pub fn run_cell(cfg: &Fig12Config, workload: Workload, lb: LbKind) -> (Vec<f64>,
     };
     let mut tb = standard_testbed(snapshot, lb, driver, cfg.seed);
     attach_workload(&mut tb, workload, cfg.seed);
+    if trace {
+        tb.enable_trace();
+    }
     tb.run_until(Instant::ZERO + cfg.warmup + cfg.duration);
+    let trace_lines = tb.take_trace_lines();
 
     let uplinks = leaf_uplinks();
     let warm = Instant::ZERO + cfg.warmup;
@@ -133,14 +156,13 @@ pub fn run_cell(cfg: &Fig12Config, workload: Workload, lb: LbKind) -> (Vec<f64>,
             }
         }
     }
-    (snap_devs, poll_devs)
+    (snap_devs, poll_devs, trace_lines)
 }
 
-/// Run the experiment. The workload × load-balancer grid flattens into six
-/// independent cells (each builds its own testbed from `cfg.seed`) that fan
-/// out across cores; panels reassemble in `Workload::all()` order.
-pub fn run(cfg: &Fig12Config) -> Fig12 {
-    let cells: Vec<(Workload, LbKind)> = Workload::all()
+/// The workload × load-balancer grid, flattened into six independent cells
+/// in `Workload::all()` order (ECMP before flowlet within each workload).
+fn grid_cells(cfg: &Fig12Config) -> Vec<(Workload, LbKind)> {
+    Workload::all()
         .into_iter()
         .flat_map(|w| {
             [
@@ -153,7 +175,25 @@ pub fn run(cfg: &Fig12Config) -> Fig12 {
                 ),
             ]
         })
-        .collect();
+        .collect()
+}
+
+/// Run the full grid with tracing on and merge the per-cell traces in cell
+/// (input) order, so the result is byte-identical at any `SPEEDLIGHT_JOBS`.
+pub fn grid_trace(cfg: &Fig12Config) -> Vec<String> {
+    let cells = grid_cells(cfg);
+    let traces = parfan::map_labeled(
+        &cells,
+        |_, &(w, lb)| format!("fig12-trace workload={w:?} lb={lb:?} seed={}", cfg.seed),
+        |_, &(w, lb)| run_cell_traced(cfg, w, lb).2,
+    );
+    obs::sinks::merge_job_lines(traces)
+}
+
+/// Run the experiment. Each cell builds its own testbed from `cfg.seed` and
+/// fans out across cores; panels reassemble in `Workload::all()` order.
+pub fn run(cfg: &Fig12Config) -> Fig12 {
+    let cells = grid_cells(cfg);
     let results = parfan::map_labeled(
         &cells,
         |_, &(w, lb)| format!("fig12 workload={w:?} lb={lb:?} seed={}", cfg.seed),

@@ -203,6 +203,11 @@ pub struct Instrumentation {
     pub host_rx: Vec<u64>,
     /// Packets dropped because a FIB had no route.
     pub unroutable_drops: u64,
+    /// Structured snapshot-lifecycle trace (default: off, near-zero cost).
+    pub trace: obs::sinks::TraceSink,
+    /// Deterministic metrics registry (counters/gauges/histograms), fed at
+    /// lifecycle events only — never on the per-packet path.
+    pub metrics: obs::metrics::Metrics,
 }
 
 struct Host {
@@ -393,6 +398,67 @@ impl Network {
         self.instr.delivery_log = Some(Vec::new());
     }
 
+    /// Install a trace sink and stamp the `trace.meta` header event at
+    /// `t_ns` (every trace opens with it, carrying the schema tag).
+    pub fn set_trace(&mut self, sink: obs::sinks::TraceSink, t_ns: u64) {
+        self.instr.trace = sink;
+        obs::event!(
+            &mut self.instr.trace,
+            t_ns,
+            "trace.meta",
+            schema = obs::TRACE_SCHEMA,
+        );
+    }
+
+    /// Buffered trace lines (empty when tracing is off).
+    pub fn trace_lines(&self) -> Vec<String> {
+        self.instr.trace.lines()
+    }
+
+    /// Drain the buffered trace lines, leaving the sink active.
+    pub fn take_trace_lines(&mut self) -> Vec<String> {
+        self.instr.trace.take_lines()
+    }
+
+    /// Export the metrics registry as schema'd JSON, folding in the
+    /// simulated switch/observer totals as gauges first so a single
+    /// document captures the whole run.
+    pub fn export_metrics(&mut self) -> String {
+        self.fold_metrics();
+        self.instr.metrics.to_json()
+    }
+
+    /// Take the metrics registry (folded like [`Self::export_metrics`]),
+    /// leaving an empty one behind. For harnesses that add their own
+    /// gauges before rendering.
+    pub fn take_metrics(&mut self) -> obs::metrics::Metrics {
+        self.fold_metrics();
+        std::mem::take(&mut self.instr.metrics)
+    }
+
+    fn fold_metrics(&mut self) {
+        let mut ingress = 0u64;
+        let mut egress = 0u64;
+        let mut queue_drops = 0u64;
+        let mut notify_drops = 0u64;
+        let mut keepalives = 0u64;
+        for sw in &self.switches {
+            ingress += sw.stats.ingress_packets;
+            egress += sw.stats.egress_packets;
+            queue_drops += sw.stats.queue_drops;
+            notify_drops += sw.stats.notify_drops;
+            keepalives += sw.stats.keepalives_sent;
+        }
+        let m = &mut self.instr.metrics;
+        m.gauge_set("switch.ingress_packets", ingress);
+        m.gauge_set("switch.egress_packets", egress);
+        m.gauge_set("switch.queue_drops", queue_drops);
+        m.gauge_set("switch.notify_drops", notify_drops);
+        m.gauge_set("switch.keepalives_sent", keepalives);
+        m.gauge_set("observer.finalized", self.observer.finalized_count());
+        m.gauge_set("net.unroutable_drops", self.instr.unroutable_drops);
+    }
+
     /// The snapshot configuration.
     pub fn snapshot_cfg(&self) -> &SnapshotConfig {
         &self.snapshot_cfg
@@ -521,7 +587,20 @@ impl Network {
                         Direction::Ingress => &mut switch.units.ingress[usize::from(port)],
                         Direction::Egress => &mut switch.units.egress[usize::from(port)],
                     };
-                    let out = unit.on_packet(channel, wrapped, pre_value, contrib, is_init);
+                    // `switch` borrows `self.switches`, the trace sink
+                    // borrows `self.instr` — disjoint fields. With the
+                    // default `TraceSink::Off` the traced call is one
+                    // always-false `enabled()` branch (the bench-smoke
+                    // regression gate holds the line on this path).
+                    let out = unit.on_packet_traced(
+                        channel,
+                        wrapped,
+                        pre_value,
+                        contrib,
+                        is_init,
+                        &mut self.instr.trace,
+                        now.as_nanos(),
+                    );
                     // Metric update after the snapshot logic (Fig. 3 l.13);
                     // initiations skip the update-counter stage (§6).
                     if !is_init {
@@ -755,6 +834,38 @@ impl Network {
         }
     }
 
+    /// Record a snapshot completion in the metrics registry and emit the
+    /// `snap.complete` event (shared by the normal and forced paths).
+    fn record_completion(
+        &mut self,
+        snapshot: &GlobalSnapshot,
+        issued_at: Instant,
+        now: Instant,
+        forced: bool,
+    ) {
+        let dur = now.saturating_since(issued_at);
+        let m = &mut self.instr.metrics;
+        m.inc("snapshots.completed");
+        if forced {
+            m.inc("snapshots.forced");
+        }
+        m.observe(
+            "snapshot.completion_latency_ns",
+            &obs::metrics::LATENCY_BOUNDS_NS,
+            dur.as_nanos(),
+        );
+        obs::event!(
+            &mut self.instr.trace,
+            now.as_nanos(),
+            "snap.complete",
+            epoch = snapshot.epoch,
+            dur_ns = dur.as_nanos(),
+            units = snapshot.units.len(),
+            excluded = snapshot.excluded.len(),
+            forced = forced,
+        );
+    }
+
     fn poll_unit_order(&self, sw: u16, idx: u16) -> Option<UnitId> {
         let ports = self.switches[usize::from(sw)].ports();
         if idx < ports {
@@ -769,9 +880,16 @@ impl Network {
     /// Inject one round of keepalives at `sw`: every ingress unit's sid is
     /// broadcast through every egress queue, propagating snapshot IDs over
     /// silent channels (§6).
-    fn inject_keepalives(&mut self, sw: u16, sched: &mut Scheduler<NetEvent>) {
+    fn inject_keepalives(&mut self, sw: u16, now: Instant, sched: &mut Scheduler<NetEvent>) {
         let ports = self.switches[usize::from(sw)].ports();
         self.switches[usize::from(sw)].stats.keepalives_sent += 1;
+        self.instr.metrics.inc("keepalives.injected");
+        obs::event!(
+            &mut self.instr.trace,
+            now.as_nanos(),
+            "keepalive.inject",
+            dev = sw,
+        );
         for p in 0..ports {
             let sid = self.switches[usize::from(sw)].units.ingress[usize::from(p)].sid();
             for q in 0..ports {
@@ -925,7 +1043,11 @@ impl World for Network {
             }
 
             NetEvent::ScheduleSnapshot => {
-                if let Some(epoch) = self.observer.begin_snapshot() {
+                if let Some(epoch) = self
+                    .observer
+                    .begin_snapshot_traced(&mut self.instr.trace, now.as_nanos())
+                {
+                    self.instr.metrics.inc("snapshots.initiated");
                     let target = now + self.driver.lead_time;
                     self.issued.insert(epoch, now);
                     let devices: Vec<u16> = self.observer.device_ids().collect();
@@ -937,6 +1059,13 @@ impl World for Network {
             }
 
             NetEvent::DeviceInitiate { sw, epoch } => {
+                obs::event!(
+                    &mut self.instr.trace,
+                    now.as_nanos(),
+                    "dev.initiate",
+                    dev = sw,
+                    epoch = epoch,
+                );
                 for port in 0..self.switches[usize::from(sw)].ports() {
                     let extra = self.latency.initiation.cpu_to_unit.sample(&mut self.rng);
                     sched.after(extra, NetEvent::UnitInitiate { sw, port, epoch });
@@ -947,6 +1076,14 @@ impl World for Network {
                 if !self.switches[usize::from(sw)].snapshot_enabled {
                     return;
                 }
+                obs::event!(
+                    &mut self.instr.trace,
+                    now.as_nanos(),
+                    "unit.initiate",
+                    dev = sw,
+                    port = port,
+                    epoch = epoch,
+                );
                 let id = self.next_id();
                 let mut pkt = Packet::initiation(id, self.wrap(epoch).raw());
                 self.unit_process(
@@ -979,9 +1116,29 @@ impl World for Network {
                 let switch = &mut self.switches[usize::from(sw)];
                 if switch.cp_queue.len() >= capacity {
                     switch.stats.notify_drops += 1;
+                    self.instr.metrics.inc("cp.notify_dropped");
+                    obs::event!(
+                        &mut self.instr.trace,
+                        now.as_nanos(),
+                        "notify.drop",
+                        dev = sw,
+                    );
                     return;
                 }
                 switch.cp_queue.push_back((n, now));
+                let depth = switch.cp_queue.len() as u64;
+                self.instr.metrics.inc("cp.notifications");
+                self.instr.metrics.gauge_max("cp.queue_depth_max", depth);
+                self.instr
+                    .metrics
+                    .observe("cp.queue_depth", &obs::metrics::DEPTH_BOUNDS, depth);
+                obs::event!(
+                    &mut self.instr.trace,
+                    now.as_nanos(),
+                    "notify.export",
+                    dev = sw,
+                    depth = depth,
+                );
                 if !switch.cp_busy {
                     switch.cp_busy = true;
                     sched.now_event(NetEvent::CpProcess { sw });
@@ -996,7 +1153,7 @@ impl World for Network {
                         switch.cp_busy = false;
                         return;
                     };
-                    switch.cp.on_notification(&n, &mut switch.units)
+                    switch.process_notification_traced(&n, &mut self.instr.trace, now.as_nanos())
                 };
                 for report in reports {
                     let lat = self.latency.report_latency.sample(&mut self.rng);
@@ -1011,9 +1168,22 @@ impl World for Network {
             }
 
             NetEvent::ReportArrive { device, report } => {
-                if let Some(snapshot) = self.observer.on_report(device, report) {
+                obs::event!(
+                    &mut self.instr.trace,
+                    now.as_nanos(),
+                    "report.arrive",
+                    dev = device,
+                    epoch = report.epoch,
+                );
+                if let Some(snapshot) = self.observer.on_report_traced(
+                    device,
+                    report,
+                    &mut self.instr.trace,
+                    now.as_nanos(),
+                ) {
                     let issued_at = self.issued.remove(&snapshot.epoch).unwrap_or(Instant::ZERO);
                     self.retried.remove(&snapshot.epoch);
+                    self.record_completion(&snapshot, issued_at, now, false);
                     self.instr.snapshots.push(SnapshotRecord {
                         snapshot,
                         issued_at,
@@ -1036,9 +1206,14 @@ impl World for Network {
                     };
                     let age = now.saturating_since(issued_at);
                     if age >= self.driver.device_timeout {
-                        if let Some(snapshot) = self.observer.force_finalize(epoch) {
+                        if let Some(snapshot) = self.observer.force_finalize_traced(
+                            epoch,
+                            &mut self.instr.trace,
+                            now.as_nanos(),
+                        ) {
                             self.issued.remove(&epoch);
                             self.retried.remove(&epoch);
+                            self.record_completion(&snapshot, issued_at, now, true);
                             self.instr.snapshots.push(SnapshotRecord {
                                 snapshot,
                                 issued_at,
@@ -1061,6 +1236,14 @@ impl World for Network {
                             self.observer.lagging_devices(epoch).into_iter().collect();
                         if !lagging.is_empty() {
                             self.retried.insert(epoch, now);
+                            self.instr.metrics.inc("snapshots.reinitiated");
+                            obs::event!(
+                                &mut self.instr.trace,
+                                now.as_nanos(),
+                                "snap.reinitiate",
+                                epoch = epoch,
+                                devices = lagging.len(),
+                            );
                             self.fan_out_initiations(epoch, now, &lagging, sched, now);
                         }
                     }
@@ -1137,7 +1320,7 @@ impl World for Network {
                                 if self.switches[usize::from(sw)].snapshot_enabled
                                     && !self.switches[usize::from(sw)].cp.device_complete(oldest)
                                 {
-                                    self.inject_keepalives(sw, sched);
+                                    self.inject_keepalives(sw, now, sched);
                                 }
                             }
                         }

@@ -293,6 +293,28 @@ impl Switch {
         self.egress_ports.len() as u16
     }
 
+    /// Run the control plane over one queued notification with trace
+    /// emission: a `cp.process` event (with the residual CP queue depth),
+    /// then whatever `cp.report` / `cp.inconsistent` events the control
+    /// plane produces. Borrows `cp` and `units` disjointly, like the
+    /// untraced `switch.cp.on_notification(&n, &mut switch.units)` call.
+    pub fn process_notification_traced<S: obs::Sink>(
+        &mut self,
+        n: &Notification,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Vec<speedlight_core::control::Report> {
+        obs::event!(
+            sink,
+            t_ns,
+            "cp.process",
+            dev = self.id,
+            queued = self.cp_queue.len(),
+        );
+        self.cp
+            .on_notification_traced(n, &mut self.units, sink, t_ns)
+    }
+
     /// All unit IDs of this switch (observer registration).
     pub fn unit_ids(&self) -> Vec<UnitId> {
         let mut v = Vec::with_capacity(2 * usize::from(self.ports()));

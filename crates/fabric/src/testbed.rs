@@ -151,6 +151,45 @@ impl Testbed {
         self.sim.world().instr.delivery_log.as_deref()
     }
 
+    /// Enable JSONL tracing, stamping the `trace.meta` header at the
+    /// current simulated time. Call before the run whose events you want.
+    pub fn enable_trace(&mut self) {
+        let t = self.sim.now().as_nanos();
+        self.sim
+            .world_mut()
+            .set_trace(obs::sinks::TraceSink::jsonl(), t);
+    }
+
+    /// Install an explicit trace sink (ring / jsonl / off).
+    pub fn set_trace(&mut self, sink: obs::sinks::TraceSink) {
+        let t = self.sim.now().as_nanos();
+        self.sim.world_mut().set_trace(sink, t);
+    }
+
+    /// Apply the `SPEEDLIGHT_OBS` environment selection (`off`/`ring`/
+    /// `jsonl`); a no-op when unset or `off`.
+    pub fn apply_obs_env(&mut self) {
+        let sink = obs::sinks::TraceSink::from_env();
+        if !sink.is_off() {
+            self.set_trace(sink);
+        }
+    }
+
+    /// Buffered trace lines (empty when tracing is off).
+    pub fn trace_lines(&self) -> Vec<String> {
+        self.sim.world().trace_lines()
+    }
+
+    /// Drain the buffered trace lines, leaving the sink active.
+    pub fn take_trace_lines(&mut self) -> Vec<String> {
+        self.sim.world_mut().take_trace_lines()
+    }
+
+    /// Export the metrics registry (plus switch/observer totals) as JSON.
+    pub fn export_metrics(&mut self) -> String {
+        self.sim.world_mut().export_metrics()
+    }
+
     /// Fig. 9's synchronization metric: for each epoch with at least
     /// `min_units` progress notifications, the spread between the earliest
     /// and latest data-plane timestamp.
@@ -380,5 +419,66 @@ mod tests {
         let t2 = snaps[1].snapshot.consistent_total();
         assert!(t1 > 0);
         assert!(t2 > t1, "totals must grow with traffic: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn trace_captures_snapshot_lifecycle() {
+        let mut tb = leaf_spine_testbed(true);
+        tb.enable_trace();
+        tb.snapshot_at(Instant::from_nanos(3_000_000));
+        tb.run_until(Instant::from_nanos(50_000_000));
+        assert_eq!(tb.snapshots().len(), 1);
+
+        let lines = tb.trace_lines();
+        assert!(!lines.is_empty());
+        let parsed: Vec<_> = lines
+            .iter()
+            .map(|l| obs::json::parse_line(l).expect("trace line parses"))
+            .collect();
+
+        // Header first, then nondecreasing sim-time stamps.
+        assert_eq!(
+            obs::json::field(&parsed[0], "ev").and_then(|v| v.as_str()),
+            Some("trace.meta")
+        );
+        assert_eq!(
+            obs::json::field(&parsed[0], "schema").and_then(|v| v.as_str()),
+            Some(obs::TRACE_SCHEMA)
+        );
+        let mut last_t = 0u64;
+        for ev in &parsed {
+            let t = obs::json::field(ev, "t")
+                .and_then(|v| v.as_u64())
+                .expect("t field");
+            assert!(t >= last_t, "timestamps must be nondecreasing");
+            last_t = t;
+        }
+
+        // Every lifecycle stage shows up at least once.
+        let kinds: std::collections::BTreeSet<&str> = parsed
+            .iter()
+            .filter_map(|e| obs::json::field(e, "ev").and_then(|v| v.as_str()))
+            .collect();
+        for kind in [
+            "snap.initiate",
+            "dev.initiate",
+            "unit.initiate",
+            "unit.save",
+            "marker.seen",
+            "notify.export",
+            "cp.process",
+            "cp.report",
+            "report.arrive",
+            "obs.finalize",
+            "snap.complete",
+        ] {
+            assert!(kinds.contains(kind), "missing lifecycle event {kind}");
+        }
+
+        let metrics = tb.export_metrics();
+        assert!(metrics.contains("\"snapshots.initiated\": 1"));
+        assert!(metrics.contains("\"snapshots.completed\": 1"));
+        assert!(metrics.contains("snapshot.completion_latency_ns"));
+        assert!(metrics.contains("cp.queue_depth"));
     }
 }

@@ -21,6 +21,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "conformance",
     "loadbalance",
     "workloads",
+    "obs",
 ];
 
 /// The crate holding the threaded runtime (the one place where wall-clock
@@ -52,6 +53,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(MatchLockSend),
         Box::new(BareIdCast),
         Box::new(WildcardPacketMatch),
+        Box::new(RawPrint),
     ]
 }
 
@@ -400,6 +402,66 @@ impl Rule for WildcardPacketMatch {
                         self.name(),
                         t.line,
                         "wildcard arm on a wire packet-type enum; list every variant so new packet types fail loudly",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-print
+// ---------------------------------------------------------------------------
+
+/// Observability: library crates must not write to stdout/stderr directly.
+/// Raw prints bypass the obs subsystem — they are invisible to the trace
+/// sinks, interleave nondeterministically under parfan, and pollute the
+/// output of every consumer of the library. Emit an `obs::event!` (for
+/// sim-domain facts) or route through `obs::sinks::stderr_line` (for
+/// process-level diagnostics like seed echoes). Binaries (`src/bin/`,
+/// `main.rs`), examples, and benches keep their prints: stdout *is* their
+/// interface.
+pub struct RawPrint;
+
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
+
+fn raw_print_exempt(path: &std::path::Path) -> bool {
+    // The obs stderr sink is the sanctioned funnel every library
+    // diagnostic routes through; it must be allowed to actually print.
+    if path.to_string_lossy().ends_with("obs/src/sinks.rs") {
+        return true;
+    }
+    if path.file_name().is_some_and(|f| f == "main.rs") {
+        return true;
+    }
+    path.components().any(|c| {
+        let c = c.as_os_str();
+        c == "bin" || c == "examples" || c == "benches"
+    })
+}
+
+impl Rule for RawPrint {
+    fn name(&self) -> &'static str {
+        "raw-print"
+    }
+    fn description(&self) -> &'static str {
+        "library crates must not print directly; emit obs events or use obs::sinks::stderr_line"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if raw_print_exempt(&file.path) {
+            return;
+        }
+        let toks = &file.scan.tokens;
+        for i in 0..toks.len().saturating_sub(1) {
+            if let Some(name) = ident(&toks[i]).filter(|n| PRINT_MACROS.contains(n)) {
+                if is_punct(&toks[i + 1], '!') {
+                    out.push(Diagnostic::new(
+                        file,
+                        self.name(),
+                        toks[i].line,
+                        &format!(
+                            "{name}! in a library crate bypasses the obs sinks; emit an obs event or use obs::sinks::stderr_line"
+                        ),
                     ));
                 }
             }

@@ -113,6 +113,41 @@ fn wildcard_packet_match_fixture() {
 }
 
 #[test]
+fn raw_print_fixture() {
+    // All three raw prints are flagged; the allow on line 7 excuses the
+    // eprintln on line 8.
+    expect(
+        "raw_print.rs",
+        "fabric",
+        include_str!("fixtures/raw_print.rs"),
+        &[("raw-print", 4), ("raw-print", 5), ("raw-print", 6)],
+    );
+}
+
+#[test]
+fn raw_print_exemptions_cover_bins_and_the_stderr_sink() {
+    // The same source is clean when it lives at a sanctioned path:
+    // binaries own their stdout, and obs's stderr sink is the funnel the
+    // rule points everyone at.
+    let src = include_str!("fixtures/raw_print.rs");
+    for path in [
+        "crates/bench/src/bin/bench_netsim.rs",
+        "crates/speedlight/src/main.rs",
+        "crates/fabric/examples/demo.rs",
+        "crates/fabric/benches/hotpath.rs",
+        "crates/obs/src/sinks.rs",
+    ] {
+        let diags: Vec<_> = invariants::lint_source(Path::new(path), "bench", src)
+            .into_iter()
+            // The fixture's allow is unused at exempt paths; only the
+            // raw-print verdict is under test here.
+            .filter(|d| d.rule == "raw-print")
+            .collect();
+        assert!(diags.is_empty(), "path {path} should be exempt: {diags:?}");
+    }
+}
+
+#[test]
 fn allow_hygiene_fixture() {
     // A directive covers its own line and the next one only, so the
     // HashMap import on line 4 still fires; the reasonless allow on

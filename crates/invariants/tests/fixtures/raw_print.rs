@@ -1,0 +1,9 @@
+//! Known-bad: raw prints in a library crate bypass the obs sinks.
+
+fn status(n: u64) {
+    println!("progress: {n}");
+    eprintln!("warn: {n}");
+    print!("partial {n}");
+    // invariants: allow(raw-print) — fixture exercising the escape hatch
+    eprintln!("excused: {n}");
+}

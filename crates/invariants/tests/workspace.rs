@@ -31,5 +31,5 @@ fn rules_are_documented_and_named_consistently() {
         assert!(!r.description().is_empty());
         assert!(names.insert(r.name().to_string()), "duplicate {}", r.name());
     }
-    assert_eq!(rules.len(), 7);
+    assert_eq!(rules.len(), 8);
 }

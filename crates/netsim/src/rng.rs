@@ -206,11 +206,11 @@ impl SeedEcho {
 impl Drop for SeedEcho {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            eprintln!(
+            obs::sinks::stderr_line(&format!(
                 "[seed-echo] {}: failing run used seed 0x{:016x} ({}); \
                  rerun with this seed to reproduce",
                 self.label, self.seed, self.seed
-            );
+            ));
         }
     }
 }

@@ -1,0 +1,312 @@
+//! Minimal JSON helpers: exact-byte rendering for the writers, a flat
+//! one-object-per-line parser for the trace CLI and the golden tests.
+//!
+//! The renderer never formats floats (see [`crate::Value`]); the parser
+//! accepts numbers, strings, and booleans in a single flat object — the
+//! only shape [`crate::Event::to_jsonl`] produces.
+
+/// Append `s` to `out` as a quoted JSON string, escaping `"`, `\`,
+/// control characters, and nothing else — stable bytes, no locale.
+pub fn push_quoted(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` rendered as a quoted JSON string.
+pub fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_quoted(&mut out, s);
+    out
+}
+
+/// A parsed field value from one trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// Unsigned integer (the common case: timestamps, ids, counts).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl JsonValue {
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Look up a key in a parsed line's field list (first match wins).
+pub fn field<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Parse one flat JSONL object (`{"k":v,...}`) into ordered key/value
+/// pairs. Rejects nesting, `null`, and floats — none of which the event
+/// writer emits — with a byte-offset error message.
+pub fn parse_line(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got {:?}",
+                        p.pos, other
+                    ))
+                }
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after object at byte {}", p.pos));
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char,
+                self.pos.saturating_sub(1),
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad code point at byte {}", self.pos))?,
+                        );
+                    }
+                    other => {
+                        return Err(format!(
+                            "bad escape {:?} at byte {}",
+                            other.map(|b| b as char),
+                            self.pos
+                        ))
+                    }
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Re-decode the UTF-8 sequence starting one byte back.
+                    let start = self.pos - 1;
+                    let rest = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| format!("bad UTF-8 at byte {start}"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => {
+                self.literal("true")?;
+                Ok(JsonValue::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Ok(JsonValue::Bool(false))
+            }
+            Some(b'-') => {
+                self.pos += 1;
+                let n = self.uint()?;
+                let v = i64::try_from(n)
+                    .map_err(|_| format!("integer overflow at byte {}", self.pos))?;
+                Ok(JsonValue::I64(-v))
+            }
+            Some(b'0'..=b'9') => Ok(JsonValue::U64(self.uint()?)),
+            other => Err(format!(
+                "unexpected value start {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected {lit:?} at byte {}", self.pos))
+        }
+    }
+
+    fn uint(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected digits at byte {start}"));
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(format!(
+                "float at byte {start}: traces are integer-only by design"
+            ));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse::<u64>()
+            .map_err(|e| format!("bad integer at byte {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_escapes_controls_and_specials() {
+        assert_eq!(quoted("plain"), r#""plain""#);
+        assert_eq!(quoted("a\"b\\c"), r#""a\"b\\c""#);
+        assert_eq!(quoted("x\ny\t"), r#""x\ny\t""#);
+        assert_eq!(quoted("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_round_trips_an_event_line() {
+        let line = r#"{"t":1000,"ev":"snap.complete","epoch":3,"forced":false,"who":"a\"b"}"#;
+        let fields = parse_line(line).expect("parses");
+        assert_eq!(fields[0], ("t".to_string(), JsonValue::U64(1000)));
+        assert_eq!(
+            fields[1],
+            (
+                "ev".to_string(),
+                JsonValue::Str("snap.complete".to_string())
+            )
+        );
+        assert_eq!(fields[3], ("forced".to_string(), JsonValue::Bool(false)));
+        assert_eq!(
+            fields[4],
+            ("who".to_string(), JsonValue::Str("a\"b".to_string()))
+        );
+    }
+
+    #[test]
+    fn parse_accepts_negative_and_unicode() {
+        let fields = parse_line(r#"{"n":-42,"u":"éé"}"#).expect("parses");
+        assert_eq!(fields[0].1, JsonValue::I64(-42));
+        assert_eq!(fields[1].1, JsonValue::Str("éé".to_string()));
+    }
+
+    #[test]
+    fn parse_rejects_floats_nesting_and_trailing_garbage() {
+        assert!(parse_line(r#"{"x":1.5}"#).is_err());
+        assert!(parse_line(r#"{"x":{}}"#).is_err());
+        assert!(parse_line(r#"{"x":1} extra"#).is_err());
+        assert!(parse_line(r#"{"x":null}"#).is_err());
+        assert!(parse_line(r#"{"x""#).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_empty_object() {
+        assert_eq!(parse_line("{}").expect("parses"), Vec::new());
+    }
+}

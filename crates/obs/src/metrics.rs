@@ -1,0 +1,273 @@
+//! Deterministic metrics registry: monotone counters, gauges, and
+//! fixed-bucket histograms, exporting schema'd JSON with BTreeMap key
+//! order — byte-stable across runs, like everything else in this crate.
+
+use std::collections::BTreeMap;
+
+use crate::json;
+
+/// Schema tag written into every metrics export.
+pub const METRICS_SCHEMA: &str = "speedlight-metrics/v1";
+
+/// Bucket upper bounds (inclusive, nanoseconds) for snapshot completion
+/// latency: 10µs .. 500ms, roughly log-spaced. Fixed bounds keep exports
+/// comparable across runs and commits.
+pub const LATENCY_BOUNDS_NS: [u64; 14] = [
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+];
+
+/// Bucket upper bounds (inclusive) for queue-depth distributions.
+pub const DEPTH_BOUNDS: [u64; 8] = [0, 1, 2, 4, 8, 16, 32, 64];
+
+/// A fixed-bucket histogram. Bucket `i` counts observations `v` with
+/// `v <= bounds[i]` (and `v > bounds[i-1]`); one extra overflow bucket
+/// counts everything above the last bound. Bounds must be strictly
+/// increasing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Create a histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.sum += u128::from(v);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The inclusive upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"bounds\":[");
+        for (i, b) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("],\"counts\":[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push_str("],\"sum\":");
+        out.push_str(&self.sum.to_string());
+        out.push('}');
+        out
+    }
+}
+
+/// The metrics registry. All maps are `BTreeMap` so the JSON export has
+/// a single canonical key order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Increment the counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment the counter `name` by `delta` (counters are monotone;
+    /// there is deliberately no decrement).
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &'static str, value: u64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Raise gauge `name` to `value` if it is higher than the current
+    /// reading (high-water marks: queue depths, in-flight snapshots).
+    pub fn gauge_max(&mut self, name: &'static str, value: u64) {
+        let g = self.gauges.entry(name).or_insert(0);
+        *g = (*g).max(value);
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record `v` into histogram `name`, creating it with `bounds` on
+    /// first use. All observation sites for one name must agree on the
+    /// bounds (use the shared consts above).
+    pub fn observe(&mut self, name: &'static str, bounds: &[u64], v: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// The histogram `name`, if any observation has been recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Export the registry as pretty-stable JSON: schema tag, then the
+    /// three sections with keys in BTreeMap (lexicographic) order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": ");
+        out.push_str(&json::quoted(METRICS_SCHEMA));
+        out.push_str(",\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            out.push_str(&json::quoted(k));
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            out.push_str(&json::quoted(k));
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            out.push_str(&json::quoted(k));
+            out.push_str(": ");
+            out.push_str(&h.to_json());
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("x"), 0);
+        m.inc("x");
+        m.add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn gauge_max_is_a_high_water_mark() {
+        let mut m = Metrics::new();
+        m.gauge_max("depth", 3);
+        m.gauge_max("depth", 1);
+        assert_eq!(m.gauge("depth"), Some(3));
+        m.gauge_set("depth", 1);
+        assert_eq!(m.gauge("depth"), Some(1));
+    }
+
+    #[test]
+    fn export_is_byte_stable_and_schema_tagged() {
+        let mut m = Metrics::new();
+        m.inc("b");
+        m.inc("a");
+        m.gauge_set("g", 7);
+        m.observe("h", &[10, 20], 15);
+        let a = m.to_json();
+        let b = m.clone().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"schema\": \"speedlight-metrics/v1\""));
+        // BTreeMap order: "a" before "b" regardless of insertion order.
+        assert!(a.find("\"a\"").unwrap() < a.find("\"b\"").unwrap());
+        assert!(a.contains("\"bounds\":[10,20]"));
+        assert!(a.contains("\"counts\":[0,1,0]"));
+    }
+
+    #[test]
+    fn empty_export_still_has_all_sections() {
+        let m = Metrics::new();
+        let j = m.to_json();
+        assert!(j.contains("\"counters\": {}"));
+        assert!(j.contains("\"gauges\": {}"));
+        assert!(j.contains("\"histograms\": {}"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Bucket-boundary suite for [`obs::metrics::Histogram`]: bounds are
+//! *inclusive* upper edges, the overflow bucket catches everything above
+//! the last bound, and malformed bounds are rejected loudly.
+
+use obs::metrics::{Histogram, DEPTH_BOUNDS, LATENCY_BOUNDS_NS};
+
+#[test]
+fn value_on_a_bound_lands_in_that_bucket() {
+    let mut h = Histogram::new(&[10, 20, 30]);
+    h.observe(10);
+    h.observe(20);
+    h.observe(30);
+    assert_eq!(h.counts(), [1, 1, 1, 0]);
+}
+
+#[test]
+fn value_just_above_a_bound_lands_in_the_next_bucket() {
+    let mut h = Histogram::new(&[10, 20, 30]);
+    h.observe(11);
+    h.observe(21);
+    h.observe(31);
+    assert_eq!(h.counts(), [0, 1, 1, 1]);
+}
+
+#[test]
+fn zero_and_minimum_values_land_in_the_first_bucket() {
+    let mut h = Histogram::new(&[10, 20]);
+    h.observe(0);
+    h.observe(1);
+    assert_eq!(h.counts(), [2, 0, 0]);
+}
+
+#[test]
+fn overflow_bucket_is_unbounded() {
+    let mut h = Histogram::new(&[10]);
+    h.observe(u64::MAX);
+    h.observe(11);
+    assert_eq!(h.counts(), [0, 2]);
+    assert_eq!(h.sum(), u128::from(u64::MAX) + 11);
+}
+
+#[test]
+fn count_and_sum_track_every_observation() {
+    let mut h = Histogram::new(&[5, 50]);
+    for v in [1, 5, 6, 50, 51, 500] {
+        h.observe(v);
+    }
+    assert_eq!(h.count(), 6);
+    assert_eq!(h.sum(), 613);
+    assert_eq!(h.counts(), [2, 2, 2]);
+}
+
+#[test]
+fn zero_is_a_legal_first_bound() {
+    // DEPTH_BOUNDS starts at 0: depth-0 observations get their own bucket.
+    let mut h = Histogram::new(&DEPTH_BOUNDS);
+    h.observe(0);
+    h.observe(1);
+    assert_eq!(h.counts()[0], 1);
+    assert_eq!(h.counts()[1], 1);
+}
+
+#[test]
+fn shared_bounds_are_strictly_increasing() {
+    assert!(LATENCY_BOUNDS_NS.windows(2).all(|w| w[0] < w[1]));
+    assert!(DEPTH_BOUNDS.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+#[should_panic(expected = "strictly increasing")]
+fn equal_bounds_are_rejected() {
+    let _ = Histogram::new(&[10, 10]);
+}
+
+#[test]
+#[should_panic(expected = "strictly increasing")]
+fn decreasing_bounds_are_rejected() {
+    let _ = Histogram::new(&[20, 10]);
+}
+
+#[test]
+#[should_panic(expected = "at least one bound")]
+fn empty_bounds_are_rejected() {
+    let _ = Histogram::new(&[]);
+}

@@ -307,16 +307,16 @@ fn log_stats(stats: &RunStats) {
         return;
     }
     for (i, d) in stats.per_job.iter().enumerate() {
-        eprintln!("[parfan] job #{i}: {:.3}s", d.as_secs_f64());
+        obs::sinks::stderr_line(&format!("[parfan] job #{i}: {:.3}s", d.as_secs_f64()));
     }
-    eprintln!(
+    obs::sinks::stderr_line(&format!(
         "[parfan] {} jobs over {} workers: wall {:.3}s, work {:.3}s ({:.2}x)",
         stats.per_job.len(),
         stats.jobs,
         stats.wall.as_secs_f64(),
         stats.work().as_secs_f64(),
         stats.work().as_secs_f64() / stats.wall.as_secs_f64().max(1e-9),
-    );
+    ));
 }
 
 /// Best-effort text of a panic payload (`&str` and `String` payloads cover
