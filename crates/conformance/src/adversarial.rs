@@ -1,0 +1,338 @@
+//! Seeded adversarial scenario generation and shrinking.
+//!
+//! [`AdversarialGen`] maps `(seed, index)` deterministically onto a valid
+//! chaos [`Scenario`]: a healthy base plus one or two fault classes drawn
+//! from the full taxonomy (device kills, link flaps/partitions, incast
+//! load, notification-export drop/dup/reorder, control-plane
+//! crash-recovery, PTP degradation), with every knob inside the bounds
+//! `Scenario::validate` enforces. The same `(seed, index)` always yields
+//! the same scenario, so a CI batch is pinned by its seed alone and any
+//! failure replays from the embedded spec string.
+//!
+//! [`shrink`] reduces a failing scenario to a locally minimal one under a
+//! caller-supplied "still fails" predicate — dropping fault-schedule
+//! entries one at a time, zeroing PTP knobs, collapsing load, and
+//! shortening the run — so the artifact a human debugs is as small as the
+//! failure allows.
+
+use crate::scenario::{
+    switch_peer, CpCrash, FaultSpec, Lb, LinkFlap, NotifFault, NotifFaultKind, PtpStep, Scenario,
+    Topo, WorkloadKind,
+};
+use netsim::rng::SimRng;
+
+/// The fault classes the generator composes.
+const CLASSES: &[FaultClass] = &[
+    FaultClass::Kill,
+    FaultClass::Flap,
+    FaultClass::Notif,
+    FaultClass::CpCrash,
+    FaultClass::Ptp,
+    FaultClass::Load,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultClass {
+    Kill,
+    Flap,
+    Notif,
+    CpCrash,
+    Ptp,
+    Load,
+}
+
+/// Deterministic adversarial scenario stream.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversarialGen {
+    seed: u64,
+}
+
+impl AdversarialGen {
+    /// A generator rooted at `seed`.
+    pub fn new(seed: u64) -> AdversarialGen {
+        AdversarialGen { seed }
+    }
+
+    /// The `idx`-th scenario of the stream. Always valid; always the same
+    /// for the same `(seed, idx)`.
+    pub fn scenario(&self, idx: u64) -> Scenario {
+        let mut rng = SimRng::new(self.seed).fork_idx("adversarial", idx);
+
+        // Base: mostly lines (all fault classes apply there); occasionally
+        // the leaf-spine testbed with a paper workload.
+        let mut sc = Scenario::base(self.seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if rng.chance(0.2) {
+            sc.topo = Topo::LeafSpine;
+            sc.workload = *rng.pick(&[
+                WorkloadKind::Hadoop,
+                WorkloadKind::GraphX,
+                WorkloadKind::Memcache,
+            ]);
+        } else {
+            sc.topo = Topo::Line(2 + rng.below(3) as u16);
+        }
+        sc.lb = *rng.pick(&[Lb::Ecmp, Lb::Flowlet]);
+        sc.channel_state = rng.chance(0.5);
+        sc.snapshots = 4 + rng.index(3); // 4..=6
+        sc.interval_ms = 4 + rng.below(3); // 4..=6 ms
+                                           // Keep modulus above the snapshot count so every fault class
+                                           // (including cpcrash) composes; small enough to keep wrapping.
+        sc.modulus = *rng.pick(&[16u16, 32, 64]);
+
+        let mut classes: Vec<FaultClass> = CLASSES.to_vec();
+        rng.shuffle(&mut classes);
+        let picks = 1 + usize::from(rng.chance(0.4));
+        for &class in classes.iter().take(picks) {
+            self.apply(class, &mut sc, &mut rng);
+        }
+
+        debug_assert!(sc.validate().is_ok(), "generated invalid: {}", sc.spec());
+        sc
+    }
+
+    /// The first `n` scenarios of the stream.
+    pub fn batch(&self, n: u64) -> Vec<Scenario> {
+        (0..n).map(|i| self.scenario(i)).collect()
+    }
+
+    fn apply(&self, class: FaultClass, sc: &mut Scenario, rng: &mut SimRng) {
+        let devs = sc.num_devices();
+        let run_ms = sc.interval_ms * sc.snapshots as u64;
+        match class {
+            FaultClass::Kill => {
+                // Strictly mid-run: 0 < k < snapshots.
+                sc.faults.push(FaultSpec {
+                    device: rng.below(u64::from(devs)) as u16,
+                    after_snapshots: 1 + rng.index(sc.snapshots - 1),
+                });
+            }
+            FaultClass::Flap => {
+                // Draw an inter-switch endpoint via rejection (every
+                // topology here has several).
+                let (device, port) = loop {
+                    let d = rng.below(u64::from(devs)) as u16;
+                    let p = rng.below(2) as u16;
+                    if switch_peer(sc.topo, d, p).is_some() {
+                        break (d, p);
+                    }
+                };
+                let at_ms = 1 + rng.below(run_ms.saturating_sub(2).max(1));
+                sc.flaps.push(LinkFlap {
+                    device,
+                    port,
+                    at_ms,
+                    down_ms: 1 + rng.below(2 * sc.interval_ms),
+                });
+            }
+            FaultClass::Notif => {
+                sc.notif_faults.push(NotifFault {
+                    device: rng.below(u64::from(devs)) as u16,
+                    kind: *rng.pick(&[
+                        NotifFaultKind::Drop,
+                        NotifFaultKind::Dup,
+                        NotifFaultKind::Reorder,
+                    ]),
+                    every: 2 + rng.below(4) as u32,
+                });
+            }
+            FaultClass::CpCrash => {
+                sc.cp_crashes.push(CpCrash {
+                    device: rng.below(u64::from(devs)) as u16,
+                    at_ms: 1 + rng.below(run_ms.saturating_sub(2).max(1)),
+                    down_ms: 1 + rng.below(2 * sc.interval_ms),
+                });
+            }
+            FaultClass::Ptp => {
+                sc.ptp_drift_ppb = rng.below(100_001) as i64;
+                if rng.chance(0.5) {
+                    // Non-zero signed step within ±2000 µs.
+                    let mag = 1 + rng.below(2_000) as i64;
+                    sc.ptp_step = Some(PtpStep {
+                        device: rng.below(u64::from(devs)) as u16,
+                        at_ms: 1 + rng.below(run_ms.max(2) - 1),
+                        step_us: if rng.chance(0.5) { mag } else { -mag },
+                    });
+                }
+                if rng.chance(0.5) {
+                    let mag = rng.below(201) as i64;
+                    sc.ptp_asym_us = if rng.chance(0.5) { mag } else { -mag };
+                }
+            }
+            FaultClass::Load => {
+                // Bounded well under the named 100× case so a generated
+                // batch stays cheap.
+                sc.load = *rng.pick(&[5u32, 10, 25]);
+            }
+        }
+    }
+}
+
+/// Shrink `sc` to a locally minimal scenario that still satisfies
+/// `still_fails`. Deterministic first-improvement descent over a fixed
+/// edit list, iterated to a fixpoint; the result is valid and fails the
+/// predicate just like the input. Candidate edits: drop one fault-schedule
+/// entry, clear one PTP knob, reset load, halve the snapshot count, and
+/// shorten a line topology.
+pub fn shrink(sc: &Scenario, still_fails: impl Fn(&Scenario) -> bool) -> Scenario {
+    assert!(still_fails(sc), "shrink needs a failing input");
+    let mut best = sc.clone();
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            debug_assert!(cand.validate().is_ok(), "bad shrink: {}", cand.spec());
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Strictly simpler valid variants of `sc`, in a fixed order.
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut push = |cand: Scenario| {
+        if cand.validate().is_ok() {
+            out.push(cand);
+        }
+    };
+    for i in 0..sc.faults.len() {
+        let mut c = sc.clone();
+        c.faults.remove(i);
+        push(c);
+    }
+    for i in 0..sc.flaps.len() {
+        let mut c = sc.clone();
+        c.flaps.remove(i);
+        push(c);
+    }
+    for i in 0..sc.notif_faults.len() {
+        let mut c = sc.clone();
+        c.notif_faults.remove(i);
+        push(c);
+    }
+    for i in 0..sc.cp_crashes.len() {
+        let mut c = sc.clone();
+        c.cp_crashes.remove(i);
+        push(c);
+    }
+    if sc.ptp_drift_ppb != 0 {
+        let mut c = sc.clone();
+        c.ptp_drift_ppb = 0;
+        push(c);
+    }
+    if sc.ptp_step.is_some() {
+        let mut c = sc.clone();
+        c.ptp_step = None;
+        push(c);
+    }
+    if sc.ptp_asym_us != 0 {
+        let mut c = sc.clone();
+        c.ptp_asym_us = 0;
+        push(c);
+    }
+    if sc.load > 1 {
+        let mut c = sc.clone();
+        c.load = 1;
+        push(c);
+    }
+    if sc.snapshots > 2 {
+        // Halving must keep every kill strictly mid-run, so `validate`
+        // (via `push`) arbitrates.
+        let mut c = sc.clone();
+        c.snapshots = (sc.snapshots / 2).max(2);
+        push(c);
+    }
+    if let Topo::Line(n) = sc.topo {
+        if n > 2 {
+            let mut c = sc.clone();
+            c.topo = Topo::Line(n - 1);
+            // Retarget anything that referenced the removed switch.
+            let keep = |d: u16| d < n - 1;
+            c.faults.retain(|f| keep(f.device));
+            c.flaps
+                .retain(|f| switch_peer(c.topo, f.device, f.port).is_some());
+            c.notif_faults.retain(|f| keep(f.device));
+            c.cp_crashes.retain(|f| keep(f.device));
+            if let Some(s) = c.ptp_step {
+                if !keep(s.device) {
+                    c.ptp_step = None;
+                }
+            }
+            push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let a = AdversarialGen::new(0xC0FFEE).batch(64);
+        let b = AdversarialGen::new(0xC0FFEE).batch(64);
+        assert_eq!(a, b);
+        for sc in &a {
+            sc.validate().unwrap();
+            // Spec round-trip: the replay handle is lossless.
+            assert_eq!(&Scenario::from_spec(&sc.spec()).unwrap(), sc);
+        }
+        // A different seed explores a different stream.
+        assert_ne!(a, AdversarialGen::new(0xBEEF).batch(64));
+    }
+
+    #[test]
+    fn generated_batches_cover_the_fault_taxonomy() {
+        let batch = AdversarialGen::new(0x5EED).batch(128);
+        assert!(batch.iter().any(|s| !s.faults.is_empty()));
+        assert!(batch.iter().any(|s| !s.flaps.is_empty()));
+        assert!(batch.iter().any(|s| !s.notif_faults.is_empty()));
+        assert!(batch.iter().any(|s| !s.cp_crashes.is_empty()));
+        assert!(batch.iter().any(|s| s.has_ptp_degradation()));
+        assert!(batch.iter().any(|s| s.load > 1));
+        assert!(batch.iter().any(|s| s.topo == Topo::LeafSpine));
+    }
+
+    #[test]
+    fn shrink_reaches_a_minimal_failing_scenario() {
+        // "Fails" iff it still contains a cp crash on device 1.
+        let sc = AdversarialGen::new(7)
+            .batch(256)
+            .into_iter()
+            .find(|s| {
+                s.cp_crashes.iter().any(|c| c.device == 1)
+                    && (s.has_ptp_degradation()
+                        || s.load > 1
+                        || !s.faults.is_empty()
+                        || !s.flaps.is_empty()
+                        || !s.notif_faults.is_empty()
+                        || s.cp_crashes.len() > 1)
+            })
+            .expect("stream contains a compound cpcrash scenario");
+        let fails = |s: &Scenario| s.cp_crashes.iter().any(|c| c.device == 1);
+        let min = shrink(&sc, fails);
+        assert!(fails(&min));
+        min.validate().unwrap();
+        // Everything irrelevant to the predicate was stripped.
+        assert_eq!(min.cp_crashes.len(), 1);
+        assert!(min.faults.is_empty());
+        assert!(min.flaps.is_empty());
+        assert!(min.notif_faults.is_empty());
+        assert!(!min.has_ptp_degradation());
+        assert_eq!(min.load, 1);
+        assert_eq!(min.snapshots, 2);
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let sc = AdversarialGen::new(11).scenario(3);
+        let fails = |_: &Scenario| true; // everything "fails"
+        assert_eq!(shrink(&sc, fails), shrink(&sc, fails));
+    }
+}

@@ -23,6 +23,7 @@
 //! Any divergence produces a replayable [`artifact`]: seed, scenario spec,
 //! and a minimized per-epoch diff, plus a one-command reproduction line.
 
+pub mod adversarial;
 pub mod artifact;
 pub mod diff;
 pub mod matrix;
@@ -30,8 +31,12 @@ pub mod oracle;
 pub mod runner;
 pub mod scenario;
 
+pub use adversarial::{shrink, AdversarialGen};
 pub use artifact::{assert_conformant, replay_command};
 pub use diff::Divergence;
 pub use oracle::{check_run, check_unit_sets, Expectations, IdealReplay, SnapEntry, SubstrateRun};
 pub use runner::{fabric_digest, matrix_digest, run_matrix, run_scenario, ScenarioOutcome};
-pub use scenario::{FaultSpec, Lb, Scenario, Topo, WorkloadKind};
+pub use scenario::{
+    CpCrash, FaultSpec, Lb, LinkFlap, NotifFault, NotifFaultKind, PtpStep, Scenario, Topo,
+    WorkloadKind,
+};

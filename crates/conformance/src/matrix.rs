@@ -108,11 +108,106 @@ pub const SCENARIOS: &[(&str, &str)] = &[
     ),
 ];
 
-/// Look up a scenario spec by name. Panics on an unknown name so a typo in
-/// a test is a hard error, not a silently skipped scenario.
+/// `(name, spec)` for the adversarial tier: generator-style chaos pinned
+/// down as named scenarios. Every fault class from the DSL appears —
+/// link flaps and multi-interval partitions, incast at 10–100× paper
+/// load, notification-export drop/dup/reorder, control-plane
+/// crash-recovery, PTP degradation (holdover drift, offset step, path
+/// asymmetry), and a multi-fault cocktail. All of them are held to the
+/// differential oracle under the per-fault-class invariant table
+/// (DESIGN.md §12).
+pub const ADVERSARIAL: &[(&str, &str)] = &[
+    // Link flaps: a short outage mid-snapshot. Under channel state the
+    // stalled channels may force the endpoints out; without it the run
+    // stays fully strict.
+    (
+        "flap_line_cs",
+        "topo=line:3;wl=cbr;cs=1;mod=16;snaps=6;ival=5;flap=1:1@12+6;seed=0x8001",
+    ),
+    (
+        "flap_line_nocs",
+        "topo=line:3;wl=cbr;cs=0;mod=16;snaps=6;ival=5;flap=0:1@8+4;seed=0x8002",
+    ),
+    // Partitions: outages spanning multiple snapshot intervals.
+    (
+        "partition_line_cs",
+        "topo=line:4;wl=cbr;cs=1;mod=32;snaps=8;ival=5;flap=1:1@10+25;seed=0x8003",
+    ),
+    (
+        "partition_leafspine_cs",
+        "topo=leafspine;wl=memcache;lb=ecmp;cs=1;mod=32;snaps=6;ival=5;flap=0:1@8+15;seed=0x8004",
+    ),
+    // Hostile traffic: memcache-style incast far above paper load. No
+    // slack — totals must stay conserved and values exact.
+    (
+        "incast_line_10x",
+        "topo=line:3;wl=cbr;cs=1;mod=16;snaps=6;ival=5;load=10;seed=0x8005",
+    ),
+    (
+        "incast_line_100x_nocs",
+        "topo=line:2;wl=cbr;cs=0;mod=16;snaps=3;ival=2;load=100;seed=0x8006",
+    ),
+    (
+        "incast_memcache_25x",
+        "topo=leafspine;wl=memcache;lb=flowlet;cs=1;mod=16;snaps=6;ival=5;load=25;seed=0x8007",
+    ),
+    // Notification-export faults: drop may delay reports (forcing
+    // allowed); dup and cross-unit reorder must be absorbed exactly.
+    (
+        "notif_drop_line",
+        "topo=line:3;wl=cbr;cs=0;mod=16;snaps=6;ival=5;notif=1:drop:3;seed=0x8008",
+    ),
+    (
+        "notif_dup_line",
+        "topo=line:3;wl=cbr;cs=1;mod=16;snaps=6;ival=5;notif=1:dup:2;seed=0x8009",
+    ),
+    (
+        "notif_reorder_line",
+        "topo=line:3;wl=cbr;cs=0;mod=16;snaps=6;ival=5;notif=1:reorder:2;seed=0x800a",
+    ),
+    // Control-plane crash-recovery: tracking state dies and resyncs.
+    (
+        "cpcrash_line",
+        "topo=line:3;wl=cbr;cs=0;mod=32;snaps=6;ival=5;cpcrash=1@12+8;seed=0x800b",
+    ),
+    (
+        "cpcrash_line_cs",
+        "topo=line:3;wl=cbr;cs=1;mod=32;snaps=6;ival=5;cpcrash=2@14+6;seed=0x800c",
+    ),
+    // PTP degradation: holdover drift, a servo step, and path asymmetry
+    // skew the initiation fan-out; consistency must not depend on sync.
+    (
+        "ptp_drift_line",
+        "topo=line:3;wl=cbr;cs=1;mod=16;snaps=6;ival=5;ptpdrift=50000;seed=0x800d",
+    ),
+    (
+        "ptp_step_line",
+        "topo=line:3;wl=cbr;cs=0;mod=16;snaps=6;ival=5;ptpstep=1@12:800;seed=0x800e",
+    ),
+    (
+        "ptp_asym_leafspine",
+        "topo=leafspine;wl=graphx;lb=ecmp;cs=1;mod=16;snaps=6;ival=5;ptpdrift=20000;ptpasym=120;seed=0x800f",
+    ),
+    // Two devices dying in the same epoch: both must be excluded from
+    // every forced snapshot past the kill point.
+    (
+        "twin_kill_line",
+        "topo=line:4;wl=cbr;cs=0;mod=16;snaps=6;ival=5;fault=1@3;fault=2@3;seed=0x8010",
+    ),
+    // Everything at once.
+    (
+        "chaos_cocktail_cs",
+        "topo=line:4;wl=cbr;cs=1;mod=64;snaps=6;ival=5;fault=3@4;flap=1:1@7+4;notif=2:dup:3;cpcrash=0@9+5;ptpdrift=10000;load=5;seed=0x8011",
+    ),
+];
+
+/// Look up a scenario spec by name (searching the healthy matrix first,
+/// then the adversarial tier). Panics on an unknown name so a typo in a
+/// test is a hard error, not a silently skipped scenario.
 pub fn spec(name: &str) -> &'static str {
     SCENARIOS
         .iter()
+        .chain(ADVERSARIAL)
         .find(|(n, _)| *n == name)
         .map(|&(_, s)| s)
         .unwrap_or_else(|| panic!("unknown scenario name `{name}`"))
@@ -125,11 +220,16 @@ mod tests {
 
     #[test]
     fn every_spec_parses_and_round_trips_its_seed() {
-        for &(name, spec) in SCENARIOS {
+        for &(name, spec) in SCENARIOS.iter().chain(ADVERSARIAL) {
             let sc = Scenario::from_spec(spec)
                 .unwrap_or_else(|e| panic!("scenario `{name}` does not parse: {e}"));
             sc.validate()
                 .unwrap_or_else(|e| panic!("scenario `{name}` invalid: {e}"));
+            assert_eq!(
+                Scenario::from_spec(&sc.spec()).unwrap(),
+                sc,
+                "scenario `{name}` does not round-trip"
+            );
         }
     }
 

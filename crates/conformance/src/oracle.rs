@@ -48,18 +48,38 @@ pub struct SubstrateRun {
 }
 
 /// What the scenario allows the substrate to do.
+///
+/// Each adversarial fault class maps onto these knobs (the invariant
+/// table in DESIGN.md §12): permanently killed devices *must* be
+/// excluded from forced snapshots once their kill epoch passes
+/// (`faulted`); transient faults (link flaps under channel state,
+/// notification drops, CP crashes) merely *permit* forcing and permit
+/// excluding the affected devices (`allow_forced` + `may_exclude`);
+/// load, duplication, reordering, and bounded PTP degradation permit
+/// nothing — runs under them are held to the fully strict contract.
 #[derive(Debug, Clone)]
 pub struct Expectations {
     /// Channel-state variant?
     pub channel_state: bool,
-    /// Devices the fault schedule kills.
-    pub faulted: BTreeSet<u16>,
-    /// Whether forced snapshots may exclude **only** faulted devices.
+    /// Devices the fault schedule permanently kills, mapped to the first
+    /// epoch at which their exclusion becomes *required* (a device killed
+    /// after completing `k` snapshots must be excluded from every forced
+    /// epoch `>= k + 1`). Exclusion of these devices is *permitted* at
+    /// any epoch (the kill may land mid-snapshot).
+    pub faulted: BTreeMap<u16, u64>,
+    /// Devices a transient fault may (but need not) drag into a forced
+    /// exclusion: link-flap endpoints, notification-drop victims,
+    /// crashed control planes.
+    pub may_exclude: BTreeSet<u16>,
+    /// Whether `force_finalize` completions are allowed at all.
+    pub allow_forced: bool,
+    /// Whether forced snapshots may exclude **only** expected devices
+    /// (`faulted` keys and `may_exclude`).
     ///
     /// True for no-channel-state runs (completion never depends on a
-    /// neighbor, so only the dead device can time out). In channel-state
-    /// mode a dead device starves its neighbors' channels, which may
-    /// legitimately drag them into the exclusion too.
+    /// neighbor, so only an affected device can time out). In
+    /// channel-state mode a dead device starves its neighbors' channels,
+    /// which may legitimately drag them into the exclusion too.
     pub strict_exclusions: bool,
 }
 
@@ -68,7 +88,9 @@ impl Expectations {
     pub fn healthy(channel_state: bool) -> Expectations {
         Expectations {
             channel_state,
-            faulted: BTreeSet::new(),
+            faulted: BTreeMap::new(),
+            may_exclude: BTreeSet::new(),
+            allow_forced: false,
             strict_exclusions: true,
         }
     }
@@ -129,7 +151,7 @@ pub fn check_run(run: &SubstrateRun, expect: &Expectations) -> Vec<Divergence> {
         .first()
         .map(|e| e.snapshot.units.keys().copied().collect());
 
-    let mut prev_total: Option<(u64, u64)> = None; // (epoch, total)
+    let mut totals: Vec<(u64, u64)> = Vec::new(); // (epoch, total)
     for entry in &run.snapshots {
         let snap = &entry.snapshot;
 
@@ -146,14 +168,14 @@ pub fn check_run(run: &SubstrateRun, expect: &Expectations) -> Vec<Divergence> {
 
         // Exclusion policy.
         if entry.forced {
-            if expect.faulted.is_empty() {
+            if !expect.allow_forced {
                 divergences.push(Divergence::UnexpectedForce {
                     substrate,
                     epoch: snap.epoch,
                 });
             }
-            for &d in &expect.faulted {
-                if !snap.excluded.contains(&d) {
+            for (&d, &from_epoch) in &expect.faulted {
+                if snap.epoch >= from_epoch && !snap.excluded.contains(&d) {
                     divergences.push(Divergence::MissingExclusion {
                         substrate,
                         epoch: snap.epoch,
@@ -163,7 +185,7 @@ pub fn check_run(run: &SubstrateRun, expect: &Expectations) -> Vec<Divergence> {
             }
             if expect.strict_exclusions {
                 for &d in &snap.excluded {
-                    if !expect.faulted.contains(&d) {
+                    if !expect.faulted.contains_key(&d) && !expect.may_exclude.contains(&d) {
                         divergences.push(Divergence::UnexpectedExclusion {
                             substrate,
                             epoch: snap.epoch,
@@ -243,20 +265,26 @@ pub fn check_run(run: &SubstrateRun, expect: &Expectations) -> Vec<Divergence> {
             }
         }
 
-        // Monotone consistent totals over fully consistent snapshots.
         if snap.fully_consistent() {
-            let total = snap.consistent_total();
-            if let Some((_, prev)) = prev_total {
-                if total < prev {
-                    divergences.push(Divergence::NonMonotoneTotal {
-                        substrate,
-                        epoch: snap.epoch,
-                        prev_total: prev,
-                        total,
-                    });
-                }
-            }
-            prev_total = Some((snap.epoch, total));
+            totals.push((snap.epoch, snap.consistent_total()));
+        }
+    }
+
+    // Monotone consistent totals over fully consistent snapshots, compared
+    // in *epoch* order: counters only grow, so a later epoch can never
+    // total less. The list is in completion order, which faults can
+    // scramble (a dropped notification delays one epoch's finalization
+    // past its successor's) — that reordering is legitimate; a shrinking
+    // epoch-ordered total is not.
+    totals.sort_unstable_by_key(|&(epoch, _)| epoch);
+    for w in totals.windows(2) {
+        if w[1].1 < w[0].1 {
+            divergences.push(Divergence::NonMonotoneTotal {
+                substrate,
+                epoch: w[1].0,
+                prev_total: w[0].1,
+                total: w[1].1,
+            });
         }
     }
 

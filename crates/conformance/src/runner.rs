@@ -4,10 +4,11 @@
 
 use crate::diff::Divergence;
 use crate::oracle::{check_run, check_unit_sets, Expectations, SnapEntry, SubstrateRun};
-use crate::scenario::{Lb, Scenario, Topo, WorkloadKind};
+use crate::scenario::switch_peer;
+use crate::scenario::{Lb, NotifFaultKind as ScNotifKind, Scenario, Topo, WorkloadKind};
 use emulation::cluster::{Cluster, ClusterConfig};
-use experiments::common::{attach_workload, standard_testbed, Workload};
-use fabric::network::DriverConfig;
+use experiments::common::{attach_workload_load, standard_testbed, Workload};
+use fabric::network::{DriverConfig, NotifFaultConfig, NotifFaultKind as FabNotifKind};
 use fabric::switchmod::SnapshotConfig;
 use fabric::testbed::{Testbed, TestbedConfig};
 use fabric::topology::{LbKind, Topology};
@@ -15,7 +16,9 @@ use netsim::dist::Dist;
 use netsim::rng::SeedEcho;
 use netsim::time::{Duration, Instant};
 use speedlight_core::observer::UnitOutcome;
+use std::collections::{BTreeMap, BTreeSet};
 use telemetry::MetricKind;
+use timesync::PtpDegradation;
 use workloads::PoissonSource;
 
 /// Everything one scenario produced, across substrates, plus the oracle's
@@ -32,15 +35,63 @@ pub struct ScenarioOutcome {
     pub divergences: Vec<Divergence>,
 }
 
-/// The oracle expectations a scenario implies.
+/// The oracle expectations a scenario implies — the invariant table of
+/// DESIGN.md §12, in code.
+///
+/// * Device kills *require* excluding the dead device from every forced
+///   epoch past its kill point (kill after `k` completed snapshots →
+///   required from epoch `k + 1`).
+/// * Transient faults (channel-state link flaps, notification drops, CP
+///   crashes) *permit* forcing and permit excluding the affected devices,
+///   but require neither: the fault may land between epochs and cost
+///   nothing.
+/// * Everything else (duplication, cross-unit reorder, incast load,
+///   bounded PTP degradation) earns no slack at all — those runs are held
+///   to the healthy contract.
 pub fn expectations(sc: &Scenario) -> Expectations {
+    let mut faulted: BTreeMap<u16, u64> = BTreeMap::new();
+    for f in &sc.faults {
+        let required_from = f.after_snapshots as u64 + 1;
+        faulted
+            .entry(f.device)
+            .and_modify(|e| *e = (*e).min(required_from))
+            .or_insert(required_from);
+    }
+    let mut may_exclude: BTreeSet<u16> = BTreeSet::new();
+    let mut allow_forced = !faulted.is_empty();
+    if sc.channel_state {
+        // An outage stalls the channels crossing the dead link, which can
+        // time both endpoints out; without channel state completion never
+        // waits on a neighbor, so a flap costs nothing.
+        for fl in &sc.flaps {
+            allow_forced = true;
+            may_exclude.insert(fl.device);
+            if let Some((peer, _)) = switch_peer(sc.topo, fl.device, fl.port) {
+                may_exclude.insert(peer);
+            }
+        }
+    }
+    for nf in &sc.notif_faults {
+        // Dropped exports delay (cumulative) reports; dup and reorder are
+        // absorbed by the CP's idempotent, forward-only tracking.
+        if nf.kind == ScNotifKind::Drop {
+            allow_forced = true;
+            may_exclude.insert(nf.device);
+        }
+    }
+    for cc in &sc.cp_crashes {
+        allow_forced = true;
+        may_exclude.insert(cc.device);
+    }
     Expectations {
         channel_state: sc.channel_state,
-        faulted: sc.faulted_devices().into_iter().collect(),
+        faulted,
+        may_exclude,
+        allow_forced,
         // A dead device starves its neighbors' channels in channel-state
-        // mode, so exclusion can legitimately spread; without channel
-        // state only the dead device itself can time out.
-        strict_exclusions: !sc.channel_state,
+        // mode, so exclusion can spread beyond the predicted set; every
+        // other fault class has a bounded blast radius.
+        strict_exclusions: !sc.channel_state || sc.faults.is_empty(),
     }
 }
 
@@ -78,7 +129,7 @@ fn run_fabric_inner(sc: &Scenario, trace: bool) -> (SubstrateRun, Vec<Divergence
         Lb::Flowlet => LbKind::Flowlet { gap_us: 50 },
     };
     let mut driver = DriverConfig::default();
-    if sc.fault.is_some() {
+    if sc.force_inducing() {
         // Force-finalize quickly so faulted epochs complete inside the run.
         driver.device_timeout = Duration::from_millis(40);
     }
@@ -91,7 +142,7 @@ fn run_fabric_inner(sc: &Scenario, trace: bool) -> (SubstrateRun, Vec<Divergence
                 WorkloadKind::Cbr => unreachable!("rejected by Scenario::validate"),
             };
             let mut tb = standard_testbed(snapshot_config(sc), lb, driver, sc.seed);
-            attach_workload(&mut tb, wl, sc.seed);
+            attach_workload_load(&mut tb, wl, sc.seed, sc.load);
             tb
         }
         Topo::Line(n) => {
@@ -102,6 +153,8 @@ fn run_fabric_inner(sc: &Scenario, trace: bool) -> (SubstrateRun, Vec<Divergence
             let mut tb = Testbed::new(Topology::line(n), cfg);
             // Bidirectional traffic so snapshot IDs piggyback across every
             // inter-switch link (mirrors the emulation's host generators).
+            // `load` scales the paper-calibrated base rate into the incast
+            // tier.
             for (src, dst) in [(0u32, 1u32), (1, 0)] {
                 tb.set_source(
                     src,
@@ -109,7 +162,7 @@ fn run_fabric_inner(sc: &Scenario, trace: bool) -> (SubstrateRun, Vec<Divergence
                     Box::new(PoissonSource::new(
                         src,
                         vec![dst],
-                        80_000.0,
+                        80_000.0 * f64::from(sc.load),
                         Dist::constant(400.0),
                         sc.seed ^ (0x5EED * u64::from(src + 1)),
                     )),
@@ -128,13 +181,57 @@ fn run_fabric_inner(sc: &Scenario, trace: bool) -> (SubstrateRun, Vec<Divergence
     for i in 0..sc.snapshots {
         tb.snapshot_at(Instant::from_nanos(ival * (i as u64 + 1)));
     }
-    if let Some(f) = sc.fault {
-        // Disable half an interval before the k-th snapshot is scheduled.
+    // The whole fault schedule goes through simulation events, so a
+    // parallel matrix run replays it identically (nothing depends on when
+    // the host thread happens to observe the run).
+    for f in &sc.faults {
+        // Disable half an interval before the (k+1)-th snapshot is
+        // scheduled.
         let at = ival * (f.after_snapshots as u64) + ival / 2;
-        tb.run_until(Instant::from_nanos(at));
-        tb.network_mut().switches[usize::from(f.device)].snapshot_enabled = false;
+        tb.fail_device_at(Instant::from_nanos(at), f.device);
     }
-    let tail = if sc.fault.is_some() {
+    for f in &sc.flaps {
+        tb.flap_link_at(
+            Instant::from_nanos(f.at_ms * 1_000_000),
+            f.device,
+            f.port,
+            Duration::from_millis(f.down_ms),
+        );
+    }
+    for f in &sc.cp_crashes {
+        tb.crash_cp_at(
+            Instant::from_nanos(f.at_ms * 1_000_000),
+            f.device,
+            Duration::from_millis(f.down_ms),
+        );
+    }
+    for f in &sc.notif_faults {
+        tb.set_notif_fault(
+            f.device,
+            NotifFaultConfig {
+                kind: match f.kind {
+                    ScNotifKind::Drop => FabNotifKind::Drop,
+                    ScNotifKind::Dup => FabNotifKind::Dup,
+                    ScNotifKind::Reorder => FabNotifKind::Reorder,
+                },
+                every: f.every,
+            },
+        );
+    }
+    if sc.has_ptp_degradation() {
+        let (step_ns, step_device, step_at_ns) = match sc.ptp_step {
+            Some(s) => (s.step_us * 1_000, s.device, s.at_ms * 1_000_000),
+            None => (0, 0, 0),
+        };
+        tb.set_ptp_degradation(PtpDegradation {
+            drift_ppb: sc.ptp_drift_ppb,
+            step_ns,
+            step_device,
+            step_at_ns,
+            asym_ns: sc.ptp_asym_us * 1_000,
+        });
+    }
+    let tail = if sc.force_inducing() {
         200_000_000
     } else {
         100_000_000
@@ -205,10 +302,10 @@ pub fn run_emulation(sc: &Scenario) -> SubstrateRun {
         host_rate: 20_000,
         // A faulted run waits out the whole timeout once per dead epoch;
         // keep that bounded while staying generous for healthy runs.
-        timeout: std::time::Duration::from_millis(if sc.fault.is_some() { 300 } else { 1_000 }),
+        timeout: std::time::Duration::from_millis(if sc.faults.is_empty() { 1_000 } else { 300 }),
         record_deliveries: true,
         fail_devices: sc
-            .fault
+            .faults
             .iter()
             .map(|f| (f.device, f.after_snapshots))
             .collect(),

@@ -1,7 +1,8 @@
-//! Golden-trace test: a small channel-state scenario's snapshot-lifecycle
-//! trace is pinned byte-for-byte.
+//! Golden-trace tests: small scenarios' snapshot-lifecycle traces are
+//! pinned byte-for-byte — one healthy channel-state run, and one
+//! clock-skew run exercising every PTP degradation knob.
 //!
-//! The trace is pure sim-time JSONL, so any change to protocol event
+//! The traces are pure sim-time JSONL, so any change to protocol event
 //! ordering, event vocabulary, field layout, or the JSON writer shows up
 //! here as a diff. To re-bless after an *intentional* change:
 //!
@@ -9,7 +10,7 @@
 //! SPEEDLIGHT_BLESS=1 cargo test -p conformance --test golden_trace
 //! ```
 //!
-//! then review `git diff` on the golden file before committing it.
+//! then review `git diff` on the golden files before committing them.
 
 use conformance::runner::run_fabric_traced;
 use conformance::scenario::Scenario;
@@ -18,6 +19,13 @@ const SPEC: &str = "topo=line:2;wl=cbr;lb=ecmp;cs=1;mod=16;snaps=2;ival=2;seed=0
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/line2_cs_trace.jsonl"
+);
+
+const SKEW_SPEC: &str = "topo=line:2;wl=cbr;lb=ecmp;cs=0;mod=16;snaps=3;ival=3;\
+                         ptpdrift=50000;ptpstep=1@4:300;ptpasym=80;seed=0x5ce1";
+const SKEW_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/line2_ptp_skew_trace.jsonl"
 );
 
 #[test]
@@ -40,6 +48,39 @@ fn line2_channel_state_trace_matches_golden() {
     assert!(
         got == want,
         "trace diverged from golden file ({} vs {} lines).\n\
+         If the change is intentional, re-bless with\n\
+         SPEEDLIGHT_BLESS=1 cargo test -p conformance --test golden_trace",
+        got.lines().count(),
+        want.lines().count(),
+    );
+}
+
+/// Clock-skew variant: holdover drift + a mid-run offset step + path
+/// asymmetry all shift initiation *timing*, and the pinned trace proves
+/// the shifted schedule is itself deterministic — the degradation model
+/// never touches the RNG stream, only the initiation target times.
+#[test]
+fn line2_ptp_skew_trace_matches_golden() {
+    let sc = Scenario::from_spec(SKEW_SPEC).expect("skew golden spec is valid");
+    assert!(sc.has_ptp_degradation());
+    let (run, divergences, lines) = run_fabric_traced(&sc);
+    // Bounded skew only delays markers; the oracle stays fully strict.
+    assert!(divergences.is_empty(), "skew scenario must be conformant");
+    assert_eq!(run.snapshots.len(), sc.snapshots);
+    assert!(!lines.is_empty());
+
+    let mut got = lines.join("\n");
+    got.push('\n');
+
+    if std::env::var_os("SPEEDLIGHT_BLESS").is_some() {
+        std::fs::write(SKEW_GOLDEN_PATH, &got).expect("write skew golden trace");
+        return;
+    }
+
+    let want = include_str!("golden/line2_ptp_skew_trace.jsonl");
+    assert!(
+        got == want,
+        "clock-skew trace diverged from golden file ({} vs {} lines).\n\
          If the change is intentional, re-bless with\n\
          SPEEDLIGHT_BLESS=1 cargo test -p conformance --test golden_trace",
         got.lines().count(),

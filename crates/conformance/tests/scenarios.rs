@@ -124,7 +124,7 @@ fn matrix_meets_coverage_floor() {
     for cs in [false, true] {
         assert!(scenarios.iter().any(|s| s.channel_state == cs));
     }
-    assert!(scenarios.iter().any(|s| s.fault.is_some()));
+    assert!(scenarios.iter().any(|s| !s.faults.is_empty()));
     assert!(scenarios.iter().any(|s| s.emulate));
     // Seeds are distinct: no scenario accidentally re-runs another.
     let mut seeds: Vec<u64> = scenarios.iter().map(|s| s.seed).collect();

@@ -1,0 +1,271 @@
+//! Property-based fuzz of the scenario spec codec.
+//!
+//! The spec string is the replay handle for every conformance failure —
+//! artifacts embed it, `SPEEDLIGHT_SCENARIO` replays it, and the
+//! adversarial generator shrinks through it. Two properties keep that
+//! contract honest:
+//!
+//! 1. **Round-trip**: for any valid-by-construction [`Scenario`],
+//!    `from_spec(spec(sc)) == sc` exactly.
+//! 2. **Totality**: `from_spec` never panics on arbitrary input, and when
+//!    it *does* accept a string, the parsed scenario re-serializes to a
+//!    spec that parses back to the same value (canonicalization is a
+//!    fixpoint).
+//!
+//! Case counts honor `PROPTEST_CASES`; pinned regression specs at the
+//! bottom cover corners the grammar makes easy to get wrong.
+
+use conformance::scenario::switch_peer;
+use conformance::{
+    CpCrash, FaultSpec, Lb, LinkFlap, NotifFault, NotifFaultKind, PtpStep, Scenario, Topo,
+    WorkloadKind,
+};
+use proptest::prelude::*;
+
+/// Inter-switch endpoints of a topology (every valid `flap=` target).
+fn switch_links(topo: Topo) -> Vec<(u16, u16)> {
+    let devices = match topo {
+        Topo::LeafSpine => 4,
+        Topo::Line(n) => n,
+    };
+    let mut out = Vec::new();
+    for d in 0..devices {
+        for p in 0..2 {
+            if switch_peer(topo, d, p).is_some() {
+                out.push((d, p));
+            }
+        }
+    }
+    out
+}
+
+/// Raw draws for one scenario: selectors and magnitudes only, so every
+/// range is static. `build_scenario` folds them into a valid scenario
+/// (devices and link endpoints are picked modulo the drawn topology).
+type RawBase = (u16, u8, bool, bool, usize, u64, u64, u32);
+type RawFaults = Vec<(u16, usize)>;
+type RawFlaps = Vec<(usize, u64, u64)>;
+type RawNotifs = Vec<(u16, u8, u32)>;
+type RawCrashes = Vec<(u16, u64, u64)>;
+type RawPtp = (i64, bool, (u16, u64, bool, i64), i64);
+
+fn build_scenario(
+    base: RawBase,
+    faults: RawFaults,
+    flaps: RawFlaps,
+    notifs: RawNotifs,
+    crashes: RawCrashes,
+    ptp: RawPtp,
+) -> Scenario {
+    let (topo_sel, wl_sel, cs, flowlet, snapshots, interval_ms, seed, load) = base;
+    let topo = if topo_sel == 0 {
+        Topo::LeafSpine
+    } else {
+        Topo::Line(topo_sel + 1) // 2..=5 switches
+    };
+    let devices = match topo {
+        Topo::LeafSpine => 4u16,
+        Topo::Line(n) => n,
+    };
+    let links = switch_links(topo);
+    let (drift, has_step, (step_dev, step_at, step_pos, step_mag), asym) = ptp;
+
+    let mut sc = Scenario::base(seed);
+    sc.topo = topo;
+    sc.workload = match topo {
+        Topo::Line(_) => WorkloadKind::Cbr,
+        Topo::LeafSpine => [
+            WorkloadKind::Hadoop,
+            WorkloadKind::GraphX,
+            WorkloadKind::Memcache,
+        ][usize::from(wl_sel % 3)],
+    };
+    sc.lb = if flowlet { Lb::Flowlet } else { Lb::Ecmp };
+    sc.channel_state = cs;
+    sc.snapshots = snapshots;
+    sc.interval_ms = interval_ms;
+    // Device kills strike strictly mid-run: 0 < k < snapshots (≥ 2 here).
+    sc.faults = faults
+        .into_iter()
+        .map(|(d, k)| FaultSpec {
+            device: d % devices,
+            after_snapshots: 1 + k % (snapshots - 1).max(1),
+        })
+        .collect();
+    sc.flaps = flaps
+        .into_iter()
+        .map(|(i, at_ms, down_ms)| {
+            let (device, port) = links[i % links.len()];
+            LinkFlap {
+                device,
+                port,
+                at_ms,
+                down_ms,
+            }
+        })
+        .collect();
+    sc.notif_faults = notifs
+        .into_iter()
+        .map(|(d, kind, every)| NotifFault {
+            device: d % devices,
+            kind: [
+                NotifFaultKind::Drop,
+                NotifFaultKind::Dup,
+                NotifFaultKind::Reorder,
+            ][usize::from(kind % 3)],
+            every,
+        })
+        .collect();
+    sc.cp_crashes = crashes
+        .into_iter()
+        .map(|(d, at_ms, down_ms)| CpCrash {
+            device: d % devices,
+            at_ms,
+            down_ms,
+        })
+        .collect();
+    // CP crash-recovery requires modulus headroom over the run length.
+    sc.modulus = if sc.cp_crashes.is_empty() { 16 } else { 32 };
+    sc.ptp_drift_ppb = drift;
+    sc.ptp_step = has_step.then_some(PtpStep {
+        device: step_dev % devices,
+        at_ms: step_at,
+        step_us: if step_pos { step_mag } else { -step_mag },
+    });
+    sc.ptp_asym_us = asym;
+    sc.load = load;
+    sc
+}
+
+proptest! {
+    /// Any valid scenario round-trips through its spec string exactly.
+    #[test]
+    fn valid_scenarios_round_trip(
+        base in (
+            0u16..5,
+            0u8..3,
+            any::<bool>(),
+            any::<bool>(),
+            2usize..=8,
+            1u64..=10,
+            any::<u64>(),
+            1u32..=100,
+        ),
+        faults in collection::vec((any::<u16>(), any::<usize>()), 0..3),
+        flaps in collection::vec((any::<usize>(), 1u64..=40, 1u64..=25), 0..3),
+        notifs in collection::vec((any::<u16>(), any::<u8>(), 2u32..=6), 0..3),
+        crashes in collection::vec((any::<u16>(), 1u64..=40, 1u64..=20), 0..2),
+        ptp in (
+            0i64..=100_000,
+            any::<bool>(),
+            (any::<u16>(), 1u64..=40, any::<bool>(), 1i64..=2_000),
+            -200i64..=200,
+        ),
+    ) {
+        let sc = build_scenario(base, faults, flaps, notifs, crashes, ptp);
+        prop_assert!(sc.validate().is_ok(), "strategy must build valid scenarios: {}", sc);
+        let spec = sc.spec();
+        let back = Scenario::from_spec(&spec)
+            .map_err(|e| TestCaseError::fail(format!("{spec}: {e}")))?;
+        prop_assert_eq!(&back, &sc, "round-trip mismatch via {}", spec);
+    }
+
+    /// `from_spec` is total (no panics) on arbitrary printable strings, and
+    /// any string it accepts canonicalizes to a fixpoint.
+    #[test]
+    fn arbitrary_strings_never_panic(input in "[ -~]{0,120}") {
+        if let Ok(sc) = Scenario::from_spec(&input) {
+            let canon = sc.spec();
+            let again = Scenario::from_spec(&canon)
+                .map_err(|e| TestCaseError::fail(format!("canonical {canon}: {e}")))?;
+            prop_assert_eq!(again, sc, "canonicalization is not a fixpoint for {}", input);
+        }
+    }
+
+    /// Key-shaped junk: strings made of plausible key/value fragments probe
+    /// the parser's branchy paths far more densely than uniform noise.
+    #[test]
+    fn keyish_junk_never_panics(
+        parts in collection::vec((0u8..10, "[-a-z0-9@:+x]{0,8}"), 0..8),
+    ) {
+        let input: Vec<String> = parts
+            .into_iter()
+            .map(|(sel, payload)| match sel {
+                0 => "topo=line:3".to_string(),
+                1 => "topo=leafspine".to_string(),
+                2 => "wl=cbr".to_string(),
+                3 => format!("fault={payload}"),
+                4 => format!("flap={payload}"),
+                5 => format!("notif={payload}"),
+                6 => format!("cpcrash={payload}"),
+                7 => format!("ptpstep={payload}"),
+                8 => format!("mod={payload}"),
+                _ => format!("seed={payload}"),
+            })
+            .collect();
+        let input = input.join(";");
+        if let Ok(sc) = Scenario::from_spec(&input) {
+            let canon = sc.spec();
+            prop_assert_eq!(
+                Scenario::from_spec(&canon).ok(),
+                Some(sc),
+                "canonicalization failed for {}", input
+            );
+        }
+    }
+}
+
+/// Pinned corners: specs that must keep parsing (and round-tripping)
+/// forever, plus specs that must keep failing. Grammar regressions show up
+/// here before the randomized properties get a chance to find them again.
+#[test]
+fn pinned_spec_regressions() {
+    let must_parse = [
+        // Negative PTP step magnitude: the `dev@at:us` grammar carries a
+        // sign in the last field.
+        "topo=line:2;wl=cbr;ptpstep=1@5:-250",
+        // Negative asymmetry.
+        "topo=line:3;wl=cbr;ptpasym=-200",
+        // Repeated fault keys accumulate in order.
+        "topo=line:4;wl=cbr;snaps=6;fault=1@2;fault=2@2;fault=3@4",
+        // Every fault class at once (the chaos-cocktail shape).
+        "topo=line:4;wl=cbr;cs=1;mod=64;snaps=6;ival=5;fault=3@4;flap=1:1@7+4;\
+         notif=2:dup:3;cpcrash=0@9+5;ptpdrift=10000;load=5;seed=0x8011",
+        // Whitespace and empty segments are tolerated.
+        " topo=line:3 ; wl=cbr ;; seed=17 ",
+        // Decimal and hex seeds.
+        "topo=line:3;wl=cbr;seed=12345",
+        "topo=line:3;wl=cbr;seed=0xDEADBEEF",
+    ];
+    for spec in must_parse {
+        let sc = Scenario::from_spec(spec)
+            .unwrap_or_else(|e| panic!("pinned spec must parse: {spec}: {e}"));
+        let canon = sc.spec();
+        assert_eq!(
+            Scenario::from_spec(&canon).as_ref(),
+            Ok(&sc),
+            "pinned spec must canonicalize: {spec} -> {canon}"
+        );
+    }
+    let must_fail = [
+        // Truncated structured values.
+        "topo=line:3;wl=cbr;flap=1:1@5",
+        "topo=line:3;wl=cbr;fault=1",
+        "topo=line:3;wl=cbr;notif=1:drop",
+        "topo=line:3;wl=cbr;cpcrash=1@5",
+        "topo=line:3;wl=cbr;ptpstep=1@5",
+        // Out-of-range values the validator owns.
+        "topo=line:3;wl=cbr;ptpstep=1@0:100",
+        "topo=line:3;wl=cbr;flap=1:1@0+5",
+        "topo=line:0;wl=cbr",
+        // Overflowing numerics must error, not wrap.
+        "topo=line:3;wl=cbr;mod=99999",
+        "topo=line:3;wl=cbr;seed=0xZZ",
+    ];
+    for spec in must_fail {
+        assert!(
+            Scenario::from_spec(spec).is_err(),
+            "pinned spec must be rejected: {spec}"
+        );
+    }
+}

@@ -490,6 +490,27 @@ impl ControlPlane {
         });
         reports
     }
+
+    /// Crash-recovery resynchronization: fast-forward every unit's tracking
+    /// state to `epoch`, the observer's newest issued snapshot.
+    ///
+    /// A restarted control plane has lost its `ctrl*` arrays and — because
+    /// snapshot IDs are wrapped (§5.2) — cannot safely unwrap register
+    /// contents against a zeroed reference. The recovery protocol instead
+    /// asks the observer for the newest issued epoch and declares everything
+    /// up to it read: epochs in flight during the outage are abandoned
+    /// locally (the observer's timeout excludes this device from them) and
+    /// reporting resumes cleanly from `epoch + 1`.
+    pub fn resync_to(&mut self, epoch: Epoch) {
+        for t in self.units.values_mut() {
+            t.last_read = t.last_read.max(epoch);
+            t.ctrl_sid = t.ctrl_sid.max(epoch);
+            for ls in &mut t.ctrl_last_seen {
+                *ls = (*ls).max(epoch);
+            }
+            t.inconsistent.clear();
+        }
+    }
 }
 
 #[cfg(test)]

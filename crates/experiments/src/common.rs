@@ -60,6 +60,15 @@ impl Workload {
 /// than freezing at its last busy-period value, which is essential to the
 /// imbalance signal of Fig. 12.
 pub fn attach_workload(tb: &mut Testbed, workload: Workload, seed: u64) {
+    attach_workload_load(tb, workload, seed, 1);
+}
+
+/// [`attach_workload`] with a traffic multiplier: `load` scales the
+/// memcache request rate and the background chatter above the
+/// paper-calibrated baseline (the conformance tier's incast knob). The
+/// open-loop workloads (Hadoop/GraphX) run their own transfer schedules
+/// and only see the scaled chatter.
+pub fn attach_workload_load(tb: &mut Testbed, workload: Workload, seed: u64, load: u32) {
     use fabric::traffic::{MultiSource, Source};
     use workloads::PoissonSource;
 
@@ -92,7 +101,8 @@ pub fn attach_workload(tb: &mut Testbed, workload: Workload, seed: u64) {
             }
         }
         Workload::Memcache => {
-            let cfg = MemcacheConfig::default();
+            let mut cfg = MemcacheConfig::default();
+            cfg.rate_rps *= f64::from(load);
             let servers: Vec<u32> = vec![3, 4, 5];
             for c in 0..3u32 {
                 app[c as usize].push(Box::new(MemcacheClient::new(
@@ -130,7 +140,7 @@ pub fn attach_workload(tb: &mut Testbed, workload: Workload, seed: u64) {
                 PoissonSource::new(
                     h + 100, // distinct src space for the background flows
                     dsts,
-                    2_000.0,
+                    2_000.0 * f64::from(load),
                     netsim::dist::Dist::constant(120.0),
                     seed ^ (0xBA5E + u64::from(h)),
                 )

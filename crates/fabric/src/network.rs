@@ -128,6 +128,42 @@ pub enum NetEvent {
     },
     /// Periodic liveness check: inject keepalives for stalled channels.
     KeepaliveTick,
+    /// Fault injection: an inter-switch link changes state. Both endpoints
+    /// observe the change; frames serialized onto a down link are lost.
+    LinkSet {
+        /// One endpoint switch.
+        sw: u16,
+        /// The port on `sw` whose link changes.
+        port: u16,
+        /// New link state.
+        up: bool,
+    },
+    /// Fault injection: a device's snapshot agent dies (forwarding keeps
+    /// working; shims pass through untouched).
+    DeviceFault {
+        /// The failing device.
+        sw: u16,
+    },
+    /// Fault injection: a device's control plane crashes, losing its
+    /// tracking state and queued notifications.
+    CpCrash {
+        /// The crashing device.
+        sw: u16,
+    },
+    /// A crashed control plane restarts and resynchronizes against the
+    /// observer's newest issued epoch.
+    CpRecover {
+        /// The recovering device.
+        sw: u16,
+    },
+    /// Flush a reorder-held notification that no later notification
+    /// displaced (keeps the reorder fault loss-free).
+    NotifRelease {
+        /// The device holding the notification.
+        sw: u16,
+        /// Hold sequence number (stale releases are ignored).
+        seq: u64,
+    },
 }
 
 /// A completed snapshot with timing metadata.
@@ -182,6 +218,45 @@ impl Default for DriverConfig {
         }
     }
 }
+
+/// What a notification-export fault does to the selected notifications
+/// (adversarial testing; see the conformance crate's `notif=` spec key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotifFaultKind {
+    /// Silently drop them.
+    Drop,
+    /// Deliver them twice.
+    Dup,
+    /// Hold one and release it after the next notification from a
+    /// *different* unit (cross-unit reorder; per-unit FIFO survives, as it
+    /// would over PCIe DMA).
+    Reorder,
+}
+
+/// Per-device notification-export fault configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NotifFaultConfig {
+    /// What happens to the selected notifications.
+    pub kind: NotifFaultKind,
+    /// Select every `every`-th exported notification (≥ 2).
+    pub every: u32,
+}
+
+/// Live state of one device's notification-export fault.
+#[derive(Debug)]
+struct NotifFaultState {
+    cfg: NotifFaultConfig,
+    /// Notifications seen so far (selection counter).
+    seen: u64,
+    /// A held notification awaiting reorder, with its hold sequence.
+    held: Option<(Notification, u64)>,
+    /// Monotone hold sequence (stale `NotifRelease` events are ignored).
+    seq: u64,
+}
+
+/// How long a reorder-held notification waits for a displacing arrival
+/// before the safety flush releases it anyway.
+const REORDER_HOLD: Duration = Duration::from_micros(200);
 
 /// Measurement side-channels filled while the simulation runs.
 #[derive(Debug, Default)]
@@ -255,6 +330,27 @@ pub struct Network {
     host_rngs: Vec<SimRng>,
     /// Reused emission buffer for host wakes (avoids a per-wake alloc).
     scratch_emissions: Vec<Emission>,
+    /// Per-(switch, port) link state; frames serialized onto a down link
+    /// are lost on the wire (fault injection).
+    link_up: Vec<Vec<bool>>,
+    /// PTP degradation schedule folded into initiation offsets
+    /// (all-zero = healthy).
+    ptp_deg: timesync::PtpDegradation,
+    /// Per-switch notification-export fault injection.
+    notif_faults: Vec<Option<NotifFaultState>>,
+    /// Per-switch control-plane-down gate (CP crash fault): while set,
+    /// arriving notifications are lost, as at a dead socket.
+    cp_down: Vec<bool>,
+    /// Newest epoch the observer has issued (CP crash-recovery resync
+    /// target).
+    last_issued_epoch: Epoch,
+    /// Per-(switch, port) newest epoch whose initiation marker was injected
+    /// into the ingress unit. The CPU agent tracks true (unwrapped) epochs,
+    /// so a retry carrying an older epoch than the unit has already seen is
+    /// dropped here: the unit's rollover comparison assumes a monotone ID
+    /// stream per channel (§5.3), and a stale wrapped marker would alias
+    /// forward to a phantom future epoch.
+    init_high: Vec<Vec<Epoch>>,
     /// Instrumentation outputs.
     pub instr: Instrumentation,
 }
@@ -334,6 +430,10 @@ impl Network {
             host_rx: vec![0; hosts.len()],
             ..Instrumentation::default()
         };
+        let link_up = topo.ports.iter().map(|p| vec![true; p.len()]).collect();
+        let init_high = topo.ports.iter().map(|p| vec![0; p.len()]).collect();
+        let notif_faults = (0..num_sw).map(|_| None).collect();
+        let cp_down = vec![false; usize::from(num_sw)];
         Network {
             topo,
             switches,
@@ -354,8 +454,30 @@ impl Network {
             ports_of,
             host_rngs,
             scratch_emissions: Vec::new(),
+            link_up,
+            ptp_deg: timesync::PtpDegradation::default(),
+            notif_faults,
+            cp_down,
+            last_issued_epoch: 0,
+            init_high,
             instr,
         }
+    }
+
+    /// Install a PTP degradation schedule (adversarial scenarios).
+    pub fn set_ptp_degradation(&mut self, deg: timesync::PtpDegradation) {
+        self.ptp_deg = deg;
+    }
+
+    /// Install a notification-export fault on `sw` (adversarial scenarios).
+    pub fn set_notif_fault(&mut self, sw: u16, cfg: NotifFaultConfig) {
+        assert!(cfg.every >= 2, "every=1 would starve the control plane");
+        self.notif_faults[usize::from(sw)] = Some(NotifFaultState {
+            cfg,
+            seen: 0,
+            held: None,
+            seq: 0,
+        });
     }
 
     /// Index of `u`'s slot in the flat per-unit shadow array.
@@ -510,6 +632,50 @@ impl Network {
                     e.2 += 1;
                 }
             }
+        }
+    }
+
+    /// Enqueue a notification at the CP socket and kick the consumer.
+    /// This is the post-fault-interception delivery path: everything that
+    /// reaches it is what the control plane actually observes.
+    fn deliver_notification(
+        &mut self,
+        sw: u16,
+        n: Notification,
+        now: Instant,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let capacity = self.latency.cp_queue_capacity;
+        let switch = &mut self.switches[usize::from(sw)];
+        if switch.cp_queue.len() >= capacity {
+            switch.stats.notify_drops += 1;
+            self.instr.metrics.inc("cp.notify_dropped");
+            obs::event!(
+                &mut self.instr.trace,
+                now.as_nanos(),
+                "notify.drop",
+                dev = sw,
+            );
+            return;
+        }
+        switch.cp_queue.push_back((n, now));
+        let depth = switch.cp_queue.len() as u64;
+        self.instr.metrics.inc("cp.notifications");
+        self.instr.metrics.gauge_max("cp.queue_depth_max", depth);
+        self.instr
+            .metrics
+            .observe("cp.queue_depth", &obs::metrics::DEPTH_BOUNDS, depth);
+        obs::event!(
+            &mut self.instr.trace,
+            now.as_nanos(),
+            "notify.export",
+            dev = sw,
+            depth = depth,
+        );
+        let switch = &mut self.switches[usize::from(sw)];
+        if !switch.cp_busy {
+            switch.cp_busy = true;
+            sched.now_event(NetEvent::CpProcess { sw });
         }
     }
 
@@ -773,6 +939,12 @@ impl Network {
             if qp.pkt.is_initiation() {
                 continue; // dropped after egress processing (§6)
             }
+            if !self.link_up[usize::from(sw)][usize::from(port)] {
+                // Link down: the egress pipeline ran (the unit saw the
+                // packet) but the frame is lost on the wire.
+                self.switches[usize::from(sw)].stats.link_drops += 1;
+                continue;
+            }
             {
                 let switch = &mut self.switches[usize::from(sw)];
                 switch.stats.egress_packets += 1;
@@ -820,14 +992,16 @@ impl Network {
     ) {
         for &sw in devices {
             let dev = self.latency.initiation.sample_device(&mut self.rng);
-            let base = if dev.offset_ns >= 0 {
-                target + Duration::from_nanos(dev.offset_ns as u64)
+            // Degraded PTP adds its deterministic extra offset on top of
+            // the sampled residual; it never touches the RNG stream, so
+            // degraded and healthy runs share every other draw.
+            let offset_ns = dev
+                .offset_ns
+                .saturating_add(self.ptp_deg.extra_offset_ns(sw, target.as_nanos()));
+            let base = if offset_ns >= 0 {
+                target + Duration::from_nanos(offset_ns as u64)
             } else {
-                Instant::from_nanos(
-                    target
-                        .as_nanos()
-                        .saturating_sub(dev.offset_ns.unsigned_abs()),
-                )
+                Instant::from_nanos(target.as_nanos().saturating_sub(offset_ns.unsigned_abs()))
             };
             let at = (base + dev.sched).max(now);
             sched.at(at, NetEvent::DeviceInitiate { sw, epoch });
@@ -1050,6 +1224,7 @@ impl World for Network {
                     self.instr.metrics.inc("snapshots.initiated");
                     let target = now + self.driver.lead_time;
                     self.issued.insert(epoch, now);
+                    self.last_issued_epoch = self.last_issued_epoch.max(epoch);
                     let devices: Vec<u16> = self.observer.device_ids().collect();
                     self.fan_out_initiations(epoch, target, &devices, sched, now);
                 }
@@ -1076,6 +1251,25 @@ impl World for Network {
                 if !self.switches[usize::from(sw)].snapshot_enabled {
                     return;
                 }
+                // The CPU agent compares true epochs: a retry that arrives
+                // after a newer initiation already reached this unit is
+                // stale and must not be injected — the unit's per-channel
+                // rollover reference only moves forward, so a wrapped
+                // marker from the past would alias to a phantom future
+                // epoch and poison every downstream Last Seen register.
+                if epoch <= self.init_high[usize::from(sw)][usize::from(port)] {
+                    self.instr.metrics.inc("init.stale_dropped");
+                    obs::event!(
+                        &mut self.instr.trace,
+                        now.as_nanos(),
+                        "init.stale",
+                        dev = sw,
+                        port = port,
+                        epoch = epoch,
+                    );
+                    return;
+                }
+                self.init_high[usize::from(sw)][usize::from(port)] = epoch;
                 obs::event!(
                     &mut self.instr.trace,
                     now.as_nanos(),
@@ -1112,37 +1306,165 @@ impl World for Network {
             }
 
             NetEvent::NotifyArrive { sw, n } => {
-                let capacity = self.latency.cp_queue_capacity;
-                let switch = &mut self.switches[usize::from(sw)];
-                if switch.cp_queue.len() >= capacity {
-                    switch.stats.notify_drops += 1;
-                    self.instr.metrics.inc("cp.notify_dropped");
+                if self.cp_down[usize::from(sw)] {
+                    // The CP socket is dead: the export is lost, as a real
+                    // PCIe write to a crashed agent would be.
+                    self.instr.metrics.inc("fault.notify_lost_cp_down");
                     obs::event!(
                         &mut self.instr.trace,
                         now.as_nanos(),
-                        "notify.drop",
+                        "fault.notify.cp_down",
                         dev = sw,
                     );
                     return;
                 }
-                switch.cp_queue.push_back((n, now));
-                let depth = switch.cp_queue.len() as u64;
-                self.instr.metrics.inc("cp.notifications");
-                self.instr.metrics.gauge_max("cp.queue_depth_max", depth);
-                self.instr
-                    .metrics
-                    .observe("cp.queue_depth", &obs::metrics::DEPTH_BOUNDS, depth);
+                // Fault interception: decide what reaches the CP socket
+                // before touching the queue (at most two deliveries: the
+                // duplicate, or a released reorder hold plus the trigger).
+                let mut deliveries: [Option<Notification>; 2] = [Some(n), None];
+                if let Some(fs) = self.notif_faults[usize::from(sw)].as_mut() {
+                    fs.seen += 1;
+                    let selected = fs.seen % u64::from(fs.cfg.every) == 0;
+                    match fs.cfg.kind {
+                        NotifFaultKind::Drop if selected => {
+                            deliveries[0] = None;
+                            self.instr.metrics.inc("fault.notify_dropped");
+                            obs::event!(
+                                &mut self.instr.trace,
+                                now.as_nanos(),
+                                "fault.notify.drop",
+                                dev = sw,
+                            );
+                        }
+                        NotifFaultKind::Dup if selected => {
+                            deliveries[1] = Some(n);
+                            self.instr.metrics.inc("fault.notify_duplicated");
+                            obs::event!(
+                                &mut self.instr.trace,
+                                now.as_nanos(),
+                                "fault.notify.dup",
+                                dev = sw,
+                            );
+                        }
+                        NotifFaultKind::Reorder => {
+                            if let Some((held, _)) = fs.held {
+                                // A displacing arrival releases the hold.
+                                // Cross-unit: the newcomer overtakes (the
+                                // reorder). Same-unit: flush the hold first,
+                                // preserving per-unit FIFO (§5.2's wrapped
+                                // IDs only unwrap forward).
+                                fs.held = None;
+                                if held.unit != n.unit {
+                                    deliveries = [Some(n), Some(held)];
+                                    self.instr.metrics.inc("fault.notify_reordered");
+                                    obs::event!(
+                                        &mut self.instr.trace,
+                                        now.as_nanos(),
+                                        "fault.notify.reorder",
+                                        dev = sw,
+                                    );
+                                } else {
+                                    deliveries = [Some(held), Some(n)];
+                                }
+                            } else if selected {
+                                fs.seq += 1;
+                                let seq = fs.seq;
+                                fs.held = Some((n, seq));
+                                deliveries[0] = None;
+                                sched.after(REORDER_HOLD, NetEvent::NotifRelease { sw, seq });
+                                obs::event!(
+                                    &mut self.instr.trace,
+                                    now.as_nanos(),
+                                    "fault.notify.hold",
+                                    dev = sw,
+                                );
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                for n in deliveries.into_iter().flatten() {
+                    self.deliver_notification(sw, n, now, sched);
+                }
+            }
+
+            NetEvent::NotifRelease { sw, seq } => {
+                let held = match self.notif_faults[usize::from(sw)].as_mut() {
+                    Some(fs) if matches!(fs.held, Some((_, s)) if s == seq) => {
+                        fs.held.take().map(|(n, _)| n)
+                    }
+                    _ => None,
+                };
+                if let Some(n) = held {
+                    if !self.cp_down[usize::from(sw)] {
+                        self.deliver_notification(sw, n, now, sched);
+                    }
+                }
+            }
+
+            NetEvent::LinkSet { sw, port, up } => {
+                self.link_up[usize::from(sw)][usize::from(port)] = up;
+                if let PortPeer::Switch {
+                    switch: peer,
+                    port: peer_port,
+                } = self.topo.ports[usize::from(sw)][usize::from(port)]
+                {
+                    self.link_up[usize::from(peer)][usize::from(peer_port)] = up;
+                }
+                self.instr.metrics.inc(if up {
+                    "fault.link_up"
+                } else {
+                    "fault.link_down"
+                });
                 obs::event!(
                     &mut self.instr.trace,
                     now.as_nanos(),
-                    "notify.export",
+                    "fault.link",
                     dev = sw,
-                    depth = depth,
+                    port = port,
+                    up = up,
                 );
-                if !switch.cp_busy {
-                    switch.cp_busy = true;
-                    sched.now_event(NetEvent::CpProcess { sw });
+            }
+
+            NetEvent::DeviceFault { sw } => {
+                self.switches[usize::from(sw)].snapshot_enabled = false;
+                self.instr.metrics.inc("fault.device_killed");
+                obs::event!(
+                    &mut self.instr.trace,
+                    now.as_nanos(),
+                    "fault.device",
+                    dev = sw,
+                );
+            }
+
+            NetEvent::CpCrash { sw } => {
+                self.cp_down[usize::from(sw)] = true;
+                self.switches[usize::from(sw)].crash_cp();
+                // The PCIe hold buffer dies with the agent.
+                if let Some(fs) = self.notif_faults[usize::from(sw)].as_mut() {
+                    fs.held = None;
                 }
+                self.instr.metrics.inc("fault.cp_crashed");
+                obs::event!(
+                    &mut self.instr.trace,
+                    now.as_nanos(),
+                    "fault.cp_crash",
+                    dev = sw,
+                );
+            }
+
+            NetEvent::CpRecover { sw } => {
+                self.cp_down[usize::from(sw)] = false;
+                let epoch = self.last_issued_epoch;
+                self.switches[usize::from(sw)].cp.resync_to(epoch);
+                self.instr.metrics.inc("fault.cp_recovered");
+                obs::event!(
+                    &mut self.instr.trace,
+                    now.as_nanos(),
+                    "fault.cp_recover",
+                    dev = sw,
+                    epoch = epoch,
+                );
             }
 
             NetEvent::CpProcess { sw } => {

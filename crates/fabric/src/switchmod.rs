@@ -156,6 +156,8 @@ pub struct SwitchStats {
     pub notify_drops: u64,
     /// Keepalive broadcasts injected for liveness.
     pub keepalives_sent: u64,
+    /// Frames lost on the wire because the egress link was down.
+    pub link_drops: u64,
 }
 
 /// A full switch.
@@ -169,6 +171,10 @@ pub struct Switch {
     pub units: SwitchUnits,
     /// The device control plane.
     pub cp: ControlPlane,
+    /// Pristine clone of the control plane at construction: the reset
+    /// template a simulated CP crash restores from (a restarted agent
+    /// comes up with zeroed tracking state, not the pre-crash arrays).
+    cp_pristine: ControlPlane,
     /// Forwarding table.
     pub fib: Fib,
     /// Multipath selector.
@@ -273,6 +279,7 @@ impl Switch {
                 ingress,
                 egress,
             },
+            cp_pristine: cp.clone(),
             cp,
             fib,
             lb,
@@ -313,6 +320,15 @@ impl Switch {
         );
         self.cp
             .on_notification_traced(n, &mut self.units, sink, t_ns)
+    }
+
+    /// Simulate a control-plane crash: the agent process dies, losing its
+    /// tracking arrays and every queued notification. The data plane
+    /// (units, metrics, queues) is untouched — only the CPU side restarts.
+    pub fn crash_cp(&mut self) {
+        self.cp = self.cp_pristine.clone();
+        self.cp_queue.clear();
+        self.cp_busy = false;
     }
 
     /// All unit IDs of this switch (observer registration).
@@ -413,6 +429,23 @@ mod tests {
         assert!(stalled.contains(&(UnitId::egress(0, 1), ChannelId(1))));
         assert!(stalled.contains(&(UnitId::egress(0, 0), ChannelId(0))));
         assert!(stalled.contains(&(UnitId::egress(0, 0), ChannelId(1))));
+    }
+
+    #[test]
+    fn cp_crash_resets_tracking_and_drops_the_queue() {
+        let mut sw = test_switch(2);
+        let uid = UnitId::ingress(0, 0);
+        let w1 = WrappedId::from_raw(1, 8);
+        let out = sw.units.ingress[0].on_packet(ChannelId(0), w1, 3, 1, false);
+        let n = out.notification.expect("advancing packet notifies");
+        let _ = sw.cp.on_notification(&n, &mut sw.units);
+        assert_eq!(sw.cp.unit_epoch(uid), Some(1));
+        sw.cp_queue.push_back((n, Instant::ZERO));
+        sw.cp_busy = true;
+        sw.crash_cp();
+        assert_eq!(sw.cp.unit_epoch(uid), Some(0), "tracking state zeroed");
+        assert!(sw.cp_queue.is_empty(), "queued notifications lost");
+        assert!(!sw.cp_busy);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! binaries consume.
 
 use crate::latency::LatencyModel;
-use crate::network::{DriverConfig, NetEvent, Network, PollSweepRecord, SnapshotRecord};
+use crate::network::{
+    DriverConfig, NetEvent, Network, NotifFaultConfig, PollSweepRecord, SnapshotRecord,
+};
 use crate::switchmod::SnapshotConfig;
 use crate::topology::{LbKind, Topology};
 use crate::traffic::Source;
@@ -104,6 +106,53 @@ impl Testbed {
     /// Run the simulation until `deadline`.
     pub fn run_until(&mut self, deadline: Instant) {
         self.sim.run_until(deadline);
+    }
+
+    /// Kill device `dev`'s snapshot participation at `at` (it keeps
+    /// forwarding, but stops answering snapshot traffic).
+    pub fn fail_device_at(&mut self, at: Instant, dev: u16) {
+        self.sim.schedule_at(at, NetEvent::DeviceFault { sw: dev });
+    }
+
+    /// Flap the link at (`dev`, `port`): down at `at`, back up after
+    /// `down_for`. Both endpoints of the cable are affected.
+    pub fn flap_link_at(&mut self, at: Instant, dev: u16, port: u16, down_for: Duration) {
+        self.sim.schedule_at(
+            at,
+            NetEvent::LinkSet {
+                sw: dev,
+                port,
+                up: false,
+            },
+        );
+        self.sim.schedule_at(
+            at + down_for,
+            NetEvent::LinkSet {
+                sw: dev,
+                port,
+                up: true,
+            },
+        );
+    }
+
+    /// Crash device `dev`'s control plane at `at`; it restarts with
+    /// pristine tracking state after `down_for` and resyncs to the latest
+    /// issued epoch.
+    pub fn crash_cp_at(&mut self, at: Instant, dev: u16, down_for: Duration) {
+        self.sim.schedule_at(at, NetEvent::CpCrash { sw: dev });
+        self.sim
+            .schedule_at(at + down_for, NetEvent::CpRecover { sw: dev });
+    }
+
+    /// Install a notification-export fault (drop / duplicate / reorder
+    /// every `cfg.every`-th notification) on device `dev`.
+    pub fn set_notif_fault(&mut self, dev: u16, cfg: NotifFaultConfig) {
+        self.sim.world_mut().set_notif_fault(dev, cfg);
+    }
+
+    /// Degrade the PTP time plane for every subsequent initiation fan-out.
+    pub fn set_ptp_degradation(&mut self, deg: timesync::PtpDegradation) {
+        self.sim.world_mut().set_ptp_degradation(deg);
     }
 
     /// Current simulated time.

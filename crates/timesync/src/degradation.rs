@@ -1,0 +1,145 @@
+//! PTP degradation knobs for adversarial scenarios.
+//!
+//! "Timing in Software-Defined and Centrally-Managed Networks" catalogues
+//! the three dominant PTP failure modes this module models:
+//!
+//! * **holdover drift** — the grandmaster disappears and every slave clock
+//!   free-runs at its own frequency error (here: a per-device signed
+//!   multiple of `drift_ppb`),
+//! * **offset step** — a clock jumps by a fixed amount at a known instant
+//!   (servo glitch, leap event, restarted `phc2sys`), and
+//! * **asymmetric path delay** — forward/reverse delays differ by `a`,
+//!   biasing every two-step offset estimate by `a / 2` (the classic PTP
+//!   floor; see [`crate::ptp`]).
+//!
+//! The struct is deliberately *deterministic*: given a device id and a true
+//! time, [`PtpDegradation::extra_offset_ns`] is a pure function, so the DES
+//! fabric can fold it into its initiation offsets without perturbing any
+//! RNG stream, keeping degraded and healthy runs comparable.
+
+/// Deterministic clock-degradation schedule applied on top of the sampled
+/// residual PTP offsets.
+///
+/// All-zero (`Default`) means "healthy": `extra_offset_ns` returns 0 for
+/// every device at every instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PtpDegradation {
+    /// Holdover drift magnitude in parts-per-billion. Each device drifts at
+    /// `device_weight(d) * drift_ppb`, so devices fan out symmetrically
+    /// around the (unaffected) device 0.
+    pub drift_ppb: i64,
+    /// One-off offset step applied to `step_device`, signed nanoseconds.
+    pub step_ns: i64,
+    /// Device receiving the offset step.
+    pub step_device: u16,
+    /// True time (nanoseconds) at which the step takes effect.
+    pub step_at_ns: u64,
+    /// Forward−reverse path-delay asymmetry, signed nanoseconds. Biases
+    /// every slave's offset by `asym_ns / 2` (device 0 is the master).
+    pub asym_ns: i64,
+}
+
+/// Signed drift weight of a device: 0 for the master (device 0), then
+/// +1, −1, +2, −2, … so a population of clocks fans out in both
+/// directions rather than drifting in lockstep (which PTP could not even
+/// observe).
+pub fn device_weight(device: u16) -> i64 {
+    if device == 0 {
+        0
+    } else if device % 2 == 1 {
+        i64::from(device.div_ceil(2))
+    } else {
+        -i64::from(device / 2)
+    }
+}
+
+impl PtpDegradation {
+    /// True iff every knob is zero (no degradation).
+    pub fn is_healthy(&self) -> bool {
+        *self == PtpDegradation::default()
+    }
+
+    /// Extra clock offset (local − true) of `device` at true time
+    /// `now_ns`, in signed nanoseconds.
+    pub fn extra_offset_ns(&self, device: u16, now_ns: u64) -> i64 {
+        let mut off: i64 = 0;
+        if self.drift_ppb != 0 {
+            // weight · drift_ppb · now / 1e9, in i128 so even absurd sim
+            // times cannot overflow.
+            let num =
+                i128::from(device_weight(device)) * i128::from(self.drift_ppb) * i128::from(now_ns);
+            off += (num / 1_000_000_000) as i64;
+        }
+        if self.step_ns != 0 && device == self.step_device && now_ns >= self.step_at_ns {
+            off += self.step_ns;
+        }
+        if self.asym_ns != 0 && device != 0 {
+            // Two-step PTP under asymmetry a settles at a residual of a/2
+            // on every slave; the master defines the timescale.
+            off += self.asym_ns / 2;
+        }
+        off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_default_adds_nothing() {
+        let d = PtpDegradation::default();
+        assert!(d.is_healthy());
+        for dev in 0..8u16 {
+            assert_eq!(d.extra_offset_ns(dev, 123_456_789), 0);
+        }
+    }
+
+    #[test]
+    fn weights_fan_out_symmetrically() {
+        assert_eq!(device_weight(0), 0);
+        assert_eq!(device_weight(1), 1);
+        assert_eq!(device_weight(2), -1);
+        assert_eq!(device_weight(3), 2);
+        assert_eq!(device_weight(4), -2);
+    }
+
+    #[test]
+    fn drift_grows_linearly_and_spares_the_master() {
+        let d = PtpDegradation {
+            drift_ppb: 50_000, // 50 ppm holdover
+            ..Default::default()
+        };
+        assert_eq!(d.extra_offset_ns(0, 1_000_000_000), 0);
+        // Device 1 (weight +1): 50 µs after one second.
+        assert_eq!(d.extra_offset_ns(1, 1_000_000_000), 50_000);
+        // Device 2 (weight −1): mirrors device 1.
+        assert_eq!(d.extra_offset_ns(2, 1_000_000_000), -50_000);
+        // Linearity in time.
+        assert_eq!(d.extra_offset_ns(1, 2_000_000_000), 100_000);
+    }
+
+    #[test]
+    fn step_applies_only_after_its_instant_on_its_device() {
+        let d = PtpDegradation {
+            step_ns: -75_000,
+            step_device: 2,
+            step_at_ns: 5_000_000,
+            ..Default::default()
+        };
+        assert_eq!(d.extra_offset_ns(2, 4_999_999), 0);
+        assert_eq!(d.extra_offset_ns(2, 5_000_000), -75_000);
+        assert_eq!(d.extra_offset_ns(1, 10_000_000), 0);
+    }
+
+    #[test]
+    fn asymmetry_biases_slaves_by_half() {
+        let d = PtpDegradation {
+            asym_ns: 3_000,
+            ..Default::default()
+        };
+        assert_eq!(d.extra_offset_ns(0, 0), 0);
+        assert_eq!(d.extra_offset_ns(1, 0), 1_500);
+        assert_eq!(d.extra_offset_ns(3, 0), 1_500);
+    }
+}

@@ -21,9 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod degradation;
 pub mod initiation;
 pub mod ptp;
 
 pub use clock::LocalClock;
+pub use degradation::PtpDegradation;
 pub use initiation::{InitiationModel, InitiationSample};
 pub use ptp::{PtpExchange, PtpResult};

@@ -1,0 +1,137 @@
+//! Property tests: PTP offset estimation stays bounded and recoverable
+//! under the adversarial degradation knobs (holdover drift, offset steps,
+//! asymmetric delay).
+
+use netsim::time::{Duration, Instant};
+use proptest::prelude::*;
+use timesync::clock::LocalClock;
+use timesync::degradation::{device_weight, PtpDegradation};
+use timesync::ptp::PtpExchange;
+
+/// One symmetric two-step exchange against a perfect master, returning the
+/// slave's residual offset after applying the correction.
+fn resync_residual(slave: &mut LocalClock, now: Instant) -> i64 {
+    let master = LocalClock::perfect();
+    let ex = PtpExchange::simulate(
+        &master,
+        slave,
+        Duration::from_micros(5),
+        Duration::from_micros(5),
+        Duration::from_micros(1),
+        now,
+    );
+    let r = ex.result();
+    let residual = slave.offset_at(now) - r.offset_ns;
+    slave.resync(residual, now);
+    slave.offset_at(now)
+}
+
+proptest! {
+    /// Holdover drift is bounded: the injected extra offset never exceeds
+    /// weight · drift · elapsed (no hidden superlinear term), and the
+    /// master (device 0) never moves.
+    #[test]
+    fn holdover_offset_is_bounded(
+        drift_ppb in 0i64..=100_000,
+        device in 0u16..8,
+        now_ms in 0u64..10_000,
+    ) {
+        let deg = PtpDegradation { drift_ppb, ..Default::default() };
+        let now_ns = now_ms * 1_000_000;
+        let extra = deg.extra_offset_ns(device, now_ns);
+        let bound = device_weight(device).unsigned_abs() as i128
+            * drift_ppb as i128
+            * now_ns as i128
+            / 1_000_000_000;
+        prop_assert!(i128::from(extra.abs()) <= bound + 1, "extra={extra} bound={bound}");
+        prop_assert_eq!(deg.extra_offset_ns(0, now_ns), 0);
+    }
+
+    /// A slave holding the full degradation offset (drift + step) recovers
+    /// to ~zero residual after one symmetric exchange — offset estimates
+    /// track the true offset exactly, however it was accumulated.
+    #[test]
+    fn step_recovery_cancels_the_degraded_offset(
+        drift_ppb in 0i64..=100_000,
+        step_us in -2_000i64..=2_000,
+        device in 1u16..6,
+        now_ms in 1u64..5_000,
+    ) {
+        let now_ns = now_ms * 1_000_000;
+        let deg = PtpDegradation {
+            drift_ppb,
+            step_ns: step_us * 1_000,
+            step_device: device,
+            step_at_ns: now_ns / 2,
+            ..Default::default()
+        };
+        let true_offset = deg.extra_offset_ns(device, now_ns);
+        let mut slave = LocalClock::new(true_offset, 0.0, Instant::from_nanos(now_ns));
+        let residual = resync_residual(&mut slave, Instant::from_nanos(now_ns));
+        // The exchange spans ~11 µs with zero modeled drift in the clock
+        // itself, so the correction is exact.
+        prop_assert_eq!(residual, 0, "true_offset={}", true_offset);
+    }
+
+    /// Asymmetric path delay leaves exactly the classic −a/2 residual
+    /// after correction — bounded, never amplified — and that residual is
+    /// a fixpoint of further exchanges.
+    #[test]
+    fn asymmetry_residual_is_half_the_asymmetry(
+        asym_us in -200i64..=200,
+        device in 1u16..6,
+    ) {
+        let deg = PtpDegradation { asym_ns: asym_us * 1_000, ..Default::default() };
+        let injected = deg.extra_offset_ns(device, 0);
+        prop_assert_eq!(injected, asym_us * 1_000 / 2);
+        // The two-step estimate is θ + a/2 (forward delay d + a/2, reverse
+        // d − a/2), so one correction lands the clock on −a/2 regardless
+        // of its starting offset — here the degradation model's +a/2 bias.
+        let master = LocalClock::perfect();
+        let mut slave = LocalClock::new(injected, 0.0, Instant::ZERO);
+        // Base one-way delay must dominate the worst asymmetry (±200 µs
+        // splits to ±100 µs per direction) or the delays would go
+        // negative and the exchange would model a different asymmetry.
+        let fwd = Duration::from_nanos((150_000 + deg.asym_ns / 2) as u64);
+        let rev = Duration::from_nanos((150_000 - (deg.asym_ns - deg.asym_ns / 2)) as u64);
+        let t_sync = Instant::from_nanos(1_000_000);
+        let ex = PtpExchange::simulate(&master, &slave, fwd, rev, Duration::from_micros(1), t_sync);
+        let residual = slave.offset_at(t_sync) - ex.result().offset_ns;
+        slave.resync(residual, t_sync);
+        let after_one = slave.offset_at(t_sync);
+        prop_assert!(
+            (after_one + deg.asym_ns / 2).abs() <= 1,
+            "one correction must land on -a/2: after={after_one} a={}", deg.asym_ns
+        );
+        // A second exchange with the same asymmetry moves the clock by at
+        // most rounding: −a/2 is the steady state, so snapshot initiation
+        // skew under asymmetry is bounded, not compounding.
+        let t_sync2 = Instant::from_nanos(2_000_000);
+        let ex2 = PtpExchange::simulate(&master, &slave, fwd, rev, Duration::from_micros(1), t_sync2);
+        let residual2 = slave.offset_at(t_sync2) - ex2.result().offset_ns;
+        slave.resync(residual2, t_sync2);
+        prop_assert!(
+            (slave.offset_at(t_sync2) - after_one).abs() <= 1,
+            "-a/2 must be a fixpoint: first={after_one} second={}", slave.offset_at(t_sync2)
+        );
+    }
+
+    /// The degradation schedule is monotone in time for pure drift: offsets
+    /// during holdover never jump, so snapshot initiations skew smoothly.
+    #[test]
+    fn drift_is_monotone_in_time(
+        drift_ppb in 1i64..=100_000,
+        device in 1u16..8,
+        t0_ms in 0u64..1_000,
+        dt_ms in 0u64..1_000,
+    ) {
+        let deg = PtpDegradation { drift_ppb, ..Default::default() };
+        let a = deg.extra_offset_ns(device, t0_ms * 1_000_000);
+        let b = deg.extra_offset_ns(device, (t0_ms + dt_ms) * 1_000_000);
+        if device_weight(device) > 0 {
+            prop_assert!(b >= a);
+        } else {
+            prop_assert!(b <= a);
+        }
+    }
+}
