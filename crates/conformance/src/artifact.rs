@@ -68,15 +68,30 @@ pub fn render(sc: &Scenario, divergences: &[Divergence]) -> String {
     out
 }
 
-/// Write the artifact to disk and return its path.
-pub fn dump(sc: &Scenario, divergences: &[Divergence]) -> PathBuf {
-    let dir = std::env::var_os(ARTIFACT_DIR_ENV)
+/// The directory artifacts dump to: `CONFORMANCE_ARTIFACT_DIR`, else the
+/// system temp directory. This is the *only* place the artifact pipeline
+/// consults the environment — a sanctioned configuration point, read once
+/// at the edge so the rest of the dump path is a pure function of its
+/// arguments.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var_os(ARTIFACT_DIR_ENV)
         .map(PathBuf::from)
-        .unwrap_or_else(std::env::temp_dir);
-    let _ = std::fs::create_dir_all(&dir);
+        .unwrap_or_else(std::env::temp_dir)
+}
+
+/// Write the artifact into `dir` and return its path. Environment-free:
+/// callers pick the directory (tests pass a tempdir, [`dump`] passes
+/// [`artifact_dir`]).
+pub fn dump_to(dir: &std::path::Path, sc: &Scenario, divergences: &[Divergence]) -> PathBuf {
+    let _ = std::fs::create_dir_all(dir);
     let path = dir.join(format!("conformance-seed-{:016x}.txt", sc.seed));
     let _ = std::fs::write(&path, render(sc, divergences));
     path
+}
+
+/// Write the artifact to disk (in [`artifact_dir`]) and return its path.
+pub fn dump(sc: &Scenario, divergences: &[Divergence]) -> PathBuf {
+    dump_to(&artifact_dir(), sc, divergences)
 }
 
 /// Panic with a replayable artifact if the outcome diverged.

@@ -269,9 +269,8 @@ impl ControlPlane {
         sink: &mut S,
         t_ns: u64,
     ) -> Vec<Report> {
-        if !self.units.contains_key(&n.unit) {
-            return Vec::new(); // unknown unit (e.g., pre-registration traffic)
-        }
+        // Unknown units (e.g., pre-registration traffic) fall out of the
+        // handlers' own lookups — both are total over any notification.
         if self.channel_state {
             self.on_notify_cs(n, regs, sink, t_ns)
         } else {
@@ -287,7 +286,9 @@ impl ControlPlane {
         sink: &mut S,
         t_ns: u64,
     ) -> Vec<Report> {
-        let t = self.units.get_mut(&n.unit).expect("checked");
+        let Some(t) = self.units.get_mut(&n.unit) else {
+            return Vec::new(); // unknown unit
+        };
         let mut changed = false;
 
         // 1. Last Seen update *first* (see module docs on ordering).
@@ -349,7 +350,9 @@ impl ControlPlane {
         t_ns: u64,
     ) -> Vec<Report> {
         let modulus = self.modulus;
-        let t = self.units.get_mut(&unit).expect("registered");
+        let Some(t) = self.units.get_mut(&unit) else {
+            return Vec::new(); // unknown unit
+        };
         let to_read = t.min_considered_ls().min(t.ctrl_sid);
         let mut reports = Vec::new();
         for epoch in (t.last_read + 1)..=to_read {
@@ -396,7 +399,9 @@ impl ControlPlane {
         t_ns: u64,
     ) -> Vec<Report> {
         let modulus = self.modulus;
-        let t = self.units.get_mut(&n.unit).expect("checked");
+        let Some(t) = self.units.get_mut(&n.unit) else {
+            return Vec::new(); // unknown unit
+        };
         let new_sid = n.new_sid.unwrap_from(t.ctrl_sid);
         if new_sid <= t.last_read {
             self.stats.duplicates += 1;

@@ -288,7 +288,7 @@ impl Observer {
             .entry(report.unit)
             .or_insert_with(|| report.value.into());
         if pending.values.len() == pending.expected.len() {
-            let snap = self.finalize(report.epoch);
+            let snap = self.finalize(report.epoch)?;
             obs::event!(
                 sink,
                 t_ns,
@@ -353,7 +353,7 @@ impl Observer {
                 pending.values.insert(unit, UnitOutcome::DeviceExcluded);
             }
         }
-        let snap = self.finalize(epoch);
+        let snap = self.finalize(epoch)?;
         obs::event!(
             sink,
             t_ns,
@@ -366,15 +366,18 @@ impl Observer {
         Some(snap)
     }
 
-    fn finalize(&mut self, epoch: Epoch) -> GlobalSnapshot {
-        let p = self.pending.remove(&epoch).expect("pending");
+    /// Remove `epoch` from the pending set and seal its snapshot. Total:
+    /// an epoch that is not pending (already finalized, or never opened)
+    /// yields `None` instead of tearing down the event loop.
+    fn finalize(&mut self, epoch: Epoch) -> Option<GlobalSnapshot> {
+        let p = self.pending.remove(&epoch)?;
         self.finalized += 1;
-        GlobalSnapshot {
+        Some(GlobalSnapshot {
             epoch,
             devices: &p.device_set - &p.excluded,
             excluded: p.excluded,
             units: p.values,
-        }
+        })
     }
 }
 

@@ -1181,18 +1181,16 @@ impl World for Network {
             }
 
             NetEvent::HostWake { host } => {
-                if self.hosts[host as usize].source.is_none() {
+                // The per-host fork is cached and forking is pure, so
+                // deriving the per-wake fork before the source check is
+                // side-effect free — which lets the source lookup be a
+                // single let-else instead of a check-then-expect pair.
+                let mut rng = self.host_rngs[host as usize].fork_idx("wake", now.as_nanos());
+                let Some(source) = self.hosts[host as usize].source.as_mut() else {
                     return;
-                }
-                let mut emissions = std::mem::take(&mut self.scratch_emissions);
-                let next = {
-                    // The per-host fork is cached (forking is pure); only
-                    // the per-wake fork is derived here.
-                    let mut rng = self.host_rngs[host as usize].fork_idx("wake", now.as_nanos());
-                    let h = &mut self.hosts[host as usize];
-                    let source = h.source.as_mut().expect("checked above");
-                    source.on_wake(now, &mut rng, &mut emissions)
                 };
+                let mut emissions = std::mem::take(&mut self.scratch_emissions);
+                let next = source.on_wake(now, &mut rng, &mut emissions);
                 let (sw, port) = self.hosts[host as usize].attached;
                 let props = self.topo.link_props[usize::from(sw)][usize::from(port)];
                 for em in emissions.drain(..) {

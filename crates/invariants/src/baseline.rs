@@ -1,0 +1,152 @@
+//! The ratchet baseline: accepted findings that may only burn down.
+//!
+//! `invariants-baseline.json` (committed at the workspace root) carries
+//! the findings that predate the analyzer or are accepted pending
+//! cleanup. The CI gate fails on any finding whose key is *not* in the
+//! baseline (no new debt) and on any baseline entry that no longer
+//! fires (stale entries must be deleted in the PR that fixes them —
+//! that is what makes the burn-down explicit and monotonic).
+//!
+//! Keys are `rule|file|symbol` (see [`crate::Diagnostic::baseline_key`]):
+//! line numbers are deliberately excluded so unrelated edits that shift
+//! code don't churn the baseline, while any new function or file fails.
+
+use crate::json::{self, esc, Value};
+use crate::Diagnostic;
+use std::collections::BTreeSet;
+
+/// Schema identifier embedded in the baseline file.
+pub const SCHEMA: &str = "speedlight-invariants-baseline/v1";
+
+/// Render a baseline document (sorted, one entry per line, stable bytes).
+pub fn render(keys: &BTreeSet<String>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{}\",\n", esc(SCHEMA)));
+    out.push_str("  \"entries\": [");
+    for (i, k) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\"", esc(k)));
+    }
+    if !keys.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Parse and validate a baseline document.
+pub fn parse(text: &str) -> Result<BTreeSet<String>, String> {
+    let v = json::parse(text)?;
+    match v.get("schema").and_then(Value::as_str) {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("unsupported baseline schema `{other}`")),
+        None => return Err("baseline missing `schema` field".to_string()),
+    }
+    let entries = v
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or("baseline missing `entries` array")?;
+    let mut keys = BTreeSet::new();
+    for e in entries {
+        let s = e.as_str().ok_or("baseline entries must be strings")?;
+        if s.splitn(3, '|').count() != 3 {
+            return Err(format!(
+                "malformed baseline entry `{s}` (want rule|file|symbol)"
+            ));
+        }
+        keys.insert(s.to_string());
+    }
+    Ok(keys)
+}
+
+/// The outcome of checking findings against a baseline.
+pub struct Ratchet<'a> {
+    /// Findings not covered by the baseline: these fail the gate.
+    pub new: Vec<&'a Diagnostic>,
+    /// Baseline entries that no longer fire: these also fail the gate —
+    /// delete them in the PR that fixed them.
+    pub stale: Vec<String>,
+}
+
+impl Ratchet<'_> {
+    /// Does the gate pass?
+    pub fn clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Check `diags` against `accepted` baseline keys.
+pub fn ratchet<'a>(diags: &'a [Diagnostic], accepted: &BTreeSet<String>) -> Ratchet<'a> {
+    let current: BTreeSet<String> = diags.iter().map(Diagnostic::baseline_key).collect();
+    Ratchet {
+        new: diags
+            .iter()
+            .filter(|d| !accepted.contains(&d.baseline_key()))
+            .collect(),
+        stale: accepted.difference(&current).cloned().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn diag(rule: &str, file: &str, symbol: &str) -> Diagnostic {
+        Diagnostic {
+            crate_name: "x".to_string(),
+            path: PathBuf::from(file),
+            line: 1,
+            rule: rule.to_string(),
+            symbol: symbol.to_string(),
+            message: String::new(),
+            chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let keys: BTreeSet<String> = ["panic-path|a.rs|x::f", "taint-env-read|b.rs|y::g"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse(&render(&keys)).unwrap(), keys);
+        assert_eq!(parse(&render(&BTreeSet::new())).unwrap(), BTreeSet::new());
+    }
+
+    #[test]
+    fn ratchet_splits_new_and_stale() {
+        let diags = vec![diag("r1", "a.rs", "f"), diag("r2", "b.rs", "g")];
+        let accepted: BTreeSet<String> = ["r1|a.rs|f", "r3|c.rs|h"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let r = ratchet(&diags, &accepted);
+        assert_eq!(r.new.len(), 1);
+        assert_eq!(r.new[0].rule, "r2");
+        assert_eq!(r.stale, vec!["r3|c.rs|h".to_string()]);
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn line_changes_do_not_churn_keys() {
+        let mut a = diag("r", "a.rs", "f");
+        let mut b = diag("r", "a.rs", "f");
+        a.line = 10;
+        b.line = 99;
+        assert_eq!(a.baseline_key(), b.baseline_key());
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_shape() {
+        assert!(parse(r#"{"schema": "nope/v1", "entries": []}"#).is_err());
+        assert!(parse(r#"{"entries": []}"#).is_err());
+        assert!(parse(
+            r#"{"schema": "speedlight-invariants-baseline/v1", "entries": ["no-pipes"]}"#
+        )
+        .is_err());
+    }
+}

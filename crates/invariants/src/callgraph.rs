@@ -1,0 +1,394 @@
+//! Pass 2: the interprocedural call graph.
+//!
+//! Nodes are every `fn` item pass 1 extracted; edges are resolved call
+//! expressions. Resolution is name+path based with import tracking and
+//! receiver-type hints — deliberately approximate, and conservative in
+//! the direction that matters for taint analysis: when a method call is
+//! ambiguous we add an edge to *every* plausible target (over-tainting),
+//! and when a call cannot be resolved at all we drop it (the nondet
+//! sources it might reach in `std` are caught directly at the token
+//! level by pass 1, so dropping external edges loses nothing).
+
+use crate::items::{CallTarget, FileItems, FnItem};
+use std::collections::BTreeMap;
+
+/// One resolved call edge out of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Callee node index.
+    pub callee: usize,
+    /// 1-based line of the call site (in the caller's file).
+    pub line: u32,
+}
+
+/// One call-graph node: a function plus the index of the file it came
+/// from (for allow-directive lookups during traversal).
+#[derive(Debug)]
+pub struct Node {
+    /// The function item.
+    pub item: FnItem,
+    /// Index into the analyzed file list.
+    pub file_idx: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All function nodes, in file order (deterministic).
+    pub nodes: Vec<Node>,
+    /// Outgoing edges per node, sorted by (line, callee) and deduped.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+/// Crates whose package name differs from the `crates/<dir>` directory
+/// in more than `-`→`_`: the import ident on the left maps to the
+/// directory name the analyzer uses as the crate id.
+const CRATE_RENAMES: &[(&str, &str)] = &[("speedlight_core", "core"), ("speedlight", "speedlight")];
+
+/// Build the call graph from the parsed workspace (one `FileItems` per
+/// analyzed file, in file order — node `file_idx` indexes that order).
+pub fn build(items: &[FileItems]) -> CallGraph {
+    let mut nodes = Vec::new();
+    for (file_idx, it) in items.iter().enumerate() {
+        for f in &it.fns {
+            nodes.push(Node {
+                item: f.clone(),
+                file_idx,
+            });
+        }
+    }
+
+    // Indexes. BTreeMaps keep candidate lists deterministic.
+    let mut by_crate_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        let f = &n.item;
+        by_crate_name
+            .entry((f.crate_name.as_str(), f.name.as_str()))
+            .or_default()
+            .push(i);
+        if let Some(ty) = &f.self_ty {
+            by_type_method
+                .entry((ty.as_str(), f.name.as_str()))
+                .or_default()
+                .push(i);
+        }
+        if let Some(tr) = &f.trait_name {
+            // A call through `dyn Trait` / `impl Trait` may dispatch to any
+            // implementor: index the method under the trait name too.
+            by_type_method
+                .entry((tr.as_str(), f.name.as_str()))
+                .or_default()
+                .push(i);
+        }
+        by_name.entry(f.name.as_str()).or_default().push(i);
+    }
+
+    // Workspace crate idents: `sim-stats` is imported as `sim_stats`.
+    let mut crate_idents: BTreeMap<String, String> = BTreeMap::new();
+    for n in &nodes {
+        let c = &n.item.crate_name;
+        crate_idents.insert(c.replace('-', "_"), c.clone());
+    }
+    for (ident, dir) in CRATE_RENAMES {
+        crate_idents.insert((*ident).to_string(), (*dir).to_string());
+    }
+
+    // Merged struct-field table (a method receiver's struct may be defined
+    // in another file of the same crate).
+    let mut fields: BTreeMap<&str, &BTreeMap<String, String>> = BTreeMap::new();
+    for it in items {
+        for (ty, fs) in &it.struct_fields {
+            fields.entry(ty.as_str()).or_insert(fs);
+        }
+    }
+
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+    for idx in 0..nodes.len() {
+        let n = &nodes[idx];
+        let imports = &items[n.file_idx].imports;
+        let mut out = Vec::new();
+        for call in &n.item.calls {
+            let targets: Vec<usize> = match &call.target {
+                CallTarget::Path(segs) => resolve_path(
+                    segs,
+                    &n.item,
+                    imports,
+                    &crate_idents,
+                    &by_crate_name,
+                    &by_type_method,
+                    &by_name,
+                ),
+                CallTarget::Method { name, recv } => {
+                    resolve_method(name, recv, &n.item, &fields, &by_type_method)
+                }
+            };
+            for t in targets {
+                out.push(Edge {
+                    callee: t,
+                    line: call.line,
+                });
+            }
+        }
+        out.sort_by_key(|e| (e.line, e.callee));
+        out.dedup();
+        edges[idx] = out;
+    }
+
+    CallGraph { nodes, edges }
+}
+
+fn resolve_path(
+    segs: &[String],
+    caller: &FnItem,
+    imports: &BTreeMap<String, Vec<String>>,
+    crate_idents: &BTreeMap<String, String>,
+    by_crate_name: &BTreeMap<(&str, &str), Vec<usize>>,
+    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    if segs.is_empty() {
+        return Vec::new();
+    }
+    // Expand a leading import alias (`use parfan::map as pmap; pmap(..)`,
+    // `use fabric::route; route(..)`, `use std::thread as t; t::spawn`).
+    let mut segs: Vec<String> = segs.to_vec();
+    if let Some(full) = imports.get(&segs[0]) {
+        let mut expanded = full.clone();
+        expanded.extend(segs[1..].iter().cloned());
+        segs = expanded;
+    }
+    // `Self::helper()` means the enclosing impl type.
+    if segs[0] == "Self" {
+        if let Some(ty) = &caller.self_ty {
+            segs[0] = ty.clone();
+        }
+    }
+    // Strip path-qualifier keywords; they all resolve within the caller's
+    // crate (`super` is approximated to "same crate", which only ever
+    // over-connects within one crate).
+    while matches!(segs[0].as_str(), "crate" | "self" | "super") {
+        segs.remove(0);
+        if segs.is_empty() {
+            return Vec::new();
+        }
+    }
+    let name = segs.last().cloned().unwrap_or_default();
+
+    // External path: nondet sources in std are caught at the token level.
+    if matches!(segs[0].as_str(), "std" | "core" | "alloc") && !crate_idents.contains_key("std") {
+        // `core` the crate dir exists in this workspace, but imports of the
+        // workspace core crate use `speedlight_core`; a literal `core::`
+        // path is the std core.
+        return Vec::new();
+    }
+
+    // `Type::method(..)` — the second-to-last segment names a type.
+    if segs.len() >= 2 {
+        let qual = &segs[segs.len() - 2];
+        if qual.chars().next().is_some_and(char::is_uppercase) {
+            if let Some(c) = by_type_method.get(&(qual.as_str(), name.as_str())) {
+                return c.clone();
+            }
+            return Vec::new();
+        }
+    }
+
+    // `workspace_crate::path::fn(..)`.
+    if let Some(crate_dir) = crate_idents.get(&segs[0]) {
+        return by_crate_name
+            .get(&(crate_dir.as_str(), name.as_str()))
+            .cloned()
+            .unwrap_or_default();
+    }
+
+    if segs.len() == 1 {
+        // Bare call: same crate first, then a workspace-unique free fn.
+        if let Some(c) = by_crate_name.get(&(caller.crate_name.as_str(), name.as_str())) {
+            return c.clone();
+        }
+        return unique(by_name, &name);
+    }
+
+    // `module::fn(..)` relative path within the caller's crate.
+    by_crate_name
+        .get(&(caller.crate_name.as_str(), name.as_str()))
+        .cloned()
+        .unwrap_or_default()
+}
+
+fn resolve_method(
+    name: &str,
+    recv: &[String],
+    caller: &FnItem,
+    fields: &BTreeMap<&str, &BTreeMap<String, String>>,
+    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
+) -> Vec<usize> {
+    // Work out the receiver's type, if the hints allow.
+    let recv_ty: Option<String> = match recv {
+        [one] if one == "self" => caller.self_ty.clone(),
+        [one] if one.chars().next().is_some_and(char::is_uppercase) => Some(one.clone()),
+        [head, rest @ ..] => {
+            // Walk `self.field.sub` / `var.field` chains through the merged
+            // struct-field table.
+            let mut ty = if head == "self" {
+                caller.self_ty.clone()
+            } else {
+                None
+            };
+            for f in rest {
+                ty = ty
+                    .as_deref()
+                    .and_then(|t| fields.get(t))
+                    .and_then(|fs| fs.get(f))
+                    .cloned();
+            }
+            ty
+        }
+        _ => None,
+    };
+    if let Some(ty) = recv_ty {
+        if let Some(c) = by_type_method.get(&(ty.as_str(), name)) {
+            return c.clone();
+        }
+        // Known receiver type with no such method in the workspace: an
+        // external type (Vec, BTreeMap, ...). Drop the edge.
+        return Vec::new();
+    }
+    // Unknown receiver: no edge. Even a workspace-unique method name is
+    // untrustworthy here — iterator adapters (`.map()`, `.filter()`) and
+    // other std methods on unhinted receivers would wire into unrelated
+    // workspace fns that happen to share the name.
+    Vec::new()
+}
+
+fn unique(by_name: &BTreeMap<&str, Vec<usize>>, name: &str) -> Vec<usize> {
+    match by_name.get(name) {
+        Some(c) if c.len() == 1 => c.clone(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+    use std::path::PathBuf;
+
+    fn ws(files: &[(&str, &str, &str)]) -> Vec<FileItems> {
+        files
+            .iter()
+            .map(|(path, krate, src)| {
+                let f = crate::source::SourceFile::parse(PathBuf::from(path), krate, src);
+                parse_items(&f)
+            })
+            .collect()
+    }
+
+    fn edge_labels(g: &CallGraph, from: &str) -> Vec<String> {
+        let i = g.nodes.iter().position(|n| n.item.name == from).unwrap();
+        g.edges[i]
+            .iter()
+            .map(|e| g.nodes[e.callee].item.label())
+            .collect()
+    }
+
+    #[test]
+    fn cross_crate_path_calls_resolve() {
+        let items = ws(&[
+            (
+                "crates/netsim/src/sim.rs",
+                "netsim",
+                "pub fn run_until() { fabric::route(); }",
+            ),
+            (
+                "crates/fabric/src/network.rs",
+                "fabric",
+                "pub fn route() {}",
+            ),
+        ]);
+        let g = build(&items);
+        assert_eq!(edge_labels(&g, "run_until"), vec!["fabric::route"]);
+    }
+
+    #[test]
+    fn import_aliases_resolve() {
+        let items = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "a",
+                "use b::helper as h;\npub fn caller() { h(); }",
+            ),
+            ("crates/b/src/lib.rs", "b", "pub fn helper() {}"),
+        ]);
+        let g = build(&items);
+        assert_eq!(edge_labels(&g, "caller"), vec!["b::helper"]);
+    }
+
+    #[test]
+    fn self_field_method_resolves_through_struct_fields() {
+        let items = ws(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            r#"
+            struct Outer { cp: Control }
+            struct Control { n: u32 }
+            impl Outer {
+                fn go(&mut self) { self.cp.step(); }
+            }
+            impl Control {
+                fn step(&mut self) {}
+            }
+            "#,
+        )]);
+        let g = build(&items);
+        assert_eq!(edge_labels(&g, "go"), vec!["a::Control::step"]);
+    }
+
+    #[test]
+    fn trait_object_calls_connect_to_all_impls() {
+        let items = ws(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            r#"
+            trait Regs { fn take(&mut self); }
+            struct HwRegs { n: u32 }
+            impl Regs for HwRegs { fn take(&mut self) {} }
+            fn drive(regs: &mut dyn Regs) { regs.take(); }
+            "#,
+        )]);
+        let g = build(&items);
+        assert_eq!(edge_labels(&g, "drive"), vec!["a::HwRegs::take"]);
+    }
+
+    #[test]
+    fn generic_method_names_on_unknown_receivers_do_not_connect() {
+        let items = ws(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            r#"
+            struct S1 { n: u32 }
+            struct S2 { n: u32 }
+            impl S1 { fn push(&mut self) {} }
+            impl S2 { fn push(&mut self) {} }
+            fn caller(mystery: &mut M) { mystery.push(); }
+            "#,
+        )]);
+        let g = build(&items);
+        // `M` has no `push` in the workspace and `push` is not unique:
+        // no edge rather than a wrong edge.
+        assert!(edge_labels(&g, "caller").is_empty());
+    }
+
+    #[test]
+    fn same_crate_bare_calls_resolve() {
+        let items = ws(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "fn helper() {}\nfn caller() { helper(); }",
+        )]);
+        let g = build(&items);
+        assert_eq!(edge_labels(&g, "caller"), vec!["a::helper"]);
+    }
+}

@@ -1,0 +1,946 @@
+//! Pass 1: a lightweight item parser on top of the token scanner.
+//!
+//! The interprocedural passes need far less than a real Rust AST: which
+//! functions exist (and in which `mod`/`impl` scope), what each file
+//! imports under what alias, which calls each function body makes, and
+//! which *nondeterminism/panic source tokens* appear inside each body.
+//! This module extracts exactly that, stays dependency-free like the
+//! lexer underneath it, and is deliberately conservative: anything it
+//! cannot classify is recorded as an unresolved call (which the call
+//! graph then either matches by unique name or drops).
+
+use crate::lexer::{Spanned, Tok};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Classes of nondeterminism (and panic-risk) source tokens the taint
+/// engine propagates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SourceKind {
+    /// Wall-clock read: `Instant::now`, `SystemTime::now`, `WallInstant::now`,
+    /// or `thread::sleep` (sim `Instant` has no `now`, so any of these that
+    /// compiles is the std clock).
+    WallClock,
+    /// `HashMap`/`HashSet` use (iteration order is per-process random).
+    HashCollection,
+    /// Process-environment read (`env::var`/`var_os`/`vars`/`temp_dir`).
+    EnvRead,
+    /// `thread::current()` (thread identity leaks scheduling).
+    ThreadId,
+    /// `SimRng::new(<literal>)`: an RNG root not derived from the run seed
+    /// via the `fork`/`fork_idx` discipline (or an ambient `thread_rng`).
+    FixedSeedRng,
+    /// Panic site: `.unwrap()`, `.expect(...)`, or slice indexing.
+    Panic,
+}
+
+impl SourceKind {
+    /// The diagnostic rule name findings of this kind are reported under.
+    pub fn rule(self) -> &'static str {
+        match self {
+            SourceKind::WallClock => "taint-wall-clock",
+            SourceKind::HashCollection => "taint-hash-collection",
+            SourceKind::EnvRead => "taint-env-read",
+            SourceKind::ThreadId => "taint-thread-id",
+            SourceKind::FixedSeedRng => "taint-fixed-seed-rng",
+            SourceKind::Panic => "panic-path",
+        }
+    }
+}
+
+/// One source token occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub struct SourceHit {
+    /// What class of source.
+    pub kind: SourceKind,
+    /// 1-based line of the token.
+    pub line: u32,
+    /// Human-readable token text (`Instant::now`, `env::var`, `unwrap`, ...).
+    pub what: String,
+}
+
+/// A call expression found in a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// What the call syntactically targets.
+    pub target: CallTarget,
+}
+
+/// Syntactic call-target shapes.
+#[derive(Debug, Clone)]
+pub enum CallTarget {
+    /// `a::b::f(...)` or bare `f(...)` (a single-segment path).
+    Path(Vec<String>),
+    /// `recv.f(...)`; `recv` is the dotted receiver chain (`["self","field"]`
+    /// for `self.field.f()`), empty when the receiver is an expression the
+    /// parser does not model.
+    Method {
+        /// Method name.
+        name: String,
+        /// Receiver chain, outermost first.
+        recv: Vec<String>,
+    },
+}
+
+/// A function (or method) item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Crate directory name (`core`, `netsim`, ...).
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// In-crate module path (file stem + inline `mod`s).
+    pub module: Vec<String>,
+    /// `impl` self-type if this is a method.
+    pub self_ty: Option<String>,
+    /// Trait being implemented, for `impl Trait for Type` methods.
+    pub trait_name: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Calls made in the body.
+    pub calls: Vec<Call>,
+    /// Source tokens in the body.
+    pub sources: Vec<SourceHit>,
+    /// Inside a `#[cfg(test)]` module or a `tests/` file.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// `crate::Type::name`-style display label for chains.
+    pub fn label(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{}::{}::{}", self.crate_name, t, self.name),
+            None => format!("{}::{}", self.crate_name, self.name),
+        }
+    }
+}
+
+/// Everything pass 1 extracts from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Import alias -> full path segments (`HashMap` -> `["std","collections","HashMap"]`).
+    pub imports: BTreeMap<String, Vec<String>>,
+    /// Struct name -> field name -> first type ident.
+    pub struct_fields: BTreeMap<String, BTreeMap<String, String>>,
+    /// Functions defined in the file.
+    pub fns: Vec<FnItem>,
+}
+
+fn ident(t: &Spanned) -> Option<&str> {
+    match &t.tok {
+        Tok::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &Spanned, c: char) -> bool {
+    t.tok == Tok::Punct(c)
+}
+
+/// Does `toks[i..]` start with `first :: second`?
+fn path_pair(toks: &[Spanned], i: usize, first: &str, second: &str) -> bool {
+    i + 3 < toks.len()
+        && ident(&toks[i]) == Some(first)
+        && is_punct(&toks[i + 1], ':')
+        && is_punct(&toks[i + 2], ':')
+        && ident(&toks[i + 3]) == Some(second)
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "in", "as", "let", "fn", "mod", "use",
+    "pub", "impl", "struct", "enum", "trait", "where", "move", "ref", "mut", "break", "continue",
+    "unsafe", "async", "await", "dyn", "const", "static", "type",
+];
+
+/// Find the matching close brace for the open brace at `open` (which must
+/// be a `{`); returns the index of the closing `}`.
+fn matching_brace(toks: &[Spanned], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Skip a balanced `<...>` generic-parameter list starting at `i` (which
+/// must point at `<`). Returns the index after the closing `>`.
+fn skip_generics(toks: &[Spanned], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        if is_punct(&toks[j], '<') {
+            depth += 1;
+        } else if is_punct(&toks[j], '>') {
+            depth -= 1;
+            if depth <= 0 {
+                return j + 1;
+            }
+        } else if is_punct(&toks[j], ';') || is_punct(&toks[j], '{') {
+            // Defensive: never scan past the item body.
+            return j;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Container types peeled down to their payload when extracting type
+/// hints (`cp: Vec<ControlPlane>` should hint `ControlPlane`, not `Vec`).
+const CONTAINERS: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "Option",
+    "Box",
+    "Rc",
+    "Arc",
+    "Cell",
+    "RefCell",
+    "BinaryHeap",
+];
+
+/// Extract the first meaningful type ident starting at `i` (skipping `&`,
+/// `mut`, `dyn`, `impl`, parens, and peeling known containers).
+fn first_type_ident(toks: &[Spanned], i: usize) -> Option<String> {
+    let mut j = i;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('&') | Tok::Punct('(') | Tok::Punct('[') => j += 1,
+            Tok::Ident(s) if s == "mut" || s == "dyn" || s == "impl" => j += 1,
+            Tok::Ident(s)
+                if CONTAINERS.contains(&s.as_str())
+                    && toks.get(j + 1).is_some_and(|n| is_punct(n, '<')) =>
+            {
+                j += 2; // descend into the container's generic payload
+            }
+            Tok::Ident(s) => return Some(s.clone()),
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Parse one `use` declaration starting after the `use` keyword; extends
+/// `imports` and returns the index after the terminating `;`.
+fn parse_use(toks: &[Spanned], mut i: usize, imports: &mut BTreeMap<String, Vec<String>>) -> usize {
+    // Collect the prefix path up to `{`, `;`, or `as`.
+    fn parse_tree(
+        toks: &[Spanned],
+        mut i: usize,
+        prefix: &[String],
+        imports: &mut BTreeMap<String, Vec<String>>,
+    ) -> usize {
+        let mut path = prefix.to_vec();
+        loop {
+            if i >= toks.len() {
+                return i;
+            }
+            match &toks[i].tok {
+                Tok::Ident(s) if s == "as" => {
+                    // `path as alias`
+                    if let Some(Tok::Ident(alias)) = toks.get(i + 1).map(|t| &t.tok) {
+                        imports.insert(alias.clone(), path.clone());
+                    }
+                    i += 2;
+                }
+                Tok::Ident(s) => {
+                    path.push(s.clone());
+                    i += 1;
+                }
+                Tok::Punct(':') => i += 1,
+                Tok::Punct('*') => {
+                    // Glob import: record under the reserved `*` key space.
+                    imports.insert(format!("*{}", path.join("::")), path.clone());
+                    i += 1;
+                }
+                Tok::Punct('{') => {
+                    // Group: recurse per comma-separated subtree.
+                    i += 1;
+                    loop {
+                        if i >= toks.len() || is_punct(&toks[i], '}') {
+                            i += 1;
+                            break;
+                        }
+                        if is_punct(&toks[i], ',') {
+                            i += 1;
+                            continue;
+                        }
+                        i = parse_tree(toks, i, &path, imports);
+                    }
+                    // After a group the tree is complete.
+                    return i;
+                }
+                Tok::Punct(';') | Tok::Punct(',') | Tok::Punct('}') => {
+                    // End of this subtree: bind the final segment.
+                    if let Some(last) = path.last() {
+                        if last != "self" {
+                            imports.insert(last.clone(), path.clone());
+                        } else if path.len() >= 2 {
+                            // `use a::b::{self}` binds `b`.
+                            let trimmed = path[..path.len() - 1].to_vec();
+                            if let Some(name) = trimmed.last() {
+                                imports.insert(name.clone(), trimmed.clone());
+                            }
+                        }
+                    }
+                    return i;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i = parse_tree(toks, i, &[], imports);
+    // Consume to the `;` if the tree parse stopped early.
+    while i < toks.len() && !is_punct(&toks[i], ';') {
+        i += 1;
+    }
+    i + 1
+}
+
+/// Parse `ident : Type` pairs at depth 1 of the span `toks[open+1..close]`
+/// (used for both fn params and struct fields).
+fn parse_typed_bindings(toks: &[Spanned], open: usize, close: usize) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < close {
+        match toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            _ => {}
+        }
+        // `name : Type` at binding depth, not `::`.
+        if depth == 1
+            && j + 2 < close
+            && ident(&toks[j]).is_some()
+            && is_punct(&toks[j + 1], ':')
+            && !is_punct(&toks[j + 2], ':')
+            && (j == open + 1 || !is_punct(&toks[j - 1], ':'))
+        {
+            if let (Some(name), Some(ty)) = (ident(&toks[j]), first_type_ident(toks, j + 2)) {
+                if !KEYWORDS.contains(&name) {
+                    out.insert(name.to_string(), ty);
+                }
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Scan a function body for source-token hits.
+fn scan_sources(toks: &[Spanned], body: std::ops::Range<usize>, out: &mut Vec<SourceHit>) {
+    let t = toks;
+    for i in body.clone() {
+        // Wall clock.
+        for (a, b) in [
+            ("Instant", "now"),
+            ("SystemTime", "now"),
+            ("WallInstant", "now"),
+            ("thread", "sleep"),
+        ] {
+            if path_pair(t, i, a, b) {
+                out.push(SourceHit {
+                    kind: SourceKind::WallClock,
+                    line: t[i].line,
+                    what: format!("{a}::{b}"),
+                });
+            }
+        }
+        // Environment reads.
+        for f in ["var", "var_os", "vars", "vars_os", "temp_dir"] {
+            if path_pair(t, i, "env", f) {
+                out.push(SourceHit {
+                    kind: SourceKind::EnvRead,
+                    line: t[i].line,
+                    what: format!("env::{f}"),
+                });
+            }
+        }
+        // Thread identity.
+        if path_pair(t, i, "thread", "current") {
+            out.push(SourceHit {
+                kind: SourceKind::ThreadId,
+                line: t[i].line,
+                what: "thread::current".to_string(),
+            });
+        }
+        // Ambient or fixed-seed RNG roots. `SimRng::new(<literal>)` pins a
+        // stream that is not derived from the run seed.
+        if ident(&t[i]) == Some("thread_rng") {
+            out.push(SourceHit {
+                kind: SourceKind::FixedSeedRng,
+                line: t[i].line,
+                what: "thread_rng".to_string(),
+            });
+        }
+        if path_pair(t, i, "SimRng", "new")
+            && i + 5 < t.len()
+            && is_punct(&t[i + 4], '(')
+            && t[i + 5].tok == Tok::Lit
+            && t.get(i + 6).is_some_and(|n| is_punct(n, ')'))
+        {
+            out.push(SourceHit {
+                kind: SourceKind::FixedSeedRng,
+                line: t[i].line,
+                what: "SimRng::new(<literal>)".to_string(),
+            });
+        }
+        // Hash collections (iteration order).
+        if let Some(name @ ("HashMap" | "HashSet")) = ident(&t[i]) {
+            out.push(SourceHit {
+                kind: SourceKind::HashCollection,
+                line: t[i].line,
+                what: name.to_string(),
+            });
+        }
+        // Panic sites: `.unwrap()` / `.expect(` / slice indexing.
+        if i > 0 && is_punct(&t[i - 1], '.') {
+            if let Some(name @ ("unwrap" | "expect")) = ident(&t[i]) {
+                if t.get(i + 1).is_some_and(|n| is_punct(n, '(')) {
+                    out.push(SourceHit {
+                        kind: SourceKind::Panic,
+                        line: t[i].line,
+                        what: name.to_string(),
+                    });
+                }
+            }
+        }
+        // Index expression: `expr[` where expr ends in ident/`)`/`]`. A `[`
+        // directly after `=`/`(`/`,`/operators is an array literal, not an
+        // index.
+        if is_punct(&t[i], '[') && i > 0 {
+            let prev = &t[i - 1];
+            let is_index = matches!(&prev.tok, Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()))
+                || is_punct(prev, ')')
+                || is_punct(prev, ']');
+            if is_index {
+                out.push(SourceHit {
+                    kind: SourceKind::Panic,
+                    line: t[i].line,
+                    what: "index".to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Scan a function body for call expressions and local type hints.
+fn scan_calls(
+    toks: &[Spanned],
+    body: std::ops::Range<usize>,
+    hints: &mut BTreeMap<String, String>,
+    out: &mut Vec<Call>,
+) {
+    let t = toks;
+    let mut i = body.start;
+    while i < body.end {
+        // `let name : Type` / `let name = Type::...` / `let name = Type {`.
+        if ident(&t[i]) == Some("let") {
+            let mut j = i + 1;
+            if j < body.end && ident(&t[j]) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = ident(&t[j]).filter(|n| !KEYWORDS.contains(n)) {
+                if j + 1 < body.end && is_punct(&t[j + 1], ':') && !is_punct(&t[j + 2], ':') {
+                    if let Some(ty) = first_type_ident(t, j + 2) {
+                        if ty.chars().next().is_some_and(char::is_uppercase) {
+                            hints.insert(name.to_string(), ty);
+                        }
+                    }
+                } else if j + 2 < body.end && is_punct(&t[j + 1], '=') {
+                    if let Some(ty) = ident(&t[j + 2]) {
+                        let upper = ty.chars().next().is_some_and(char::is_uppercase);
+                        let ctor = t
+                            .get(j + 3)
+                            .is_some_and(|n| is_punct(n, ':') || is_punct(n, '{'));
+                        if upper && ctor {
+                            hints.insert(name.to_string(), ty.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        // Call shapes: an ident followed by `(`.
+        if let Some(name) = ident(&t[i]) {
+            let next_is_paren = t.get(i + 1).is_some_and(|n| is_punct(n, '('));
+            let next_is_bang = t.get(i + 1).is_some_and(|n| is_punct(n, '!'));
+            if next_is_paren && !next_is_bang && !KEYWORDS.contains(&name) {
+                let prev_dot = i >= 1 && is_punct(&t[i - 1], '.');
+                let prev_path = i >= 2 && is_punct(&t[i - 1], ':') && is_punct(&t[i - 2], ':');
+                let prev_fn = i >= 1 && ident(&t[i - 1]) == Some("fn");
+                if prev_fn {
+                    // definition, not a call
+                } else if prev_dot {
+                    // Method call: walk the receiver chain backwards.
+                    let mut recv = Vec::new();
+                    let mut k = i - 1; // at '.'
+                    loop {
+                        if k == 0 {
+                            break;
+                        }
+                        let r = &t[k - 1];
+                        if let Tok::Ident(s) = &r.tok {
+                            recv.push(s.clone());
+                            if k >= 3 && is_punct(&t[k - 2], '.') {
+                                k -= 2;
+                                continue;
+                            }
+                        }
+                        break;
+                    }
+                    recv.reverse();
+                    out.push(Call {
+                        line: t[i].line,
+                        target: CallTarget::Method {
+                            name: name.to_string(),
+                            recv,
+                        },
+                    });
+                } else if prev_path {
+                    // Path call: walk segments backwards.
+                    let mut segs = vec![name.to_string()];
+                    let mut k = i;
+                    while k >= 3
+                        && is_punct(&t[k - 1], ':')
+                        && is_punct(&t[k - 2], ':')
+                        && ident(&t[k - 3]).is_some()
+                    {
+                        // Skip over turbofish-free `::` chains only.
+                        segs.push(ident(&t[k - 3]).unwrap_or_default().to_string());
+                        k -= 3;
+                    }
+                    segs.reverse();
+                    out.push(Call {
+                        line: t[i].line,
+                        target: CallTarget::Path(segs),
+                    });
+                } else {
+                    out.push(Call {
+                        line: t[i].line,
+                        target: CallTarget::Path(vec![name.to_string()]),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Compute the in-crate module path of a workspace-relative file path:
+/// path components between `src/` and the file, plus the file stem
+/// (except `lib`, `main`, `mod`).
+fn file_module(path: &str) -> Vec<String> {
+    let mut comps: Vec<&str> = path.split('/').collect();
+    let file = comps.pop().unwrap_or_default();
+    let mut module = Vec::new();
+    if let Some(pos) = comps.iter().position(|c| *c == "src") {
+        for c in &comps[pos + 1..] {
+            module.push((*c).to_string());
+        }
+    }
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    if !matches!(stem, "lib" | "main" | "mod") {
+        module.push(stem.to_string());
+    }
+    module
+}
+
+/// Is this file a test root (integration tests or benches)?
+fn file_is_test(path: &str) -> bool {
+    path.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+/// Parse one scanned file into items.
+pub fn parse_items(file: &SourceFile) -> FileItems {
+    let toks = &file.scan.tokens;
+    let path = file.path.to_string_lossy().replace('\\', "/");
+    let base_module = file_module(&path);
+    let base_test = file_is_test(&path);
+
+    let mut items = FileItems::default();
+
+    // Scope stack entries: (brace token index of scope open, kind).
+    enum Scope {
+        Mod {
+            name: String,
+            test: bool,
+        },
+        Impl {
+            ty: String,
+            trait_name: Option<String>,
+        },
+    }
+    let mut scopes: Vec<(usize, Scope)> = Vec::new();
+    let mut open_braces: Vec<usize> = Vec::new(); // every currently open '{'
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                open_braces.push(i);
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                if let Some(open) = open_braces.pop() {
+                    while scopes.last().is_some_and(|(at, _)| *at == open) {
+                        scopes.pop();
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "use" => {
+                i = parse_use(toks, i + 1, &mut items.imports);
+            }
+            Tok::Ident(kw) if kw == "mod" => {
+                // `mod name { ... }` or `mod name;`
+                let name = ident(&toks[i + 1]).unwrap_or_default().to_string();
+                let mut j = i + 2;
+                if j < toks.len() && is_punct(&toks[j], '{') {
+                    // Was this module preceded by `#[cfg(test)]`?
+                    let test = {
+                        // look back: `] ) test ( cfg [ #`
+                        let mut k = i;
+                        let mut found = false;
+                        // scan back a small window for the `cfg ( test )` shape
+                        while k >= 6 && i - k < 12 {
+                            if ident(&toks[k - 1]) == Some("test")
+                                && ident(&toks[k - 3]).is_some_and(|s| s == "cfg")
+                            {
+                                found = true;
+                                break;
+                            }
+                            k -= 1;
+                        }
+                        found
+                    };
+                    scopes.push((j, Scope::Mod { name, test }));
+                    open_braces.push(j);
+                    j += 1;
+                }
+                i = j;
+            }
+            Tok::Ident(kw) if kw == "struct" => {
+                let name = ident(&toks[i + 1]).unwrap_or_default().to_string();
+                let mut j = i + 2;
+                if j < toks.len() && is_punct(&toks[j], '<') {
+                    j = skip_generics(toks, j);
+                }
+                if j < toks.len() && is_punct(&toks[j], '{') {
+                    let close = matching_brace(toks, j);
+                    // Struct fields parse with the same `name : Type` shape
+                    // as fn params; the braces put them at depth 1.
+                    let fields = parse_typed_bindings(toks, j, close + 1);
+                    if !name.is_empty() {
+                        items.struct_fields.insert(name, fields);
+                    }
+                    i = close + 1;
+                } else {
+                    i = j;
+                }
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                let mut j = i + 1;
+                if j < toks.len() && is_punct(&toks[j], '<') {
+                    j = skip_generics(toks, j);
+                }
+                // Collect idents until `{`, noting a `for` separator.
+                let mut before_for: Vec<String> = Vec::new();
+                let mut after_for: Vec<String> = Vec::new();
+                let mut saw_for = false;
+                while j < toks.len() && !is_punct(&toks[j], '{') {
+                    match &toks[j].tok {
+                        Tok::Ident(s) if s == "for" => saw_for = true,
+                        Tok::Ident(s) if s != "dyn" && s != "mut" && s != "where" => {
+                            if saw_for {
+                                after_for.push(s.clone());
+                            } else {
+                                before_for.push(s.clone());
+                            }
+                        }
+                        Tok::Punct('<') => {
+                            j = skip_generics(toks, j);
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j < toks.len() {
+                    let ty = if saw_for {
+                        after_for.last().cloned().unwrap_or_default()
+                    } else {
+                        before_for.last().cloned().unwrap_or_default()
+                    };
+                    let trait_name = if saw_for {
+                        before_for.last().cloned()
+                    } else {
+                        None
+                    };
+                    scopes.push((j, Scope::Impl { ty, trait_name }));
+                    open_braces.push(j);
+                }
+                i = j + 1;
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                let name = ident(&toks[i + 1]).unwrap_or_default().to_string();
+                let fn_line = toks[i].line;
+                // Find the parameter list.
+                let mut j = i + 2;
+                if j < toks.len() && is_punct(&toks[j], '<') {
+                    j = skip_generics(toks, j);
+                }
+                let params_open = j;
+                let mut depth = 0i32;
+                let mut params_close = j;
+                while j < toks.len() {
+                    if is_punct(&toks[j], '(') {
+                        depth += 1;
+                    } else if is_punct(&toks[j], ')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            params_close = j;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                // Find the body `{` (or `;` for a bodiless trait fn).
+                let mut k = params_close + 1;
+                let mut body: Option<(usize, usize)> = None;
+                let mut pdepth = 0i32;
+                while k < toks.len() {
+                    match toks[k].tok {
+                        Tok::Punct('(') | Tok::Punct('[') => pdepth += 1,
+                        Tok::Punct(')') | Tok::Punct(']') => pdepth -= 1,
+                        Tok::Punct(';') if pdepth == 0 => break,
+                        Tok::Punct('{') if pdepth == 0 => {
+                            let close = matching_brace(toks, k);
+                            body = Some((k, close));
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+
+                let (self_ty, trait_name) = scopes
+                    .iter()
+                    .rev()
+                    .find_map(|(_, s)| match s {
+                        Scope::Impl { ty, trait_name } => {
+                            Some((Some(ty.clone()), trait_name.clone()))
+                        }
+                        _ => None,
+                    })
+                    .unwrap_or((None, None));
+                let mut module = base_module.clone();
+                let mut in_test_mod = base_test;
+                for (_, s) in &scopes {
+                    if let Scope::Mod { name, test } = s {
+                        module.push(name.clone());
+                        in_test_mod |= *test;
+                    }
+                }
+
+                let mut item = FnItem {
+                    crate_name: file.crate_name.clone(),
+                    file: path.clone(),
+                    module,
+                    self_ty,
+                    trait_name,
+                    name,
+                    line: fn_line,
+                    calls: Vec::new(),
+                    sources: Vec::new(),
+                    is_test: in_test_mod,
+                };
+                if let Some((open, close)) = body {
+                    let mut hints = parse_typed_bindings(toks, params_open, params_close + 1);
+                    scan_calls(toks, open..close + 1, &mut hints, &mut item.calls);
+                    scan_sources(toks, open..close + 1, &mut item.sources);
+                    item.calls.sort_by_key(|c| c.line);
+                    // Resolve method receivers into type hints now, while
+                    // local hints are in scope: rewrite `recv` chains of
+                    // known locals to their type name.
+                    for c in &mut item.calls {
+                        if let CallTarget::Method { recv, .. } = &mut c.target {
+                            if recv.len() == 1 && recv[0] != "self" {
+                                if let Some(ty) = hints.get(&recv[0]) {
+                                    recv[0] = ty.clone();
+                                }
+                            }
+                        }
+                    }
+                    items.fns.push(item);
+                    // Descend into the body so nested fns are seen; the
+                    // body's `{` must be tracked or its `}` would pop the
+                    // enclosing impl/mod scope early.
+                    open_braces.push(open);
+                    i = open + 1;
+                } else {
+                    items.fns.push(item);
+                    i = k + 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn parse(src: &str) -> FileItems {
+        let f = SourceFile::parse(PathBuf::from("crates/demo/src/x.rs"), "demo", src);
+        parse_items(&f)
+    }
+
+    #[test]
+    fn fns_mods_and_impls_are_scoped() {
+        let it = parse(
+            r#"
+            pub fn top() {}
+            mod inner {
+                impl Widget {
+                    fn method(&self) {}
+                }
+            }
+            "#,
+        );
+        assert_eq!(it.fns.len(), 2);
+        assert_eq!(it.fns[0].name, "top");
+        assert_eq!(it.fns[0].module, vec!["x"]);
+        assert_eq!(it.fns[1].name, "method");
+        assert_eq!(it.fns[1].module, vec!["x", "inner"]);
+        assert_eq!(it.fns[1].self_ty.as_deref(), Some("Widget"));
+    }
+
+    #[test]
+    fn use_declarations_bind_aliases_and_groups() {
+        let it = parse(
+            "use std::thread as t;\n\
+             use std::collections::{HashMap, BTreeMap as BMap};\n\
+             use netsim::time::Instant;\n",
+        );
+        assert_eq!(it.imports["t"], vec!["std", "thread"]);
+        assert_eq!(it.imports["HashMap"], vec!["std", "collections", "HashMap"]);
+        assert_eq!(it.imports["BMap"], vec!["std", "collections", "BTreeMap"]);
+        assert_eq!(it.imports["Instant"], vec!["netsim", "time", "Instant"]);
+    }
+
+    #[test]
+    fn calls_capture_paths_methods_and_receivers() {
+        let it = parse(
+            r#"
+            fn f(q: &mut Queue) {
+                helper();
+                fabric::route(1);
+                q.pop();
+                self.field.send(2);
+                not_a_macro!();
+            }
+            "#,
+        );
+        let calls = &it.fns[0].calls;
+        let shapes: Vec<String> = calls
+            .iter()
+            .map(|c| match &c.target {
+                CallTarget::Path(p) => p.join("::"),
+                CallTarget::Method { name, recv } => format!("{}.{name}", recv.join(".")),
+            })
+            .collect();
+        assert!(shapes.contains(&"helper".to_string()), "{shapes:?}");
+        assert!(shapes.contains(&"fabric::route".to_string()), "{shapes:?}");
+        // `q` resolves through the param hint to its type.
+        assert!(shapes.contains(&"Queue.pop".to_string()), "{shapes:?}");
+        assert!(
+            shapes.contains(&"self.field.send".to_string()),
+            "{shapes:?}"
+        );
+        assert!(
+            !shapes.iter().any(|s| s.contains("not_a_macro")),
+            "{shapes:?}"
+        );
+    }
+
+    #[test]
+    fn sources_are_classified() {
+        let it = parse(
+            r#"
+            fn f() {
+                let t = Instant::now();
+                let v = std::env::var("X");
+                let id = thread::current().id();
+                let r = SimRng::new(42);
+                let m: HashMap<u32, u32> = HashMap::new();
+                let x = m.get(&1).unwrap();
+                let y = arr[3];
+            }
+            "#,
+        );
+        let kinds: Vec<SourceKind> = it.fns[0].sources.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SourceKind::WallClock));
+        assert!(kinds.contains(&SourceKind::EnvRead));
+        assert!(kinds.contains(&SourceKind::ThreadId));
+        assert!(kinds.contains(&SourceKind::FixedSeedRng));
+        assert!(kinds.contains(&SourceKind::HashCollection));
+        assert!(kinds.contains(&SourceKind::Panic));
+    }
+
+    #[test]
+    fn seeded_rng_from_variable_is_not_a_source() {
+        let it = parse("fn f(seed: u64) { let r = SimRng::new(seed); }");
+        assert!(it.fns[0]
+            .sources
+            .iter()
+            .all(|s| s.kind != SourceKind::FixedSeedRng));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let it = parse(
+            r#"
+            fn lib_fn() {}
+            #[cfg(test)]
+            mod tests {
+                fn test_fn() { x.unwrap(); }
+            }
+            "#,
+        );
+        assert!(!it.fns[0].is_test);
+        assert!(it.fns[1].is_test);
+    }
+
+    #[test]
+    fn struct_fields_are_recorded() {
+        let it = parse("struct S { queue: EventQueue, n: u32 }");
+        assert_eq!(it.struct_fields["S"]["queue"], "EventQueue");
+    }
+
+    #[test]
+    fn trait_impl_records_trait_and_type() {
+        let it = parse("impl Registers for TestRegs { fn take_slot(&mut self) {} }");
+        assert_eq!(it.fns[0].self_ty.as_deref(), Some("TestRegs"));
+        assert_eq!(it.fns[0].trait_name.as_deref(), Some("Registers"));
+    }
+}

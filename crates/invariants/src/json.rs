@@ -1,0 +1,294 @@
+//! Minimal JSON support, kept dependency-free like the rest of the crate.
+//!
+//! The analyzer needs exactly two things: byte-stable *writing* of the
+//! `speedlight-invariants/v1` report (done with the [`esc`] helper and
+//! plain string building in [`crate::report`]), and *reading* the
+//! committed ratchet baseline. The reader below is a strict
+//! recursive-descent parser over the subset of JSON the baseline schema
+//! uses (objects, arrays, strings, integers, booleans, null) — enough to
+//! reject a hand-mangled baseline with a useful error instead of
+//! misreading it.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (the schemas here never use fractions or exponents).
+    Int(i64),
+    /// String
+    Str(String),
+    /// Array
+    Arr(Vec<Value>),
+    /// Object (sorted keys — JSON objects are unordered anyway).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string for embedding in JSON output (without the quotes).
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a JSON document. Returns an error message with a byte offset on
+/// malformed input or trailing garbage.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let b = text.as_bytes();
+    let mut p = Parser { b, at: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.at != b.len() {
+        return Err(format!("trailing garbage at byte {}", p.at));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self
+            .b
+            .get(self.at)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.at) == Some(&c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.b.get(self.at) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.int(),
+            _ => Err(format!("unexpected input at byte {}", self.at)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.b[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.at))
+        }
+    }
+
+    fn int(&mut self) -> Result<Value, String> {
+        let start = self.at;
+        if self.b.get(self.at) == Some(&b'-') {
+            self.at += 1;
+        }
+        while self.b.get(self.at).is_some_and(u8::is_ascii_digit) {
+            self.at += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.at]).unwrap_or("");
+        s.parse()
+            .map(Value::Int)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.at) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.b.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.at + 1..self.at + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.at))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.at)),
+                    }
+                    self.at += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let len = match c {
+                        c if c < 0x80 => 1,
+                        c if c >= 0xf0 => 4,
+                        c if c >= 0xe0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = self
+                        .b
+                        .get(self.at..self.at + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| format!("bad utf-8 at byte {}", self.at))?;
+                    out.push_str(chunk);
+                    self.at += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.b.get(self.at) == Some(&b']') {
+            self.at += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.b.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.ws();
+        if self.b.get(self.at) == Some(&b'}') {
+            self.at += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let v = self.value()?;
+            map.insert(key, v);
+            self.ws();
+            match self.b.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.at)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_baseline_shape() {
+        let v = parse(r#"{"schema": "speedlight-invariants-baseline/v1", "entries": ["a|b|c", "d|e|f"], "n": 2}"#)
+            .unwrap();
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some("speedlight-invariants-baseline/v1")
+        );
+        let entries = v.get("entries").and_then(Value::as_arr).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].as_str(), Some("a|b|c"));
+        assert_eq!(v.get("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "quote\" slash\\ nl\n tab\t";
+        let doc = format!("\"{}\"", esc(s));
+        assert_eq!(parse(&doc).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parses_nested_and_empty() {
+        let v = parse(r#"{"a": [], "b": {}, "c": [true, false, null, -3]}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_arr).unwrap().len(), 0);
+        let c = v.get("c").and_then(Value::as_arr).unwrap();
+        assert_eq!(c[3], Value::Int(-3));
+    }
+}

@@ -1,53 +1,103 @@
-//! Speedlight's determinism & concurrency invariants as a workspace lint.
+//! Speedlight's determinism & concurrency invariants as a workspace
+//! static analyzer.
 //!
 //! The compiler cannot check the two properties this reproduction lives
 //! or dies by:
 //!
 //! 1. **Determinism** — the DES substrates (`netsim`, `fabric`, `core`,
-//!    `conformance`, `loadbalance`, `workloads`) must be bit-for-bit
-//!    reproducible under a fixed seed, or the conformance oracle and
-//!    SeedEcho replay silently stop meaning anything.
+//!    `conformance`, `loadbalance`, `workloads`, `obs`, `wire`,
+//!    `timesync`) must be bit-for-bit reproducible under a fixed seed,
+//!    or the conformance oracle and SeedEcho replay silently stop
+//!    meaning anything.
 //! 2. **Race/deadlock freedom** — the threaded `emulation` runtime must
 //!    keep its snapshot registers and notification queues safe, the
 //!    property the paper's Tofino gets from hardware (§5).
 //!
-//! This crate enforces both mechanically: a token-level lint pass over
-//! every workspace source file, run as `cargo test -p invariants` and as
-//! a required CI job. See [`rules`] for the individual rules and
-//! [`source`] for the `// invariants: allow(<rule>) — <reason>` escape
-//! hatch.
+//! Three passes enforce this mechanically:
+//!
+//! * **lexical rules** ([`rules`]) — per-file token checks;
+//! * **item extraction** ([`items`]) — a lightweight parser for
+//!   `fn`/`impl`/`mod` boundaries, imports, calls, and source tokens;
+//! * **interprocedural taint** ([`callgraph`], [`taint`]) — propagates
+//!   nondeterminism from sources to the snapshot/dispatch/trace/digest
+//!   sinks through the whole-workspace call graph, plus the panic-path
+//!   and lock-order audits.
+//!
+//! Findings ratchet against the committed `invariants-baseline.json`
+//! (see [`baseline`]): CI fails on *new* findings and on stale baseline
+//! entries, so the accepted set only ever burns down. Run it as
+//! `cargo run -p invariants --` (see [`report`] for output formats) or
+//! via `cargo test -p invariants`. The reasoned
+//! `// invariants: allow(<rule>) — <reason>` escape hatch is honored by
+//! every pass; see [`source`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod callgraph;
+pub mod items;
+pub mod json;
 pub mod lexer;
+pub mod report;
 pub mod rules;
 pub mod source;
+pub mod taint;
 
 use source::SourceFile;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// One lint finding.
+/// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
+    /// Crate the offending file belongs to (directory under `crates/`).
+    pub crate_name: String,
     /// Workspace-relative path of the offending file.
     pub path: PathBuf,
     /// 1-based line.
     pub line: u32,
     /// Rule name (what an `allow` directive would reference).
     pub rule: String,
+    /// Enclosing function (`crate::Type::fn` label) for interprocedural
+    /// findings; empty for file-level lexical findings.
+    pub symbol: String,
     /// Human-readable explanation.
     pub message: String,
+    /// Taint chain: call labels from the sink root to the offending
+    /// function, ending with the source token itself. Empty for lexical
+    /// findings.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
     pub(crate) fn new(file: &SourceFile, rule: &str, line: u32, message: &str) -> Diagnostic {
         Diagnostic {
+            crate_name: file.crate_name.clone(),
             path: file.path.clone(),
             line,
             rule: rule.to_string(),
+            symbol: String::new(),
             message: message.to_string(),
+            chain: Vec::new(),
+        }
+    }
+
+    /// The ratchet-baseline key: findings are carried across runs by
+    /// (rule, file, symbol) so a fix can move lines without churning the
+    /// baseline, while any new symbol or file fails CI.
+    pub fn baseline_key(&self) -> String {
+        format!("{}|{}|{}", self.rule, self.path.display(), self.symbol)
+    }
+
+    /// The `a → b ⟶ source` rendering of [`Diagnostic::chain`].
+    pub fn chain_display(&self) -> String {
+        match self.chain.split_last() {
+            Some((source, calls)) if !calls.is_empty() => {
+                format!("{} ⟶ {}", calls.join(" → "), source)
+            }
+            Some((source, _)) => source.clone(),
+            None => String::new(),
         }
     }
 }
@@ -61,54 +111,135 @@ impl fmt::Display for Diagnostic {
             self.line,
             self.rule,
             self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    via {}", self.chain_display())?;
+        }
+        Ok(())
     }
 }
 
 /// Lint a single source string as if it were a file of `crate_name`.
-/// This is the entry point the negative-fixture self-tests use.
+/// This is the entry point the negative-fixture self-tests use. The
+/// interprocedural passes run too (over the one-file "workspace"), so
+/// single-file taint fixtures work through the same path.
 pub fn lint_source(path: &Path, crate_name: &str, src: &str) -> Vec<Diagnostic> {
     let file = SourceFile::parse(path.to_path_buf(), crate_name, src);
-    lint_file(&file)
+    analyze_files(&[file])
 }
 
-/// Run every rule over one parsed file, honoring `allow` directives and
-/// reporting unexplained or stale ones.
-fn lint_file(file: &SourceFile) -> Vec<Diagnostic> {
-    let mut raw = Vec::new();
-    for rule in rules::all_rules() {
-        rule.check(file, &mut raw);
-    }
-    let mut out: Vec<Diagnostic> = raw
-        .into_iter()
-        .filter(|d| !file.allowed(&d.rule, d.line))
-        .collect();
-    for a in &file.allows {
-        if !a.has_reason {
-            out.push(Diagnostic {
-                path: file.path.clone(),
-                line: a.line,
-                rule: "allow-missing-reason".to_string(),
-                message: format!(
-                    "`invariants: allow({})` without a reason; append `— <why this exception is sound>`",
-                    a.rule
-                ),
-            });
+/// Run all three passes over a parsed set of files (the in-memory
+/// workspace). This is the core of both [`lint_workspace`] and the
+/// multi-file fixture tests.
+pub fn analyze_files(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Pass: lexical rules, per file.
+    for file in files {
+        let mut raw = Vec::new();
+        for rule in rules::all_rules() {
+            rule.check(file, &mut raw);
         }
-        if !a.used.get() {
-            out.push(Diagnostic {
-                path: file.path.clone(),
-                line: a.line,
-                rule: "unused-allow".to_string(),
-                message: format!(
-                    "`invariants: allow({})` suppresses nothing; remove the stale escape hatch",
-                    a.rule
-                ),
-            });
+        out.extend(raw.into_iter().filter(|d| !file.allowed(&d.rule, d.line)));
+    }
+
+    // Passes: item extraction, call graph, taint.
+    let items: Vec<items::FileItems> = files.iter().map(items::parse_items).collect();
+    let graph = callgraph::build(&items);
+    let sink = taint::reach(&graph, files, taint::SINK_ROOTS);
+    let dispatch = taint::reach(&graph, files, taint::DISPATCH_ROOTS);
+    for f in taint::findings(&graph, files, &sink, &dispatch) {
+        let node = &graph.nodes[f.node];
+        let file = &files[node.file_idx];
+        let mut chain = taint::chain_labels(&graph, &f.chain);
+        chain.push(f.what.clone());
+        let message = if f.kind == items::SourceKind::Panic {
+            format!(
+                "`{}` ({} site{}) in `{}` is reachable from event dispatch; make the function total or carry it in the baseline while it burns down",
+                f.what,
+                f.count,
+                if f.count == 1 { "" } else { "s" },
+                node.item.name,
+            )
+        } else {
+            format!(
+                "`{}` in `{}` taints a deterministic sink ({} call hop{} from `{}`)",
+                f.what,
+                node.item.name,
+                f.chain.len().saturating_sub(1),
+                if f.chain.len() == 2 { "" } else { "s" },
+                chain.first().map(String::as_str).unwrap_or(""),
+            )
+        };
+        out.push(Diagnostic {
+            crate_name: node.item.crate_name.clone(),
+            path: file.path.clone(),
+            line: f.line,
+            rule: f.kind.rule().to_string(),
+            symbol: node.item.label(),
+            message,
+            chain,
+        });
+    }
+    for f in taint::lock_order(&graph, files) {
+        let node = &graph.nodes[f.node];
+        let file = &files[node.file_idx];
+        out.push(Diagnostic {
+            crate_name: node.item.crate_name.clone(),
+            path: file.path.clone(),
+            line: f.line,
+            rule: "lock-order".to_string(),
+            symbol: node.item.label(),
+            message: f.what,
+            chain: Vec::new(),
+        });
+    }
+
+    // Pass: allow hygiene, after every rule has had the chance to mark
+    // directives used.
+    for file in files {
+        for a in &file.allows {
+            if !a.has_reason {
+                out.push(Diagnostic::new(
+                    file,
+                    "allow-missing-reason",
+                    a.line,
+                    &format!(
+                        "`invariants: allow({})` without a reason; append `— <why this exception is sound>`",
+                        a.rule
+                    ),
+                ));
+            }
+            if !a.used.get() {
+                out.push(Diagnostic::new(
+                    file,
+                    "unused-allow",
+                    a.line,
+                    &format!(
+                        "`invariants: allow({})` suppresses nothing; remove the stale escape hatch",
+                        a.rule
+                    ),
+                ));
+            }
         }
     }
-    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+
+    sort_diagnostics(&mut out);
     out
+}
+
+/// The canonical ordering: (crate, file, line, rule) — the contract the
+/// byte-equality test pins. Message breaks the rare tie.
+pub fn sort_diagnostics(out: &mut [Diagnostic]) {
+    out.sort_by(|a, b| {
+        (&a.crate_name, &a.path, a.line, &a.rule, &a.message).cmp(&(
+            &b.crate_name,
+            &b.path,
+            b.line,
+            &b.rule,
+            &b.message,
+        ))
+    });
 }
 
 /// Locate the workspace root from this crate's manifest directory.
@@ -121,7 +252,7 @@ pub fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Lint every workspace source file under `root`.
+/// Analyze every workspace source file under `root`.
 ///
 /// Scope: `crates/*/{src,tests,examples,benches}/**/*.rs` plus the
 /// top-level `src/` and `tests/` of the `speedlight` facade crate.
@@ -129,7 +260,12 @@ pub fn workspace_root() -> PathBuf {
 /// hold to simulation invariants), as are this crate's own negative
 /// fixtures (they violate the rules on purpose).
 pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
+    let files = workspace_files(root);
+    analyze_files(&files)
+}
+
+/// Parse the workspace file set (see [`lint_workspace`] for scope).
+pub fn workspace_files(root: &Path) -> Vec<SourceFile> {
     let crates_dir = root.join("crates");
     let mut crate_dirs = std::fs::read_dir(&crates_dir)
         .unwrap_or_else(|e| panic!("read {}: {e}", crates_dir.display()))
@@ -160,6 +296,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
         vec![root.join("src"), root.join("tests"), root.join("examples")],
     ));
 
+    let mut out = Vec::new();
     for (crate_name, dirs) in units {
         let mut files = Vec::new();
         for d in &dirs {
@@ -171,11 +308,9 @@ pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
             let src = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
             let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-            let file = SourceFile::parse(rel, &crate_name, &src);
-            out.extend(lint_file(&file));
+            out.push(SourceFile::parse(rel, &crate_name, &src));
         }
     }
-    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     out
 }
 

@@ -22,6 +22,8 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "loadbalance",
     "workloads",
     "obs",
+    "wire",
+    "timesync",
 ];
 
 /// The crate holding the threaded runtime (the one place where wall-clock
@@ -54,6 +56,43 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(BareIdCast),
         Box::new(WildcardPacketMatch),
         Box::new(RawPrint),
+        Box::new(SimTimeRawArith),
+    ]
+}
+
+/// The interprocedural rules (call-graph passes in [`crate::taint`]),
+/// listed here so docs and `--list`-style output cover the whole rule
+/// set from one place.
+pub fn interprocedural_rules() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "taint-wall-clock",
+            "no wall-clock read reachable from snapshot capture, dispatch, tracing, or digests",
+        ),
+        (
+            "taint-hash-collection",
+            "no hash-iteration-order dependence reachable from a deterministic sink",
+        ),
+        (
+            "taint-env-read",
+            "no env read reachable from a deterministic sink outside the sanctioned config points",
+        ),
+        (
+            "taint-thread-id",
+            "no thread-identity read reachable from a deterministic sink",
+        ),
+        (
+            "taint-fixed-seed-rng",
+            "no RNG roots outside the seeded fork/fork_idx discipline reachable from a sink",
+        ),
+        (
+            "panic-path",
+            "unwrap/expect/indexing on the event-dispatch path is audited (ratcheted down)",
+        ),
+        (
+            "lock-order",
+            "no pair of emulation locks acquired in both orders (ABBA deadlock shape)",
+        ),
     ]
 }
 
@@ -181,11 +220,23 @@ impl Rule for Threading {
             return;
         }
         let toks = &file.scan.tokens;
+        // Aliased imports are this rule's historical blind spot:
+        // `use std::thread as t; t::spawn(..)` used to sail through. Bind
+        // every name a `use std::thread...` declaration introduces first.
+        let (module_aliases, fn_aliases) = thread_aliases(toks);
         for i in 0..toks.len() {
-            let bad = if path_pair(toks, i, "thread", "spawn")
-                || path_pair(toks, i, "thread", "scope")
-                || path_pair(toks, i, "thread", "Builder")
-            {
+            let module_hit = module_aliases.iter().any(|m| {
+                path_pair(toks, i, m, "spawn")
+                    || path_pair(toks, i, m, "scope")
+                    || path_pair(toks, i, m, "Builder")
+            });
+            // A directly-imported `spawn`/`scope` (possibly renamed) called
+            // bare: `sp(..)`. `Builder` surfaces as `Alias::new(..)`.
+            let fn_hit = ident(&toks[i]).is_some_and(|n| fn_aliases.iter().any(|a| a == n))
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| is_punct(n, '(') || is_punct(n, ':'));
+            let bad = if module_hit || fn_hit {
                 Some(
                     "thread creation outside parfan/emulation; route parallel work through `parfan::map` so ordering, panic labeling, and SPEEDLIGHT_JOBS still apply",
                 )
@@ -201,6 +252,71 @@ impl Rule for Threading {
             }
         }
     }
+}
+
+/// Names bound from `std::thread` by `use` declarations in this file:
+/// (module aliases for `std::thread` itself — always including the plain
+/// `thread` — and local names bound to `spawn`/`scope`/`Builder`).
+fn thread_aliases(toks: &[Spanned]) -> (Vec<String>, Vec<String>) {
+    let mut modules = vec!["thread".to_string()];
+    let mut fns = Vec::new();
+    const CREATORS: &[&str] = &["spawn", "scope", "Builder"];
+    let mut i = 0;
+    while i < toks.len() {
+        if ident(&toks[i]) != Some("use") || !path_pair(toks, i + 1, "std", "thread") {
+            i += 1;
+            continue;
+        }
+        // Consume the declaration up to `;`, interpreting the tail after
+        // `std::thread`.
+        let at = |k: usize| toks.get(k).and_then(ident);
+        let bind = |name: &str, alias: &str, fns: &mut Vec<String>| {
+            if CREATORS.contains(&name) {
+                fns.push(alias.to_string());
+            }
+        };
+        let j = i + 5; // token after `thread`
+        if at(j) == Some("as") {
+            if let Some(alias) = at(j + 1) {
+                modules.push(alias.to_string());
+            }
+        } else if toks.get(j).is_some_and(|t| is_punct(t, ':')) {
+            // Either one item (`spawn` / `spawn as sp`) or a `{...}` group.
+            let j = j + 2; // past `::`
+            if toks.get(j).is_some_and(|t| is_punct(t, '{')) {
+                let mut k = j + 1;
+                while k < toks.len() && !is_punct(&toks[k], '}') {
+                    if let Some(name) = at(k) {
+                        if name == "as" {
+                            k += 1;
+                            continue;
+                        }
+                        if at(k + 1) == Some("as") {
+                            if let Some(alias) = at(k + 2) {
+                                bind(name, alias, &mut fns);
+                            }
+                            k += 3;
+                            continue;
+                        }
+                        bind(name, name, &mut fns);
+                    }
+                    k += 1;
+                }
+            } else if let Some(name) = at(j) {
+                if at(j + 1) == Some("as") {
+                    if let Some(alias) = at(j + 2) {
+                        bind(name, alias, &mut fns);
+                    }
+                } else {
+                    bind(name, name, &mut fns);
+                }
+            }
+        }
+        while i < toks.len() && !is_punct(&toks[i], ';') {
+            i += 1;
+        }
+    }
+    (modules, fns)
 }
 
 // ---------------------------------------------------------------------------
@@ -464,6 +580,91 @@ impl Rule for RawPrint {
                         ),
                     ));
                 }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: sim-time-raw-arith
+// ---------------------------------------------------------------------------
+
+/// Determinism/overflow hygiene: the typed `netsim::time` operators panic
+/// loudly on overflow and have `checked_*`/`saturating_*` escape valves.
+/// Raw arithmetic on `.as_nanos()` values escapes all of that — a `+` on
+/// bare u64 nanoseconds wraps silently in release builds, which is
+/// exactly how a snapshot deadline lands 584 years in the past. Casting
+/// the nanos *out* of the time domain first (`as i64` / `as f64`, for
+/// offset or rate reporting) is fine and not flagged.
+pub struct SimTimeRawArith;
+
+impl Rule for SimTimeRawArith {
+    fn name(&self) -> &'static str {
+        "sim-time-raw-arith"
+    }
+    fn description(&self) -> &'static str {
+        "no raw +/-/* on .as_nanos() values; use the typed netsim::time operators"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !is_det_crate(&file.crate_name) {
+            return;
+        }
+        // The typed-operator home implements the arithmetic itself.
+        if file.path.ends_with("netsim/src/time.rs") {
+            return;
+        }
+        let toks = &file.scan.tokens;
+        for i in 0..toks.len() {
+            // Shape: `. as_nanos ( )` with `i` at the dot.
+            if !(is_punct(&toks[i], '.')
+                && toks.get(i + 1).and_then(ident) == Some("as_nanos")
+                && toks.get(i + 2).is_some_and(|t| is_punct(t, '('))
+                && toks.get(i + 3).is_some_and(|t| is_punct(t, ')')))
+            {
+                continue;
+            }
+            // A cast right after takes the value out of the ns domain
+            // (signed offset math, float rates): not raw time arithmetic.
+            if toks.get(i + 4).and_then(ident) == Some("as") {
+                continue;
+            }
+            // An explicitly checked/saturating/wrapping line is already
+            // handling overflow on purpose.
+            let line_text = file.line_text(toks[i].line);
+            if ["checked_", "saturating_", "wrapping_"]
+                .iter()
+                .any(|p| line_text.contains(p))
+            {
+                continue;
+            }
+            let arith = |t: Option<&Spanned>| {
+                t.is_some_and(|t| is_punct(t, '+') || is_punct(t, '*'))
+                    || (t.is_some_and(|t| is_punct(t, '-'))
+                        // `->` is a return-type arrow, not subtraction.
+                        && !toks.get(i + 5).is_some_and(|n| is_punct(n, '>')))
+            };
+            // Right-hand operand follows: `x.as_nanos() + ...`.
+            let mut flagged = arith(toks.get(i + 4));
+            // Left-hand operand: `... + x.as_nanos()`. Walk the receiver
+            // chain left, then look at the token before it.
+            if !flagged {
+                let mut m = i; // at the '.', receiver ident at m-1
+                while m >= 3 && ident(&toks[m - 1]).is_some() && is_punct(&toks[m - 2], '.') {
+                    m -= 2;
+                }
+                if m >= 2 && ident(&toks[m - 1]).is_some() {
+                    let before = &toks[m - 2];
+                    flagged =
+                        is_punct(before, '+') || is_punct(before, '*') || is_punct(before, '-');
+                }
+            }
+            if flagged {
+                out.push(Diagnostic::new(
+                    file,
+                    self.name(),
+                    toks[i].line,
+                    "raw nanosecond arithmetic on simulated time; keep values typed and use the netsim::time operators (or checked_*/saturating_* variants)",
+                ));
             }
         }
     }

@@ -68,6 +68,54 @@ fn threading_fixture() {
 }
 
 #[test]
+fn threading_alias_fixture() {
+    // The rule's historical blind spot: `use std::thread as t` and
+    // renamed fn imports. Every aliased creation path must be caught.
+    expect(
+        "threading_alias.rs",
+        "experiments",
+        include_str!("fixtures/threading_alias.rs"),
+        &[
+            ("threading", 8),
+            ("threading", 12),
+            ("threading", 16),
+            ("threading", 20),
+        ],
+    );
+}
+
+#[test]
+fn sim_time_arith_fixture() {
+    // Raw `+`/`*` on .as_nanos() values is flagged (lines 5, 9); casting
+    // out of the ns domain (line 13) and checked arithmetic (line 17)
+    // stay clean.
+    expect(
+        "sim_time_arith.rs",
+        "netsim",
+        include_str!("fixtures/sim_time_arith.rs"),
+        &[("sim-time-raw-arith", 5), ("sim-time-raw-arith", 9)],
+    );
+}
+
+#[test]
+fn lock_order_fixture() {
+    // `self.a` then `self.b` in one fn, the reverse order in another:
+    // flagged once, at the second acquisition of the sorted-side pair.
+    // Linted under a src/ path: the interprocedural passes ignore test
+    // files (a `tests/` path component marks every fn as test code), so
+    // the usual fixture path would silence the very rule under test.
+    let got: Vec<(String, u32)> = invariants::lint_source(
+        Path::new("crates/emulation/src/lock_order.rs"),
+        "emulation",
+        include_str!("fixtures/lock_order.rs"),
+    )
+    .into_iter()
+    .map(|d| (d.rule, d.line))
+    .collect();
+    assert_eq!(got, vec![("lock-order".to_string(), 12)]);
+}
+
+#[test]
 fn relaxed_ordering_fixture() {
     expect(
         "relaxed_ordering.rs",
@@ -206,7 +254,8 @@ fn fixtures_are_crate_scoped() {
         include_str!("fixtures/match_lock_send.rs"),
         &[],
     );
-    // The threading rule is silent inside its sanctioned homes.
+    // The threading rule is silent inside its sanctioned homes — aliased
+    // or not.
     expect(
         "threading.rs",
         "parfan",
@@ -219,4 +268,27 @@ fn fixtures_are_crate_scoped() {
         include_str!("fixtures/threading.rs"),
         &[],
     );
+    expect(
+        "threading_alias.rs",
+        "parfan",
+        include_str!("fixtures/threading_alias.rs"),
+        &[],
+    );
+    // Raw time arithmetic only matters in the deterministic crates, and
+    // the lock-order pass only watches the threaded runtime.
+    expect(
+        "sim_time_arith.rs",
+        "emulation",
+        include_str!("fixtures/sim_time_arith.rs"),
+        &[],
+    );
+    // Linted under a src/ path so the interprocedural passes actually
+    // run (see `lock_order_fixture`); the pass still ignores it because
+    // netsim is not the threaded runtime.
+    let got = invariants::lint_source(
+        Path::new("crates/netsim/src/lock_order.rs"),
+        "netsim",
+        include_str!("fixtures/lock_order.rs"),
+    );
+    assert!(got.is_empty(), "{got:?}");
 }

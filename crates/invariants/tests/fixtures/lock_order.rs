@@ -1,0 +1,21 @@
+//! Known-bad fixture for the `lock-order` pass: two emulation locks
+//! acquired in both orders (the ABBA deadlock shape).
+
+struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    fn forward(&self) {
+        let x = self.a.lock().unwrap();
+        let y = self.b.lock().unwrap();
+        drop((x, y));
+    }
+
+    fn backward(&self) {
+        let y = self.b.lock().unwrap();
+        let x = self.a.lock().unwrap();
+        drop((x, y));
+    }
+}

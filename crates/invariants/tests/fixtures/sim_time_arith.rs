@@ -1,0 +1,18 @@
+//! Known-bad fixture for `sim-time-raw-arith`: raw nanosecond math on
+//! simulated time values outside the typed netsim::time operators.
+
+fn deadline(now: SimTime, step_ns: u64) -> u64 {
+    now.as_nanos() + step_ns
+}
+
+fn scaled(now: SimTime) -> u64 {
+    now.as_nanos() * 2
+}
+
+fn offset(a: SimTime, b: SimTime) -> i64 {
+    a.as_nanos() as i64 - b.as_nanos() as i64
+}
+
+fn budget(a: SimTime, b: SimTime) -> Option<u64> {
+    a.as_nanos().checked_add(b.as_nanos())
+}

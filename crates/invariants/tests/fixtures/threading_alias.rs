@@ -1,0 +1,21 @@
+//! Known-bad fixture for the `threading` rule's alias blind spot:
+//! `use std::thread as t` / renamed imports must still be caught.
+
+use std::thread as t;
+use std::thread::{spawn as sp, scope as sc, Builder as B};
+
+fn module_alias() {
+    t::spawn(|| {});
+}
+
+fn renamed_spawn() {
+    sp(|| {});
+}
+
+fn renamed_scope() {
+    sc(|_| {});
+}
+
+fn renamed_builder() {
+    B::new().name("w".into()).spawn(|| {}).unwrap();
+}

@@ -32,7 +32,11 @@
 //! cursor — work-stealing granularity without any ordering consequence.
 //!
 //! Per-job wall-clock telemetry ([`RunStats`], or `SPEEDLIGHT_PARFAN_LOG=1`
-//! for stderr lines) is first-class so speedups are measured, not asserted.
+//! for stderr lines) is first-class so speedups are measured, not asserted —
+//! but it is *opt-in*: only the stats-returning entry points ([`map_stats`],
+//! [`map_cfg`]) sample the wall clock. The deterministic entry points
+//! ([`map`], [`map_labeled`]) never touch it, so the conformance and sweep
+//! paths that feed digests are clock-free end to end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +55,8 @@ use std::time::{Duration, Instant};
 pub const JOBS_ENV: &str = "SPEEDLIGHT_JOBS";
 
 /// Environment variable enabling per-job telemetry lines on stderr.
+/// Effective only on the timed entry points ([`map_stats`], [`map_cfg`]);
+/// the deterministic entry points have nothing to report.
 pub const LOG_ENV: &str = "SPEEDLIGHT_PARFAN_LOG";
 
 thread_local! {
@@ -112,6 +118,31 @@ pub fn parse_jobs(raw: Option<&str>, fallback: usize) -> usize {
 /// A captured worker panic: job index, human-readable label, raw payload.
 type CapturedPanic = (usize, String, Box<dyn Any + Send>);
 
+/// Whether a fan-out samples the wall clock. The deterministic entry
+/// points ([`map`], [`map_labeled`]) run with `Off` — no clock read
+/// anywhere on their path — while the telemetry entry points
+/// ([`map_stats`], [`map_cfg`]) opt in with `Wall`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Timing {
+    Off,
+    Wall,
+}
+
+impl Timing {
+    fn probe(self) -> Option<Instant> {
+        match self {
+            Timing::Off => None,
+            // invariants: allow(taint-wall-clock) — telemetry only: probes feed RunStats, which never flows into results or digests, and the deterministic entry points pass Timing::Off
+            Timing::Wall => Some(Instant::now()),
+        }
+    }
+}
+
+/// Duration since a probe, or zero when timing is off.
+fn since(probe: Option<Instant>) -> Duration {
+    probe.map(|p| p.elapsed()).unwrap_or(Duration::ZERO)
+}
+
 fn hardware_jobs() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -156,7 +187,8 @@ where
 }
 
 /// [`map`] with a caller-supplied label per job (put the seed in it: the
-/// label is what a captured panic is re-raised with).
+/// label is what a captured panic is re-raised with). Never samples the
+/// wall clock — this is the entry point for digest-feeding paths.
 pub fn map_labeled<T, R, F, L>(items: &[T], label: L, f: F) -> Vec<R>
 where
     T: Sync,
@@ -164,7 +196,7 @@ where
     F: Fn(usize, &T) -> R + Sync,
     L: Fn(usize, &T) -> String + Sync,
 {
-    map_cfg(Config::default(), items, label, f).0
+    map_inner(Config::default(), Timing::Off, items, label, f).0
 }
 
 /// [`map`] returning wall-clock telemetry alongside the results.
@@ -177,9 +209,27 @@ where
     map_cfg(Config::default(), items, |i, _| format!("job #{i}"), f)
 }
 
-/// The full-control entry point: explicit worker count and chunk size.
-/// Everything else in this crate is sugar over this function.
+/// The full-control entry point: explicit worker count and chunk size,
+/// with wall-clock telemetry in the returned [`RunStats`].
 pub fn map_cfg<T, R, F, L>(cfg: Config, items: &[T], label: L, f: F) -> (Vec<R>, RunStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    L: Fn(usize, &T) -> String + Sync,
+{
+    map_inner(cfg, Timing::Wall, items, label, f)
+}
+
+/// Shared fan-out body. `timing` decides whether the wall clock is ever
+/// read; results are identical either way.
+fn map_inner<T, R, F, L>(
+    cfg: Config,
+    timing: Timing,
+    items: &[T],
+    label: L,
+    f: F,
+) -> (Vec<R>, RunStats)
 where
     T: Sync,
     R: Send,
@@ -188,7 +238,7 @@ where
 {
     let jobs = cfg.jobs.max(1).min(items.len().max(1));
     if jobs <= 1 {
-        return map_serial(items, f);
+        return map_serial(timing, items, f);
     }
     let chunk = if cfg.chunk == 0 {
         (items.len() / (jobs * 4)).max(1)
@@ -196,7 +246,7 @@ where
         cfg.chunk
     };
 
-    let started = Instant::now();
+    let started = timing.probe();
     let cursor = AtomicUsize::new(0);
     let poisoned = AtomicBool::new(false);
     // One slot per job, filled exactly once by whichever worker claims the
@@ -222,14 +272,14 @@ where
                             return;
                         }
                         let item = &items[i];
-                        let job_started = Instant::now();
+                        let job_started = timing.probe();
                         // `f` is `Sync` over shared borrows, so the only
                         // unwind-safety question is observing `item` after
                         // a sibling's panic — and a poisoned run never
                         // reads any slot back.
                         match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
                             Ok(r) => {
-                                let elapsed = job_started.elapsed();
+                                let elapsed = since(job_started);
                                 *slots[i].lock().expect("slot lock") = Some((r, elapsed));
                             }
                             Err(payload) => {
@@ -272,38 +322,40 @@ where
     }
     let stats = RunStats {
         jobs,
-        wall: started.elapsed(),
+        wall: since(started),
         per_job,
     };
-    log_stats(&stats);
+    log_stats(timing, &stats);
     (results, stats)
 }
 
 /// The strictly serial path: no threads, no `catch_unwind` — a panic in
 /// `f` unwinds exactly as an inline `for` loop would.
-fn map_serial<T, R, F>(items: &[T], f: F) -> (Vec<R>, RunStats)
+fn map_serial<T, R, F>(timing: Timing, items: &[T], f: F) -> (Vec<R>, RunStats)
 where
     F: Fn(usize, &T) -> R,
 {
-    let started = Instant::now();
+    let started = timing.probe();
     let mut results = Vec::with_capacity(items.len());
     let mut per_job = Vec::with_capacity(items.len());
     for (i, item) in items.iter().enumerate() {
-        let job_started = Instant::now();
+        let job_started = timing.probe();
         results.push(f(i, item));
-        per_job.push(job_started.elapsed());
+        per_job.push(since(job_started));
     }
     let stats = RunStats {
         jobs: 1,
-        wall: started.elapsed(),
+        wall: since(started),
         per_job,
     };
-    log_stats(&stats);
+    log_stats(timing, &stats);
     (results, stats)
 }
 
-fn log_stats(stats: &RunStats) {
-    if std::env::var_os(LOG_ENV).is_none() {
+fn log_stats(timing: Timing, stats: &RunStats) {
+    // With timing off every duration is zero — printing "0.000s" lines
+    // would misreport a run that was simply never measured.
+    if timing == Timing::Off || std::env::var_os(LOG_ENV).is_none() {
         return;
     }
     for (i, d) in stats.per_job.iter().enumerate() {
