@@ -1,0 +1,524 @@
+//! Observer ingest throughput harness with a machine-readable output.
+//!
+//! Feeds a synthetic report storm — up to 10⁶ channels across several
+//! epochs, delivered in a seeded stride order — through the staged
+//! pipeline observer ([`speedlight_core::pipeline::PipelineObserver`],
+//! driven stage-by-stage so the bounded queues and backpressure path are
+//! on the hot path) and through the monolithic reference
+//! [`speedlight_core::observer::Observer`], then emits
+//! `BENCH_observer.json`: reports/sec for both implementations, per-run
+//! pipeline stage statistics (peak queue depths, peak pending values,
+//! backpressure rejects), and a deterministic digest of the sealed
+//! snapshots. The two implementations must agree on that digest — the
+//! bench doubles as a differential test at a scale the unit suites never
+//! reach.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_observer -- [options]
+//!   --scenario full|smoke     10⁶ channels (default) or 10⁵ for CI
+//!   --seed <u64>              delivery-order seed (default 9)
+//!   --trials <usize>          trials to run in parallel (default 1);
+//!                             reports/sec is the median, and every
+//!                             trial's snapshot digest must agree
+//!   --out <path>              output JSON (default BENCH_observer.json)
+//!   --baseline <path>         embed speedup vs a previous run's JSON
+//!   --check <path>            validate <path>'s schema and fail if this
+//!                             run regresses >threshold below it
+//!   --threshold <f64>         regression threshold for --check (default 0.30)
+//!   --metrics-out <path>      pipeline obs metrics JSON from trial 0
+//!                             (default BENCH_observer_metrics.json)
+//! ```
+
+use speedlight_core::control::{Report, ReportValue};
+use speedlight_core::observer::{GlobalSnapshot, Observer, ObserverConfig};
+use speedlight_core::pipeline::{PipelineConfig, PipelineObserver, PipelineStats};
+use speedlight_core::{Epoch, UnitId};
+
+use std::process::ExitCode;
+use std::time::Instant as WallInstant;
+
+const MODULUS: u16 = 512;
+const EPOCHS: u64 = 4;
+
+/// Scenario scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    /// 10⁶ synthetic channels: 1000 devices × 1000 ports.
+    Full,
+    /// CI smoke scale, 10⁵ channels: 100 devices × 1000 ports.
+    Smoke,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Full => "full",
+            Scenario::Smoke => "smoke",
+        }
+    }
+
+    fn devices(self) -> u16 {
+        match self {
+            Scenario::Full => 1000,
+            Scenario::Smoke => 100,
+        }
+    }
+
+    fn ports(self) -> u16 {
+        1000
+    }
+
+    fn channels(self) -> u64 {
+        u64::from(self.devices()) * u64::from(self.ports())
+    }
+}
+
+/// The i-th report of an epoch, in the seeded delivery order: a stride
+/// walk of the unit space. The stride ends in 7, so it is coprime to the
+/// channel count (a product of 2s and 5s) and the walk covers every unit
+/// exactly once per epoch — delivery is neither in-order nor duplicated,
+/// and the order differs by seed and epoch.
+fn delivery(scenario: Scenario, seed: u64, epoch: Epoch, i: u64) -> (u16, Report) {
+    let n = scenario.channels();
+    let mixed = seed
+        .wrapping_mul(0x5851_f42d_4c95_7f2d)
+        .wrapping_add(epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let stride = ((mixed % (n / 10)) * 10 + 7) % n;
+    let idx = (i % n).wrapping_mul(stride).wrapping_add(mixed >> 32) % n;
+    let device = (idx / u64::from(scenario.ports())) as u16;
+    let port = (idx % u64::from(scenario.ports())) as u16;
+    let unit = UnitId::ingress(device, port);
+    (
+        device,
+        Report {
+            unit,
+            epoch,
+            value: ReportValue::Value {
+                local: idx ^ epoch,
+                channel: 0,
+            },
+        },
+    )
+}
+
+struct Measurement {
+    scenario: Scenario,
+    seed: u64,
+    reports_offered: u64,
+    wall_clock_s: f64,
+    reports_per_sec: f64,
+    reference_wall_clock_s: f64,
+    reference_reports_per_sec: f64,
+    snapshots_sealed: u64,
+    snapshot_digest: u64,
+    stats: PipelineStats,
+    metrics: obs::metrics::Metrics,
+}
+
+fn digest_snapshot(h: &mut parfan::digest::Fnv64, snap: &GlobalSnapshot) {
+    h.update(&snap.epoch.to_le_bytes());
+    h.write_u64(snap.devices.len() as u64);
+    h.write_u64(snap.excluded.len() as u64);
+    h.write_u64(snap.units.len() as u64);
+    // Order-sensitive value hash without formatting (10⁶ entries/epoch).
+    for (unit, outcome) in &snap.units {
+        h.write_u64((u64::from(unit.device) << 16) | u64::from(unit.port));
+        if let speedlight_core::observer::UnitOutcome::Value { local, channel } = outcome {
+            h.write_u64(*local);
+            h.write_u64(*channel);
+        }
+    }
+}
+
+/// Feed every epoch's report storm through the staged pipeline,
+/// stage-driven: offer into the bounded collect queue until it refuses,
+/// then pump — so queue handoff and the backpressure path are what is
+/// being measured, not a degenerate always-empty fast path.
+fn run_pipeline(
+    scenario: Scenario,
+    seed: u64,
+) -> (f64, u64, u64, PipelineStats, u64, obs::metrics::Metrics) {
+    let mut pipe = PipelineObserver::new(PipelineConfig::for_modulus(MODULUS));
+    for d in 0..scenario.devices() {
+        pipe.register_device(
+            d,
+            (0..scenario.ports())
+                .map(|p| UnitId::ingress(d, p))
+                .collect(),
+        );
+    }
+    let n = scenario.channels();
+    let mut sealed: Vec<GlobalSnapshot> = Vec::new();
+    let mut offered = 0u64;
+    let start = WallInstant::now();
+    for _ in 0..EPOCHS {
+        let epoch = pipe.begin_snapshot().expect("below the no-lapping cap");
+        for i in 0..n {
+            let (device, report) = delivery(scenario, seed, epoch, i);
+            offered += 1;
+            if !pipe.offer_report(device, report) {
+                // Collect queue full: drain the stages, then re-offer.
+                pipe.pump();
+                while let Some(snap) = pipe.take_finalized() {
+                    sealed.push(snap);
+                }
+                assert!(
+                    pipe.offer_report(device, report),
+                    "offer must succeed right after a pump drained the queues"
+                );
+            }
+        }
+        pipe.pump();
+        while let Some(snap) = pipe.take_finalized() {
+            sealed.push(snap);
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let mut h = parfan::digest::Fnv64::new();
+    for snap in &sealed {
+        digest_snapshot(&mut h, snap);
+    }
+    let mut metrics = obs::metrics::Metrics::new();
+    pipe.fold_metrics(&mut metrics);
+    (
+        wall,
+        offered,
+        sealed.len() as u64,
+        pipe.stats().clone(),
+        h.finish(),
+        metrics,
+    )
+}
+
+/// The same storm through the monolithic reference observer.
+fn run_reference(scenario: Scenario, seed: u64) -> (f64, u64) {
+    let mut obs = Observer::new(ObserverConfig::for_modulus(MODULUS));
+    for d in 0..scenario.devices() {
+        obs.register_device(
+            d,
+            (0..scenario.ports())
+                .map(|p| UnitId::ingress(d, p))
+                .collect(),
+        );
+    }
+    let n = scenario.channels();
+    let mut sealed: Vec<GlobalSnapshot> = Vec::new();
+    let start = WallInstant::now();
+    for _ in 0..EPOCHS {
+        let epoch = obs.begin_snapshot().expect("below the no-lapping cap");
+        for i in 0..n {
+            let (device, report) = delivery(scenario, seed, epoch, i);
+            sealed.extend(obs.on_report(device, report));
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let mut h = parfan::digest::Fnv64::new();
+    for snap in &sealed {
+        digest_snapshot(&mut h, snap);
+    }
+    (wall, h.finish())
+}
+
+fn run(scenario: Scenario, seed: u64) -> Measurement {
+    let (wall, offered, sealed, stats, digest, metrics) = run_pipeline(scenario, seed);
+    let (ref_wall, ref_digest) = run_reference(scenario, seed);
+    assert_eq!(
+        digest,
+        ref_digest,
+        "pipeline and reference observers sealed different snapshots \
+         (scenario={} seed={seed})",
+        scenario.name()
+    );
+    let reports = offered as f64;
+    Measurement {
+        scenario,
+        seed,
+        reports_offered: offered,
+        wall_clock_s: wall,
+        reports_per_sec: reports / wall.max(1e-9),
+        reference_wall_clock_s: ref_wall,
+        reference_reports_per_sec: reports / ref_wall.max(1e-9),
+        snapshots_sealed: sealed,
+        snapshot_digest: digest,
+        stats,
+        metrics,
+    }
+}
+
+/// Aggregate of `--trials` runs of the same seeded scenario.
+struct BenchReport {
+    trials: usize,
+    reports_per_sec_min: f64,
+    wall_clock_stddev_s: f64,
+    m: Measurement,
+}
+
+fn run_trials(scenario: Scenario, seed: u64, trials: usize) -> BenchReport {
+    let idx: Vec<usize> = (0..trials.max(1)).collect();
+    let mut ms = parfan::map_labeled(
+        &idx,
+        |_, &t| {
+            format!(
+                "bench_observer trial {t} scenario={} seed={seed}",
+                scenario.name()
+            )
+        },
+        |_, &t| {
+            let _ = t;
+            run(scenario, seed)
+        },
+    );
+    for (t, m) in ms.iter().enumerate() {
+        assert_eq!(
+            (m.snapshot_digest, m.reports_offered),
+            (ms[0].snapshot_digest, ms[0].reports_offered),
+            "trial {t} diverged from trial 0: the observer is not deterministic"
+        );
+    }
+    let rps: Vec<f64> = ms.iter().map(|m| m.reports_per_sec).collect();
+    let walls: Vec<f64> = ms.iter().map(|m| m.wall_clock_s).collect();
+    let mut m = ms.swap_remove(0);
+    m.reports_per_sec = sim_stats::percentile(&rps, 0.5);
+    m.wall_clock_s = sim_stats::percentile(&walls, 0.5);
+    BenchReport {
+        trials: idx.len(),
+        reports_per_sec_min: rps.iter().copied().fold(f64::INFINITY, f64::min),
+        wall_clock_stddev_s: if walls.len() > 1 {
+            sim_stats::std_dev(&walls)
+        } else {
+            0.0
+        },
+        m,
+    }
+}
+
+fn render_json(r: &BenchReport, baseline_rps: Option<f64>) -> String {
+    let m = &r.m;
+    let s = &m.stats;
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"speedlight-bench-observer/v1\",\n");
+    out.push_str(&format!("  \"scenario\": \"{}\",\n", m.scenario.name()));
+    out.push_str(&format!("  \"seed\": {},\n", m.seed));
+    out.push_str(&format!("  \"channels\": {},\n", m.scenario.channels()));
+    out.push_str(&format!("  \"epochs\": {EPOCHS},\n"));
+    out.push_str(&format!("  \"reports_offered\": {},\n", m.reports_offered));
+    out.push_str(&format!("  \"wall_clock_s\": {:.6},\n", m.wall_clock_s));
+    out.push_str(&format!(
+        "  \"reports_per_sec\": {:.1},\n",
+        m.reports_per_sec
+    ));
+    out.push_str(&format!("  \"trials\": {},\n", r.trials));
+    out.push_str(&format!(
+        "  \"reports_per_sec_median\": {:.1},\n",
+        m.reports_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"reports_per_sec_min\": {:.1},\n",
+        r.reports_per_sec_min
+    ));
+    out.push_str(&format!(
+        "  \"wall_clock_stddev_s\": {:.6},\n",
+        r.wall_clock_stddev_s
+    ));
+    out.push_str(&format!(
+        "  \"reference_wall_clock_s\": {:.6},\n",
+        m.reference_wall_clock_s
+    ));
+    out.push_str(&format!(
+        "  \"reference_reports_per_sec\": {:.1},\n",
+        m.reference_reports_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"snapshots_sealed\": {},\n",
+        m.snapshots_sealed
+    ));
+    out.push_str(&format!(
+        "  \"backpressure_rejects\": {},\n",
+        s.backpressure_rejects
+    ));
+    out.push_str(&format!(
+        "  \"peak_collect_depth\": {},\n",
+        s.peak_collect_depth
+    ));
+    out.push_str(&format!(
+        "  \"peak_pending_values\": {},\n",
+        s.peak_pending_values
+    ));
+    if let Some(base) = baseline_rps {
+        out.push_str(&format!("  \"baseline_reports_per_sec\": {base:.1},\n"));
+        out.push_str(&format!(
+            "  \"speedup_vs_baseline\": {:.3},\n",
+            m.reports_per_sec / base.max(1e-9)
+        ));
+    }
+    out.push_str(&format!(
+        "  \"snapshot_digest\": \"{:016x}\"\n",
+        m.snapshot_digest
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Pull one scalar field out of a flat JSON object (the harness's own
+/// schema — no nesting, no escapes in the values we read).
+fn json_field<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = doc.find(&pat)?;
+    let rest = doc[at + pat.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Validate that `doc` carries the v1 schema with sane field types.
+/// Returns the baseline reports/sec on success.
+fn validate_schema(doc: &str) -> Result<f64, String> {
+    let schema = json_field(doc, "schema").ok_or("missing \"schema\" field")?;
+    if schema != "speedlight-bench-observer/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    for key in ["scenario", "snapshot_digest"] {
+        if json_field(doc, key).is_none() {
+            return Err(format!("missing \"{key}\" field"));
+        }
+    }
+    for key in [
+        "seed",
+        "channels",
+        "reports_offered",
+        "snapshots_sealed",
+        "peak_pending_values",
+    ] {
+        let raw = json_field(doc, key).ok_or_else(|| format!("missing \"{key}\" field"))?;
+        raw.parse::<u64>()
+            .map_err(|_| format!("field \"{key}\" is not an integer: {raw:?}"))?;
+    }
+    for key in [
+        "wall_clock_s",
+        "reports_per_sec",
+        "reference_reports_per_sec",
+    ] {
+        let raw = json_field(doc, key).ok_or_else(|| format!("missing \"{key}\" field"))?;
+        let v: f64 = raw
+            .parse()
+            .map_err(|_| format!("field \"{key}\" is not a number: {raw:?}"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("field \"{key}\" must be positive, got {v}"));
+        }
+    }
+    Ok(json_field(doc, "reports_per_sec").unwrap().parse().unwrap())
+}
+
+fn main() -> ExitCode {
+    let mut scenario = Scenario::Full;
+    let mut seed: u64 = 9;
+    let mut trials: usize = 1;
+    let mut out_path = String::from("BENCH_observer.json");
+    let mut metrics_out_path = String::from("BENCH_observer_metrics.json");
+    let mut baseline_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut threshold: f64 = 0.30;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => {
+                scenario = match value("--scenario").as_str() {
+                    "full" => Scenario::Full,
+                    "smoke" => Scenario::Smoke,
+                    other => panic!("unknown scenario {other:?} (full|smoke)"),
+                }
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed takes a u64"),
+            "--trials" => {
+                trials = value("--trials").parse().expect("--trials takes a usize");
+                assert!(trials >= 1, "--trials must be at least 1");
+            }
+            "--out" => out_path = value("--out"),
+            "--metrics-out" => metrics_out_path = value("--metrics-out"),
+            "--baseline" => baseline_path = Some(value("--baseline")),
+            "--check" => check_path = Some(value("--check")),
+            "--threshold" => {
+                threshold = value("--threshold")
+                    .parse()
+                    .expect("--threshold takes a f64")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let r = run_trials(scenario, seed, trials);
+    let m = &r.m;
+    eprintln!(
+        "scenario={} seed={} trials={} reports={} wall={:.3}s (stddev {:.3}s) \
+         throughput={:.0} reports/s (median; min {:.0}; reference {:.0}) \
+         sealed={} backpressure={} digest={:016x}",
+        m.scenario.name(),
+        m.seed,
+        r.trials,
+        m.reports_offered,
+        m.wall_clock_s,
+        r.wall_clock_stddev_s,
+        m.reports_per_sec,
+        r.reports_per_sec_min,
+        m.reference_reports_per_sec,
+        m.snapshots_sealed,
+        m.stats.backpressure_rejects,
+        m.snapshot_digest,
+    );
+
+    let baseline_rps = baseline_path.map(|p| {
+        let doc =
+            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
+        validate_schema(&doc).unwrap_or_else(|e| panic!("bad baseline {p}: {e}"))
+    });
+
+    std::fs::write(&out_path, render_json(&r, baseline_rps))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    let mut metrics = r.m.metrics.clone();
+    metrics.gauge_set("bench.reports_per_sec", m.reports_per_sec as u64);
+    metrics.gauge_set("bench.reports_offered", m.reports_offered);
+    std::fs::write(&metrics_out_path, metrics.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {metrics_out_path}: {e}"));
+    eprintln!("wrote {metrics_out_path}");
+
+    if let Some(p) = check_path {
+        let doc = match std::fs::read_to_string(&p) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("check FAILED: cannot read committed baseline {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let committed_rps = match validate_schema(&doc) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("check FAILED: committed baseline {p} invalid: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let floor = committed_rps * (1.0 - threshold);
+        if m.reports_per_sec < floor {
+            eprintln!(
+                "check FAILED: {:.0} reports/s is below the regression floor {:.0} \
+                 ({}% under committed baseline {:.0})",
+                m.reports_per_sec,
+                floor,
+                (threshold * 100.0) as u32,
+                committed_rps,
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "check ok: {:.0} reports/s vs committed {:.0} (floor {:.0})",
+            m.reports_per_sec, committed_rps, floor
+        );
+    }
+    ExitCode::SUCCESS
+}

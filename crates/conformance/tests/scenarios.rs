@@ -236,6 +236,104 @@ fn matrix_parallel_matches_serial() {
     );
 }
 
+/// The staged pipeline observer (the default) is byte-identical to the
+/// monolithic reference observer across the whole conformance matrix: one
+/// reference run of every scenario digests equal to pipeline runs at
+/// `SPEEDLIGHT_JOBS` 1, 2, and 4. Emulation arms are forced off as in
+/// `matrix_parallel_matches_serial` — they are wall-clock and excluded
+/// from the digest by design.
+#[test]
+fn pipeline_observer_matches_reference_across_matrix() {
+    let scenarios: Vec<Scenario> = matrix::SCENARIOS
+        .iter()
+        .map(|&(_, s)| {
+            let mut s = sc(s);
+            s.emulate = false;
+            s
+        })
+        .collect();
+    let reference = parfan::with_jobs(2, || {
+        matrix_digest(&conformance::runner::run_matrix_reference(&scenarios))
+    });
+    for jobs in [1, 2, 4] {
+        let pipeline = parfan::with_jobs(jobs, || matrix_digest(&run_matrix(&scenarios)));
+        assert_eq!(
+            pipeline, reference,
+            "pipeline matrix digest {pipeline:#018x} at jobs={jobs} != reference {reference:#018x}"
+        );
+    }
+}
+
+/// Misattribution regression at the conformance layer: a report whose
+/// unit claims a different device than the one delivering it must be
+/// rejected — identically — by both observer implementations, and the
+/// rejection must be traced. Before the fix the reference observer
+/// credited the spoofed value to the victim unit.
+#[test]
+fn misattributed_report_rejected_by_both_observers() {
+    use speedlight_core::control::{Report, ReportValue};
+    use speedlight_core::observer::{Observer, ObserverConfig};
+    use speedlight_core::pipeline::{PipelineConfig, PipelineObserver};
+    use speedlight_core::types::UnitId;
+
+    let report = |unit: UnitId, epoch, local| Report {
+        unit,
+        epoch,
+        value: ReportValue::Value { local, channel: 0 },
+    };
+    let units = |device| vec![UnitId::ingress(device, 0)];
+
+    let mut reference = Observer::new(ObserverConfig::for_modulus(16));
+    let mut pipeline = PipelineObserver::new(PipelineConfig::for_modulus(16));
+    for obs in [0u16, 1] {
+        reference.register_device(obs, units(obs));
+        pipeline.register_device(obs, units(obs));
+    }
+
+    let epoch = reference.begin_snapshot().expect("reference initiates");
+    assert_eq!(pipeline.begin_snapshot(), Some(epoch));
+
+    // Device 0 delivers a report for device 1's unit: both reject it.
+    let spoofed = report(UnitId::ingress(1, 0), epoch, 99);
+    let mut ring = obs::sinks::RingSink::new(8);
+    assert!(reference
+        .on_report_traced(0, spoofed, &mut ring, 0)
+        .is_none());
+    assert!(pipeline
+        .on_report_traced(0, spoofed, &mut ring, 0)
+        .is_none());
+    assert_eq!(reference.misattributed_count(), 1);
+    assert_eq!(pipeline.misattributed_count(), 1);
+    let traced = ring
+        .events()
+        .filter(|e| e.name == "report.misattributed")
+        .count();
+    assert_eq!(traced, 2, "both rejections must be traced");
+
+    // Genuine reports (device 0's unit, then device 1's own) still
+    // complete the epoch — with the real value, not the spoofed 99.
+    assert!(reference
+        .on_report(0, report(UnitId::ingress(0, 0), epoch, 7))
+        .is_none());
+    assert!(pipeline
+        .on_report(0, report(UnitId::ingress(0, 0), epoch, 7))
+        .is_none());
+    let snap_ref = reference
+        .on_report(1, report(UnitId::ingress(1, 0), epoch, 12))
+        .expect("reference completes");
+    let snap_pipe = pipeline
+        .on_report(1, report(UnitId::ingress(1, 0), epoch, 12))
+        .expect("pipeline completes");
+    assert_eq!(snap_ref, snap_pipe);
+    assert_eq!(
+        snap_ref.units[&UnitId::ingress(1, 0)],
+        speedlight_core::observer::UnitOutcome::Value {
+            local: 12,
+            channel: 0
+        }
+    );
+}
+
 /// The emulation-bearing scenarios still pass the oracle when their
 /// (thread-spawning, wall-clock) runs are themselves co-scheduled by the
 /// parallel fan-out.

@@ -291,14 +291,17 @@ impl ControlPlane {
         };
         let mut changed = false;
 
-        // 1. Last Seen update *first* (see module docs on ordering).
+        // 1. Last Seen update *first* (see module docs on ordering). A
+        //    channel index beyond what was provisioned at registration is
+        //    ignored like an unknown unit — total path, no panic.
         if let Some(ch) = n.channel {
             if ch != CPU_CHANNEL {
-                let idx = usize::from(ch.0);
-                let new_ls = n.new_last_seen.unwrap_from(t.ctrl_last_seen[idx]);
-                if new_ls != t.ctrl_last_seen[idx] {
-                    t.ctrl_last_seen[idx] = new_ls;
-                    changed = true;
+                if let Some(slot) = t.ctrl_last_seen.get_mut(usize::from(ch.0)) {
+                    let new_ls = n.new_last_seen.unwrap_from(*slot);
+                    if new_ls != *slot {
+                        *slot = new_ls;
+                        changed = true;
+                    }
                 }
             }
         }
@@ -537,7 +540,7 @@ mod tests {
             self.units[&unit].last_seen(channel)
         }
         fn take_slot(&mut self, unit: UnitId, id: WrappedId) -> Option<SnapSlot> {
-            self.units.get_mut(&unit).unwrap().take_slot(id)
+            self.units.get_mut(&unit)?.take_slot(id)
         }
     }
 
@@ -571,11 +574,10 @@ mod tests {
         contrib: u64,
     ) -> Vec<Report> {
         let w = WrappedId::wrap(epoch, M);
-        let out =
-            regs.units
-                .get_mut(&uid)
-                .unwrap()
-                .on_packet(ChannelId(ch), w, state, contrib, false);
+        let Some(u) = regs.units.get_mut(&uid) else {
+            panic!("drive: unit {uid:?} not in the test register file");
+        };
+        let out = u.on_packet(ChannelId(ch), w, state, contrib, false);
         match out.notification {
             Some(n) => cp.on_notification(&n, regs),
             None => Vec::new(),
@@ -704,12 +706,13 @@ mod tests {
     fn duplicate_notifications_are_noops() {
         let (mut cp, mut regs, uid) = setup(true, 1);
         let w1 = WrappedId::wrap(1, M);
-        let out = regs
-            .units
-            .get_mut(&uid)
-            .unwrap()
-            .on_packet(ChannelId(0), w1, 5, 1, false);
-        let n = out.notification.unwrap();
+        let Some(u) = regs.units.get_mut(&uid) else {
+            panic!("unit {uid:?} not in the test register file");
+        };
+        let out = u.on_packet(ChannelId(0), w1, 5, 1, false);
+        let Some(n) = out.notification else {
+            panic!("first packet past the epoch boundary must notify");
+        };
         let r1 = cp.on_notification(&n, &mut regs);
         assert_eq!(r1.len(), 1);
         // Replay the same notification: dropped as duplicate, no reports.
@@ -724,10 +727,10 @@ mod tests {
         // The DP advances to epoch 2 but the notification is "dropped"
         // (never delivered to the CP).
         let w2 = WrappedId::wrap(2, M);
-        regs.units
-            .get_mut(&uid)
-            .unwrap()
-            .on_packet(ChannelId(0), w2, 22, 1, false);
+        let Some(u) = regs.units.get_mut(&uid) else {
+            panic!("unit {uid:?} not in the test register file");
+        };
+        u.on_packet(ChannelId(0), w2, 22, 1, false);
         assert!(cp.device_complete(0) && !cp.device_complete(2));
         // Proactive poll recovers epochs 1 (inferred) and 2 (read).
         let r = cp.poll_unit(uid, &mut regs);
@@ -750,7 +753,9 @@ mod tests {
         let (mut cp, mut regs, uid) = setup(true, 2);
         // Both channels advance to epoch 1, but all notifications dropped.
         let w1 = WrappedId::wrap(1, M);
-        let u = regs.units.get_mut(&uid).unwrap();
+        let Some(u) = regs.units.get_mut(&uid) else {
+            panic!("unit {uid:?} not in the test register file");
+        };
         u.on_packet(ChannelId(0), w1, 7, 1, false);
         u.on_packet(ChannelId(1), w1, 8, 1, false);
         let r = cp.poll_unit(uid, &mut regs);

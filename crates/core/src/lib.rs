@@ -18,6 +18,11 @@
 //! * [`observer`] — the network-wide **snapshot observer** (§3, §6):
 //!   schedules snapshots, assembles per-unit reports into global snapshots,
 //!   retries, and excludes failed devices.
+//! * [`pipeline`] — the staged snapshot-assembly pipeline (collect →
+//!   validate → assemble → finalize → persist-hook): bounded inter-stage
+//!   queues, a backpressure signal for the embedding driver, and
+//!   per-arriving-report consistency checks. Differential-tested against
+//!   the monolithic [`observer`] reference.
 //! * [`ideal`] — the idealized algorithm of Fig. 3 (unbounded IDs, full
 //!   intermediate-slot updates), used as an oracle and for ablations.
 //! * [`chandy_lamport`] — a classic textbook Chandy-Lamport implementation
@@ -40,11 +45,13 @@ pub mod control;
 pub mod id;
 pub mod ideal;
 pub mod observer;
+pub mod pipeline;
 pub mod types;
 pub mod unit;
 
 pub use control::{ControlPlane, Registers, Report, ReportValue};
 pub use id::{Epoch, WrappedId};
 pub use observer::{GlobalSnapshot, Observer, ObserverConfig, UnitOutcome};
+pub use pipeline::{AnyObserver, PipelineConfig, PipelineObserver, PipelineStats};
 pub use types::{ChannelId, Direction, Notification, PacketVerdict, UnitId};
 pub use unit::{DataPlaneUnit, UnitConfig};

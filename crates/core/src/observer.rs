@@ -156,6 +156,7 @@ pub struct Observer {
     next_epoch: Epoch,
     pending: BTreeMap<Epoch, PendingSnapshot>,
     finalized: u64,
+    misattributed: u64,
 }
 
 impl Observer {
@@ -172,6 +173,7 @@ impl Observer {
             next_epoch: 1,
             pending: BTreeMap::new(),
             finalized: 0,
+            misattributed: 0,
         }
     }
 
@@ -208,6 +210,12 @@ impl Observer {
         self.finalized
     }
 
+    /// Reports rejected because the delivering device did not own the
+    /// reported unit (see `report.misattributed` in the trace).
+    pub fn misattributed_count(&self) -> u64 {
+        self.misattributed
+    }
+
     /// Issue the next snapshot epoch, or `None` if doing so would violate
     /// the no-lapping cap (the caller should retry after completions).
     ///
@@ -231,7 +239,11 @@ impl Observer {
             return None;
         }
         let epoch = self.next_epoch;
-        self.next_epoch += 1;
+        // Checked-arithmetic policy: a wrapped epoch counter would silently
+        // alias wrapped snapshot IDs and corrupt no-lapping bookkeeping.
+        self.next_epoch = epoch.checked_add(1).unwrap_or_else(|| {
+            panic!("observer epoch counter overflow: next_epoch would exceed u64::MAX")
+        });
         let device_set: BTreeSet<u16> = self.devices.keys().copied().collect();
         let expected: BTreeSet<UnitId> = self
             .devices
@@ -276,6 +288,22 @@ impl Observer {
         sink: &mut S,
         t_ns: u64,
     ) -> Option<GlobalSnapshot> {
+        // Attribution check first: a report whose unit belongs to a
+        // different device than the one delivering it is misrouted (or
+        // spoofed) — crediting it would let device A complete device B's
+        // share of the epoch. Rejected regardless of epoch validity.
+        if report.unit.device != device {
+            obs::event!(
+                sink,
+                t_ns,
+                "report.misattributed",
+                dev = device,
+                unit_dev = report.unit.device,
+                epoch = report.epoch,
+            );
+            self.misattributed += 1;
+            return None;
+        }
         let pending = self.pending.get_mut(&report.epoch)?;
         if !pending.device_set.contains(&device) || pending.excluded.contains(&device) {
             return None; // spurious: device not in this epoch's set
@@ -347,10 +375,21 @@ impl Observer {
             pending.excluded.insert(*dev);
             obs::event!(sink, t_ns, "snap.exclude", epoch = epoch, dev = *dev);
         }
+        // Exclusion policy (§6): an excluded device contributes NOTHING —
+        // every one of its units reads DeviceExcluded, even units it did
+        // deliver before timing out (a partial view of a failed device is
+        // not a consistent cut). The values it DID deliver are counted and
+        // surfaced in the finalize event so the discard is auditable
+        // instead of silent.
         let expected = pending.expected.clone();
+        let mut discarded: u64 = 0;
         for unit in expected {
             if lagging.contains(&unit.device) {
-                pending.values.insert(unit, UnitOutcome::DeviceExcluded);
+                if let Some(prev) = pending.values.insert(unit, UnitOutcome::DeviceExcluded) {
+                    if prev != UnitOutcome::DeviceExcluded {
+                        discarded += 1;
+                    }
+                }
             }
         }
         let snap = self.finalize(epoch)?;
@@ -362,6 +401,7 @@ impl Observer {
             units = snap.units.len(),
             excluded = snap.excluded.len(),
             forced = true,
+            discarded = discarded,
         );
         Some(snap)
     }
@@ -624,6 +664,98 @@ mod tests {
         // pushes past it and the total clamps instead of wrapping.
         assert_eq!(snap.consistent_total(), u64::MAX);
         assert_eq!(snap.checked_consistent_total(), None);
+    }
+
+    #[test]
+    fn misattributed_report_is_rejected_and_counted() {
+        // Regression: device 0 delivers a report for device 1's (expected!)
+        // unit. Pre-fix this was credited — device 0 could complete device
+        // 1's share of the epoch with spoofed attribution. It must be
+        // rejected, traced, and must leave the unit missing.
+        let mut obs = two_device_observer();
+        let mut sink = obs::sinks::RingSink::new(16);
+        obs.begin_snapshot_traced(&mut sink, 0).unwrap();
+        assert!(obs
+            .on_report_traced(0, report(UnitId::ingress(1, 0), 1, 99), &mut sink, 10)
+            .is_none());
+        assert_eq!(obs.misattributed_count(), 1);
+        assert!(obs.missing_units(1).contains(&UnitId::ingress(1, 0)));
+        let ev = sink
+            .events()
+            .find(|e| e.name == "report.misattributed")
+            .expect("misattribution must be traced");
+        assert_eq!(ev.get("dev").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(ev.get("unit_dev").and_then(|v| v.as_u64()), Some(1));
+        // The spoofed value never lands: finishing the epoch legitimately
+        // yields device 1's real value, not 99.
+        obs.on_report(0, report(UnitId::ingress(0, 0), 1, 10));
+        obs.on_report(0, report(UnitId::egress(0, 0), 1, 11));
+        obs.on_report(1, report(UnitId::ingress(1, 0), 1, 12));
+        let snap = obs
+            .on_report(1, report(UnitId::egress(1, 0), 1, 13))
+            .unwrap();
+        assert_eq!(
+            snap.units[&UnitId::ingress(1, 0)],
+            UnitOutcome::Value {
+                local: 12,
+                channel: 0
+            }
+        );
+    }
+
+    #[test]
+    fn forced_finalize_counts_discarded_partial_values() {
+        // Regression: device 1 reported its ingress unit but timed out on
+        // egress. Exclusion policy still zeroes the whole device (excluded
+        // ⇒ every unit DeviceExcluded), but the overwrite of a delivered
+        // value must be surfaced as `discarded` in the finalize event, not
+        // vanish silently.
+        let mut obs = two_device_observer();
+        let mut sink = obs::sinks::RingSink::new(16);
+        obs.begin_snapshot_traced(&mut sink, 0).unwrap();
+        obs.on_report(0, report(UnitId::ingress(0, 0), 1, 10));
+        obs.on_report(0, report(UnitId::egress(0, 0), 1, 11));
+        obs.on_report(1, report(UnitId::ingress(1, 0), 1, 12));
+        let snap = obs.force_finalize_traced(1, &mut sink, 50).unwrap();
+        assert_eq!(snap.excluded, BTreeSet::from([1]));
+        assert_eq!(
+            snap.units[&UnitId::ingress(1, 0)],
+            UnitOutcome::DeviceExcluded,
+            "exclusion is total: even the delivered unit reads DeviceExcluded"
+        );
+        let ev = sink
+            .events()
+            .find(|e| e.name == "obs.finalize")
+            .expect("forced finalize must be traced");
+        assert_eq!(ev.get("forced"), Some(&obs::Value::Bool(true)));
+        assert_eq!(
+            ev.get("discarded").and_then(|v| v.as_u64()),
+            Some(1),
+            "the delivered-then-discarded ingress value must be counted"
+        );
+    }
+
+    #[test]
+    fn forced_finalize_with_no_partial_values_discards_nothing() {
+        let mut obs = two_device_observer();
+        let mut sink = obs::sinks::RingSink::new(16);
+        obs.begin_snapshot_traced(&mut sink, 0).unwrap();
+        obs.on_report(0, report(UnitId::ingress(0, 0), 1, 10));
+        obs.on_report(0, report(UnitId::egress(0, 0), 1, 11));
+        obs.force_finalize_traced(1, &mut sink, 50).unwrap();
+        let ev = sink.events().find(|e| e.name == "obs.finalize").unwrap();
+        assert_eq!(ev.get("discarded").and_then(|v| v.as_u64()), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch counter overflow")]
+    fn epoch_counter_overflow_panics_with_context() {
+        let mut obs = two_device_observer();
+        obs.next_epoch = u64::MAX;
+        // Issuing the final representable epoch must not wrap the counter
+        // to 0 (which would alias wrapped snapshot IDs); it panics with
+        // context instead.
+        obs.begin_snapshot();
     }
 
     #[test]

@@ -1,0 +1,1219 @@
+//! Staged snapshot-assembly pipeline (ROADMAP item 4).
+//!
+//! [`Observer`](crate::observer::Observer) assembles each epoch in one
+//! monolithic step: every report mutates a per-epoch map cloned from the
+//! full registration state, and all validation happens implicitly through
+//! map lookups. That shape hits a scaling wall at million-channel fabrics
+//! — per-epoch clones of the expected-unit set are O(all units), and there
+//! is no way to shed load when reports arrive faster than they can be
+//! folded.
+//!
+//! [`PipelineObserver`] decomposes assembly into five explicit stages with
+//! bounded inter-stage queues:
+//!
+//! ```text
+//!            offer_report()                      take_finalized()
+//!                 │                                     ▲
+//!                 ▼                                     │ 5. persist-hook
+//!   ┌─────────┐  pop   ┌──────────┐  pop   ┌──────────┐│   (sealed queue)
+//!   │ collect ├───────►│ validate ├───────►│ assemble ├┤
+//!   └─────────┘        └──────────┘        └────┬─────┘│
+//!    bounded:           attribution,            │ epoch │
+//!    backpressure       epoch-window,           ▼ done  │
+//!    signal to the      membership &      ┌──────────┐ │
+//!    fabric driver      duplicate checks  │ finalize ├─┘
+//!                                         └──────────┘
+//!                                          seals GlobalSnapshot,
+//!                                          emits obs.finalize
+//! ```
+//!
+//! * **collect** — the bounded ingress queue. [`PipelineObserver::offer_report`]
+//!   refuses when full; [`PipelineObserver::backpressured`] surfaces the
+//!   signal so the embedding driver can defer snapshot (re-)initiations
+//!   instead of piling more reports onto a saturated observer.
+//! * **validate** — per-arriving-report consistency checks: attribution
+//!   (the delivering device must own the reported unit), the no-lapping
+//!   epoch window (a report more than `modulus` epochs behind the newest
+//!   issued epoch can alias a wrapped ID), future epochs (never issued),
+//!   epoch liveness, membership, and exclusion. Every rejection is counted
+//!   by [`DropReason`]; attribution and lapping violations are traced.
+//! * **assemble** — folds validated reports into the per-epoch assembly:
+//!   first value wins (duplicates counted), a running wraparound-checked
+//!   total is maintained per epoch, and a completed epoch is queued for
+//!   finalization. Membership (device set + expected units) is **shared**
+//!   across epochs via [`std::sync::Arc`] and rebuilt only when
+//!   registration changes, so per-epoch state is O(delivered values), not
+//!   O(all units) — the reference observer clones both sets per epoch.
+//! * **finalize** — seals [`GlobalSnapshot`]s and emits the `obs.finalize`
+//!   event, identical byte-for-byte to the reference observer's.
+//! * **persist-hook** — the bounded sealed queue, drained by the embedder
+//!   via [`PipelineObserver::take_finalized`] (the hook point where the
+//!   future snapshot store attaches). A full sealed queue stalls the
+//!   finalize stage rather than dropping snapshots.
+//!
+//! **Equivalence contract:** driven synchronously (offer + pump per
+//! report, as the fabric does), the pipeline is observably identical to
+//! the reference `Observer` — same returned snapshots, same trace events,
+//! same timing. The conformance suite pins this by running the full
+//! scenario matrix under both implementations and comparing digests at
+//! `SPEEDLIGHT_JOBS` 1/2/4; a proptest shuffles/duplicates/misattributes
+//! report streams against both. [`AnyObserver`] lets embedders switch.
+
+use crate::control::Report;
+use crate::id::Epoch;
+use crate::observer::{GlobalSnapshot, Observer, ObserverConfig, UnitOutcome};
+use crate::types::UnitId;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Configuration for the staged pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The underlying observer protocol parameters (modulus, outstanding
+    /// cap) — shared with the reference implementation.
+    pub observer: ObserverConfig,
+    /// Capacity of the collect (ingress) queue. When full,
+    /// [`PipelineObserver::offer_report`] refuses and
+    /// [`PipelineObserver::backpressured`] turns on.
+    pub collect_capacity: usize,
+    /// Capacity of the validated queue between validate and assemble.
+    pub validated_capacity: usize,
+    /// Capacity of the sealed (persist-hook) queue. A full queue stalls
+    /// the finalize stage; snapshots are never dropped.
+    pub sealed_capacity: usize,
+}
+
+impl PipelineConfig {
+    /// Defaults for a given modulus: generous queues sized for the fabric
+    /// driver's synchronous pump (which never lets them fill).
+    pub fn for_modulus(modulus: u16) -> PipelineConfig {
+        PipelineConfig {
+            observer: ObserverConfig::for_modulus(modulus),
+            collect_capacity: 1024,
+            validated_capacity: 1024,
+            sealed_capacity: 64,
+        }
+    }
+}
+
+/// Why the validate (or assemble) stage refused a report. Counted in
+/// [`PipelineStats`]; the exceptional reasons are also traced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The delivering device does not own the reported unit.
+    Misattributed,
+    /// The epoch was never issued (greater than the newest issued epoch).
+    FutureEpoch,
+    /// The epoch is at least `modulus` behind the newest issued epoch —
+    /// its wrapped ID could alias a live epoch (no-lapping violation).
+    Lapped,
+    /// The epoch is inside the window but no longer (or never) pending —
+    /// a straggler for an already-finalized epoch.
+    StaleEpoch,
+    /// The device was not registered when the epoch was initiated.
+    ForeignDevice,
+    /// The device was already excluded from this epoch by timeout.
+    ExcludedDevice,
+    /// The unit is not in the epoch's expected set.
+    UnexpectedUnit,
+    /// The unit already has a value for this epoch (first value wins).
+    Duplicate,
+}
+
+/// Pipeline counters and high-water marks, exported as metrics by the
+/// fabric and asserted on by the bounded-memory tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Reports accepted into the collect queue.
+    pub offered: u64,
+    /// Reports refused at the collect queue (backpressure).
+    pub backpressure_rejects: u64,
+    /// Reports that passed every check and contributed a value.
+    pub accepted: u64,
+    /// Drops by reason — see [`DropReason`].
+    pub misattributed: u64,
+    /// Reports for epochs newer than anything issued.
+    pub future_epoch: u64,
+    /// Reports violating the no-lapping window.
+    pub lapped: u64,
+    /// Stragglers for finalized epochs.
+    pub stale_epoch: u64,
+    /// Reports from devices outside the epoch's device set.
+    pub foreign_device: u64,
+    /// Reports from devices excluded by timeout.
+    pub excluded_device: u64,
+    /// Duplicate per-unit reports (first value wins).
+    pub duplicate: u64,
+    /// Reports whose unit is outside the epoch's expected set.
+    pub unexpected_unit: u64,
+    /// Epochs whose running consistent-total overflowed u64 (the sealed
+    /// snapshot's total saturates, per the reference overflow policy).
+    pub total_overflow: u64,
+    /// Delivered values overwritten by `DeviceExcluded` during forced
+    /// finalization (mirrors the `discarded` finalize-event field).
+    pub discarded_values: u64,
+    /// High-water mark of the collect queue.
+    pub peak_collect_depth: usize,
+    /// High-water mark of the validated queue.
+    pub peak_validated_depth: usize,
+    /// High-water mark of the ready (completed-epoch) queue.
+    pub peak_ready_depth: usize,
+    /// High-water mark of the sealed (persist-hook) queue.
+    pub peak_sealed_depth: usize,
+    /// High-water mark of values buffered across all pending epochs — the
+    /// bounded-memory claim: O(outstanding epochs × delivered units), with
+    /// membership shared, never cloned per epoch.
+    pub peak_pending_values: usize,
+}
+
+impl PipelineStats {
+    fn record_drop(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::Misattributed => self.misattributed += 1,
+            DropReason::FutureEpoch => self.future_epoch += 1,
+            DropReason::Lapped => self.lapped += 1,
+            DropReason::StaleEpoch => self.stale_epoch += 1,
+            DropReason::ForeignDevice => self.foreign_device += 1,
+            DropReason::ExcludedDevice => self.excluded_device += 1,
+            DropReason::UnexpectedUnit => self.unexpected_unit += 1,
+            DropReason::Duplicate => self.duplicate += 1,
+        }
+    }
+}
+
+/// Membership captured at epoch initiation: shared across every epoch
+/// issued under the same registration state (the memory win over the
+/// reference observer's per-epoch clones).
+#[derive(Debug)]
+struct Membership {
+    device_set: BTreeSet<u16>,
+    expected: BTreeSet<UnitId>,
+}
+
+/// Per-epoch assembly state: only what this epoch has actually seen.
+#[derive(Debug, Clone)]
+struct EpochAssembly {
+    membership: Arc<Membership>,
+    excluded: BTreeSet<u16>,
+    values: BTreeMap<UnitId, UnitOutcome>,
+    /// Running consistent-total, checked per arriving report; `None` once
+    /// it has overflowed u64 (the wraparound-totals consistency check).
+    running_total: Option<u64>,
+}
+
+impl EpochAssembly {
+    fn complete(&self) -> bool {
+        self.values.len() == self.membership.expected.len()
+    }
+}
+
+/// A report that survived the validate stage.
+#[derive(Debug, Clone, Copy)]
+struct Validated {
+    device: u16,
+    report: Report,
+}
+
+/// The staged snapshot observer. See the module docs for the stage
+/// diagram and the equivalence contract with the reference
+/// [`Observer`](crate::observer::Observer).
+#[derive(Debug, Clone)]
+pub struct PipelineObserver {
+    cfg: PipelineConfig,
+    devices: BTreeMap<u16, Vec<UnitId>>,
+    membership: Option<Arc<Membership>>,
+    next_epoch: Epoch,
+    assemblies: BTreeMap<Epoch, EpochAssembly>,
+    collect: VecDeque<(u16, Report)>,
+    validated: VecDeque<Validated>,
+    ready: VecDeque<Epoch>,
+    sealed: VecDeque<GlobalSnapshot>,
+    pending_values: usize,
+    finalized: u64,
+    stats: PipelineStats,
+}
+
+impl PipelineObserver {
+    /// Create a pipeline observer with no registered devices.
+    pub fn new(cfg: PipelineConfig) -> PipelineObserver {
+        assert!(cfg.observer.max_outstanding >= 1);
+        assert!(
+            cfg.observer.max_outstanding < cfg.observer.modulus,
+            "outstanding epochs must stay below the modulus (no-lapping)"
+        );
+        assert!(cfg.collect_capacity >= 1);
+        assert!(cfg.validated_capacity >= 1);
+        assert!(cfg.sealed_capacity >= 1);
+        PipelineObserver {
+            cfg,
+            devices: BTreeMap::new(),
+            membership: None,
+            next_epoch: 1,
+            assemblies: BTreeMap::new(),
+            collect: VecDeque::new(),
+            validated: VecDeque::new(),
+            ready: VecDeque::new(),
+            sealed: VecDeque::new(),
+            pending_values: 0,
+            finalized: 0,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Register a device and its expected units (§6 "Node attachment").
+    /// Participates starting with the next initiated snapshot.
+    pub fn register_device(&mut self, device: u16, units: Vec<UnitId>) {
+        self.devices.insert(device, units);
+        self.membership = None;
+    }
+
+    /// Remove a device. Pending epochs that expected it only finish via
+    /// [`PipelineObserver::force_finalize`].
+    pub fn detach_device(&mut self, device: u16) {
+        self.devices.remove(&device);
+        self.membership = None;
+    }
+
+    /// Registered device IDs.
+    pub fn device_ids(&self) -> impl Iterator<Item = u16> + '_ {
+        self.devices.keys().copied()
+    }
+
+    /// Epochs issued but not yet finalized.
+    pub fn outstanding(&self) -> usize {
+        self.assemblies.len()
+    }
+
+    /// Epochs currently pending, oldest first.
+    pub fn pending_epochs(&self) -> impl Iterator<Item = Epoch> + '_ {
+        self.assemblies.keys().copied()
+    }
+
+    /// Number of snapshots finalized so far.
+    pub fn finalized_count(&self) -> u64 {
+        self.finalized
+    }
+
+    /// Reports rejected for misattribution (parity with the reference
+    /// observer's counter).
+    pub fn misattributed_count(&self) -> u64 {
+        self.stats.misattributed
+    }
+
+    /// Pipeline counters and high-water marks.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// True when the collect queue is full: the embedding driver should
+    /// defer snapshot (re-)initiations until the pipeline drains.
+    pub fn backpressured(&self) -> bool {
+        self.collect.len() >= self.cfg.collect_capacity
+    }
+
+    fn membership_arc(&mut self) -> Arc<Membership> {
+        if let Some(m) = &self.membership {
+            return Arc::clone(m);
+        }
+        let m = Arc::new(Membership {
+            device_set: self.devices.keys().copied().collect(),
+            expected: self
+                .devices
+                .values()
+                .flat_map(|units| units.iter().copied())
+                .collect(),
+        });
+        self.membership = Some(Arc::clone(&m));
+        m
+    }
+
+    /// Issue the next snapshot epoch, or `None` at the no-lapping cap or
+    /// with no registered devices. Mirrors
+    /// [`Observer::begin_snapshot`](crate::observer::Observer::begin_snapshot).
+    pub fn begin_snapshot(&mut self) -> Option<Epoch> {
+        self.begin_snapshot_traced(&mut obs::NoopSink, 0)
+    }
+
+    /// [`PipelineObserver::begin_snapshot`] with trace emission
+    /// (`snap.initiate`, identical to the reference observer's).
+    pub fn begin_snapshot_traced<S: obs::Sink>(
+        &mut self,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Option<Epoch> {
+        if self.assemblies.len() >= usize::from(self.cfg.observer.max_outstanding) {
+            return None;
+        }
+        if self.devices.is_empty() {
+            return None;
+        }
+        let epoch = self.next_epoch;
+        // Checked-arithmetic policy (same as the reference observer): a
+        // wrapped epoch counter would alias wrapped snapshot IDs.
+        self.next_epoch = epoch.checked_add(1).unwrap_or_else(|| {
+            panic!("observer epoch counter overflow: next_epoch would exceed u64::MAX")
+        });
+        let membership = self.membership_arc();
+        obs::event!(
+            sink,
+            t_ns,
+            "snap.initiate",
+            epoch = epoch,
+            devices = membership.device_set.len(),
+            units = membership.expected.len(),
+        );
+        self.assemblies.insert(
+            epoch,
+            EpochAssembly {
+                membership,
+                excluded: BTreeSet::new(),
+                values: BTreeMap::new(),
+                running_total: Some(0),
+            },
+        );
+        Some(epoch)
+    }
+
+    /// Stage 1 (collect): enqueue one report. Returns `false` without
+    /// enqueueing when the collect queue is full — the backpressure
+    /// signal. The report is *not* validated here; that happens when the
+    /// validate stage pops it.
+    pub fn offer_report(&mut self, device: u16, report: Report) -> bool {
+        if self.collect.len() >= self.cfg.collect_capacity {
+            self.stats.backpressure_rejects += 1;
+            return false;
+        }
+        self.collect.push_back((device, report));
+        self.stats.offered += 1;
+        self.stats.peak_collect_depth = self.stats.peak_collect_depth.max(self.collect.len());
+        true
+    }
+
+    /// Stage 2 (validate): move reports from collect to the validated
+    /// queue, applying the per-arriving-report consistency checks.
+    /// Returns how many reports were popped.
+    pub fn pump_validate_traced<S: obs::Sink>(&mut self, sink: &mut S, t_ns: u64) -> usize {
+        let mut moved = 0;
+        while self.validated.len() < self.cfg.validated_capacity {
+            let Some((device, report)) = self.collect.pop_front() else {
+                break;
+            };
+            moved += 1;
+            match self.validate(device, &report) {
+                Ok(()) => {
+                    self.validated.push_back(Validated { device, report });
+                    self.stats.peak_validated_depth =
+                        self.stats.peak_validated_depth.max(self.validated.len());
+                }
+                Err(reason) => self.reject(reason, device, &report, sink, t_ns),
+            }
+        }
+        moved
+    }
+
+    fn validate(&self, device: u16, report: &Report) -> Result<(), DropReason> {
+        // Attribution: the delivering device must own the unit. Checked
+        // before anything else — a spoofed report is rejected regardless
+        // of epoch validity (mirrors the reference observer's fix).
+        if report.unit.device != device {
+            return Err(DropReason::Misattributed);
+        }
+        // No-lapping window: newest issued epoch is next_epoch - 1. A
+        // report at or beyond the modulus behind it could alias a wrapped
+        // ID; one beyond next_epoch was never issued at all.
+        let newest_issued = self.next_epoch.saturating_sub(1);
+        if report.epoch > newest_issued {
+            return Err(DropReason::FutureEpoch);
+        }
+        if newest_issued - report.epoch >= u64::from(self.cfg.observer.modulus) {
+            return Err(DropReason::Lapped);
+        }
+        let Some(assembly) = self.assemblies.get(&report.epoch) else {
+            return Err(DropReason::StaleEpoch);
+        };
+        if !assembly.membership.device_set.contains(&device) {
+            return Err(DropReason::ForeignDevice);
+        }
+        if assembly.excluded.contains(&device) {
+            return Err(DropReason::ExcludedDevice);
+        }
+        if !assembly.membership.expected.contains(&report.unit) {
+            return Err(DropReason::UnexpectedUnit);
+        }
+        Ok(())
+    }
+
+    fn reject<S: obs::Sink>(
+        &mut self,
+        reason: DropReason,
+        device: u16,
+        report: &Report,
+        sink: &mut S,
+        t_ns: u64,
+    ) {
+        self.stats.record_drop(reason);
+        match reason {
+            DropReason::Misattributed => {
+                obs::event!(
+                    sink,
+                    t_ns,
+                    "report.misattributed",
+                    dev = device,
+                    unit_dev = report.unit.device,
+                    epoch = report.epoch,
+                );
+            }
+            DropReason::Lapped => {
+                obs::event!(
+                    sink,
+                    t_ns,
+                    "report.lapped",
+                    dev = device,
+                    epoch = report.epoch,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Stage 3 (assemble): fold validated reports into their epoch
+    /// assemblies; completed epochs move to the ready queue. Returns how
+    /// many reports were folded.
+    pub fn pump_assemble(&mut self) -> usize {
+        let mut moved = 0;
+        while let Some(Validated { device, report }) = self.validated.pop_front() {
+            moved += 1;
+            // Re-check liveness and exclusion: the epoch may have been
+            // force-finalized (or the device excluded) while this report
+            // sat in the validated queue.
+            let Some(assembly) = self.assemblies.get_mut(&report.epoch) else {
+                self.stats.record_drop(DropReason::StaleEpoch);
+                continue;
+            };
+            if assembly.excluded.contains(&device) {
+                self.stats.record_drop(DropReason::ExcludedDevice);
+                continue;
+            }
+            if assembly.values.contains_key(&report.unit) {
+                self.stats.record_drop(DropReason::Duplicate);
+                continue;
+            }
+            let outcome: UnitOutcome = report.value.into();
+            // Wraparound-totals consistency check: maintain the running
+            // consistent-total per epoch, flagging u64 overflow the moment
+            // the offending report arrives (the sealed snapshot's total
+            // then saturates, matching the reference overflow policy).
+            if let Some(total) = assembly.running_total {
+                let next = match outcome {
+                    UnitOutcome::Value { local, channel } => total
+                        .checked_add(local)
+                        .and_then(|t| t.checked_add(channel)),
+                    UnitOutcome::Inferred { local } => total.checked_add(local),
+                    _ => Some(total),
+                };
+                if next.is_none() {
+                    self.stats.total_overflow += 1;
+                }
+                assembly.running_total = next;
+            }
+            assembly.values.insert(report.unit, outcome);
+            self.pending_values += 1;
+            self.stats.peak_pending_values =
+                self.stats.peak_pending_values.max(self.pending_values);
+            self.stats.accepted += 1;
+            if assembly.complete() {
+                self.ready.push_back(report.epoch);
+                self.stats.peak_ready_depth = self.stats.peak_ready_depth.max(self.ready.len());
+            }
+        }
+        moved
+    }
+
+    /// Stage 4 (finalize): seal completed epochs into the persist-hook
+    /// queue, emitting `obs.finalize`. Stalls (returns early) when the
+    /// sealed queue is full — snapshots are never dropped. Returns how
+    /// many snapshots were sealed.
+    pub fn pump_finalize_traced<S: obs::Sink>(&mut self, sink: &mut S, t_ns: u64) -> usize {
+        let mut sealed = 0;
+        while self.sealed.len() < self.cfg.sealed_capacity {
+            let Some(epoch) = self.ready.pop_front() else {
+                break;
+            };
+            let Some(snap) = self.seal(epoch) else {
+                continue; // force-finalized while queued
+            };
+            obs::event!(
+                sink,
+                t_ns,
+                "obs.finalize",
+                epoch = snap.epoch,
+                units = snap.units.len(),
+                excluded = snap.excluded.len(),
+                forced = false,
+            );
+            self.sealed.push_back(snap);
+            self.stats.peak_sealed_depth = self.stats.peak_sealed_depth.max(self.sealed.len());
+            sealed += 1;
+        }
+        sealed
+    }
+
+    /// Stage 5 (persist-hook): pop the oldest sealed snapshot. The
+    /// embedder's store — fabric instrumentation today, the snapshot
+    /// store subsystem later — attaches here.
+    pub fn take_finalized(&mut self) -> Option<GlobalSnapshot> {
+        self.sealed.pop_front()
+    }
+
+    /// Run every stage to quiescence. The synchronous embedding calls
+    /// this after each offer; staged embedders (the bench harness) drive
+    /// the per-stage pumps directly.
+    pub fn pump(&mut self) {
+        self.pump_traced(&mut obs::NoopSink, 0);
+    }
+
+    /// [`PipelineObserver::pump`] with trace emission.
+    pub fn pump_traced<S: obs::Sink>(&mut self, sink: &mut S, t_ns: u64) {
+        loop {
+            let mut progress = 0;
+            progress += self.pump_finalize_traced(sink, t_ns);
+            progress += self.pump_assemble();
+            progress += self.pump_validate_traced(sink, t_ns);
+            if progress == 0 {
+                break;
+            }
+        }
+    }
+
+    fn seal(&mut self, epoch: Epoch) -> Option<GlobalSnapshot> {
+        let a = self.assemblies.remove(&epoch)?;
+        self.finalized += 1;
+        self.pending_values -= a.values.len().min(self.pending_values);
+        Some(GlobalSnapshot {
+            epoch,
+            devices: &a.membership.device_set - &a.excluded,
+            excluded: a.excluded,
+            units: a.values,
+        })
+    }
+
+    /// Synchronous convenience mirroring
+    /// [`Observer::on_report`](crate::observer::Observer::on_report):
+    /// offer, pump to quiescence, and return the completed snapshot if
+    /// this report finished its epoch.
+    pub fn on_report(&mut self, device: u16, report: Report) -> Option<GlobalSnapshot> {
+        self.on_report_traced(device, report, &mut obs::NoopSink, 0)
+    }
+
+    /// [`PipelineObserver::on_report`] with trace emission.
+    pub fn on_report_traced<S: obs::Sink>(
+        &mut self,
+        device: u16,
+        report: Report,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Option<GlobalSnapshot> {
+        if !self.offer_report(device, report) {
+            // Total fallback: drain and retry rather than silently losing
+            // the report (the synchronous embedding never gets here — it
+            // pumps after every offer).
+            self.pump_traced(sink, t_ns);
+            if !self.offer_report(device, report) {
+                return None;
+            }
+        }
+        self.pump_traced(sink, t_ns);
+        self.take_finalized()
+    }
+
+    /// Units still missing for `epoch` (retry planning). Matches the
+    /// reference observer.
+    pub fn missing_units(&self, epoch: Epoch) -> Vec<UnitId> {
+        match self.assemblies.get(&epoch) {
+            Some(a) => a
+                .membership
+                .expected
+                .iter()
+                .filter(|u| !a.values.contains_key(u))
+                .copied()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Devices with at least one missing unit for `epoch`.
+    pub fn lagging_devices(&self, epoch: Epoch) -> BTreeSet<u16> {
+        self.missing_units(epoch).iter().map(|u| u.device).collect()
+    }
+
+    /// Timeout path, mirroring
+    /// [`Observer::force_finalize`](crate::observer::Observer::force_finalize):
+    /// exclude lagging devices and seal with what arrived.
+    pub fn force_finalize(&mut self, epoch: Epoch) -> Option<GlobalSnapshot> {
+        self.force_finalize_traced(epoch, &mut obs::NoopSink, 0)
+    }
+
+    /// [`PipelineObserver::force_finalize`] with trace emission: one
+    /// `snap.exclude` per timed-out device, then `obs.finalize` marked
+    /// `forced` and carrying the `discarded` delivered-value count.
+    ///
+    /// Forced finalization deliberately bypasses the ready/sealed queues:
+    /// a timeout decision must not itself be subject to persist
+    /// backpressure. Queued reports are pumped first so anything already
+    /// delivered is credited before the exclusion cut.
+    pub fn force_finalize_traced<S: obs::Sink>(
+        &mut self,
+        epoch: Epoch,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Option<GlobalSnapshot> {
+        // Pump validate + assemble only: anything already delivered is
+        // credited, but a concurrently-completed epoch stays in the ready
+        // queue (not the persist queue) so the forced path below can still
+        // claim it — sealing it forced with zero exclusions, which is the
+        // honest record of "the timeout fired after everything arrived".
+        loop {
+            let progress = self.pump_validate_traced(sink, t_ns) + self.pump_assemble();
+            if progress == 0 {
+                break;
+            }
+        }
+        let assembly = self.assemblies.get_mut(&epoch)?;
+        let lagging: BTreeSet<u16> = assembly
+            .membership
+            .expected
+            .iter()
+            .filter(|u| !assembly.values.contains_key(u))
+            .map(|u| u.device)
+            .collect();
+        for dev in &lagging {
+            assembly.excluded.insert(*dev);
+            obs::event!(sink, t_ns, "snap.exclude", epoch = epoch, dev = *dev);
+        }
+        // Exclusion policy (§6): an excluded device contributes nothing —
+        // values it did deliver are overwritten with DeviceExcluded, and
+        // the overwrite count is surfaced as `discarded` (never silent).
+        let expected: Vec<UnitId> = assembly.membership.expected.iter().copied().collect();
+        let mut discarded: u64 = 0;
+        for unit in expected {
+            if lagging.contains(&unit.device) {
+                match assembly.values.insert(unit, UnitOutcome::DeviceExcluded) {
+                    Some(prev) => {
+                        if prev != UnitOutcome::DeviceExcluded {
+                            discarded += 1;
+                        }
+                    }
+                    None => self.pending_values += 1,
+                }
+            }
+        }
+        self.stats.discarded_values += discarded;
+        self.stats.peak_pending_values = self.stats.peak_pending_values.max(self.pending_values);
+        // Drop the epoch from the ready queue if it completed concurrently
+        // (total: seal() below would return None for the second taker).
+        self.ready.retain(|e| *e != epoch);
+        let snap = self.seal(epoch)?;
+        obs::event!(
+            sink,
+            t_ns,
+            "obs.finalize",
+            epoch = snap.epoch,
+            units = snap.units.len(),
+            excluded = snap.excluded.len(),
+            forced = true,
+            discarded = discarded,
+        );
+        Some(snap)
+    }
+
+    /// Fold pipeline counters and high-water marks into a metrics
+    /// registry (gauges, so re-folding is idempotent).
+    pub fn fold_metrics(&self, m: &mut obs::metrics::Metrics) {
+        let s = &self.stats;
+        m.gauge_set("observer.pipeline.offered", s.offered);
+        m.gauge_set("observer.pipeline.accepted", s.accepted);
+        m.gauge_set(
+            "observer.pipeline.backpressure_rejects",
+            s.backpressure_rejects,
+        );
+        m.gauge_set("observer.pipeline.misattributed", s.misattributed);
+        m.gauge_set("observer.pipeline.duplicate", s.duplicate);
+        m.gauge_set("observer.pipeline.stale_epoch", s.stale_epoch);
+        m.gauge_set("observer.pipeline.discarded_values", s.discarded_values);
+        m.gauge_set(
+            "observer.pipeline.peak_collect_depth",
+            s.peak_collect_depth as u64,
+        );
+        m.gauge_set(
+            "observer.pipeline.peak_pending_values",
+            s.peak_pending_values as u64,
+        );
+    }
+}
+
+/// Either observer implementation behind one embedding-facing API. The
+/// fabric and the threaded emulation are generic over this so the
+/// conformance suite can run the same scenario under both and compare
+/// digests byte-for-byte.
+#[derive(Debug, Clone)]
+pub enum AnyObserver {
+    /// The monolithic reference implementation.
+    Reference(Observer),
+    /// The staged pipeline (boxed: its queues and stats make it an order
+    /// of magnitude larger than the reference variant).
+    Pipeline(Box<PipelineObserver>),
+}
+
+impl AnyObserver {
+    /// A reference observer.
+    pub fn reference(cfg: ObserverConfig) -> AnyObserver {
+        AnyObserver::Reference(Observer::new(cfg))
+    }
+
+    /// A pipeline observer with default queue capacities.
+    pub fn pipeline(cfg: PipelineConfig) -> AnyObserver {
+        AnyObserver::Pipeline(Box::new(PipelineObserver::new(cfg)))
+    }
+
+    /// True for the pipeline variant.
+    pub fn is_pipeline(&self) -> bool {
+        matches!(self, AnyObserver::Pipeline(_))
+    }
+
+    /// Register a device and its expected units.
+    pub fn register_device(&mut self, device: u16, units: Vec<UnitId>) {
+        match self {
+            AnyObserver::Reference(o) => o.register_device(device, units),
+            AnyObserver::Pipeline(p) => p.register_device(device, units),
+        }
+    }
+
+    /// Remove a device (failure handling): it stops being expected in
+    /// future epochs; in-flight epochs still list it as lagging until
+    /// forced finalization excludes it.
+    pub fn detach_device(&mut self, device: u16) {
+        match self {
+            AnyObserver::Reference(o) => o.detach_device(device),
+            AnyObserver::Pipeline(p) => p.detach_device(device),
+        }
+    }
+
+    /// Registered device IDs.
+    pub fn device_ids(&self) -> Vec<u16> {
+        match self {
+            AnyObserver::Reference(o) => o.device_ids().collect(),
+            AnyObserver::Pipeline(p) => p.device_ids().collect(),
+        }
+    }
+
+    /// Epochs issued but not yet finalized.
+    pub fn outstanding(&self) -> usize {
+        match self {
+            AnyObserver::Reference(o) => o.outstanding(),
+            AnyObserver::Pipeline(p) => p.outstanding(),
+        }
+    }
+
+    /// Epochs currently pending, oldest first.
+    pub fn pending_epochs(&self) -> Vec<Epoch> {
+        match self {
+            AnyObserver::Reference(o) => o.pending_epochs().collect(),
+            AnyObserver::Pipeline(p) => p.pending_epochs().collect(),
+        }
+    }
+
+    /// Number of snapshots finalized so far.
+    pub fn finalized_count(&self) -> u64 {
+        match self {
+            AnyObserver::Reference(o) => o.finalized_count(),
+            AnyObserver::Pipeline(p) => p.finalized_count(),
+        }
+    }
+
+    /// Reports rejected for misattribution.
+    pub fn misattributed_count(&self) -> u64 {
+        match self {
+            AnyObserver::Reference(o) => o.misattributed_count(),
+            AnyObserver::Pipeline(p) => p.misattributed_count(),
+        }
+    }
+
+    /// Issue the next snapshot epoch.
+    pub fn begin_snapshot(&mut self) -> Option<Epoch> {
+        self.begin_snapshot_traced(&mut obs::NoopSink, 0)
+    }
+
+    /// [`AnyObserver::begin_snapshot`] with trace emission.
+    pub fn begin_snapshot_traced<S: obs::Sink>(
+        &mut self,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Option<Epoch> {
+        match self {
+            AnyObserver::Reference(o) => o.begin_snapshot_traced(sink, t_ns),
+            AnyObserver::Pipeline(p) => p.begin_snapshot_traced(sink, t_ns),
+        }
+    }
+
+    /// Deliver one control-plane report.
+    pub fn on_report(&mut self, device: u16, report: Report) -> Option<GlobalSnapshot> {
+        self.on_report_traced(device, report, &mut obs::NoopSink, 0)
+    }
+
+    /// [`AnyObserver::on_report`] with trace emission.
+    pub fn on_report_traced<S: obs::Sink>(
+        &mut self,
+        device: u16,
+        report: Report,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Option<GlobalSnapshot> {
+        match self {
+            AnyObserver::Reference(o) => o.on_report_traced(device, report, sink, t_ns),
+            AnyObserver::Pipeline(p) => p.on_report_traced(device, report, sink, t_ns),
+        }
+    }
+
+    /// Units still missing for `epoch`.
+    pub fn missing_units(&self, epoch: Epoch) -> Vec<UnitId> {
+        match self {
+            AnyObserver::Reference(o) => o.missing_units(epoch),
+            AnyObserver::Pipeline(p) => p.missing_units(epoch),
+        }
+    }
+
+    /// Devices with at least one missing unit for `epoch`.
+    pub fn lagging_devices(&self, epoch: Epoch) -> BTreeSet<u16> {
+        match self {
+            AnyObserver::Reference(o) => o.lagging_devices(epoch),
+            AnyObserver::Pipeline(p) => p.lagging_devices(epoch),
+        }
+    }
+
+    /// Timeout path: exclude lagging devices and finalize.
+    pub fn force_finalize(&mut self, epoch: Epoch) -> Option<GlobalSnapshot> {
+        self.force_finalize_traced(epoch, &mut obs::NoopSink, 0)
+    }
+
+    /// [`AnyObserver::force_finalize`] with trace emission.
+    pub fn force_finalize_traced<S: obs::Sink>(
+        &mut self,
+        epoch: Epoch,
+        sink: &mut S,
+        t_ns: u64,
+    ) -> Option<GlobalSnapshot> {
+        match self {
+            AnyObserver::Reference(o) => o.force_finalize_traced(epoch, sink, t_ns),
+            AnyObserver::Pipeline(p) => p.force_finalize_traced(epoch, sink, t_ns),
+        }
+    }
+
+    /// Backpressure signal: `true` when the pipeline's collect queue is
+    /// full. The reference observer never backpressures.
+    pub fn backpressured(&self) -> bool {
+        match self {
+            AnyObserver::Reference(_) => false,
+            AnyObserver::Pipeline(p) => p.backpressured(),
+        }
+    }
+
+    /// Run pipeline stages to quiescence (no-op for the reference).
+    pub fn pump_traced<S: obs::Sink>(&mut self, sink: &mut S, t_ns: u64) {
+        if let AnyObserver::Pipeline(p) = self {
+            p.pump_traced(sink, t_ns);
+        }
+    }
+
+    /// Pipeline stats when running the pipeline variant.
+    pub fn pipeline_stats(&self) -> Option<&PipelineStats> {
+        match self {
+            AnyObserver::Reference(_) => None,
+            AnyObserver::Pipeline(p) => Some(p.stats()),
+        }
+    }
+
+    /// Fold implementation-specific metrics into a registry.
+    pub fn fold_metrics(&self, m: &mut obs::metrics::Metrics) {
+        if let AnyObserver::Pipeline(p) = self {
+            p.fold_metrics(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::ReportValue;
+
+    fn report(unit: UnitId, epoch: Epoch, local: u64) -> Report {
+        Report {
+            unit,
+            epoch,
+            value: ReportValue::Value { local, channel: 0 },
+        }
+    }
+
+    fn two_device_pipeline() -> PipelineObserver {
+        let mut p = PipelineObserver::new(PipelineConfig::for_modulus(8));
+        p.register_device(0, vec![UnitId::ingress(0, 0), UnitId::egress(0, 0)]);
+        p.register_device(1, vec![UnitId::ingress(1, 0), UnitId::egress(1, 0)]);
+        p
+    }
+
+    #[test]
+    fn synchronous_embedding_matches_reference_behavior() {
+        let mut p = two_device_pipeline();
+        assert_eq!(p.begin_snapshot(), Some(1));
+        assert!(p
+            .on_report(0, report(UnitId::ingress(0, 0), 1, 10))
+            .is_none());
+        assert!(p
+            .on_report(0, report(UnitId::egress(0, 0), 1, 11))
+            .is_none());
+        assert!(p
+            .on_report(1, report(UnitId::ingress(1, 0), 1, 12))
+            .is_none());
+        let snap = p
+            .on_report(1, report(UnitId::egress(1, 0), 1, 13))
+            .expect("final report completes the snapshot");
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.consistent_total(), 46);
+        assert_eq!(p.outstanding(), 0);
+        assert_eq!(p.finalized_count(), 1);
+        assert_eq!(p.stats().accepted, 4);
+        assert_eq!(p.stats().peak_pending_values, 4);
+    }
+
+    #[test]
+    fn backpressure_refuses_at_collect_capacity() {
+        let mut cfg = PipelineConfig::for_modulus(8);
+        cfg.collect_capacity = 2;
+        let mut p = PipelineObserver::new(cfg);
+        p.register_device(0, vec![UnitId::ingress(0, 0), UnitId::egress(0, 0)]);
+        p.begin_snapshot().unwrap();
+        assert!(!p.backpressured());
+        assert!(p.offer_report(0, report(UnitId::ingress(0, 0), 1, 1)));
+        assert!(p.offer_report(0, report(UnitId::egress(0, 0), 1, 2)));
+        assert!(p.backpressured(), "collect at capacity");
+        assert!(
+            !p.offer_report(0, report(UnitId::ingress(0, 0), 1, 3)),
+            "offer refused at capacity"
+        );
+        assert_eq!(p.stats().backpressure_rejects, 1);
+        p.pump();
+        assert!(!p.backpressured(), "pump drains the queue");
+        assert_eq!(p.take_finalized().map(|s| s.epoch), Some(1));
+    }
+
+    #[test]
+    fn staged_pumps_move_work_one_stage_at_a_time() {
+        let mut p = two_device_pipeline();
+        p.begin_snapshot().unwrap();
+        for (dev, unit) in [
+            (0, UnitId::ingress(0, 0)),
+            (0, UnitId::egress(0, 0)),
+            (1, UnitId::ingress(1, 0)),
+            (1, UnitId::egress(1, 0)),
+        ] {
+            assert!(p.offer_report(dev, report(unit, 1, 5)));
+        }
+        assert_eq!(p.stats().peak_collect_depth, 4);
+        assert_eq!(p.pump_validate_traced(&mut obs::NoopSink, 0), 4);
+        assert_eq!(p.pump_assemble(), 4);
+        assert_eq!(p.pump_finalize_traced(&mut obs::NoopSink, 0), 1);
+        let snap = p.take_finalized().expect("sealed snapshot available");
+        assert_eq!(snap.epoch, 1);
+        assert!(p.take_finalized().is_none());
+    }
+
+    #[test]
+    fn validate_rejects_misattributed_and_windows() {
+        let mut p = two_device_pipeline();
+        let mut sink = obs::sinks::RingSink::new(16);
+        p.begin_snapshot_traced(&mut sink, 0).unwrap();
+        // Misattributed: device 0 delivering device 1's unit.
+        assert!(p
+            .on_report_traced(0, report(UnitId::ingress(1, 0), 1, 9), &mut sink, 1)
+            .is_none());
+        assert_eq!(p.stats().misattributed, 1);
+        assert!(sink.events().any(|e| e.name == "report.misattributed"));
+        // Future epoch: never issued.
+        assert!(p
+            .on_report(0, report(UnitId::ingress(0, 0), 7, 9))
+            .is_none());
+        assert_eq!(p.stats().future_epoch, 1);
+        // Unexpected unit.
+        assert!(p
+            .on_report(0, report(UnitId::ingress(0, 9), 1, 9))
+            .is_none());
+        assert_eq!(p.stats().unexpected_unit, 1);
+        // The epoch still completes with the legitimate reports.
+        p.on_report(0, report(UnitId::ingress(0, 0), 1, 1));
+        p.on_report(0, report(UnitId::egress(0, 0), 1, 2));
+        p.on_report(1, report(UnitId::ingress(1, 0), 1, 3));
+        assert!(p.on_report(1, report(UnitId::egress(1, 0), 1, 4)).is_some());
+    }
+
+    #[test]
+    fn lapped_reports_are_rejected_and_traced() {
+        let mut cfg = PipelineConfig::for_modulus(4);
+        cfg.observer.max_outstanding = 1;
+        let mut p = PipelineObserver::new(cfg);
+        p.register_device(0, vec![UnitId::ingress(0, 0)]);
+        let mut sink = obs::sinks::RingSink::new(64);
+        for e in 1..=6u64 {
+            p.begin_snapshot_traced(&mut sink, 0).unwrap();
+            p.on_report(0, report(UnitId::ingress(0, 0), e, 1)).unwrap();
+        }
+        // Newest issued is 6; epoch 1 is 5 >= modulus(4) behind: lapped.
+        assert!(p
+            .on_report_traced(0, report(UnitId::ingress(0, 0), 1, 1), &mut sink, 9)
+            .is_none());
+        assert_eq!(p.stats().lapped, 1);
+        assert!(sink.events().any(|e| e.name == "report.lapped"));
+        // Epoch 4 is inside the window but finalized: a stale straggler.
+        assert!(p
+            .on_report(0, report(UnitId::ingress(0, 0), 4, 1))
+            .is_none());
+        assert_eq!(p.stats().stale_epoch, 1);
+    }
+
+    #[test]
+    fn duplicates_keep_first_value_and_are_counted() {
+        let mut p = PipelineObserver::new(PipelineConfig::for_modulus(8));
+        p.register_device(0, vec![UnitId::ingress(0, 0), UnitId::egress(0, 0)]);
+        p.begin_snapshot().unwrap();
+        p.on_report(0, report(UnitId::ingress(0, 0), 1, 10));
+        assert!(p
+            .on_report(0, report(UnitId::ingress(0, 0), 1, 99))
+            .is_none());
+        assert_eq!(p.stats().duplicate, 1);
+        let snap = p.on_report(0, report(UnitId::egress(0, 0), 1, 11)).unwrap();
+        assert_eq!(
+            snap.units[&UnitId::ingress(0, 0)],
+            UnitOutcome::Value {
+                local: 10,
+                channel: 0
+            }
+        );
+    }
+
+    #[test]
+    fn forced_finalize_counts_discarded_and_traces_exclusions() {
+        let mut p = two_device_pipeline();
+        let mut sink = obs::sinks::RingSink::new(16);
+        p.begin_snapshot_traced(&mut sink, 0).unwrap();
+        p.on_report(0, report(UnitId::ingress(0, 0), 1, 10));
+        p.on_report(0, report(UnitId::egress(0, 0), 1, 11));
+        p.on_report(1, report(UnitId::ingress(1, 0), 1, 12));
+        let snap = p.force_finalize_traced(1, &mut sink, 50).unwrap();
+        assert_eq!(snap.excluded, BTreeSet::from([1]));
+        assert_eq!(
+            snap.units[&UnitId::ingress(1, 0)],
+            UnitOutcome::DeviceExcluded
+        );
+        assert_eq!(p.stats().discarded_values, 1);
+        let ev = sink.events().find(|e| e.name == "obs.finalize").unwrap();
+        assert_eq!(ev.get("forced"), Some(&obs::Value::Bool(true)));
+        assert_eq!(ev.get("discarded").and_then(|v| v.as_u64()), Some(1));
+        assert!(sink.events().any(|e| e.name == "snap.exclude"));
+    }
+
+    #[test]
+    fn forced_finalize_credits_queued_reports_first() {
+        // A report sitting unprocessed in the collect queue when the
+        // timeout fires must be credited before the exclusion cut.
+        let mut p = two_device_pipeline();
+        p.begin_snapshot().unwrap();
+        p.on_report(0, report(UnitId::ingress(0, 0), 1, 10));
+        p.on_report(0, report(UnitId::egress(0, 0), 1, 11));
+        assert!(p.offer_report(1, report(UnitId::ingress(1, 0), 1, 12)));
+        assert!(p.offer_report(1, report(UnitId::egress(1, 0), 1, 13)));
+        // No pump: both of device 1's reports are still queued. The
+        // forced path pumps first, so the epoch actually completes clean.
+        let snap = p.force_finalize(1).expect("epoch seals");
+        assert!(snap.excluded.is_empty(), "queued reports were credited");
+        assert_eq!(snap.consistent_total(), 46);
+        assert_eq!(p.stats().discarded_values, 0);
+    }
+
+    #[test]
+    fn membership_is_shared_across_epochs_not_cloned() {
+        let mut p = two_device_pipeline();
+        let e1 = p.begin_snapshot().unwrap();
+        let e2 = p.begin_snapshot().unwrap();
+        let m1 = Arc::as_ptr(&p.assemblies[&e1].membership);
+        let m2 = Arc::as_ptr(&p.assemblies[&e2].membership);
+        assert_eq!(m1, m2, "same registration state ⇒ shared membership");
+        // Registration change rebuilds membership for later epochs only.
+        p.register_device(2, vec![UnitId::ingress(2, 0)]);
+        let e3 = p.begin_snapshot().unwrap();
+        let m3 = Arc::as_ptr(&p.assemblies[&e3].membership);
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn running_total_overflow_is_flagged_per_report() {
+        let mut p = PipelineObserver::new(PipelineConfig::for_modulus(8));
+        p.register_device(0, vec![UnitId::ingress(0, 0), UnitId::egress(0, 0)]);
+        p.begin_snapshot().unwrap();
+        p.on_report(0, report(UnitId::ingress(0, 0), 1, u64::MAX - 1));
+        assert_eq!(p.stats().total_overflow, 0);
+        let snap = p.on_report(0, report(UnitId::egress(0, 0), 1, 5)).unwrap();
+        assert_eq!(
+            p.stats().total_overflow,
+            1,
+            "flagged on the offending report"
+        );
+        assert_eq!(snap.consistent_total(), u64::MAX, "sealed total saturates");
+        assert_eq!(snap.checked_consistent_total(), None);
+    }
+
+    #[test]
+    fn sealed_queue_stalls_finalize_without_dropping() {
+        let mut cfg = PipelineConfig::for_modulus(8);
+        cfg.sealed_capacity = 1;
+        let mut p = PipelineObserver::new(cfg);
+        p.register_device(0, vec![UnitId::ingress(0, 0)]);
+        p.begin_snapshot().unwrap();
+        p.begin_snapshot().unwrap();
+        assert!(p.offer_report(0, report(UnitId::ingress(0, 0), 1, 1)));
+        assert!(p.offer_report(0, report(UnitId::ingress(0, 0), 2, 2)));
+        p.pump();
+        // Only one snapshot fits the sealed queue; the other epoch waits.
+        assert_eq!(p.stats().peak_sealed_depth, 1);
+        assert_eq!(p.take_finalized().map(|s| s.epoch), Some(1));
+        p.pump();
+        assert_eq!(p.take_finalized().map(|s| s.epoch), Some(2));
+        assert_eq!(p.finalized_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch counter overflow")]
+    fn epoch_counter_overflow_panics_with_context() {
+        let mut p = two_device_pipeline();
+        p.next_epoch = u64::MAX;
+        p.begin_snapshot();
+    }
+
+    #[test]
+    fn any_observer_delegates_to_both_variants() {
+        for mut any in [
+            AnyObserver::reference(ObserverConfig::for_modulus(8)),
+            AnyObserver::pipeline(PipelineConfig::for_modulus(8)),
+        ] {
+            any.register_device(0, vec![UnitId::ingress(0, 0)]);
+            assert_eq!(any.device_ids(), vec![0]);
+            let epoch = any.begin_snapshot().unwrap();
+            assert_eq!(any.pending_epochs(), vec![epoch]);
+            assert_eq!(any.outstanding(), 1);
+            assert_eq!(any.lagging_devices(epoch), BTreeSet::from([0]));
+            let snap = any
+                .on_report(0, report(UnitId::ingress(0, 0), epoch, 3))
+                .unwrap();
+            assert_eq!(snap.epoch, epoch);
+            assert_eq!(any.finalized_count(), 1);
+            assert!(!any.backpressured());
+        }
+    }
+}

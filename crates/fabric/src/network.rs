@@ -11,7 +11,8 @@ use netsim::sim::{Scheduler, World};
 use netsim::time::{Duration, Instant};
 use speedlight_core::consistency::{ConservationChecker, Delivery, DeliveryEvent};
 use speedlight_core::control::Report;
-use speedlight_core::observer::{GlobalSnapshot, Observer, ObserverConfig};
+use speedlight_core::observer::{GlobalSnapshot, ObserverConfig};
+use speedlight_core::pipeline::{AnyObserver, PipelineConfig};
 use speedlight_core::types::{ChannelId, Direction, Notification, UnitId, CPU_CHANNEL};
 use speedlight_core::{Epoch, WrappedId};
 use std::collections::BTreeMap;
@@ -297,8 +298,9 @@ pub struct Network {
     /// The switches.
     pub switches: Vec<Switch>,
     hosts: Vec<Host>,
-    /// The snapshot observer.
-    pub observer: Observer,
+    /// The snapshot observer (staged pipeline by default; the monolithic
+    /// reference via [`Network::use_reference_observer`]).
+    pub observer: AnyObserver,
     latency: LatencyModel,
     driver: DriverConfig,
     snapshot_cfg: SnapshotConfig,
@@ -409,7 +411,7 @@ impl Network {
                 considered_pair,
             ));
         }
-        let mut observer = Observer::new(ObserverConfig::for_modulus(snapshot_cfg.modulus));
+        let mut observer = AnyObserver::pipeline(PipelineConfig::for_modulus(snapshot_cfg.modulus));
         for sw in &switches {
             observer.register_device(sw.id, sw.unit_ids());
         }
@@ -467,6 +469,22 @@ impl Network {
     /// Install a PTP degradation schedule (adversarial scenarios).
     pub fn set_ptp_degradation(&mut self, deg: timesync::PtpDegradation) {
         self.ptp_deg = deg;
+    }
+
+    /// Swap in the monolithic reference observer (differential testing).
+    /// Must be called before any snapshot is initiated.
+    pub fn use_reference_observer(&mut self) {
+        assert_eq!(
+            self.observer.finalized_count() + self.observer.outstanding() as u64,
+            0,
+            "observer implementation must be chosen before the first snapshot"
+        );
+        let mut observer =
+            AnyObserver::reference(ObserverConfig::for_modulus(self.snapshot_cfg.modulus));
+        for sw in &self.switches {
+            observer.register_device(sw.id, sw.unit_ids());
+        }
+        self.observer = observer;
     }
 
     /// Install a notification-export fault on `sw` (adversarial scenarios).
@@ -579,6 +597,7 @@ impl Network {
         m.gauge_set("switch.keepalives_sent", keepalives);
         m.gauge_set("observer.finalized", self.observer.finalized_count());
         m.gauge_set("net.unroutable_drops", self.instr.unroutable_drops);
+        self.observer.fold_metrics(m);
     }
 
     /// The snapshot configuration.
@@ -1215,7 +1234,19 @@ impl World for Network {
             }
 
             NetEvent::ScheduleSnapshot => {
-                if let Some(epoch) = self
+                // Backpressure contract: a saturated collect queue means
+                // the observer cannot keep up with the reports already in
+                // flight — initiating another epoch would only deepen the
+                // backlog. Defer to the next period instead.
+                if self.observer.backpressured() {
+                    self.instr.metrics.inc("observer.backpressure_deferred");
+                    obs::event!(
+                        &mut self.instr.trace,
+                        now.as_nanos(),
+                        "obs.backpressure",
+                        stage = "collect",
+                    );
+                } else if let Some(epoch) = self
                     .observer
                     .begin_snapshot_traced(&mut self.instr.trace, now.as_nanos())
                 {
@@ -1223,7 +1254,7 @@ impl World for Network {
                     let target = now + self.driver.lead_time;
                     self.issued.insert(epoch, now);
                     self.last_issued_epoch = self.last_issued_epoch.max(epoch);
-                    let devices: Vec<u16> = self.observer.device_ids().collect();
+                    let devices: Vec<u16> = self.observer.device_ids();
                     self.fan_out_initiations(epoch, target, &devices, sched, now);
                 }
                 if let Some(period) = self.driver.snapshot_period {
@@ -1514,7 +1545,13 @@ impl World for Network {
             }
 
             NetEvent::ObserverTick => {
-                let pending: Vec<Epoch> = self.observer.pending_epochs().collect();
+                // Maintenance begins by pumping the pipeline stages to
+                // quiescence (a no-op for the synchronous embedding and
+                // the reference observer) so timeout decisions below are
+                // made against fully-folded state.
+                self.observer
+                    .pump_traced(&mut self.instr.trace, now.as_nanos());
+                let pending: Vec<Epoch> = self.observer.pending_epochs();
                 // Initiations are cumulative (an initiation for epoch E
                 // advances a unit past every epoch < E), so re-initiating
                 // only the *newest* overdue epoch suffices for liveness —
@@ -1551,7 +1588,14 @@ impl World for Network {
                         .get(&epoch)
                         .map(|t| now.saturating_since(*t) >= self.driver.retry_timeout)
                         .unwrap_or(true);
-                    if paced {
+                    // Re-initiations are deferred under backpressure for
+                    // the same reason as initiations: they fan out more
+                    // reports toward an already-saturated collect queue.
+                    // Timeouts above still fire — liveness must not
+                    // depend on the pipeline draining.
+                    if self.observer.backpressured() {
+                        self.instr.metrics.inc("observer.backpressure_deferred");
+                    } else if paced {
                         let lagging: Vec<u16> =
                             self.observer.lagging_devices(epoch).into_iter().collect();
                         if !lagging.is_empty() {
@@ -1628,7 +1672,7 @@ impl World for Network {
 
             NetEvent::KeepaliveTick => {
                 if self.snapshot_cfg.channel_state {
-                    let oldest_pending = self.observer.pending_epochs().next();
+                    let oldest_pending = self.observer.pending_epochs().into_iter().next();
                     if let Some(oldest) = oldest_pending {
                         let stale = self
                             .issued

@@ -33,6 +33,9 @@ pub struct TestbedConfig {
     pub queue_capacity_bytes: u64,
     /// Master seed (all randomness derives from it).
     pub seed: u64,
+    /// Run the monolithic reference observer instead of the staged
+    /// pipeline (differential/equivalence testing).
+    pub reference_observer: bool,
 }
 
 impl TestbedConfig {
@@ -46,6 +49,7 @@ impl TestbedConfig {
             driver: DriverConfig::default(),
             queue_capacity_bytes: 300_000, // ~200 MTU packets
             seed: 0xC0FFEE,
+            reference_observer: false,
         }
     }
 }
@@ -61,7 +65,7 @@ pub struct Testbed {
 impl Testbed {
     /// Build a testbed over `topo` and start the driver loops.
     pub fn new(topo: Topology, cfg: TestbedConfig) -> Testbed {
-        let network = Network::new(
+        let mut network = Network::new(
             topo,
             cfg.snapshot,
             cfg.lb,
@@ -70,6 +74,9 @@ impl Testbed {
             cfg.queue_capacity_bytes,
             cfg.seed,
         );
+        if cfg.reference_observer {
+            network.use_reference_observer();
+        }
         let mut sim = Simulation::new(network);
         sim.schedule_at(Instant::ZERO, NetEvent::ObserverTick);
         if cfg.driver.keepalive_period.is_some() {
