@@ -1,34 +1,47 @@
 //! End-to-end DES throughput harness with a machine-readable output.
 //!
-//! Runs a fig9-scale scenario (the paper's 2×2 leaf-spine testbed under
-//! dense all-to-all Poisson traffic with periodic channel-state snapshots)
-//! and emits `BENCH_netsim.json`: events/sec, wall-clock, events
+//! Runs a fig9-scale scenario (dense all-to-all Poisson traffic with
+//! periodic channel-state snapshots) on a selectable topology and shard
+//! count, and emits `BENCH_netsim.json`: events/sec, wall-clock, events
 //! dispatched, seed, and a deterministic digest of the completed snapshots
 //! so a queue/hot-path change can prove it altered nothing observable.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_netsim -- [options]
 //!   --scenario fig9|smoke     scenario scale (default fig9)
+//!   --topology <spec>         leaf_spine (the paper's 2x2x3 testbed,
+//!                             default) or fat_tree:<k> (even k >= 2)
+//!   --shards <usize>          simulation shard count (default 1: the
+//!                             serial Testbed; >= 2 runs the sharded
+//!                             runtime — the snapshot digest is
+//!                             shard-count-invariant by construction)
 //!   --seed <u64>              master seed (default 9)
-//!   --trials <usize>          trials to run in parallel (default 1);
-//!                             events/sec is the median, and every trial's
-//!                             snapshot digest must agree
+//!   --trials <usize>          measured trials (default 1). One extra
+//!                             warm-up trial always runs first and is
+//!                             excluded from every timing statistic;
+//!                             median/min/stddev cover measured trials
+//!                             only. Every trial's digest must agree.
 //!   --out <path>              output JSON (default BENCH_netsim.json)
 //!   --baseline <path>         embed speedup vs a previous run's JSON
 //!   --check <path>            validate <path>'s schema and fail if this
 //!                             run regresses >threshold below it
 //!   --threshold <f64>         regression threshold for --check (default 0.30)
-//!   --metrics-out <path>      obs metrics JSON from trial 0, plus the
-//!                             measured throughput as a gauge
-//!                             (default BENCH_netsim_metrics.json)
+//!   --expect-digest <hex>     fail unless the snapshot digest equals
+//!                             this value (shard-equivalence gating)
+//!   --metrics-out <path>      obs metrics JSON from the warm-up trial,
+//!                             plus the measured throughput (and, when
+//!                             sharded, shard.count/windows/messages)
+//!                             as gauges (default BENCH_netsim_metrics.json)
 //! ```
 //!
-//! With `SPEEDLIGHT_TRACE=<path>` in the environment, trial 0 runs with
-//! the JSONL trace sink enabled and its trace is written to `<path>`
-//! (inspect it with the `speedlight-trace` binary). Tracing perturbs
-//! trial 0's wall clock, so leave it unset when measuring.
+//! With `SPEEDLIGHT_TRACE=<path>` in the environment, the warm-up trial
+//! runs with the JSONL trace sink enabled and its trace is written to
+//! `<path>` (inspect it with the `speedlight-trace` binary). Because
+//! tracing rides the warm-up trial, it never perturbs a measured wall
+//! clock.
 
 use fabric::network::DriverConfig;
+use fabric::shard::{PartitionHint, ShardedTestbed};
 use fabric::switchmod::SnapshotConfig;
 use fabric::testbed::{Testbed, TestbedConfig};
 use fabric::topology::Topology;
@@ -66,8 +79,66 @@ impl Scenario {
     }
 }
 
+/// Benchmark topology axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TopoChoice {
+    /// The paper's 2x2 leaf-spine testbed with 3 hosts per leaf.
+    LeafSpine,
+    /// A k-ary fat tree (even k): 5k²/4 switches, k³/4 hosts.
+    FatTree(u16),
+}
+
+impl TopoChoice {
+    fn parse(spec: &str) -> TopoChoice {
+        if spec == "leaf_spine" {
+            return TopoChoice::LeafSpine;
+        }
+        if let Some(k) = spec.strip_prefix("fat_tree:") {
+            let k: u16 = k
+                .parse()
+                .unwrap_or_else(|_| panic!("bad fat-tree arity in {spec:?}"));
+            return TopoChoice::FatTree(k);
+        }
+        panic!("unknown topology {spec:?} (leaf_spine|fat_tree:<k>)");
+    }
+
+    fn name(self) -> String {
+        match self {
+            TopoChoice::LeafSpine => "leaf_spine".into(),
+            TopoChoice::FatTree(k) => format!("fat_tree:{k}"),
+        }
+    }
+
+    fn build(self) -> Topology {
+        match self {
+            TopoChoice::LeafSpine => Topology::leaf_spine(2, 2, 3),
+            TopoChoice::FatTree(k) => Topology::fat_tree(k),
+        }
+    }
+
+    fn hint(self) -> PartitionHint {
+        match self {
+            TopoChoice::LeafSpine => PartitionHint::LeafSpine { leaves: 2 },
+            TopoChoice::FatTree(k) => PartitionHint::FatTree { k },
+        }
+    }
+
+    /// Per-host offered load. The fat tree hosts many more sources than
+    /// the 6-host leaf-spine, so each is driven more gently to keep the
+    /// benchmark in the hundreds-of-thousands-of-events regime per
+    /// simulated millisecond rather than the tens of millions.
+    fn pps_per_host(self) -> f64 {
+        match self {
+            TopoChoice::LeafSpine => 600_000.0,
+            TopoChoice::FatTree(_) => 100_000.0,
+        }
+    }
+}
+
 struct Measurement {
     scenario: Scenario,
+    topology: TopoChoice,
+    shards: usize,
     seed: u64,
     sim_time_s: f64,
     wall_clock_s: f64,
@@ -81,11 +152,7 @@ struct Measurement {
     trace_lines: Vec<String>,
 }
 
-/// Build the fig9-scale testbed: channel-state snapshots every 4 ms on the
-/// 2×2 leaf-spine under 600k pps all-to-all Poisson traffic (mirrors
-/// `experiments::fig9`'s channel-state variant).
-fn build(seed: u64) -> Testbed {
-    let topo = Topology::leaf_spine(2, 2, 3);
+fn config(seed: u64) -> TestbedConfig {
     let snapshot = SnapshotConfig {
         modulus: 512,
         channel_state: true,
@@ -98,88 +165,181 @@ fn build(seed: u64) -> Testbed {
         snapshot_period: Some(Duration::from_millis(4)),
         ..DriverConfig::default()
     };
-    let num_hosts = topo.num_hosts();
-    let mut tb = Testbed::new(topo, cfg);
-    for h in 0..num_hosts {
-        let dsts: Vec<u32> = (0..num_hosts).filter(|&d| d != h).collect();
-        tb.set_source(
-            h,
-            Instant::ZERO,
-            Box::new(
-                PoissonSource::new(
-                    h,
-                    dsts,
-                    600_000.0,
-                    Dist::constant(700.0),
-                    seed ^ u64::from(h),
-                )
-                .flows_per_dst(8),
-            ),
-        );
-    }
-    tb
+    cfg
 }
 
-fn run(scenario: Scenario, seed: u64, trace: bool) -> Measurement {
-    let mut tb = build(seed);
+fn source_for(host: u32, num_hosts: u32, pps: f64, seed: u64) -> Box<PoissonSource> {
+    let dsts: Vec<u32> = (0..num_hosts).filter(|&d| d != host).collect();
+    Box::new(
+        PoissonSource::new(
+            host,
+            dsts,
+            pps,
+            Dist::constant(700.0),
+            seed ^ u64::from(host),
+        )
+        .flows_per_dst(8),
+    )
+}
+
+/// Either execution engine behind one surface: `--shards 1` is the serial
+/// [`Testbed`] (the committed-baseline path), `--shards >= 2` the sharded
+/// runtime. Both replay the identical scenario, and the digest below is
+/// engine- and shard-count-invariant.
+enum Bed {
+    Serial(Box<Testbed>),
+    Sharded(Box<ShardedTestbed>),
+}
+
+fn build(topology: TopoChoice, shards: usize, seed: u64) -> Bed {
+    let topo = topology.build();
+    let cfg = config(seed);
+    let num_hosts = topo.num_hosts();
+    let pps = topology.pps_per_host();
+    if shards <= 1 {
+        let mut tb = Testbed::new(topo, cfg);
+        for h in 0..num_hosts {
+            tb.set_source(h, Instant::ZERO, source_for(h, num_hosts, pps, seed));
+        }
+        Bed::Serial(Box::new(tb))
+    } else {
+        let mut tb = ShardedTestbed::new(topo, cfg, topology.hint(), shards);
+        for h in 0..num_hosts {
+            tb.set_source(h, Instant::ZERO, source_for(h, num_hosts, pps, seed));
+        }
+        Bed::Sharded(Box::new(tb))
+    }
+}
+
+fn run(
+    scenario: Scenario,
+    topology: TopoChoice,
+    shards: usize,
+    seed: u64,
+    trace: bool,
+) -> Measurement {
+    let mut bed = build(topology, shards, seed);
     if trace {
-        tb.enable_trace();
+        match &mut bed {
+            Bed::Serial(tb) => tb.enable_trace(),
+            Bed::Sharded(tb) => tb.enable_trace(),
+        }
     }
     let horizon = scenario.sim_horizon();
     let start = WallInstant::now();
-    tb.run_until(Instant::ZERO + horizon);
+    match &mut bed {
+        Bed::Serial(tb) => {
+            tb.run_until(Instant::ZERO + horizon);
+        }
+        Bed::Sharded(tb) => {
+            tb.run_until(Instant::ZERO + horizon);
+        }
+    }
     let wall = start.elapsed();
 
-    let events = tb.events_dispatched();
     let mut h = parfan::digest::Fnv64::new();
-    for rec in tb.snapshots() {
-        h.update(&rec.snapshot.epoch.to_le_bytes());
-        h.update(&rec.snapshot.consistent_total().to_le_bytes());
-        h.update(&[u8::from(rec.forced)]);
-        h.write_u64(rec.snapshot.excluded.len() as u64);
-        h.write_u64(rec.snapshot.units.len() as u64);
-        h.write_u64(rec.completed_at.as_nanos());
-    }
+    let (events, snapshots_completed, forced, host_rx, metrics, trace_lines) = match &mut bed {
+        Bed::Serial(tb) => {
+            for rec in tb.snapshots() {
+                digest_record(&mut h, rec);
+            }
+            (
+                tb.events_dispatched(),
+                tb.snapshots().len(),
+                tb.snapshots().iter().filter(|r| r.forced).count(),
+                tb.network().instr.host_rx.iter().sum::<u64>(),
+                tb.network_mut().take_metrics(),
+                tb.take_trace_lines(),
+            )
+        }
+        Bed::Sharded(tb) => {
+            for rec in tb.snapshots() {
+                digest_record(&mut h, rec);
+            }
+            let stats = tb.shard_stats();
+            let mut metrics = tb.take_metrics();
+            metrics.gauge_set("shard.count", tb.num_shards() as u64);
+            metrics.gauge_set("shard.windows", stats.windows);
+            metrics.gauge_set("shard.messages", stats.messages);
+            (
+                tb.events_dispatched(),
+                tb.snapshots().len(),
+                tb.snapshots().iter().filter(|r| r.forced).count(),
+                tb.host_rx().iter().sum::<u64>(),
+                metrics,
+                tb.take_trace_lines(),
+            )
+        }
+    };
     let digest = h.finish();
     let wall_s = wall.as_secs_f64();
     Measurement {
         scenario,
+        topology,
+        shards,
         seed,
         sim_time_s: horizon.as_secs_f64(),
         wall_clock_s: wall_s,
         events_dispatched: events,
         events_per_sec: events as f64 / wall_s.max(1e-9),
-        snapshots_completed: tb.snapshots().len(),
-        forced_snapshots: tb.snapshots().iter().filter(|r| r.forced).count(),
-        host_packets_delivered: tb.network().instr.host_rx.iter().sum(),
+        snapshots_completed,
+        forced_snapshots: forced,
+        host_packets_delivered: host_rx,
         snapshot_digest: digest,
-        metrics: tb.network_mut().take_metrics(),
-        trace_lines: tb.take_trace_lines(),
+        metrics,
+        trace_lines,
     }
 }
 
-/// Aggregate of `--trials` runs of the same seeded scenario.
+fn digest_record(h: &mut parfan::digest::Fnv64, rec: &fabric::network::SnapshotRecord) {
+    h.update(&rec.snapshot.epoch.to_le_bytes());
+    h.update(&rec.snapshot.consistent_total().to_le_bytes());
+    h.update(&[u8::from(rec.forced)]);
+    h.write_u64(rec.snapshot.excluded.len() as u64);
+    h.write_u64(rec.snapshot.units.len() as u64);
+    h.write_u64(rec.completed_at.as_nanos());
+}
+
+/// Aggregate of `--trials` measured runs (plus one discarded warm-up).
 struct Report {
     trials: usize,
     events_per_sec_min: f64,
     wall_clock_stddev_s: f64,
-    /// Representative measurement: deterministic fields from trial 0, wall
-    /// clock and events/sec replaced by the across-trial medians (so
-    /// `events_per_sec` — the field `--check` gates on — is the median).
+    /// Representative measurement: deterministic fields (and the warm-up
+    /// trial's metrics/trace), wall clock and events/sec replaced by the
+    /// across-measured-trial medians (so `events_per_sec` — the field
+    /// `--check` gates on — is the median over measured trials only).
     m: Measurement,
 }
 
-fn run_trials(scenario: Scenario, seed: u64, trials: usize, trace: bool) -> Report {
-    let idx: Vec<usize> = (0..trials.max(1)).collect();
+fn run_trials(
+    scenario: Scenario,
+    topology: TopoChoice,
+    shards: usize,
+    seed: u64,
+    trials: usize,
+    trace: bool,
+) -> Report {
+    // Trial 0 is the warm-up: it pays the first-touch costs (page faults,
+    // allocator growth, branch-predictor training) and is excluded from
+    // every timing statistic. Tracing also rides it, so measured trials
+    // never carry the sink overhead.
+    let idx: Vec<usize> = (0..trials.max(1) + 1).collect();
     let mut ms = parfan::map_labeled(
         &idx,
-        |_, &t| format!("bench trial {t} scenario={} seed={seed}", scenario.name()),
-        // Only trial 0 traces: the sink changes wall clock, never results.
-        |_, &t| run(scenario, seed, trace && t == 0),
+        |_, &t| {
+            let kind = if t == 0 { "warm-up" } else { "measured" };
+            format!(
+                "bench {kind} trial {t} scenario={} topology={} shards={shards} seed={seed}",
+                scenario.name(),
+                topology.name(),
+            )
+        },
+        |_, &t| run(scenario, topology, shards, seed, trace && t == 0),
     );
-    // Every trial replays the same seeded scenario, so digests and event
-    // counts must agree bit for bit; a disagreement is a real determinism
-    // bug, not measurement noise.
+    // Every trial (warm-up included) replays the same seeded scenario, so
+    // digests and event counts must agree bit for bit; a disagreement is a
+    // real determinism bug, not measurement noise.
     for (t, m) in ms.iter().enumerate() {
         assert_eq!(
             (m.snapshot_digest, m.events_dispatched),
@@ -187,13 +347,13 @@ fn run_trials(scenario: Scenario, seed: u64, trials: usize, trace: bool) -> Repo
             "trial {t} diverged from trial 0: the simulation is not deterministic"
         );
     }
-    let eps: Vec<f64> = ms.iter().map(|m| m.events_per_sec).collect();
-    let walls: Vec<f64> = ms.iter().map(|m| m.wall_clock_s).collect();
+    let eps: Vec<f64> = ms.iter().skip(1).map(|m| m.events_per_sec).collect();
+    let walls: Vec<f64> = ms.iter().skip(1).map(|m| m.wall_clock_s).collect();
     let mut m = ms.swap_remove(0);
     m.events_per_sec = sim_stats::percentile(&eps, 0.5);
     m.wall_clock_s = sim_stats::percentile(&walls, 0.5);
     Report {
-        trials: idx.len(),
+        trials: eps.len(),
         events_per_sec_min: eps.iter().copied().fold(f64::INFINITY, f64::min),
         wall_clock_stddev_s: if walls.len() > 1 {
             sim_stats::std_dev(&walls)
@@ -209,6 +369,8 @@ fn render_json(r: &Report, baseline_eps: Option<f64>) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"speedlight-bench-netsim/v1\",\n");
     out.push_str(&format!("  \"scenario\": \"{}\",\n", m.scenario.name()));
+    out.push_str(&format!("  \"topology\": \"{}\",\n", m.topology.name()));
+    out.push_str(&format!("  \"shards\": {},\n", m.shards));
     out.push_str(&format!("  \"seed\": {},\n", m.seed));
     out.push_str(&format!("  \"sim_time_s\": {},\n", m.sim_time_s));
     out.push_str(&format!("  \"wall_clock_s\": {:.6},\n", m.wall_clock_s));
@@ -269,7 +431,9 @@ fn json_field<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// Validate that `doc` carries the v1 schema with sane field types.
-/// Returns the baseline events/sec on success.
+/// Returns the baseline events/sec on success. The `topology`/`shards`
+/// fields are additive (absent in pre-axis baselines), so they are not
+/// required here.
 fn validate_schema(doc: &str) -> Result<f64, String> {
     let schema = json_field(doc, "schema").ok_or("missing \"schema\" field")?;
     if schema != "speedlight-bench-netsim/v1" {
@@ -299,12 +463,15 @@ fn validate_schema(doc: &str) -> Result<f64, String> {
 
 fn main() -> ExitCode {
     let mut scenario = Scenario::Fig9;
+    let mut topology = TopoChoice::LeafSpine;
+    let mut shards: usize = 1;
     let mut seed: u64 = 9;
     let mut trials: usize = 1;
     let mut out_path = String::from("BENCH_netsim.json");
     let mut metrics_out_path = String::from("BENCH_netsim_metrics.json");
     let mut baseline_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut expect_digest: Option<u64> = None;
     let mut threshold: f64 = 0.30;
     let trace_path = std::env::var("SPEEDLIGHT_TRACE").ok();
 
@@ -322,6 +489,11 @@ fn main() -> ExitCode {
                     other => panic!("unknown scenario {other:?} (fig9|smoke)"),
                 }
             }
+            "--topology" => topology = TopoChoice::parse(&value("--topology")),
+            "--shards" => {
+                shards = value("--shards").parse().expect("--shards takes a usize");
+                assert!(shards >= 1, "--shards must be at least 1");
+            }
             "--seed" => seed = value("--seed").parse().expect("--seed takes a u64"),
             "--trials" => {
                 trials = value("--trials").parse().expect("--trials takes a usize");
@@ -331,6 +503,12 @@ fn main() -> ExitCode {
             "--metrics-out" => metrics_out_path = value("--metrics-out"),
             "--baseline" => baseline_path = Some(value("--baseline")),
             "--check" => check_path = Some(value("--check")),
+            "--expect-digest" => {
+                let raw = value("--expect-digest");
+                expect_digest = Some(u64::from_str_radix(&raw, 16).unwrap_or_else(|_| {
+                    panic!("--expect-digest takes 16 hex digits, got {raw:?}")
+                }));
+            }
             "--threshold" => {
                 threshold = value("--threshold")
                     .parse()
@@ -340,13 +518,22 @@ fn main() -> ExitCode {
         }
     }
 
-    let r = run_trials(scenario, seed, trials, trace_path.is_some());
+    let r = run_trials(
+        scenario,
+        topology,
+        shards,
+        seed,
+        trials,
+        trace_path.is_some(),
+    );
     let m = &r.m;
     eprintln!(
-        "scenario={} seed={} trials={} events={} wall={:.3}s (stddev {:.3}s) \
-         throughput={:.0} events/s (median; min {:.0}) snapshots={} (forced {}) \
-         digest={:016x}",
+        "scenario={} topology={} shards={} seed={} trials={} (+1 warm-up) events={} \
+         wall={:.3}s (stddev {:.3}s) throughput={:.0} events/s (median; min {:.0}) \
+         snapshots={} (forced {}) digest={:016x}",
         m.scenario.name(),
+        m.topology.name(),
+        m.shards,
         m.seed,
         r.trials,
         m.events_dispatched,
@@ -359,6 +546,18 @@ fn main() -> ExitCode {
         m.snapshot_digest,
     );
 
+    if let Some(want) = expect_digest {
+        if m.snapshot_digest != want {
+            eprintln!(
+                "digest check FAILED: got {:016x}, expected {want:016x} \
+                 (shard-equivalence violation)",
+                m.snapshot_digest
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("digest check ok: {want:016x}");
+    }
+
     let baseline_eps = baseline_path.map(|p| {
         let doc =
             std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
@@ -369,8 +568,10 @@ fn main() -> ExitCode {
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 
-    // Trial 0's obs metrics, with the measured throughput folded in as a
-    // gauge (truncated to u64: the registry is float-free by design).
+    // The warm-up trial's obs metrics, with the measured throughput folded
+    // in as a gauge (truncated to u64: the registry is float-free by
+    // design). Shard gauges (count/windows/messages) ride along when the
+    // sharded engine ran.
     let mut metrics = r.m.metrics.clone();
     metrics.gauge_set("bench.events_per_sec", m.events_per_sec as u64);
     metrics.gauge_set("bench.events_dispatched", m.events_dispatched);

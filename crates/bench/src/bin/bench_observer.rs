@@ -17,9 +17,12 @@
 //! cargo run --release -p bench --bin bench_observer -- [options]
 //!   --scenario full|smoke     10⁶ channels (default) or 10⁵ for CI
 //!   --seed <u64>              delivery-order seed (default 9)
-//!   --trials <usize>          trials to run in parallel (default 1);
-//!                             reports/sec is the median, and every
-//!                             trial's snapshot digest must agree
+//!   --trials <usize>          measured trials (default 1). One extra
+//!                             warm-up trial always runs first and is
+//!                             excluded from every timing statistic;
+//!                             reports/sec is the median over measured
+//!                             trials only, and every trial's snapshot
+//!                             digest must agree
 //!   --out <path>              output JSON (default BENCH_observer.json)
 //!   --baseline <path>         embed speedup vs a previous run's JSON
 //!   --check <path>            validate <path>'s schema and fail if this
@@ -245,7 +248,7 @@ fn run(scenario: Scenario, seed: u64) -> Measurement {
     }
 }
 
-/// Aggregate of `--trials` runs of the same seeded scenario.
+/// Aggregate of `--trials` measured runs (plus one discarded warm-up).
 struct BenchReport {
     trials: usize,
     reports_per_sec_min: f64,
@@ -254,12 +257,17 @@ struct BenchReport {
 }
 
 fn run_trials(scenario: Scenario, seed: u64, trials: usize) -> BenchReport {
-    let idx: Vec<usize> = (0..trials.max(1)).collect();
+    // Trial 0 is a warm-up: it pays the first-touch costs (page faults,
+    // allocator growth, branch-predictor training) and is excluded from
+    // every timing statistic — median/min/stddev cover measured trials
+    // only. It still participates in the determinism check below.
+    let idx: Vec<usize> = (0..trials.max(1) + 1).collect();
     let mut ms = parfan::map_labeled(
         &idx,
         |_, &t| {
+            let kind = if t == 0 { "warm-up" } else { "measured" };
             format!(
-                "bench_observer trial {t} scenario={} seed={seed}",
+                "bench_observer {kind} trial {t} scenario={} seed={seed}",
                 scenario.name()
             )
         },
@@ -275,13 +283,13 @@ fn run_trials(scenario: Scenario, seed: u64, trials: usize) -> BenchReport {
             "trial {t} diverged from trial 0: the observer is not deterministic"
         );
     }
-    let rps: Vec<f64> = ms.iter().map(|m| m.reports_per_sec).collect();
-    let walls: Vec<f64> = ms.iter().map(|m| m.wall_clock_s).collect();
+    let rps: Vec<f64> = ms.iter().skip(1).map(|m| m.reports_per_sec).collect();
+    let walls: Vec<f64> = ms.iter().skip(1).map(|m| m.wall_clock_s).collect();
     let mut m = ms.swap_remove(0);
     m.reports_per_sec = sim_stats::percentile(&rps, 0.5);
     m.wall_clock_s = sim_stats::percentile(&walls, 0.5);
     BenchReport {
-        trials: idx.len(),
+        trials: rps.len(),
         reports_per_sec_min: rps.iter().copied().fold(f64::INFINITY, f64::min),
         wall_clock_stddev_s: if walls.len() > 1 {
             sim_stats::std_dev(&walls)
@@ -454,7 +462,7 @@ fn main() -> ExitCode {
     let r = run_trials(scenario, seed, trials);
     let m = &r.m;
     eprintln!(
-        "scenario={} seed={} trials={} reports={} wall={:.3}s (stddev {:.3}s) \
+        "scenario={} seed={} trials={} (+1 warm-up) reports={} wall={:.3}s (stddev {:.3}s) \
          throughput={:.0} reports/s (median; min {:.0}; reference {:.0}) \
          sealed={} backpressure={} digest={:016x}",
         m.scenario.name(),

@@ -300,6 +300,154 @@ fn run_fabric_inner(
     )
 }
 
+/// Run the scenario on the sharded fabric engine with `shards` shards,
+/// returning the substrate run plus the golden trace lines. Mirrors
+/// [`run_fabric`] minus the omniscient conservation audit (the audit is a
+/// serial-engine instrument; the oracle's other checks still apply), so
+/// the output is directly digest-comparable across shard counts — the
+/// sharded engine's contract is byte-identical artifacts at any
+/// `SPEEDLIGHT_SHARDS`.
+pub fn run_fabric_sharded(sc: &Scenario, shards: usize) -> (SubstrateRun, Vec<String>) {
+    use experiments::common::{testbed_topology, workload_sources};
+    use fabric::shard::{PartitionHint, ShardedTestbed};
+
+    let lb = match sc.lb {
+        Lb::Ecmp => LbKind::Ecmp,
+        Lb::Flowlet => LbKind::Flowlet { gap_us: 50 },
+    };
+    let mut driver = DriverConfig::default();
+    if sc.force_inducing() {
+        driver.device_timeout = Duration::from_millis(40);
+    }
+    let (topo, hint) = match sc.topo {
+        Topo::LeafSpine => (testbed_topology(), PartitionHint::LeafSpine { leaves: 2 }),
+        Topo::Line(n) => (Topology::line(n), PartitionHint::Generic),
+    };
+    let mut cfg = TestbedConfig::new(snapshot_config(sc));
+    cfg.lb = lb;
+    cfg.driver = driver;
+    cfg.seed = sc.seed;
+    let mut tb = ShardedTestbed::new(topo, cfg, hint, shards);
+    match sc.topo {
+        Topo::LeafSpine => {
+            let wl = match sc.workload {
+                WorkloadKind::Hadoop => Workload::Hadoop,
+                WorkloadKind::GraphX => Workload::GraphX,
+                WorkloadKind::Memcache => Workload::Memcache,
+                WorkloadKind::Cbr => unreachable!("rejected by Scenario::validate"),
+            };
+            for (h, source) in workload_sources(wl, sc.seed, sc.load) {
+                tb.set_source(h, Instant::ZERO, source);
+            }
+        }
+        Topo::Line(_) => {
+            for (src, dst) in [(0u32, 1u32), (1, 0)] {
+                tb.set_source(
+                    src,
+                    Instant::ZERO,
+                    Box::new(PoissonSource::new(
+                        src,
+                        vec![dst],
+                        80_000.0 * f64::from(sc.load),
+                        Dist::constant(400.0),
+                        sc.seed ^ (0x5EED * u64::from(src + 1)),
+                    )),
+                );
+            }
+        }
+    }
+    tb.enable_delivery_log();
+    tb.enable_trace();
+
+    let ival = interval_nanos(sc);
+    for i in 0..sc.snapshots {
+        tb.snapshot_at(Instant::from_nanos(ival * (i as u64 + 1)));
+    }
+    for f in &sc.faults {
+        let at = ival * (f.after_snapshots as u64) + ival / 2;
+        tb.fail_device_at(Instant::from_nanos(at), f.device);
+    }
+    for f in &sc.flaps {
+        tb.flap_link_at(
+            Instant::from_nanos(f.at_ms * 1_000_000),
+            f.device,
+            f.port,
+            Duration::from_millis(f.down_ms),
+        );
+    }
+    for f in &sc.cp_crashes {
+        tb.crash_cp_at(
+            Instant::from_nanos(f.at_ms * 1_000_000),
+            f.device,
+            Duration::from_millis(f.down_ms),
+        );
+    }
+    for f in &sc.notif_faults {
+        tb.set_notif_fault(
+            f.device,
+            NotifFaultConfig {
+                kind: match f.kind {
+                    ScNotifKind::Drop => FabNotifKind::Drop,
+                    ScNotifKind::Dup => FabNotifKind::Dup,
+                    ScNotifKind::Reorder => FabNotifKind::Reorder,
+                },
+                every: f.every,
+            },
+        );
+    }
+    if sc.has_ptp_degradation() {
+        let (step_ns, step_device, step_at_ns) = match sc.ptp_step {
+            Some(s) => (s.step_us * 1_000, s.device, s.at_ms * 1_000_000),
+            None => (0, 0, 0),
+        };
+        tb.set_ptp_degradation(PtpDegradation {
+            drift_ppb: sc.ptp_drift_ppb,
+            step_ns,
+            step_device,
+            step_at_ns,
+            asym_ns: sc.ptp_asym_us * 1_000,
+        });
+    }
+    let tail = if sc.force_inducing() {
+        200_000_000
+    } else {
+        100_000_000
+    };
+    tb.run_until(Instant::from_nanos(ival * sc.snapshots as u64 + tail));
+
+    let snapshots: Vec<SnapEntry> = tb
+        .snapshots()
+        .iter()
+        .map(|r| SnapEntry {
+            snapshot: r.snapshot.clone(),
+            forced: r.forced,
+        })
+        .collect();
+    let log = tb.delivery_log().expect("delivery log enabled above");
+    let trace = tb.take_trace_lines();
+    (
+        SubstrateRun {
+            substrate: "fabric-sharded",
+            snapshots,
+            log,
+        },
+        trace,
+    )
+}
+
+/// Digest of a sharded run's full artifact set (snapshots, delivery log,
+/// golden trace) — the byte-equality currency of the CI
+/// `shard-equivalence` job.
+pub fn sharded_digest(run: &SubstrateRun, trace: &[String]) -> u64 {
+    let mut h = parfan::digest::Fnv64::new();
+    h.update(format!("{run:?}").as_bytes());
+    for line in trace {
+        h.update(line.as_bytes());
+        h.update(b"\n");
+    }
+    h.finish()
+}
+
 /// Run the scenario on the threaded emulation cluster (line topologies
 /// only; wall-clock time).
 pub fn run_emulation(sc: &Scenario) -> SubstrateRun {

@@ -84,7 +84,10 @@ impl IdealUnit {
         if channel == CPU_CHANNEL {
             &mut self.cpu_last_seen
         } else {
-            &mut self.last_seen[usize::from(channel.0)]
+            let Some(slot) = self.last_seen.get_mut(usize::from(channel.0)) else {
+                panic!("channel {} outside this unit's channel space", channel.0)
+            };
+            slot
         }
     }
 

@@ -181,13 +181,117 @@ impl PipelineStats {
     }
 }
 
+/// One device's expected units plus a direct slot index. Slots are the
+/// hot-path currency: a slot plus the shared `units` Vec stand in for the
+/// unit everywhere below, so per-epoch state never needs a unit-keyed
+/// search structure at all — and the slot lookup itself is one table
+/// probe, not a search (a binary search over a fabric-sized unit space
+/// costs ~10 scattered cache lines per report; this costs one).
+#[derive(Debug)]
+struct DeviceGroup {
+    /// The device's expected units, sorted (slot → unit).
+    units: Vec<UnitId>,
+    /// `(direction, port) → slot + 1`, 0 meaning "not expected".
+    index: Vec<u32>,
+    /// Ports per direction row of `index` (max expected port + 1).
+    ports_span: usize,
+}
+
+impl DeviceGroup {
+    fn new(units: Vec<UnitId>) -> DeviceGroup {
+        let ports_span = units
+            .iter()
+            .map(|u| usize::from(u.port) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut index = vec![0u32; 2 * ports_span];
+        for (slot, u) in units.iter().enumerate() {
+            let pos = Self::pos(u, ports_span);
+            if let Some(cell) = index.get_mut(pos) {
+                *cell = slot as u32 + 1;
+            }
+        }
+        DeviceGroup {
+            units,
+            index,
+            ports_span,
+        }
+    }
+
+    fn pos(unit: &UnitId, ports_span: usize) -> usize {
+        let dir = match unit.direction {
+            crate::types::Direction::Ingress => 0,
+            crate::types::Direction::Egress => 1,
+        };
+        dir * ports_span + usize::from(unit.port)
+    }
+
+    /// The slot of `unit`, if expected.
+    fn slot_of(&self, unit: &UnitId) -> Option<u32> {
+        match self.index.get(Self::pos(unit, self.ports_span)) {
+            Some(&s) if s != 0 => Some(s - 1),
+            _ => None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.units.len()
+    }
+}
+
 /// Membership captured at epoch initiation: shared across every epoch
 /// issued under the same registration state (the memory win over the
 /// reference observer's per-epoch clones).
 #[derive(Debug)]
 struct Membership {
     device_set: BTreeSet<u16>,
-    expected: BTreeSet<UnitId>,
+    /// Expected units grouped by owning device.
+    expected: BTreeMap<u16, DeviceGroup>,
+    /// Total expected units across all groups (the completion target).
+    expected_total: usize,
+}
+
+/// One device's delivered state within an epoch: a slot bitmap (the
+/// duplicate check is a bit test) plus the accepted outcomes in arrival
+/// order. Everything here is contiguous memory sized by what actually
+/// arrived — no per-epoch clone of the expected set, and no descent of a
+/// fabric-sized map on the per-report path.
+#[derive(Debug, Clone)]
+struct DeviceAssembly {
+    /// Bit `i` set ⇔ slot `i` of the device's expected group delivered.
+    seen: Vec<u64>,
+    /// `(slot, outcome)` in arrival order; slots unique (bitmap-guarded).
+    values: Vec<(u32, UnitOutcome)>,
+}
+
+impl DeviceAssembly {
+    fn new(group_len: usize) -> DeviceAssembly {
+        DeviceAssembly {
+            seen: vec![0; group_len.div_ceil(64)],
+            values: Vec::new(),
+        }
+    }
+
+    /// Mark `slot` delivered; `false` if it already was (a duplicate).
+    fn mark(&mut self, slot: u32) -> bool {
+        let (word, bit) = (slot as usize / 64, slot % 64);
+        let Some(w) = self.seen.get_mut(word) else {
+            panic!("slot {slot} outside the device's expected group");
+        };
+        let mask = 1u64 << bit;
+        if *w & mask != 0 {
+            return false;
+        }
+        *w |= mask;
+        true
+    }
+
+    /// True when `slot` has a delivered value.
+    fn is_set(&self, slot: u32) -> bool {
+        self.seen
+            .get(slot as usize / 64)
+            .is_some_and(|w| w & (1u64 << (slot % 64)) != 0)
+    }
 }
 
 /// Per-epoch assembly state: only what this epoch has actually seen.
@@ -195,7 +299,15 @@ struct Membership {
 struct EpochAssembly {
     membership: Arc<Membership>,
     excluded: BTreeSet<u16>,
-    values: BTreeMap<UnitId, UnitOutcome>,
+    /// Per-device delivered state, created on a device's first accepted
+    /// report. An excluded device's group is synthesized as
+    /// `DeviceExcluded` at seal time rather than materialized here.
+    devices: BTreeMap<u16, DeviceAssembly>,
+    /// Unique values delivered across all devices (completion counter).
+    delivered: usize,
+    /// Values this epoch holds in pipeline memory (delivered plus any
+    /// forced-exclusion fills) — returned to `pending_values` at seal.
+    stored: usize,
     /// Running consistent-total, checked per arriving report; `None` once
     /// it has overflowed u64 (the wraparound-totals consistency check).
     running_total: Option<u64>,
@@ -203,7 +315,12 @@ struct EpochAssembly {
 
 impl EpochAssembly {
     fn complete(&self) -> bool {
-        self.values.len() == self.membership.expected.len()
+        self.delivered == self.membership.expected_total
+    }
+
+    /// Unique values delivered by `device` so far.
+    fn delivered_by(&self, device: u16) -> usize {
+        self.devices.get(&device).map_or(0, |d| d.values.len())
     }
 }
 
@@ -211,6 +328,13 @@ impl EpochAssembly {
 #[derive(Debug, Clone, Copy)]
 struct Validated {
     device: u16,
+    /// The unit's slot in its device's expected group, computed during
+    /// validation (membership is per-epoch immutable, so it stays valid
+    /// while the report sits in the queue).
+    slot: u32,
+    /// The device's expected-group length, captured alongside the slot
+    /// so the assemble stage never re-walks the membership map.
+    group_len: u32,
     report: Report,
 }
 
@@ -315,13 +439,24 @@ impl PipelineObserver {
         if let Some(m) = &self.membership {
             return Arc::clone(m);
         }
+        let mut grouped: BTreeMap<u16, Vec<UnitId>> = BTreeMap::new();
+        for &u in self.devices.values().flatten() {
+            grouped.entry(u.device).or_default().push(u);
+        }
+        let mut expected_total = 0;
+        let expected: BTreeMap<u16, DeviceGroup> = grouped
+            .into_iter()
+            .map(|(device, mut units)| {
+                units.sort_unstable();
+                units.dedup();
+                expected_total += units.len();
+                (device, DeviceGroup::new(units))
+            })
+            .collect();
         let m = Arc::new(Membership {
             device_set: self.devices.keys().copied().collect(),
-            expected: self
-                .devices
-                .values()
-                .flat_map(|units| units.iter().copied())
-                .collect(),
+            expected,
+            expected_total,
         });
         self.membership = Some(Arc::clone(&m));
         m
@@ -360,14 +495,16 @@ impl PipelineObserver {
             "snap.initiate",
             epoch = epoch,
             devices = membership.device_set.len(),
-            units = membership.expected.len(),
+            units = membership.expected_total,
         );
         self.assemblies.insert(
             epoch,
             EpochAssembly {
                 membership,
                 excluded: BTreeSet::new(),
-                values: BTreeMap::new(),
+                devices: BTreeMap::new(),
+                delivered: 0,
+                stored: 0,
                 running_total: Some(0),
             },
         );
@@ -400,8 +537,13 @@ impl PipelineObserver {
             };
             moved += 1;
             match self.validate(device, &report) {
-                Ok(()) => {
-                    self.validated.push_back(Validated { device, report });
+                Ok((slot, group_len)) => {
+                    self.validated.push_back(Validated {
+                        device,
+                        slot,
+                        group_len,
+                        report,
+                    });
                     self.stats.peak_validated_depth =
                         self.stats.peak_validated_depth.max(self.validated.len());
                 }
@@ -411,7 +553,9 @@ impl PipelineObserver {
         moved
     }
 
-    fn validate(&self, device: u16, report: &Report) -> Result<(), DropReason> {
+    /// All per-arriving-report checks; returns the unit's slot in its
+    /// device's expected group (and the group's length) on success.
+    fn validate(&self, device: u16, report: &Report) -> Result<(u32, u32), DropReason> {
         // Attribution: the delivering device must own the unit. Checked
         // before anything else — a spoofed report is rejected regardless
         // of epoch validity (mirrors the reference observer's fix).
@@ -437,10 +581,13 @@ impl PipelineObserver {
         if assembly.excluded.contains(&device) {
             return Err(DropReason::ExcludedDevice);
         }
-        if !assembly.membership.expected.contains(&report.unit) {
+        let Some(group) = assembly.membership.expected.get(&device) else {
             return Err(DropReason::UnexpectedUnit);
+        };
+        match group.slot_of(&report.unit) {
+            Some(slot) => Ok((slot, group.len() as u32)),
+            None => Err(DropReason::UnexpectedUnit),
         }
-        Ok(())
     }
 
     fn reject<S: obs::Sink>(
@@ -481,49 +628,90 @@ impl PipelineObserver {
     /// many reports were folded.
     pub fn pump_assemble(&mut self) -> usize {
         let mut moved = 0;
-        while let Some(Validated { device, report }) = self.validated.pop_front() {
+        while let Some(Validated {
+            device,
+            slot,
+            group_len,
+            report,
+        }) = self.validated.pop_front()
+        {
             moved += 1;
-            // Re-check liveness and exclusion: the epoch may have been
-            // force-finalized (or the device excluded) while this report
-            // sat in the validated queue.
-            let Some(assembly) = self.assemblies.get_mut(&report.epoch) else {
-                self.stats.record_drop(DropReason::StaleEpoch);
-                continue;
+            self.fold(device, slot, group_len, report);
+        }
+        moved
+    }
+
+    /// Fold one validated report into its epoch assembly. Liveness and
+    /// exclusion are re-checked here — the epoch may have been
+    /// force-finalized (or the device excluded) between validation and
+    /// folding when the report transited the validated queue.
+    ///
+    /// The entire fold works in slot space: a small-map walk to the
+    /// device's assembly, one bit test-and-set (the first-value-wins
+    /// duplicate check), and an append. No structure sized by the fabric
+    /// is touched until seal time.
+    fn fold(&mut self, device: u16, slot: u32, group_len: u32, report: Report) {
+        let Some(assembly) = self.assemblies.get_mut(&report.epoch) else {
+            self.stats.record_drop(DropReason::StaleEpoch);
+            return;
+        };
+        if assembly.excluded.contains(&device) {
+            self.stats.record_drop(DropReason::ExcludedDevice);
+            return;
+        }
+        let dev = assembly
+            .devices
+            .entry(device)
+            .or_insert_with(|| DeviceAssembly::new(group_len as usize));
+        if !dev.mark(slot) {
+            self.stats.record_drop(DropReason::Duplicate);
+            return;
+        }
+        let outcome: UnitOutcome = report.value.into();
+        dev.values.push((slot, outcome));
+        // Wraparound-totals consistency check: maintain the running
+        // consistent-total per epoch, flagging u64 overflow the moment
+        // the offending report arrives (the sealed snapshot's total
+        // then saturates, matching the reference overflow policy).
+        if let Some(total) = assembly.running_total {
+            let next = match outcome {
+                UnitOutcome::Value { local, channel } => total
+                    .checked_add(local)
+                    .and_then(|t| t.checked_add(channel)),
+                UnitOutcome::Inferred { local } => total.checked_add(local),
+                _ => Some(total),
             };
-            if assembly.excluded.contains(&device) {
-                self.stats.record_drop(DropReason::ExcludedDevice);
-                continue;
+            if next.is_none() {
+                self.stats.total_overflow += 1;
             }
-            if assembly.values.contains_key(&report.unit) {
-                self.stats.record_drop(DropReason::Duplicate);
-                continue;
-            }
-            let outcome: UnitOutcome = report.value.into();
-            // Wraparound-totals consistency check: maintain the running
-            // consistent-total per epoch, flagging u64 overflow the moment
-            // the offending report arrives (the sealed snapshot's total
-            // then saturates, matching the reference overflow policy).
-            if let Some(total) = assembly.running_total {
-                let next = match outcome {
-                    UnitOutcome::Value { local, channel } => total
-                        .checked_add(local)
-                        .and_then(|t| t.checked_add(channel)),
-                    UnitOutcome::Inferred { local } => total.checked_add(local),
-                    _ => Some(total),
-                };
-                if next.is_none() {
-                    self.stats.total_overflow += 1;
-                }
-                assembly.running_total = next;
-            }
-            assembly.values.insert(report.unit, outcome);
-            self.pending_values += 1;
-            self.stats.peak_pending_values =
-                self.stats.peak_pending_values.max(self.pending_values);
-            self.stats.accepted += 1;
-            if assembly.complete() {
-                self.ready.push_back(report.epoch);
-                self.stats.peak_ready_depth = self.stats.peak_ready_depth.max(self.ready.len());
+            assembly.running_total = next;
+        }
+        assembly.delivered += 1;
+        assembly.stored += 1;
+        self.pending_values += 1;
+        self.stats.peak_pending_values = self.stats.peak_pending_values.max(self.pending_values);
+        self.stats.accepted += 1;
+        if assembly.complete() {
+            self.ready.push_back(report.epoch);
+            self.stats.peak_ready_depth = self.stats.peak_ready_depth.max(self.ready.len());
+        }
+    }
+
+    /// Fused validate+assemble fast path: drain the whole collect queue in
+    /// one chunk, folding each surviving report straight into its epoch
+    /// assembly without the validated-queue hop. Observably identical to
+    /// `pump_validate_traced` followed by `pump_assemble` (same checks,
+    /// same counters, same trace events, same collect order) — it only
+    /// skips the intermediate enqueue/dequeue, which is pure overhead when
+    /// both stages run back-to-back anyway. The per-stage pumps stay for
+    /// staged embedders; this is what [`PipelineObserver::pump`] uses.
+    fn pump_fused_traced<S: obs::Sink>(&mut self, sink: &mut S, t_ns: u64) -> usize {
+        let mut moved = 0;
+        while let Some((device, report)) = self.collect.pop_front() {
+            moved += 1;
+            match self.validate(device, &report) {
+                Ok((slot, group_len)) => self.fold(device, slot, group_len, report),
+                Err(reason) => self.reject(reason, device, &report, sink, t_ns),
             }
         }
         moved
@@ -572,13 +760,15 @@ impl PipelineObserver {
         self.pump_traced(&mut obs::NoopSink, 0);
     }
 
-    /// [`PipelineObserver::pump`] with trace emission.
+    /// [`PipelineObserver::pump`] with trace emission. Anything a staged
+    /// embedder left in the validated queue is folded first (preserving
+    /// report order), then collect drains through the fused fast path.
     pub fn pump_traced<S: obs::Sink>(&mut self, sink: &mut S, t_ns: u64) {
         loop {
             let mut progress = 0;
             progress += self.pump_finalize_traced(sink, t_ns);
             progress += self.pump_assemble();
-            progress += self.pump_validate_traced(sink, t_ns);
+            progress += self.pump_fused_traced(sink, t_ns);
             if progress == 0 {
                 break;
             }
@@ -588,12 +778,38 @@ impl PipelineObserver {
     fn seal(&mut self, epoch: Epoch) -> Option<GlobalSnapshot> {
         let a = self.assemblies.remove(&epoch)?;
         self.finalized += 1;
-        self.pending_values -= a.values.len().min(self.pending_values);
+        self.pending_values -= a.stored.min(self.pending_values);
+        // Build the unit-keyed outcome map once, here, from slot space:
+        // groups iterate in device order and each group is sorted, so the
+        // stream below is globally sorted and the BTreeMap bulk-builds
+        // from it instead of being searched per report.
+        let mut units: Vec<(UnitId, UnitOutcome)> = Vec::with_capacity(a.stored);
+        let mut slots: Vec<(u32, UnitOutcome)> = Vec::new();
+        for (device, group) in &a.membership.expected {
+            if a.excluded.contains(device) {
+                units.extend(
+                    group
+                        .units
+                        .iter()
+                        .map(|&u| (u, UnitOutcome::DeviceExcluded)),
+                );
+            } else if let Some(dev) = a.devices.get(device) {
+                slots.clear();
+                slots.extend_from_slice(&dev.values);
+                slots.sort_unstable_by_key(|&(slot, _)| slot);
+                for &(slot, outcome) in &slots {
+                    let Some(&unit) = group.units.get(slot as usize) else {
+                        panic!("delivered slot {slot} outside device {device}'s group");
+                    };
+                    units.push((unit, outcome));
+                }
+            }
+        }
         Some(GlobalSnapshot {
             epoch,
             devices: &a.membership.device_set - &a.excluded,
             excluded: a.excluded,
-            units: a.values,
+            units: units.into_iter().collect(),
         })
     }
 
@@ -629,16 +845,24 @@ impl PipelineObserver {
     /// Units still missing for `epoch` (retry planning). Matches the
     /// reference observer.
     pub fn missing_units(&self, epoch: Epoch) -> Vec<UnitId> {
-        match self.assemblies.get(&epoch) {
-            Some(a) => a
-                .membership
-                .expected
-                .iter()
-                .filter(|u| !a.values.contains_key(u))
-                .copied()
-                .collect(),
-            None => Vec::new(),
+        let Some(a) = self.assemblies.get(&epoch) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (device, group) in &a.membership.expected {
+            match a.devices.get(device) {
+                None => out.extend_from_slice(&group.units),
+                Some(d) if d.values.len() == group.len() => {}
+                Some(d) => {
+                    for (slot, &unit) in group.units.iter().enumerate() {
+                        if !d.is_set(slot as u32) {
+                            out.push(unit);
+                        }
+                    }
+                }
+            }
         }
+        out
     }
 
     /// Devices with at least one missing unit for `epoch`.
@@ -679,33 +903,35 @@ impl PipelineObserver {
             }
         }
         let assembly = self.assemblies.get_mut(&epoch)?;
+        // A device lags when any of its expected group is undelivered.
         let lagging: BTreeSet<u16> = assembly
             .membership
             .expected
             .iter()
-            .filter(|u| !assembly.values.contains_key(u))
-            .map(|u| u.device)
+            .filter(|(d, group)| assembly.delivered_by(**d) < group.len())
+            .map(|(&d, _)| d)
             .collect();
         for dev in &lagging {
             assembly.excluded.insert(*dev);
             obs::event!(sink, t_ns, "snap.exclude", epoch = epoch, dev = *dev);
         }
         // Exclusion policy (§6): an excluded device contributes nothing —
-        // values it did deliver are overwritten with DeviceExcluded, and
-        // the overwrite count is surfaced as `discarded` (never silent).
-        let expected: Vec<UnitId> = assembly.membership.expected.iter().copied().collect();
+        // values it did deliver are overwritten with DeviceExcluded (seal
+        // synthesizes the whole group), and the overwrite count is
+        // surfaced as `discarded` (never silent). The undelivered rest of
+        // each group now also occupies pipeline memory until seal.
         let mut discarded: u64 = 0;
-        for unit in expected {
-            if lagging.contains(&unit.device) {
-                match assembly.values.insert(unit, UnitOutcome::DeviceExcluded) {
-                    Some(prev) => {
-                        if prev != UnitOutcome::DeviceExcluded {
-                            discarded += 1;
-                        }
-                    }
-                    None => self.pending_values += 1,
-                }
-            }
+        for dev in &lagging {
+            let group_len = assembly
+                .membership
+                .expected
+                .get(dev)
+                .map_or(0, DeviceGroup::len);
+            let delivered = assembly.delivered_by(*dev);
+            discarded += delivered as u64;
+            let newly = group_len - delivered;
+            assembly.stored += newly;
+            self.pending_values += newly;
         }
         self.stats.discarded_values += discarded;
         self.stats.peak_pending_values = self.stats.peak_pending_values.max(self.pending_values);

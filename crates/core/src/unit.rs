@@ -105,7 +105,10 @@ impl DataPlaneUnit {
         if channel == CPU_CHANNEL {
             self.cpu_last_seen
         } else {
-            self.last_seen[usize::from(channel.0)]
+            let Some(&seen) = self.last_seen.get(usize::from(channel.0)) else {
+                panic!("channel {} outside this unit's channel space", channel.0)
+            };
+            seen
         }
     }
 

@@ -69,6 +69,20 @@ pub fn attach_workload(tb: &mut Testbed, workload: Workload, seed: u64) {
 /// open-loop workloads (Hadoop/GraphX) run their own transfer schedules
 /// and only see the scaled chatter.
 pub fn attach_workload_load(tb: &mut Testbed, workload: Workload, seed: u64, load: u32) {
+    for (h, source) in workload_sources(workload, seed, load) {
+        tb.set_source(h, Instant::ZERO, source);
+    }
+}
+
+/// The per-host source list behind [`attach_workload_load`], engine-
+/// agnostic: the serial [`Testbed`] and the sharded testbed attach the
+/// identical seeded sources, so workload generation can never depend on
+/// the execution engine.
+pub fn workload_sources(
+    workload: Workload,
+    seed: u64,
+    load: u32,
+) -> Vec<(u32, Box<dyn fabric::traffic::Source>)> {
     use fabric::traffic::{MultiSource, Source};
     use workloads::PoissonSource;
 
@@ -132,6 +146,7 @@ pub fn attach_workload_load(tb: &mut Testbed, workload: Workload, seed: u64, loa
         Workload::GraphX => (0..5).collect(),
         _ => (0..6).collect(),
     };
+    let mut out: Vec<(u32, Box<dyn Source>)> = Vec::new();
     for (h, mut sources) in app.into_iter().enumerate() {
         let h = h as u32;
         if chatter_hosts.contains(&h) {
@@ -150,8 +165,9 @@ pub fn attach_workload_load(tb: &mut Testbed, workload: Workload, seed: u64, loa
         if sources.is_empty() {
             continue;
         }
-        tb.set_source(h, Instant::ZERO, Box::new(MultiSource::new(sources)));
+        out.push((h, Box::new(MultiSource::new(sources))));
     }
+    out
 }
 
 /// Build a standard testbed with the given snapshot config, LB, and driver.

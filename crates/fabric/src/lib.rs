@@ -27,6 +27,7 @@
 pub mod latency;
 pub mod network;
 pub mod packet;
+pub mod shard;
 pub mod switchmod;
 pub mod testbed;
 pub mod topology;

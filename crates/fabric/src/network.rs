@@ -165,6 +165,27 @@ pub enum NetEvent {
         /// Hold sequence number (stale releases are ignored).
         seq: u64,
     },
+    /// Sharded mode only: the control plane's keepalive check, shipped to
+    /// one device. In the serial engine [`NetEvent::KeepaliveTick`] reads
+    /// every device's completion state directly; across shards that state
+    /// lives on the owner, so the tick emits one probe per device and the
+    /// owner evaluates it locally.
+    KeepaliveProbe {
+        /// The probed device.
+        sw: u16,
+        /// Oldest pending epoch at probe time.
+        epoch: Epoch,
+    },
+    /// Sharded mode only: a recovering control plane's resync target. The
+    /// newest issued epoch is observer (control-domain) state, so
+    /// [`NetEvent::CpRecover`] executes on the control domain and ships
+    /// the epoch to the device owner via this event.
+    CpRecoverSync {
+        /// The recovering device.
+        sw: u16,
+        /// Resync target (newest issued epoch at recovery time).
+        epoch: Epoch,
+    },
 }
 
 /// A completed snapshot with timing metadata.
@@ -292,6 +313,51 @@ struct Host {
     nic_busy_until: Instant,
 }
 
+/// State of the sharded execution mode (see `crate::shard`).
+///
+/// In sharded mode every event belongs to a *domain* (device, host, or
+/// the control plane) and nondeterminism is domain-scoped so a domain's
+/// behavior cannot depend on how domains are packed onto shards:
+///
+/// * device-domain latency draws come from a per-device RNG forked from
+///   the root seed by device id (the global stream stays exclusively
+///   control-domain);
+/// * packet ids are per-domain counters tagged with the domain id;
+/// * every cross-domain follow-up is clamped to at least the lookahead,
+///   which is what lets the conservative window protocol run shards in
+///   parallel without ever reordering a domain's event stream.
+struct ShardedMode {
+    /// Conservative lookahead (partition-independent: the minimum
+    /// inter-device link propagation delay in the topology).
+    lookahead: Duration,
+    /// Per-device latency RNGs, forked by device id.
+    dev_rngs: Vec<SimRng>,
+    /// Per-domain packet-id counters (devices, hosts, control, external).
+    pkt_ctrs: Vec<u64>,
+    /// Domain of the event currently being handled (set by the shard
+    /// trampoline before each dispatch).
+    cur_domain: u32,
+}
+
+impl ShardedMode {
+    fn next_pkt_id(&mut self) -> u64 {
+        let d = self.cur_domain;
+        let Some(ctr) = self.pkt_ctrs.get_mut(d as usize) else {
+            panic!("packet id requested for unknown domain {d}");
+        };
+        *ctr += 1;
+        assert!(*ctr < (1 << 32), "domain {d} packet-id counter overflow");
+        ((u64::from(d) + 1) << 32) | *ctr
+    }
+
+    fn dev_rng(&mut self, sw: u16) -> &mut SimRng {
+        let Some(rng) = self.dev_rngs.get_mut(usize::from(sw)) else {
+            panic!("device RNG requested for unknown device {sw}");
+        };
+        rng
+    }
+}
+
 /// The simulated network (implements [`World`]).
 pub struct Network {
     topo: Topology,
@@ -353,6 +419,9 @@ pub struct Network {
     /// stream per channel (§5.3), and a stale wrapped marker would alias
     /// forward to a phantom future epoch.
     init_high: Vec<Vec<Epoch>>,
+    /// Sharded execution mode (`None` = the serial engine, byte-for-byte
+    /// unchanged).
+    sharded: Option<ShardedMode>,
     /// Instrumentation outputs.
     pub instr: Instrumentation,
 }
@@ -462,7 +531,48 @@ impl Network {
             cp_down,
             last_issued_epoch: 0,
             init_high,
+            sharded: None,
             instr,
+        }
+    }
+
+    /// Switch this network replica into sharded execution mode (see
+    /// `crate::shard`). Must be called before any event is handled: the
+    /// mode changes which RNG stream device-domain draws consume and how
+    /// packet ids are assigned, so flipping it mid-run would splice two
+    /// incompatible executions. `num_domains` covers devices + hosts +
+    /// control + the external pseudo-domain; `lookahead` is the
+    /// conservative window the cross-domain clamps enforce.
+    pub fn enable_sharded_mode(&mut self, lookahead: Duration, num_domains: u32) {
+        assert_eq!(
+            self.next_pkt_id, 0,
+            "sharded mode must be set before any event"
+        );
+        let dev_rngs = (0..self.switches.len() as u64)
+            .map(|s| self.rng.fork_idx("dev", s))
+            .collect();
+        self.sharded = Some(ShardedMode {
+            lookahead,
+            dev_rngs,
+            pkt_ctrs: vec![0; num_domains as usize],
+            cur_domain: 0,
+        });
+    }
+
+    /// Sharded mode: set the domain of the event about to be handled
+    /// (the shard trampoline calls this before every dispatch).
+    pub fn set_current_domain(&mut self, domain: u32) {
+        if let Some(sh) = &mut self.sharded {
+            sh.cur_domain = domain;
+        }
+    }
+
+    /// In sharded mode, clamp a cross-domain delay to the lookahead; the
+    /// serial engine passes delays through untouched.
+    fn cross_domain(&self, delay: Duration) -> Duration {
+        match &self.sharded {
+            Some(sh) => delay.max(sh.lookahead),
+            None => delay,
         }
     }
 
@@ -600,6 +710,41 @@ impl Network {
         self.observer.fold_metrics(m);
     }
 
+    /// Apply a link-state change to this replica's topology view: both
+    /// endpoints of the cable flip together. This is the state-only half
+    /// of the [`NetEvent::LinkSet`] handler; the sharded testbed delivers
+    /// it to the replica owning the *peer* endpoint (which must see the
+    /// outage to stop/resume serializing frames) without repeating the
+    /// owner-side metrics and trace emission.
+    pub fn apply_link_shadow(&mut self, sw: u16, port: u16, up: bool) {
+        let peer = self
+            .topo
+            .ports
+            .get(usize::from(sw))
+            .and_then(|ports| ports.get(usize::from(port)))
+            .copied();
+        if let Some(slot) = self
+            .link_up
+            .get_mut(usize::from(sw))
+            .and_then(|l| l.get_mut(usize::from(port)))
+        {
+            *slot = up;
+        }
+        if let Some(PortPeer::Switch {
+            switch: peer,
+            port: peer_port,
+        }) = peer
+        {
+            if let Some(slot) = self
+                .link_up
+                .get_mut(usize::from(peer))
+                .and_then(|l| l.get_mut(usize::from(peer_port)))
+            {
+                *slot = up;
+            }
+        }
+    }
+
     /// The snapshot configuration.
     pub fn snapshot_cfg(&self) -> &SnapshotConfig {
         &self.snapshot_cfg
@@ -620,8 +765,17 @@ impl Network {
     }
 
     fn next_id(&mut self) -> u64 {
-        self.next_pkt_id += 1;
-        self.next_pkt_id
+        match &mut self.sharded {
+            // Domain-scoped ids: each domain counts its own emissions, so
+            // the id stream a domain produces is independent of shard
+            // packing (a global counter would interleave differently at
+            // different shard counts).
+            Some(sh) => sh.next_pkt_id(),
+            None => {
+                self.next_pkt_id += 1;
+                self.next_pkt_id
+            }
+        }
     }
 
     /// Update sync instrumentation + shadow state from a notification at
@@ -799,7 +953,11 @@ impl Network {
                 };
                 if let Some(n) = out.notification {
                     self.track_notification(&n, now);
-                    let delay = self.latency.notify_pcie.sample(&mut self.rng);
+                    let dist = &self.latency.notify_pcie;
+                    let delay = match &mut self.sharded {
+                        Some(sh) => dist.sample(sh.dev_rng(sw)),
+                        None => dist.sample(&mut self.rng),
+                    };
                     sched.after(delay, NetEvent::NotifyArrive { sw, n });
                 }
                 // Keep the channel shadow monotone even when the Last Seen
@@ -1022,7 +1180,14 @@ impl Network {
             } else {
                 Instant::from_nanos(target.as_nanos().saturating_sub(offset_ns.unsigned_abs()))
             };
-            let at = (base + dev.sched).max(now);
+            let mut at = (base + dev.sched).max(now);
+            if let Some(sh) = &self.sharded {
+                // Control → device crosses domains: hold the initiation
+                // outside the lookahead window. The lead time (ms) dwarfs
+                // the lookahead (ns), so the clamp only ever bites on
+                // retry fan-outs aimed at `now`.
+                at = at.max(now + sh.lookahead);
+            }
             sched.at(at, NetEvent::DeviceInitiate { sw, epoch });
         }
     }
@@ -1059,8 +1224,28 @@ impl Network {
         );
     }
 
+    /// Apply a control-plane recovery on the device: clear the down gate
+    /// and resynchronize tracking to `epoch` (shared by the serial
+    /// `CpRecover` handler and the sharded `CpRecoverSync` one).
+    fn cp_recover_apply(&mut self, sw: u16, epoch: Epoch, now: Instant) {
+        if let Some(gate) = self.cp_down.get_mut(usize::from(sw)) {
+            *gate = false;
+        }
+        if let Some(switch) = self.switches.get_mut(usize::from(sw)) {
+            switch.cp.resync_to(epoch);
+        }
+        self.instr.metrics.inc("fault.cp_recovered");
+        obs::event!(
+            &mut self.instr.trace,
+            now.as_nanos(),
+            "fault.cp_recover",
+            dev = sw,
+            epoch = epoch,
+        );
+    }
+
     fn poll_unit_order(&self, sw: u16, idx: u16) -> Option<UnitId> {
-        let ports = self.switches[usize::from(sw)].ports();
+        let ports = self.switches.get(usize::from(sw))?.ports();
         if idx < ports {
             Some(UnitId::ingress(sw, idx))
         } else if idx < 2 * ports {
@@ -1074,8 +1259,13 @@ impl Network {
     /// broadcast through every egress queue, propagating snapshot IDs over
     /// silent channels (§6).
     fn inject_keepalives(&mut self, sw: u16, now: Instant, sched: &mut Scheduler<NetEvent>) {
-        let ports = self.switches[usize::from(sw)].ports();
-        self.switches[usize::from(sw)].stats.keepalives_sent += 1;
+        let ports = {
+            let Some(switch) = self.switches.get_mut(usize::from(sw)) else {
+                return;
+            };
+            switch.stats.keepalives_sent += 1;
+            switch.ports()
+        };
         self.instr.metrics.inc("keepalives.injected");
         obs::event!(
             &mut self.instr.trace,
@@ -1084,7 +1274,12 @@ impl Network {
             dev = sw,
         );
         for p in 0..ports {
-            let sid = self.switches[usize::from(sw)].units.ingress[usize::from(p)].sid();
+            let sid = self
+                .switches
+                .get(usize::from(sw))
+                .and_then(|s| s.units.ingress.get(usize::from(p)))
+                .map(|u| u.sid());
+            let Some(sid) = sid else { continue };
             for q in 0..ports {
                 let id = self.next_id();
                 let mut pkt = Packet::keepalive(id, u32::MAX);
@@ -1271,7 +1466,11 @@ impl World for Network {
                     epoch = epoch,
                 );
                 for port in 0..self.switches[usize::from(sw)].ports() {
-                    let extra = self.latency.initiation.cpu_to_unit.sample(&mut self.rng);
+                    let dist = &self.latency.initiation.cpu_to_unit;
+                    let extra = match &mut self.sharded {
+                        Some(sh) => dist.sample(sh.dev_rng(sw)),
+                        None => dist.sample(&mut self.rng),
+                    };
                     sched.after(extra, NetEvent::UnitInitiate { sw, port, epoch });
                 }
             }
@@ -1432,14 +1631,7 @@ impl World for Network {
             }
 
             NetEvent::LinkSet { sw, port, up } => {
-                self.link_up[usize::from(sw)][usize::from(port)] = up;
-                if let PortPeer::Switch {
-                    switch: peer,
-                    port: peer_port,
-                } = self.topo.ports[usize::from(sw)][usize::from(port)]
-                {
-                    self.link_up[usize::from(peer)][usize::from(peer_port)] = up;
-                }
+                self.apply_link_shadow(sw, port, up);
                 self.instr.metrics.inc(if up {
                     "fault.link_up"
                 } else {
@@ -1483,21 +1675,36 @@ impl World for Network {
             }
 
             NetEvent::CpRecover { sw } => {
-                self.cp_down[usize::from(sw)] = false;
                 let epoch = self.last_issued_epoch;
-                self.switches[usize::from(sw)].cp.resync_to(epoch);
-                self.instr.metrics.inc("fault.cp_recovered");
-                obs::event!(
-                    &mut self.instr.trace,
-                    now.as_nanos(),
-                    "fault.cp_recover",
-                    dev = sw,
-                    epoch = epoch,
-                );
+                if let Some(sh) = &self.sharded {
+                    // The resync target is control-domain state, so this
+                    // event runs on the control domain and ships the epoch
+                    // to the device owner.
+                    let delay = sh.lookahead;
+                    sched.after(delay, NetEvent::CpRecoverSync { sw, epoch });
+                } else {
+                    self.cp_recover_apply(sw, epoch, now);
+                }
+            }
+
+            NetEvent::CpRecoverSync { sw, epoch } => {
+                self.cp_recover_apply(sw, epoch, now);
+            }
+
+            NetEvent::KeepaliveProbe { sw, epoch } => {
+                if self.switches[usize::from(sw)].snapshot_enabled
+                    && !self.switches[usize::from(sw)].cp.device_complete(epoch)
+                {
+                    self.inject_keepalives(sw, now, sched);
+                }
             }
 
             NetEvent::CpProcess { sw } => {
-                let proc = self.latency.cp_process.sample(&mut self.rng);
+                let dist = &self.latency.cp_process;
+                let proc = match &mut self.sharded {
+                    Some(sh) => dist.sample(sh.dev_rng(sw)),
+                    None => dist.sample(&mut self.rng),
+                };
                 let reports = {
                     let switch = &mut self.switches[usize::from(sw)];
                     let Some((n, _dp_time)) = switch.cp_queue.pop_front() else {
@@ -1507,8 +1714,15 @@ impl World for Network {
                     switch.process_notification_traced(&n, &mut self.instr.trace, now.as_nanos())
                 };
                 for report in reports {
-                    let lat = self.latency.report_latency.sample(&mut self.rng);
-                    sched.after(proc + lat, NetEvent::ReportArrive { device: sw, report });
+                    let dist = &self.latency.report_latency;
+                    let lat = match &mut self.sharded {
+                        Some(sh) => dist.sample(sh.dev_rng(sw)),
+                        None => dist.sample(&mut self.rng),
+                    };
+                    // Device → control: the report crosses domains, so the
+                    // sharded engine keeps it outside the lookahead window.
+                    let delay = self.cross_domain(proc + lat);
+                    sched.after(delay, NetEvent::ReportArrive { device: sw, report });
                 }
                 let switch = &mut self.switches[usize::from(sw)];
                 if switch.cp_queue.is_empty() {
@@ -1621,8 +1835,11 @@ impl World for Network {
                 self.instr.polls.push(PollSweepRecord::default());
                 for sw in 0..self.switches.len() as u16 {
                     // Each device agent starts after its own request/wakeup
-                    // delay — sweeps of different switches are offset.
+                    // delay — sweeps of different switches are offset. The
+                    // draw stays on the control domain's stream (the sweep
+                    // is observer-side); only the emission crosses domains.
                     let start = self.latency.poll_agent_start.sample(&mut self.rng);
+                    let start = self.cross_domain(start);
                     sched.after(start, NetEvent::PollRead { sw, idx: 0, sweep });
                 }
                 if let Some(period) = self.driver.poll_period {
@@ -1634,7 +1851,11 @@ impl World for Network {
                 let Some(uid) = self.poll_unit_order(sw, idx) else {
                     return;
                 };
-                let delay = self.latency.poll_read.sample(&mut self.rng);
+                let dist = &self.latency.poll_read;
+                let delay = match &mut self.sharded {
+                    Some(sh) => dist.sample(sh.dev_rng(sw)),
+                    None => dist.sample(&mut self.rng),
+                };
                 sched.after(
                     delay,
                     NetEvent::PollComplete {
@@ -1660,6 +1881,16 @@ impl World for Network {
                     };
                     bank.read(uid.port)
                 };
+                // Sharded mode: the sweep record was pushed by `PollSweep`
+                // on the control domain's shard; device owners grow their
+                // local vector so every sample lands under its sweep index
+                // (the merge is per-sweep, so gaps on other shards are
+                // fine).
+                if self.sharded.is_some() {
+                    while self.instr.polls.len() <= sweep as usize {
+                        self.instr.polls.push(PollSweepRecord::default());
+                    }
+                }
                 if let Some(rec) = self.instr.polls.get_mut(sweep as usize) {
                     rec.samples.push((uid, value, now));
                 }
@@ -1680,11 +1911,25 @@ impl World for Network {
                             .map(|t| now.saturating_since(*t) > self.driver.lead_time * 2)
                             .unwrap_or(false);
                         if stale {
-                            for sw in 0..self.switches.len() as u16 {
-                                if self.switches[usize::from(sw)].snapshot_enabled
-                                    && !self.switches[usize::from(sw)].cp.device_complete(oldest)
-                                {
-                                    self.inject_keepalives(sw, now, sched);
+                            if let Some(sh) = &self.sharded {
+                                // Device completion state lives on each
+                                // owner shard; ship the check there.
+                                let delay = sh.lookahead;
+                                for sw in 0..self.switches.len() as u16 {
+                                    sched.after(
+                                        delay,
+                                        NetEvent::KeepaliveProbe { sw, epoch: oldest },
+                                    );
+                                }
+                            } else {
+                                for sw in 0..self.switches.len() as u16 {
+                                    if self.switches[usize::from(sw)].snapshot_enabled
+                                        && !self.switches[usize::from(sw)]
+                                            .cp
+                                            .device_complete(oldest)
+                                    {
+                                        self.inject_keepalives(sw, now, sched);
+                                    }
                                 }
                             }
                         }

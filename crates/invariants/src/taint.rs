@@ -69,6 +69,7 @@ pub const SANCTIONED_ENV_FNS: &[(&str, &str)] = &[
     ("obs", "from_env"),
     ("parfan", "log_stats"),
     ("parfan", "resolved_jobs"),
+    ("parfan", "resolved_shards"),
 ];
 
 /// A reachability region with parent pointers for chain reconstruction.

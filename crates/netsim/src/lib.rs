@@ -22,6 +22,7 @@
 pub mod dist;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod time;
 

@@ -1,0 +1,884 @@
+//! Conservative sharded parallel DES runtime.
+//!
+//! One logical simulation is partitioned into N shards, each owning a
+//! disjoint set of event *domains* (the world decides what a domain is —
+//! the fabric maps devices, hosts, and the control plane onto them). Each
+//! shard has its own [`KeyedQueue`]; cross-shard follow-ups travel as
+//! timestamped messages routed between windows.
+//!
+//! # Window-barrier protocol
+//!
+//! The runtime advances in lookahead windows, SimBricks-style:
+//!
+//! 1. `T` = the minimum next-event time across all shards (a global,
+//!    partition-independent quantity).
+//! 2. `H = T + L`, where the lookahead `L` is a partition-independent
+//!    constant chosen by the world (for the fabric: the minimum link
+//!    propagation delay on any inter-device edge).
+//! 3. Every shard processes its events with `time < H` in `(time, key)`
+//!    order. Same-shard follow-ups go straight into the local queue;
+//!    cross-shard follow-ups are buffered in the shard's outbox.
+//! 4. Barrier. The coordinator drains outboxes in shard-index order and
+//!    pushes each message into its destination queue.
+//!
+//! The protocol is conservative: the world guarantees every cross-domain
+//! follow-up is scheduled at least `L` after the event that caused it, so
+//! a message emitted inside the window `[T, H)` lands at `time ≥ H` —
+//! never inside the window being processed. The runtime asserts this.
+//!
+//! # Why execution is byte-identical at any shard count
+//!
+//! Every event carries a canonical key: `(source domain, per-source
+//! emission sequence)`, packed into a `u64` and totally ordered together
+//! with the timestamp. Because
+//!
+//! * the window sequence `[T, T+L)` depends only on global event times
+//!   (N-invariant), and
+//! * the multiset of events a domain receives per window is N-invariant
+//!   (same emitters, same keys, routing changes only *which queue* holds
+//!   them), and
+//! * each queue pops in total `(time, key)` order,
+//!
+//! every domain observes the same events in the same order at every shard
+//! count, so all state evolution — and every digest, trace, and metric
+//! derived from it — is byte-identical at `SPEEDLIGHT_SHARDS = 1, 2, 4, 8`.
+//!
+//! # Workers
+//!
+//! Windows execute on a pool of long-lived workers (spawned once per
+//! `run_until`, reused across every window) synchronized by barriers;
+//! worker count is `min(shards, parfan::resolved_jobs())`, so
+//! `SPEEDLIGHT_JOBS`/`with_jobs` govern it like every other parallel
+//! site. With one worker the loop runs inline with no threads at all.
+//! Worker panics are caught, the window round is completed so no barrier
+//! deadlocks, and the payload is re-thrown on the coordinator.
+
+use crate::sim::RunOutcome;
+use crate::time::{Duration, Instant};
+use std::collections::BinaryHeap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+/// Number of low bits of a packed key holding the per-source emission
+/// sequence; the bits above hold the source domain id.
+pub const KEY_SEQ_BITS: u32 = 40;
+
+/// Pack a `(source domain, emission sequence)` pair into one ordered key.
+/// Panics if the sequence overflows its bit budget (2^40 emissions from a
+/// single domain — far beyond any simulation horizon here).
+pub fn pack_key(src_domain: u32, seq: u64) -> u64 {
+    assert!(
+        seq < (1 << KEY_SEQ_BITS),
+        "emission sequence overflow for domain {src_domain}"
+    );
+    (u64::from(src_domain) << KEY_SEQ_BITS) | seq
+}
+
+/// A pending event with its canonical `(time, key)` position.
+struct Entry<E> {
+    time: Instant,
+    key: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Inverted: `BinaryHeap` is a max-heap, we want the earliest
+    // `(time, key)` on top.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.key).cmp(&(self.time, self.key))
+    }
+}
+
+/// A shard-local event queue ordered by `(time, key)`.
+///
+/// Unlike [`crate::queue::EventQueue`] — whose contract is `(time,
+/// insertion order)` and whose two-list layout exploits it — the keyed
+/// queue's order is a property of the *events themselves*, which is what
+/// makes per-shard pop sequences independent of how events were routed.
+pub struct KeyedQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    popped: u64,
+}
+
+impl<E> Default for KeyedQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> KeyedQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        KeyedQueue {
+            heap: BinaryHeap::new(),
+            popped: 0,
+        }
+    }
+
+    /// Insert `event` at `(time, key)`.
+    pub fn push(&mut self, time: Instant, key: u64, event: E) {
+        self.heap.push(Entry { time, key, event });
+    }
+
+    /// Remove and return the earliest `(time, key, event)`.
+    pub fn pop(&mut self) -> Option<(Instant, u64, E)> {
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.key, e.event))
+    }
+
+    /// Earliest pending time, if any.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events popped over the queue's lifetime.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+}
+
+/// A follow-up event captured from a shard world, addressed to a shard.
+pub struct Emit<E> {
+    /// Destination shard index.
+    pub dest: usize,
+    /// Absolute fire time.
+    pub time: Instant,
+    /// Canonical `(source domain, sequence)` key ([`pack_key`]).
+    pub key: u64,
+    /// The event itself.
+    pub event: E,
+}
+
+/// A world fragment owning one shard's domains.
+///
+/// The implementor routes each follow-up to the shard owning its
+/// destination domain and stamps it with a canonical key. The contract
+/// that makes the conservative protocol sound: any follow-up addressed
+/// to a *different shard's* domain must fire at least the configured
+/// lookahead after `now` (the runtime asserts it when routing).
+pub trait ShardWorld: Send {
+    /// The event alphabet.
+    type Event: Send;
+
+    /// Handle one owned event at `now`, appending every follow-up to
+    /// `out` (same-shard follow-ups included).
+    fn dispatch(&mut self, now: Instant, event: Self::Event, out: &mut Vec<Emit<Self::Event>>);
+}
+
+/// One shard: a world fragment plus its queue and outbox.
+struct Shard<S: ShardWorld> {
+    world: S,
+    queue: KeyedQueue<S::Event>,
+    /// Cross-shard follow-ups emitted this window, drained at the barrier.
+    outbox: Vec<Emit<S::Event>>,
+    /// Reusable capture buffer for [`ShardWorld::dispatch`].
+    scratch: Vec<Emit<S::Event>>,
+}
+
+/// Runtime statistics (not part of the deterministic output: routing
+/// counts vary with shard count by design, so they are reported out of
+/// band and never merged into simulation metrics).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShardStats {
+    /// Lookahead windows executed.
+    pub windows: u64,
+    /// Cross-shard messages routed.
+    pub messages: u64,
+}
+
+/// Lock a shard, riding through poisoning: a worker panic is re-thrown
+/// by the coordinator, so a poisoned mutex here only means "that panic
+/// is already being propagated" — the guard's data is still the best
+/// available state for the teardown path.
+fn lock<S: ShardWorld>(m: &Mutex<Shard<S>>) -> MutexGuard<'_, Shard<S>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A sharded simulation: N shard worlds advancing in lockstep windows.
+pub struct ShardedSim<S: ShardWorld> {
+    shards: Vec<Mutex<Shard<S>>>,
+    lookahead: Duration,
+    now: Instant,
+    stats: ShardStats,
+    /// Guard against runaway event cascades; `None` disables the guard.
+    pub max_events: Option<u64>,
+}
+
+impl<S: ShardWorld> ShardedSim<S> {
+    /// Create a sharded simulation at time zero. `lookahead` must be
+    /// positive — a zero-lookahead window could never make progress.
+    pub fn new(worlds: Vec<S>, lookahead: Duration) -> Self {
+        assert!(!worlds.is_empty(), "at least one shard required");
+        assert!(
+            lookahead > Duration::ZERO,
+            "lookahead must be positive for the window protocol to advance"
+        );
+        ShardedSim {
+            shards: worlds
+                .into_iter()
+                .map(|world| {
+                    Mutex::new(Shard {
+                        world,
+                        queue: KeyedQueue::new(),
+                        outbox: Vec::new(),
+                        scratch: Vec::new(),
+                    })
+                })
+                .collect(),
+            lookahead,
+            now: Instant::ZERO,
+            stats: ShardStats::default(),
+            max_events: None,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current (parked) simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Total events dispatched across all shards.
+    pub fn events_dispatched(&mut self) -> u64 {
+        self.shards
+            .iter_mut()
+            .map(|s| match s.get_mut() {
+                Ok(g) => g.queue.popped(),
+                Err(p) => p.into_inner().queue.popped(),
+            })
+            .sum()
+    }
+
+    /// Total pending events across all shards.
+    pub fn pending(&mut self) -> u64 {
+        self.shards
+            .iter_mut()
+            .map(|s| match s.get_mut() {
+                Ok(g) => g.queue.len() as u64,
+                Err(p) => p.into_inner().queue.len() as u64,
+            })
+            .sum()
+    }
+
+    /// Exclusive access to shard `i`'s world (setup and inspection
+    /// between runs). Panics if `i` is out of range.
+    pub fn world_mut(&mut self, i: usize) -> &mut S {
+        let Some(m) = self.shards.get_mut(i) else {
+            panic!("shard {i} out of range");
+        };
+        match m.get_mut() {
+            Ok(g) => &mut g.world,
+            Err(p) => &mut p.into_inner().world,
+        }
+    }
+
+    /// Schedule an external event on shard `shard` while the simulation
+    /// is parked (setup, or between `run_until` calls).
+    pub fn inject(&mut self, shard: usize, time: Instant, key: u64, event: S::Event) {
+        assert!(
+            time >= self.now,
+            "cannot inject into the past: now={}, at={}",
+            self.now,
+            time
+        );
+        let Some(m) = self.shards.get_mut(shard) else {
+            panic!("shard {shard} out of range");
+        };
+        match m.get_mut() {
+            Ok(g) => g.queue.push(time, key, event),
+            Err(p) => p.into_inner().queue.push(time, key, event),
+        }
+    }
+
+    /// Minimum next-event time across all shards.
+    fn min_next_time(&self) -> Option<Instant> {
+        self.shards
+            .iter()
+            .filter_map(|s| lock(s).queue.peek_time())
+            .min()
+    }
+
+    /// Drain every outbox in shard-index order into destination queues,
+    /// asserting the conservative contract (`time ≥ window horizon`).
+    fn route_outboxes(&self, horizon: Instant) -> u64 {
+        let mut routed = 0;
+        for src in 0..self.shards.len() {
+            let outbox = {
+                let Some(m) = self.shards.get(src) else {
+                    continue;
+                };
+                std::mem::take(&mut lock(m).outbox)
+            };
+            for emit in outbox {
+                assert!(
+                    emit.time >= horizon,
+                    "cross-shard message inside its own window: at={}, horizon={} \
+                     (a cross-domain follow-up was scheduled closer than the lookahead)",
+                    emit.time,
+                    horizon
+                );
+                let Some(dest) = self.shards.get(emit.dest) else {
+                    panic!("cross-shard message to unknown shard {}", emit.dest);
+                };
+                lock(dest).queue.push(emit.time, emit.key, emit.event);
+                routed += 1;
+            }
+        }
+        routed
+    }
+
+    /// Run until every queue drains or `deadline` passes. Events at the
+    /// deadline still execute (matching [`crate::sim::Simulation`]).
+    pub fn run_until(&mut self, deadline: Instant) -> RunOutcome {
+        let workers = parfan::resolved_jobs().clamp(1, self.shards.len());
+        if workers <= 1 {
+            self.run_windows_inline(deadline)
+        } else {
+            self.run_windows_threaded(deadline, workers)
+        }
+    }
+
+    /// Single-threaded window loop (no worker pool at all).
+    fn run_windows_inline(&mut self, deadline: Instant) -> RunOutcome {
+        let mut dispatched: u64 = 0;
+        loop {
+            let Some(t) = self.min_next_time() else {
+                return RunOutcome::Drained;
+            };
+            if t > deadline {
+                self.now = deadline;
+                return RunOutcome::DeadlineReached;
+            }
+            let horizon = window_horizon(t, self.lookahead);
+            for (idx, shard) in self.shards.iter().enumerate() {
+                dispatched += process_window(&mut lock(shard), idx, horizon, deadline);
+            }
+            self.stats.messages += self.route_outboxes(horizon);
+            self.stats.windows += 1;
+            self.now = t;
+            if let Some(limit) = self.max_events {
+                if dispatched >= limit {
+                    return RunOutcome::EventLimit;
+                }
+            }
+        }
+    }
+
+    /// Window loop on a pool of long-lived barrier-synchronized workers.
+    /// Workers are spawned once and reused for every window; the
+    /// coordinator (this thread) computes bounds and routes outboxes.
+    fn run_windows_threaded(&mut self, deadline: Instant, workers: usize) -> RunOutcome {
+        let n = self.shards.len();
+        let sync = WindowSync {
+            start: Barrier::new(workers + 1),
+            done: Barrier::new(workers + 1),
+            horizon: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            dispatched: AtomicU64::new(0),
+            panicked: Mutex::new(None),
+        };
+        let shards = &self.shards;
+        let mut outcome = RunOutcome::Drained;
+        let mut windows = 0u64;
+        let mut messages = 0u64;
+        let mut now = self.now;
+        let mut payload: Option<Box<dyn std::any::Any + Send>> = None;
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let sync = &sync;
+                scope.spawn(move || worker_loop(w, workers, n, shards, sync, deadline));
+            }
+            loop {
+                let next = self
+                    .shards
+                    .iter()
+                    .filter_map(|s| lock(s).queue.peek_time())
+                    .min();
+                let t = match next {
+                    None => {
+                        outcome = RunOutcome::Drained;
+                        break;
+                    }
+                    Some(t) if t > deadline => {
+                        now = deadline;
+                        outcome = RunOutcome::DeadlineReached;
+                        break;
+                    }
+                    Some(t) => t,
+                };
+                let horizon = window_horizon(t, self.lookahead);
+                sync.horizon.store(horizon.as_nanos(), Ordering::Release);
+                sync.start.wait();
+                // Workers process their shards' events in [.., horizon).
+                sync.done.wait();
+                if let Some(p) = take_panic(&sync.panicked) {
+                    // Re-thrown below, after workers are released.
+                    payload = Some(p);
+                    break;
+                }
+                messages += self.route_outboxes(horizon);
+                windows += 1;
+                now = t;
+                if let Some(limit) = self.max_events {
+                    if sync.dispatched.load(Ordering::Acquire) >= limit {
+                        outcome = RunOutcome::EventLimit;
+                        break;
+                    }
+                }
+            }
+            sync.stop.store(true, Ordering::Release);
+            sync.start.wait();
+        });
+        self.stats.windows += windows;
+        self.stats.messages += messages;
+        self.now = now;
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+        outcome
+    }
+}
+
+/// Shared coordination state for one threaded `run_until`.
+struct WindowSync {
+    start: Barrier,
+    done: Barrier,
+    /// Current window bound (exclusive), as nanos.
+    horizon: AtomicU64,
+    stop: AtomicBool,
+    /// Total events dispatched (all workers, all windows).
+    dispatched: AtomicU64,
+    /// First captured worker panic payload.
+    panicked: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Take the captured panic payload, riding through poisoning (the mutex
+/// only holds a payload that is itself a panic being propagated).
+fn take_panic(
+    m: &Mutex<Option<Box<dyn std::any::Any + Send>>>,
+) -> Option<Box<dyn std::any::Any + Send>> {
+    match m.lock() {
+        Ok(mut g) => g.take(),
+        Err(poisoned) => poisoned.into_inner().take(),
+    }
+}
+
+/// One long-lived worker: wait for a window, process the shards it owns
+/// (`idx ≡ w mod workers`), repeat until stopped. Panics are captured so
+/// every barrier is always reached — the coordinator re-throws.
+fn worker_loop<S: ShardWorld>(
+    w: usize,
+    workers: usize,
+    n: usize,
+    shards: &[Mutex<Shard<S>>],
+    sync: &WindowSync,
+    deadline: Instant,
+) {
+    loop {
+        sync.start.wait();
+        if sync.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let horizon = Instant::from_nanos(sync.horizon.load(Ordering::Acquire));
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut dispatched = 0;
+            for idx in (w..n).step_by(workers) {
+                let Some(shard) = shards.get(idx) else {
+                    continue;
+                };
+                dispatched += process_window(&mut lock(shard), idx, horizon, deadline);
+            }
+            dispatched
+        }));
+        match result {
+            Ok(dispatched) => {
+                sync.dispatched.fetch_add(dispatched, Ordering::AcqRel);
+            }
+            Err(payload) => match sync.panicked.lock() {
+                Ok(mut g) => {
+                    g.get_or_insert(payload);
+                }
+                Err(poisoned) => {
+                    poisoned.into_inner().get_or_insert(payload);
+                }
+            },
+        }
+        sync.done.wait();
+    }
+}
+
+/// Window bound for a minimum event time `t`: `t + L`, saturating so a
+/// run-to-completion near the top of the clock cannot overflow.
+fn window_horizon(t: Instant, lookahead: Duration) -> Instant {
+    Instant::from_nanos(t.as_nanos().saturating_add(lookahead.as_nanos()))
+}
+
+/// Process one shard's events in `[.., horizon) ∩ [.., deadline]`,
+/// capturing follow-ups: same-shard into the local queue (they may still
+/// fall inside this window — intra-domain cascades are not bounded by
+/// the lookahead), cross-shard into the outbox. Returns the number of
+/// events dispatched.
+fn process_window<S: ShardWorld>(
+    shard: &mut Shard<S>,
+    own_idx: usize,
+    horizon: Instant,
+    deadline: Instant,
+) -> u64 {
+    let mut dispatched = 0;
+    loop {
+        let due = matches!(shard.queue.peek_time(), Some(t) if t < horizon && t <= deadline);
+        if !due {
+            return dispatched;
+        }
+        let Some((time, _key, event)) = shard.queue.pop() else {
+            return dispatched;
+        };
+        let mut scratch = std::mem::take(&mut shard.scratch);
+        scratch.clear();
+        shard.world.dispatch(time, event, &mut scratch);
+        dispatched += 1;
+        for emit in scratch.drain(..) {
+            assert!(
+                emit.time >= time,
+                "follow-up scheduled into the past: now={}, at={}",
+                time,
+                emit.time
+            );
+            if emit.dest == own_idx {
+                shard.queue.push(emit.time, emit.key, emit.event);
+            } else {
+                shard.outbox.push(emit);
+            }
+        }
+        shard.scratch = scratch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy world: each shard counts tokens it sees and forwards each
+    /// token to the next shard (one lookahead later) until its hop
+    /// budget is spent. Optionally emits a same-time local echo (an
+    /// intra-window cascade) or panics on a marked token.
+    struct TokenWorld {
+        shard: usize,
+        shards: usize,
+        hop_delay: Duration,
+        seq: u64,
+        /// (time ns, token id) in dispatch order.
+        log: Vec<(u64, u32)>,
+        panic_on: Option<u32>,
+        echo: bool,
+    }
+
+    #[derive(Clone, Copy)]
+    enum Tok {
+        Hop { id: u32, hops: u32 },
+        Echo { id: u32 },
+    }
+
+    impl TokenWorld {
+        fn new(shard: usize, shards: usize, hop_delay: Duration) -> TokenWorld {
+            TokenWorld {
+                shard,
+                shards,
+                hop_delay,
+                seq: 0,
+                log: Vec::new(),
+                panic_on: None,
+                echo: false,
+            }
+        }
+
+        fn next_key(&mut self) -> u64 {
+            let key = pack_key(self.shard as u32, self.seq);
+            self.seq += 1;
+            key
+        }
+    }
+
+    impl ShardWorld for TokenWorld {
+        type Event = Tok;
+
+        fn dispatch(&mut self, now: Instant, event: Tok, out: &mut Vec<Emit<Tok>>) {
+            match event {
+                Tok::Hop { id, hops } => {
+                    if self.panic_on == Some(id) {
+                        panic!("token {id} tripped the wire");
+                    }
+                    self.log.push((now.as_nanos(), id));
+                    if self.echo {
+                        let key = self.next_key();
+                        self.log.push((now.as_nanos(), id + 1000));
+                        out.push(Emit {
+                            dest: self.shard,
+                            time: now,
+                            key,
+                            event: Tok::Echo { id },
+                        });
+                    }
+                    if hops > 0 {
+                        let key = self.next_key();
+                        out.push(Emit {
+                            dest: (self.shard + 1) % self.shards,
+                            time: now + self.hop_delay,
+                            key,
+                            event: Tok::Hop { id, hops: hops - 1 },
+                        });
+                    }
+                }
+                Tok::Echo { id } => self.log.push((now.as_nanos(), id + 2000)),
+            }
+        }
+    }
+
+    fn token_sim(
+        shards: usize,
+        hop_delay: Duration,
+        lookahead: Duration,
+    ) -> ShardedSim<TokenWorld> {
+        let worlds = (0..shards)
+            .map(|s| TokenWorld::new(s, shards, hop_delay))
+            .collect();
+        ShardedSim::new(worlds, lookahead)
+    }
+
+    const L: Duration = Duration::from_nanos(100);
+
+    #[test]
+    fn keyed_queue_pops_in_time_then_key_order() {
+        let mut q = KeyedQueue::new();
+        q.push(Instant::from_nanos(5), pack_key(1, 0), "b");
+        q.push(Instant::from_nanos(5), pack_key(0, 7), "a");
+        q.push(Instant::from_nanos(2), pack_key(9, 9), "first");
+        q.push(Instant::from_nanos(5), pack_key(1, 1), "c");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(Instant::from_nanos(2)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, ["first", "a", "b", "c"]);
+        assert!(q.is_empty());
+        assert_eq!(q.popped(), 4);
+    }
+
+    #[test]
+    fn pack_key_orders_by_domain_then_sequence() {
+        assert!(pack_key(0, u64::MAX >> (64 - KEY_SEQ_BITS)) < pack_key(1, 0));
+        assert_eq!(pack_key(3, 5), (3u64 << KEY_SEQ_BITS) | 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "emission sequence overflow")]
+    fn pack_key_rejects_sequence_overflow() {
+        pack_key(0, 1 << KEY_SEQ_BITS);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead must be positive")]
+    fn zero_lookahead_is_rejected() {
+        let worlds = vec![TokenWorld::new(0, 1, L)];
+        ShardedSim::new(worlds, Duration::ZERO);
+    }
+
+    #[test]
+    fn run_reports_drained_deadline_and_event_limit() {
+        parfan::with_jobs(1, || {
+            // A 3-hop token across 2 shards: drains before a far deadline.
+            let mut sim = token_sim(2, L, L);
+            sim.inject(
+                0,
+                Instant::ZERO,
+                pack_key(2, 0),
+                Tok::Hop { id: 1, hops: 3 },
+            );
+            assert!(matches!(
+                sim.run_until(Instant::from_nanos(10_000)),
+                RunOutcome::Drained
+            ));
+            assert_eq!(sim.events_dispatched(), 4);
+            assert_eq!(sim.pending(), 0);
+
+            // Same scenario, deadline mid-flight: parks at the deadline.
+            let mut sim = token_sim(2, L, L);
+            sim.inject(
+                0,
+                Instant::ZERO,
+                pack_key(2, 0),
+                Tok::Hop { id: 1, hops: 3 },
+            );
+            assert!(matches!(
+                sim.run_until(Instant::from_nanos(150)),
+                RunOutcome::DeadlineReached
+            ));
+            assert_eq!(sim.now(), Instant::from_nanos(150));
+            assert_eq!(sim.pending(), 1);
+
+            // Event guard trips before the token finishes hopping.
+            let mut sim = token_sim(2, L, L);
+            sim.max_events = Some(2);
+            sim.inject(
+                0,
+                Instant::ZERO,
+                pack_key(2, 0),
+                Tok::Hop { id: 1, hops: 9 },
+            );
+            assert!(matches!(
+                sim.run_until(Instant::from_nanos(10_000)),
+                RunOutcome::EventLimit
+            ));
+        });
+    }
+
+    #[test]
+    fn deadline_events_still_execute() {
+        parfan::with_jobs(1, || {
+            let mut sim = token_sim(1, L, L);
+            sim.inject(
+                0,
+                Instant::from_nanos(500),
+                pack_key(1, 0),
+                Tok::Hop { id: 7, hops: 0 },
+            );
+            assert!(matches!(
+                sim.run_until(Instant::from_nanos(500)),
+                RunOutcome::Drained
+            ));
+            assert_eq!(sim.world_mut(0).log, [(500, 7)]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject into the past")]
+    fn injecting_into_the_past_panics() {
+        let mut sim = token_sim(1, L, L);
+        sim.inject(
+            0,
+            Instant::from_nanos(90),
+            pack_key(1, 0),
+            Tok::Hop { id: 0, hops: 0 },
+        );
+        // Parks at the deadline (50) without reaching the pending event.
+        parfan::with_jobs(1, || sim.run_until(Instant::from_nanos(50)));
+        sim.inject(
+            0,
+            Instant::from_nanos(20),
+            pack_key(1, 1),
+            Tok::Hop { id: 0, hops: 0 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-shard message inside its own window")]
+    fn lookahead_violation_is_caught_when_routing() {
+        parfan::with_jobs(1, || {
+            // Cross-shard hops scheduled closer than the lookahead break
+            // the conservative contract; the router must refuse.
+            let mut sim = token_sim(2, Duration::from_nanos(10), L);
+            sim.inject(
+                0,
+                Instant::ZERO,
+                pack_key(2, 0),
+                Tok::Hop { id: 1, hops: 1 },
+            );
+            sim.run_until(Instant::from_nanos(1_000));
+        });
+    }
+
+    /// Run the same multi-token scenario and return every shard's log
+    /// plus the window/message stats.
+    fn run_scenario(shards: usize, jobs: usize) -> (Vec<Vec<(u64, u32)>>, u64, u64) {
+        parfan::with_jobs(jobs, || {
+            let mut sim = token_sim(shards, L, L);
+            for s in 0..shards {
+                sim.world_mut(s).echo = true;
+            }
+            for id in 0..6u32 {
+                let shard = (id as usize) % shards;
+                sim.inject(
+                    shard,
+                    Instant::from_nanos(u64::from(id) * 7),
+                    pack_key(shards as u32, u64::from(id)),
+                    Tok::Hop { id, hops: 5 },
+                );
+            }
+            let outcome = sim.run_until(Instant::from_nanos(100_000));
+            assert!(matches!(outcome, RunOutcome::Drained));
+            let logs = (0..shards)
+                .map(|s| std::mem::take(&mut sim.world_mut(s).log))
+                .collect();
+            (logs, sim.stats().windows, sim.stats().messages)
+        })
+    }
+
+    #[test]
+    fn inline_and_threaded_runs_are_identical() {
+        let (inline_logs, inline_w, inline_m) = run_scenario(4, 1);
+        let (threaded_logs, threaded_w, threaded_m) = run_scenario(4, 4);
+        assert_eq!(inline_logs, threaded_logs);
+        assert_eq!(inline_w, threaded_w);
+        assert_eq!(inline_m, threaded_m);
+        assert!(inline_m > 0, "scenario must actually cross shards");
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_sim_survives() {
+        parfan::with_jobs(3, || {
+            let mut sim = token_sim(3, L, L);
+            sim.world_mut(1).panic_on = Some(4);
+            sim.inject(
+                0,
+                Instant::ZERO,
+                pack_key(3, 0),
+                Tok::Hop { id: 4, hops: 4 },
+            );
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                sim.run_until(Instant::from_nanos(10_000))
+            }))
+            .expect_err("the marked token must blow up a worker");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("token 4 tripped the wire"), "got: {msg}");
+            // The pool wound down cleanly: the sim is still usable.
+            sim.world_mut(1).panic_on = None;
+            assert!(matches!(
+                sim.run_until(Instant::from_nanos(10_000)),
+                RunOutcome::Drained
+            ));
+        });
+    }
+}

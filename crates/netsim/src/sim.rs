@@ -32,6 +32,37 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Create a free-standing scheduler parked at `now` with an empty
+    /// queue. Shard runtimes use this as a capture trampoline: a handler
+    /// written against [`Scheduler`] runs unmodified, and the runtime
+    /// drains what it scheduled via [`Scheduler::drain_next`] to route
+    /// each follow-up to its owning shard.
+    pub fn parked_at(now: Instant) -> Self {
+        Scheduler {
+            now,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Move a drained trampoline scheduler to a new instant. Panics if
+    /// events are still queued — reparking would silently reorder them
+    /// against the new clock.
+    pub fn repark(&mut self, now: Instant) {
+        assert!(
+            self.queue.is_empty(),
+            "repark with {} events still queued",
+            self.queue.len()
+        );
+        self.now = now;
+    }
+
+    /// Pop the next scheduled event in `(time, insertion order)`. Used by
+    /// shard runtimes to capture a handler's follow-ups instead of
+    /// dispatching them locally.
+    pub fn drain_next(&mut self) -> Option<(Instant, E)> {
+        self.queue.pop()
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> Instant {
         self.now

@@ -88,6 +88,24 @@ impl Histogram {
         &self.counts
     }
 
+    /// Fold another histogram into this one (bucketwise count sums plus
+    /// the observation sum). Both sides must have been created with the
+    /// same bounds — merging differently-shaped histograms would silently
+    /// misattribute observations, so it is a hard error.
+    ///
+    /// # Panics
+    /// If the bounds differ.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum += other.sum;
+    }
+
     fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"bounds\":[");
@@ -174,6 +192,41 @@ impl Metrics {
         self.histograms.get(name)
     }
 
+    /// Fold another registry into this one, using each kind's natural
+    /// combination rule:
+    ///
+    /// * counters sum (they are monotone event counts),
+    /// * histograms sum bucketwise (same-bounds requirement as
+    ///   [`Histogram::merge_from`]),
+    /// * gauges whose name ends in `_max` take the max (high-water marks
+    ///   combine as maxima), every other gauge sums (levels/totals read
+    ///   from disjoint state partitions).
+    ///
+    /// This is the merge rule the sharded simulation uses to combine
+    /// per-shard registries: each shard only ever touches its own domains'
+    /// metrics, so sums over shards reconstruct the single-process totals.
+    pub fn merge_from(&mut self, other: &Metrics) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.gauges {
+            if k.ends_with("_max") {
+                let g = self.gauges.entry(k).or_insert(0);
+                *g = (*g).max(v);
+            } else {
+                *self.gauges.entry(k).or_insert(0) += v;
+            }
+        }
+        for (&k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge_from(h),
+                None => {
+                    self.histograms.insert(k, h.clone());
+                }
+            }
+        }
+    }
+
     /// True when nothing has been recorded at all.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
@@ -243,6 +296,38 @@ mod tests {
         assert_eq!(m.gauge("depth"), Some(3));
         m.gauge_set("depth", 1);
         assert_eq!(m.gauge("depth"), Some(1));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms_and_maxes_high_water_gauges() {
+        let mut a = Metrics::new();
+        a.add("events", 3);
+        a.gauge_set("depth", 4);
+        a.gauge_max("queue_max", 7);
+        a.observe("lat", &[10, 20], 5);
+        let mut b = Metrics::new();
+        b.add("events", 2);
+        b.inc("only_b");
+        b.gauge_set("depth", 6);
+        b.gauge_max("queue_max", 3);
+        b.observe("lat", &[10, 20], 15);
+        b.observe("other", &[1], 9);
+        a.merge_from(&b);
+        assert_eq!(a.counter("events"), 5);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.gauge("depth"), Some(10));
+        assert_eq!(a.gauge("queue_max"), Some(7));
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 20);
+        assert_eq!(a.histogram("other").unwrap().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merging_mismatched_histogram_bounds_panics() {
+        let mut a = Histogram::new(&[1, 2]);
+        a.merge_from(&Histogram::new(&[1, 3]));
     }
 
     #[test]

@@ -132,6 +132,48 @@ pub fn merge_job_lines(per_job: Vec<Vec<String>>) -> Vec<String> {
     merged
 }
 
+/// Parse the leading `{"t":<n>,` sim-time stamp of a rendered trace line.
+/// Every line `event!` produces starts with the stamp, so this never
+/// allocates; malformed lines sort first (time 0).
+fn line_time(line: &str) -> u64 {
+    let rest = match line.strip_prefix("{\"t\":") {
+        Some(r) => r,
+        None => return 0,
+    };
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or(0)
+}
+
+/// Merge per-shard trace buffers from a sharded simulation into one
+/// canonical stream: `trace.meta` header lines first (in shard order —
+/// only shard 0 stamps one), then every event line ordered by
+/// `(sim time, line content)`.
+///
+/// Each domain's line subsequence is identical at any shard count (that
+/// is the sharded engine's determinism contract), so sorting the union by
+/// a content-total order yields a byte-identical merged trace no matter
+/// how domains were packed onto shards. The sort is stable, so exact
+/// duplicate lines keep their multiplicity and relative order.
+pub fn merge_shard_lines(per_shard: Vec<Vec<String>>) -> Vec<String> {
+    let total = per_shard.iter().map(Vec::len).sum();
+    let mut meta = Vec::new();
+    let mut events = Vec::with_capacity(total);
+    for lines in per_shard {
+        for line in lines {
+            if line.contains("\"ev\":\"trace.meta\"") {
+                meta.push(line);
+            } else {
+                events.push(line);
+            }
+        }
+    }
+    events.sort_by(|a, b| (line_time(a), a.as_str()).cmp(&(line_time(b), b.as_str())));
+    meta.extend(events);
+    meta
+}
+
 /// The one sanctioned stderr escape hatch for library crates: progress /
 /// telemetry lines that must reach a human even when no trace sink is
 /// wired up. Centralizing it here keeps the `raw-print` invariant rule
@@ -272,6 +314,30 @@ mod tests {
         assert_eq!(merged, ["j0-a", "j0-b", "j2-a"]);
         assert_eq!(render_lines(&merged), "j0-a\nj0-b\nj2-a\n");
         assert_eq!(render_lines(&[]), "");
+    }
+
+    #[test]
+    fn shard_merge_is_time_then_content_ordered_with_meta_first() {
+        let meta = r#"{"t":5,"ev":"trace.meta","schema":"s"}"#.to_string();
+        let a0 = r#"{"t":3,"ev":"a"}"#.to_string();
+        let b0 = r#"{"t":3,"ev":"b"}"#.to_string();
+        let c = r#"{"t":10,"ev":"c"}"#.to_string();
+        // Two packings of the same line multiset must merge identically.
+        let one = merge_shard_lines(vec![vec![meta.clone(), c.clone(), b0.clone(), a0.clone()]]);
+        let two = merge_shard_lines(vec![
+            vec![meta.clone(), b0.clone()],
+            vec![c.clone(), a0.clone()],
+        ]);
+        assert_eq!(one, two);
+        // Header first despite its later stamp; then (t, content) order.
+        assert_eq!(one, [meta, a0, b0, c]);
+    }
+
+    #[test]
+    fn shard_merge_keeps_duplicate_lines() {
+        let dup = r#"{"t":1,"ev":"x"}"#.to_string();
+        let merged = merge_shard_lines(vec![vec![dup.clone()], vec![dup.clone()]]);
+        assert_eq!(merged, [dup.clone(), dup]);
     }
 
     #[test]

@@ -59,8 +59,16 @@ pub const JOBS_ENV: &str = "SPEEDLIGHT_JOBS";
 /// the deterministic entry points have nothing to report.
 pub const LOG_ENV: &str = "SPEEDLIGHT_PARFAN_LOG";
 
+/// Environment variable selecting the shard count for sharded simulation
+/// runs (`netsim::shard`). Orthogonal to [`JOBS_ENV`]: shards partition
+/// *one* simulation's state (and fix its event-ordering semantics, which
+/// are byte-identical at any count), while jobs set how many OS threads
+/// execute — whether across fan-out jobs or across shard windows.
+pub const SHARDS_ENV: &str = "SPEEDLIGHT_SHARDS";
+
 thread_local! {
     static JOBS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static SHARDS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 /// Fan-out configuration. `Default` resolves the worker count via
@@ -172,6 +180,35 @@ pub fn with_jobs<R>(jobs: usize, f: impl FnOnce() -> R) -> R {
         }
     }
     let _restore = Restore(JOBS_OVERRIDE.with(|c| c.replace(Some(jobs))));
+    f()
+}
+
+/// The shard count sharded-simulation entry points use by default: the
+/// innermost [`with_shards`] override if any, else `SPEEDLIGHT_SHARDS`,
+/// else `1` (a single shard — the sharded engine's reference execution).
+/// Unlike [`resolved_jobs`] the fallback is *not* the core count: the
+/// shard count is part of the simulation's configuration surface, and an
+/// unconfigured run must land on the canonical single-shard execution.
+pub fn resolved_shards() -> usize {
+    if let Some(n) = SHARDS_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    let env = std::env::var(SHARDS_ENV).ok();
+    parse_jobs(env.as_deref(), 1)
+}
+
+/// Run `f` with the default shard count pinned to `shards` on this
+/// thread (restored on exit, even across unwinds) — the race-free way
+/// the equivalence tests compare shard counts without touching the
+/// process environment.
+pub fn with_shards<R>(shards: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SHARDS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(SHARDS_OVERRIDE.with(|c| c.replace(Some(shards))));
     f()
 }
 
