@@ -32,6 +32,16 @@
 //!                             plus the measured throughput (and, when
 //!                             sharded, shard.count/windows/messages)
 //!                             as gauges (default BENCH_netsim_metrics.json)
+//!   --profile-out <path>      write the deterministic `speedlight-profile/v1`
+//!                             artifact (per-domain events, cross-domain
+//!                             messages, barrier-stall sim-time, window
+//!                             count, observer-pipeline occupancy). The
+//!                             profiler rides the warm-up trial, and the
+//!                             cross-trial digest assertion proves it
+//!                             perturbed nothing. A human stall summary
+//!                             (per shard when sharded) goes to stderr —
+//!                             the artifact itself is jobs- and
+//!                             shard-count-invariant.
 //! ```
 //!
 //! With `SPEEDLIGHT_TRACE=<path>` in the environment, the warm-up trial
@@ -150,6 +160,7 @@ struct Measurement {
     snapshot_digest: u64,
     metrics: obs::metrics::Metrics,
     trace_lines: Vec<String>,
+    profile: Option<obs::profile::Profile>,
 }
 
 fn config(seed: u64) -> TestbedConfig {
@@ -217,12 +228,19 @@ fn run(
     shards: usize,
     seed: u64,
     trace: bool,
+    profile: bool,
 ) -> Measurement {
     let mut bed = build(topology, shards, seed);
     if trace {
         match &mut bed {
             Bed::Serial(tb) => tb.enable_trace(),
             Bed::Sharded(tb) => tb.enable_trace(),
+        }
+    }
+    if profile {
+        match &mut bed {
+            Bed::Serial(tb) => tb.enable_profiling(),
+            Bed::Sharded(tb) => tb.enable_profiling(),
         }
     }
     let horizon = scenario.sim_horizon();
@@ -271,6 +289,10 @@ fn run(
             )
         }
     };
+    let profile = profile.then(|| match &mut bed {
+        Bed::Serial(tb) => tb.take_profile(),
+        Bed::Sharded(tb) => tb.take_profile(),
+    });
     let digest = h.finish();
     let wall_s = wall.as_secs_f64();
     Measurement {
@@ -288,6 +310,7 @@ fn run(
         snapshot_digest: digest,
         metrics,
         trace_lines,
+        profile,
     }
 }
 
@@ -319,6 +342,7 @@ fn run_trials(
     seed: u64,
     trials: usize,
     trace: bool,
+    profile: bool,
 ) -> Report {
     // Trial 0 is the warm-up: it pays the first-touch costs (page faults,
     // allocator growth, branch-predictor training) and is excluded from
@@ -335,7 +359,7 @@ fn run_trials(
                 topology.name(),
             )
         },
-        |_, &t| run(scenario, topology, shards, seed, trace && t == 0),
+        |_, &t| run(scenario, topology, shards, seed, trace && t == 0, profile && t == 0),
     );
     // Every trial (warm-up included) replays the same seeded scenario, so
     // digests and event counts must agree bit for bit; a disagreement is a
@@ -419,6 +443,68 @@ fn render_json(r: &Report, baseline_eps: Option<f64>) -> String {
     out
 }
 
+/// Human-readable stall digest for stderr. When sharded, rows are
+/// aggregated per shard by reconstructing the owner map from the public
+/// partition — a shard-count-*dependent* view, which is exactly why it
+/// goes to stderr and never into the (invariant) artifact. Serial runs
+/// get the five most-stalled domains instead.
+fn stall_summary(p: &obs::profile::Profile, topology: TopoChoice, shards: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: {} windows, lookahead {} ns, {} domains",
+        p.windows,
+        p.lookahead_ns,
+        p.domains.len()
+    );
+    if shards >= 2 {
+        let topo = topology.build();
+        let ns = usize::from(topo.num_switches());
+        let assign = fabric::shard::partition_devices(&topo, topology.hint(), shards);
+        // Devices by partition, hosts co-located with their switch, the
+        // control domain pinned to shard 0 — the `ShardedTestbed` rules.
+        let owner = |id: usize| -> usize {
+            if id < ns {
+                assign.get(id).copied().unwrap_or(0)
+            } else {
+                topo.hosts
+                    .get(id - ns)
+                    .and_then(|&(sw, _)| assign.get(usize::from(sw)))
+                    .copied()
+                    .unwrap_or(0)
+            }
+        };
+        let mut per = vec![(0u64, 0u64, 0u64); shards];
+        for row in &p.domains {
+            if let Some(s) = per.get_mut(owner(row.id as usize)) {
+                s.0 += row.events;
+                s.1 += row.msgs_out;
+                s.2 += row.stall_ns;
+            }
+        }
+        for (i, (events, msgs, stall)) in per.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  shard {i}: events={events} msgs_out={msgs} stall={stall} ns \
+                 (avg {} ns/window)",
+                stall / p.windows.max(1)
+            );
+        }
+    } else {
+        let mut rows: Vec<&obs::profile::DomainRow> = p.domains.iter().collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.stall_ns));
+        for r in rows.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  {} {}: events={} msgs_out={} stall={} ns",
+                r.kind, r.id, r.events, r.msgs_out, r.stall_ns
+            );
+        }
+    }
+    out
+}
+
 /// Pull one scalar field out of a flat JSON object (the harness's own
 /// schema — no nesting, no escapes in the values we read).
 fn json_field<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
@@ -469,6 +555,7 @@ fn main() -> ExitCode {
     let mut trials: usize = 1;
     let mut out_path = String::from("BENCH_netsim.json");
     let mut metrics_out_path = String::from("BENCH_netsim_metrics.json");
+    let mut profile_out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut expect_digest: Option<u64> = None;
@@ -501,6 +588,7 @@ fn main() -> ExitCode {
             }
             "--out" => out_path = value("--out"),
             "--metrics-out" => metrics_out_path = value("--metrics-out"),
+            "--profile-out" => profile_out_path = Some(value("--profile-out")),
             "--baseline" => baseline_path = Some(value("--baseline")),
             "--check" => check_path = Some(value("--check")),
             "--expect-digest" => {
@@ -525,6 +613,7 @@ fn main() -> ExitCode {
         seed,
         trials,
         trace_path.is_some(),
+        profile_out_path.is_some(),
     );
     let m = &r.m;
     eprintln!(
@@ -584,6 +673,19 @@ fn main() -> ExitCode {
         doc.push('\n');
         std::fs::write(p, doc).unwrap_or_else(|e| panic!("cannot write trace {p}: {e}"));
         eprintln!("wrote trace {p} ({} events)", r.m.trace_lines.len());
+    }
+
+    if let Some(p) = &profile_out_path {
+        let Some(profile) = &r.m.profile else {
+            unreachable!("--profile-out always profiles the warm-up trial");
+        };
+        let doc = profile.to_json();
+        std::fs::write(p, &doc).unwrap_or_else(|e| panic!("cannot write profile {p}: {e}"));
+        eprintln!(
+            "wrote profile {p} (digest {})",
+            obs::profile::extract_digest(&doc).unwrap_or_default()
+        );
+        eprint!("{}", stall_summary(profile, topology, shards));
     }
 
     if let Some(p) = check_path {

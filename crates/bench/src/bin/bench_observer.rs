@@ -30,6 +30,11 @@
 //!   --threshold <f64>         regression threshold for --check (default 0.30)
 //!   --metrics-out <path>      pipeline obs metrics JSON from trial 0
 //!                             (default BENCH_observer_metrics.json)
+//!   --profile-out <path>      write a `speedlight-profile/v1` artifact
+//!                             carrying only the observer-pipeline section
+//!                             (no DES ran: lookahead 0, no windows, no
+//!                             domain rows) — per-epoch stage occupancy,
+//!                             peaks, and backpressure counts from trial 0
 //! ```
 
 use speedlight_core::control::{Report, ReportValue};
@@ -423,6 +428,7 @@ fn main() -> ExitCode {
     let mut trials: usize = 1;
     let mut out_path = String::from("BENCH_observer.json");
     let mut metrics_out_path = String::from("BENCH_observer_metrics.json");
+    let mut profile_out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut threshold: f64 = 0.30;
@@ -448,6 +454,7 @@ fn main() -> ExitCode {
             }
             "--out" => out_path = value("--out"),
             "--metrics-out" => metrics_out_path = value("--metrics-out"),
+            "--profile-out" => profile_out_path = Some(value("--profile-out")),
             "--baseline" => baseline_path = Some(value("--baseline")),
             "--check" => check_path = Some(value("--check")),
             "--threshold" => {
@@ -495,6 +502,23 @@ fn main() -> ExitCode {
     std::fs::write(&metrics_out_path, metrics.to_json())
         .unwrap_or_else(|e| panic!("cannot write {metrics_out_path}: {e}"));
     eprintln!("wrote {metrics_out_path}");
+
+    if let Some(p) = &profile_out_path {
+        // No DES ran here, so the profile is the pipeline section alone —
+        // deterministic per-epoch stage occupancy from trial 0's run.
+        let profile = obs::profile::Profile {
+            lookahead_ns: 0,
+            windows: 0,
+            domains: Vec::new(),
+            pipeline: Some(m.stats.profile_section()),
+        };
+        let doc = profile.to_json();
+        std::fs::write(p, &doc).unwrap_or_else(|e| panic!("cannot write profile {p}: {e}"));
+        eprintln!(
+            "wrote profile {p} (digest {})",
+            obs::profile::extract_digest(&doc).unwrap_or_default()
+        );
+    }
 
     if let Some(p) = check_path {
         let doc = match std::fs::read_to_string(&p) {

@@ -3,44 +3,27 @@
 //! `Testbed::enable_trace`, or the conformance golden files).
 //!
 //! ```text
-//! cargo run -p bench --bin speedlight-trace -- <trace.jsonl> [sections]
+//! cargo run -p bench --bin speedlight-trace -- [subcommand] <trace.jsonl> [sections]
+//!
+//! subcommands:
+//!   analyze        per-epoch latency breakdown (initiation fan-out,
+//!                  collection, seal) reconstructed from the causal chain
+//!   critical-path  per-epoch slowest chain with device hops, plus the
+//!                  marker-fanout depth histogram
+//!
+//! sections (default view, no subcommand):
 //!   --epochs      per-epoch timeline (initiate → save → report → complete)
 //!   --devices     per-device event-kind counts
 //!   --histograms  completion-latency and queue-depth histogram tables
 //! ```
 //!
-//! With no section flags, all three sections print.
+//! With no subcommand and no section flags, all three sections print.
 
-use obs::json::{field, parse_line, JsonValue};
+use bench::trace::{analyze, fanout_histogram, parse_trace, EpochAnalysis, TraceEvent};
+use obs::json::{field, JsonValue};
 use obs::metrics::{Histogram, DEPTH_BOUNDS, LATENCY_BOUNDS_NS};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-
-/// One parsed trace line.
-struct TraceEvent {
-    t_ns: u64,
-    name: String,
-    fields: Vec<(String, JsonValue)>,
-}
-
-fn parse_trace(doc: &str) -> Result<Vec<TraceEvent>, String> {
-    let mut out = Vec::new();
-    for (i, line) in doc.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let fields = parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        let t_ns = field(&fields, "t")
-            .and_then(|v| v.as_u64())
-            .ok_or_else(|| format!("line {}: missing numeric \"t\"", i + 1))?;
-        let name = field(&fields, "ev")
-            .and_then(|v| v.as_str())
-            .ok_or_else(|| format!("line {}: missing string \"ev\"", i + 1))?
-            .to_string();
-        out.push(TraceEvent { t_ns, name, fields });
-    }
-    Ok(out)
-}
 
 fn fmt_value(v: &JsonValue) -> String {
     match v {
@@ -162,6 +145,86 @@ fn print_histogram(title: &str, unit_is_time: bool, h: &Histogram) {
         println!("  {label} {n:>8} {bar}");
         lo = h.bounds().get(i).map_or(lo, |&b| b + 1);
     }
+    // Exact nearest-rank quantiles (bucket upper bounds; `inf` when the
+    // rank lands in the overflow bucket).
+    let q = |p: u64| {
+        h.quantile(p).map_or_else(
+            || "inf".to_string(),
+            |v| {
+                if unit_is_time {
+                    fmt_ns(v)
+                } else {
+                    v.to_string()
+                }
+            },
+        )
+    };
+    println!("  p50<={} p90<={} p99<={}", q(50), q(90), q(99));
+}
+
+fn print_analyze(analyses: &[EpochAnalysis]) {
+    println!("== per-epoch latency breakdown ==");
+    if analyses.is_empty() {
+        println!("  (no snap.initiate events)");
+        return;
+    }
+    let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), fmt_ns);
+    for a in analyses {
+        let status = if a.finalize_t.is_none() {
+            "unsealed".to_string()
+        } else if a.forced {
+            format!("FORCED, {} excluded", a.excluded)
+        } else {
+            "clean".to_string()
+        };
+        println!(
+            "epoch {:>3}  total={:>10}  fanout={:>10}  collect={:>10}  seal={:>10}  \
+             reports={:>3}  devices={}  {}{}",
+            a.epoch,
+            opt(a.total_ns()),
+            opt(a.fanout_ns()),
+            opt(a.collect_ns()),
+            opt(a.seal_ns()),
+            a.report_arrivals.len(),
+            a.devices,
+            status,
+            if a.reinitiations > 0 {
+                format!(", reinitiated x{}", a.reinitiations)
+            } else {
+                String::new()
+            },
+        );
+    }
+}
+
+fn print_critical_path(analyses: &[EpochAnalysis]) {
+    println!("== per-epoch critical path (slowest chain) ==");
+    if analyses.is_empty() {
+        println!("  (no snap.initiate events)");
+        return;
+    }
+    for a in analyses {
+        println!(
+            "epoch {} ({}):",
+            a.epoch,
+            a.total_ns().map_or_else(|| "unsealed".into(), fmt_ns)
+        );
+        let hops = a.critical_path();
+        let mut prev = None;
+        for hop in &hops {
+            let delta = match prev {
+                Some(p) => format!("+{}", fmt_ns(hop.t_ns.saturating_sub(p))),
+                None => String::new(),
+            };
+            println!("  {:>12}  {:<24} {delta}", fmt_ns(hop.t_ns), hop.label);
+            prev = Some(hop.t_ns);
+        }
+    }
+    print_histogram(
+        "marker fanout per (epoch, device)",
+        false,
+        &fanout_histogram(analyses),
+    );
 }
 
 fn print_histograms(events: &[TraceEvent]) {
@@ -187,18 +250,35 @@ fn print_histograms(events: &[TraceEvent]) {
     print_histogram("CP queue depth at notification arrival", false, &depth);
 }
 
+const USAGE: &str = "usage: speedlight-trace [analyze|critical-path] <trace.jsonl> \
+                     [--epochs] [--devices] [--histograms]";
+
+/// What to print.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Mode {
+    /// The flag-selected default sections.
+    Sections,
+    /// Per-epoch latency breakdown.
+    Analyze,
+    /// Per-epoch slowest chain + fanout histogram.
+    CriticalPath,
+}
+
 fn main() -> ExitCode {
     let mut path: Option<String> = None;
+    let mut mode = Mode::Sections;
     let (mut epochs, mut devices, mut histograms) = (false, false, false);
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--epochs" => epochs = true,
             "--devices" => devices = true,
             "--histograms" => histograms = true,
+            "analyze" if path.is_none() && mode == Mode::Sections => mode = Mode::Analyze,
+            "critical-path" if path.is_none() && mode == Mode::Sections => {
+                mode = Mode::CriticalPath
+            }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: speedlight-trace <trace.jsonl> [--epochs] [--devices] [--histograms]"
-                );
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -214,7 +294,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: speedlight-trace <trace.jsonl> [--epochs] [--devices] [--histograms]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     if !(epochs || devices || histograms) {
@@ -250,14 +330,20 @@ fn main() -> ExitCode {
         println!("{path}: {} events (no trace.meta header)\n", events.len());
     }
 
-    if epochs {
-        print_epochs(&events);
-    }
-    if devices {
-        print_devices(&events);
-    }
-    if histograms {
-        print_histograms(&events);
+    match mode {
+        Mode::Analyze => print_analyze(&analyze(&events)),
+        Mode::CriticalPath => print_critical_path(&analyze(&events)),
+        Mode::Sections => {
+            if epochs {
+                print_epochs(&events);
+            }
+            if devices {
+                print_devices(&events);
+            }
+            if histograms {
+                print_histograms(&events);
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -18,3 +18,5 @@
 //! whole-testbed simulation throughput.
 
 #![forbid(unsafe_code)]
+
+pub mod trace;

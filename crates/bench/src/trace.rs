@@ -1,0 +1,410 @@
+//! Epoch critical-path analysis over a snapshot-lifecycle JSONL trace
+//! (the `speedlight-trace/v1` schema emitted by `Testbed::enable_trace`
+//! and pinned in the conformance golden files).
+//!
+//! The trace is a flat chronological event stream; this module
+//! reconstructs, per snapshot epoch, the causal chain
+//!
+//! ```text
+//! snap.initiate → dev.initiate (per device) → marker propagation
+//!   → notification export → cp.report → report.arrive → obs.finalize
+//! ```
+//!
+//! and derives the *slowest chain*: the hop-by-hop path ending at the
+//! last report arrival, which is what gates finalization. Everything is
+//! integer sim-time, so the analysis is as deterministic as the trace.
+//!
+//! Attribution: `dev.initiate`, `cp.report`, and `report.arrive` carry
+//! an explicit `epoch` field. Per-unit events (`unit.*`, `marker.seen`)
+//! and CP-side events (`notify.export`, `cp.process`) do not — they are
+//! attributed to the device's **most recent** `dev.initiate` epoch at
+//! that point in the stream, matching how the device itself experiences
+//! the protocol (a unit can only be saving for the epoch its device last
+//! initiated).
+
+use obs::json::{field, parse_line, JsonValue};
+use std::collections::BTreeMap;
+
+/// One parsed trace line.
+pub struct TraceEvent {
+    /// Sim-time stamp (ns).
+    pub t_ns: u64,
+    /// Event name (`ev` field).
+    pub name: String,
+    /// Every field of the line, in emission order.
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+/// Parse a JSONL trace document into events (blank lines skipped).
+pub fn parse_trace(doc: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in doc.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let t_ns = field(&fields, "t")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("line {}: missing numeric \"t\"", i + 1))?;
+        let name = field(&fields, "ev")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("line {}: missing string \"ev\"", i + 1))?
+            .to_string();
+        out.push(TraceEvent { t_ns, name, fields });
+    }
+    Ok(out)
+}
+
+/// One hop of a critical path, with its absolute sim-time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalHop {
+    /// Human-stable hop label (e.g. `dev.initiate dev=1`).
+    pub label: String,
+    /// Sim-time of the hop (ns).
+    pub t_ns: u64,
+}
+
+/// Everything reconstructed about one snapshot epoch.
+#[derive(Debug, Default, Clone)]
+pub struct EpochAnalysis {
+    /// The epoch id.
+    pub epoch: u64,
+    /// `snap.initiate` time (ns).
+    pub initiate_t: u64,
+    /// Device count announced at initiation.
+    pub devices: u64,
+    /// Unit count announced at initiation.
+    pub units: u64,
+    /// Times the epoch was re-initiated (`snap.reinitiate`).
+    pub reinitiations: u64,
+    /// First `dev.initiate` per device (device → t).
+    pub dev_initiate: BTreeMap<u64, u64>,
+    /// Last attributed `marker.seen` per device (device → t).
+    pub last_marker: BTreeMap<u64, u64>,
+    /// Attributed `marker.seen` count per device (the marker-fanout
+    /// size: how many unit saves the initiation cascaded into).
+    pub marker_fanout: BTreeMap<u64, u64>,
+    /// Last `cp.report` per device (device → t).
+    pub last_cp_report: BTreeMap<u64, u64>,
+    /// Report arrivals at the observer, chronological `(t, device)`.
+    pub report_arrivals: Vec<(u64, u64)>,
+    /// `obs.finalize` time, once sealed.
+    pub finalize_t: Option<u64>,
+    /// `snap.complete` `(t, dur_ns)`, once completed.
+    pub complete: Option<(u64, u64)>,
+    /// Whether finalization was forced (timeout path).
+    pub forced: bool,
+    /// Devices excluded at finalization.
+    pub excluded: u64,
+}
+
+impl EpochAnalysis {
+    /// End-to-end latency: initiation to finalization, when sealed.
+    pub fn total_ns(&self) -> Option<u64> {
+        Some(self.finalize_t?.saturating_sub(self.initiate_t))
+    }
+
+    /// Initiation-fanout latency: `snap.initiate` to the last
+    /// `dev.initiate` (how long the marker broadcast took to reach
+    /// every device).
+    pub fn fanout_ns(&self) -> Option<u64> {
+        let last = self.dev_initiate.values().copied().max()?;
+        Some(last.saturating_sub(self.initiate_t))
+    }
+
+    /// Collection latency: last `dev.initiate` to last `report.arrive`
+    /// (marker propagation, export, CP processing, and report flight).
+    pub fn collect_ns(&self) -> Option<u64> {
+        let last_init = self.dev_initiate.values().copied().max()?;
+        let (last_arr, _) = self.report_arrivals.last()?;
+        Some(last_arr.saturating_sub(last_init))
+    }
+
+    /// Seal latency: last `report.arrive` to `obs.finalize` (0 when the
+    /// final report itself seals the epoch; positive on the forced
+    /// path, where a timeout — not a report — closes it).
+    pub fn seal_ns(&self) -> Option<u64> {
+        let (last_arr, _) = self.report_arrivals.last()?;
+        Some(self.finalize_t?.saturating_sub(*last_arr))
+    }
+
+    /// The slowest causal chain: initiation, then the hop sequence on
+    /// the device whose report arrived **last** (that arrival is what
+    /// gated finalization), ending at the seal. Hops the trace did not
+    /// record for that device (e.g. a device excluded before reporting)
+    /// are simply absent; times are monotone by construction of the
+    /// underlying protocol.
+    pub fn critical_path(&self) -> Vec<CriticalHop> {
+        let mut hops = vec![CriticalHop {
+            label: "snap.initiate".to_string(),
+            t_ns: self.initiate_t,
+        }];
+        if let Some(&(arr_t, dev)) = self.report_arrivals.last() {
+            if let Some(&t) = self.dev_initiate.get(&dev) {
+                hops.push(CriticalHop {
+                    label: format!("dev.initiate dev={dev}"),
+                    t_ns: t,
+                });
+            }
+            if let Some(&t) = self.last_marker.get(&dev) {
+                hops.push(CriticalHop {
+                    label: format!("marker.last dev={dev}"),
+                    t_ns: t,
+                });
+            }
+            if let Some(&t) = self.last_cp_report.get(&dev) {
+                hops.push(CriticalHop {
+                    label: format!("cp.report dev={dev}"),
+                    t_ns: t,
+                });
+            }
+            hops.push(CriticalHop {
+                label: format!("report.arrive dev={dev}"),
+                t_ns: arr_t,
+            });
+        }
+        if let Some(t) = self.finalize_t {
+            hops.push(CriticalHop {
+                label: "obs.finalize".to_string(),
+                t_ns: t,
+            });
+        }
+        hops
+    }
+}
+
+/// Reconstruct every epoch's analysis from a chronological event
+/// stream. Events for epochs that never saw a `snap.initiate` (none, in
+/// a well-formed trace) are ignored.
+pub fn analyze(events: &[TraceEvent]) -> Vec<EpochAnalysis> {
+    let mut epochs: BTreeMap<u64, EpochAnalysis> = BTreeMap::new();
+    // device → the epoch of its most recent dev.initiate (attribution
+    // context for the epoch-less per-unit and CP-side events).
+    let mut cur_epoch: BTreeMap<u64, u64> = BTreeMap::new();
+
+    let epoch_of = |ev: &TraceEvent| field(&ev.fields, "epoch").and_then(|v| v.as_u64());
+    let device_of = |ev: &TraceEvent| field(&ev.fields, "dev").and_then(|v| v.as_u64());
+
+    for ev in events {
+        match ev.name.as_str() {
+            "snap.initiate" => {
+                let Some(epoch) = epoch_of(ev) else { continue };
+                let a = epochs.entry(epoch).or_default();
+                a.epoch = epoch;
+                a.initiate_t = ev.t_ns;
+                a.devices = field(&ev.fields, "devices")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+                a.units = field(&ev.fields, "units")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0);
+            }
+            "snap.reinitiate" => {
+                let Some(epoch) = epoch_of(ev) else { continue };
+                if let Some(a) = epochs.get_mut(&epoch) {
+                    a.reinitiations += 1;
+                }
+            }
+            "dev.initiate" => {
+                let (Some(epoch), Some(dev)) = (epoch_of(ev), device_of(ev)) else {
+                    continue;
+                };
+                cur_epoch.insert(dev, epoch);
+                if let Some(a) = epochs.get_mut(&epoch) {
+                    a.dev_initiate.entry(dev).or_insert(ev.t_ns);
+                }
+            }
+            "marker.seen" => {
+                let Some(dev) = device_of(ev) else { continue };
+                let Some(&epoch) = cur_epoch.get(&dev) else {
+                    continue;
+                };
+                if let Some(a) = epochs.get_mut(&epoch) {
+                    a.last_marker.insert(dev, ev.t_ns);
+                    *a.marker_fanout.entry(dev).or_insert(0) += 1;
+                }
+            }
+            "cp.report" => {
+                let (Some(epoch), Some(dev)) = (epoch_of(ev), device_of(ev)) else {
+                    continue;
+                };
+                if let Some(a) = epochs.get_mut(&epoch) {
+                    a.last_cp_report.insert(dev, ev.t_ns);
+                }
+            }
+            "report.arrive" => {
+                let (Some(epoch), Some(dev)) = (epoch_of(ev), device_of(ev)) else {
+                    continue;
+                };
+                if let Some(a) = epochs.get_mut(&epoch) {
+                    a.report_arrivals.push((ev.t_ns, dev));
+                }
+            }
+            "obs.finalize" => {
+                let Some(epoch) = epoch_of(ev) else { continue };
+                if let Some(a) = epochs.get_mut(&epoch) {
+                    a.finalize_t = Some(ev.t_ns);
+                    a.forced = field(&ev.fields, "forced")
+                        .and_then(|v| v.as_bool())
+                        .unwrap_or(false);
+                    a.excluded = field(&ev.fields, "excluded")
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or(0);
+                }
+            }
+            "snap.complete" => {
+                let Some(epoch) = epoch_of(ev) else { continue };
+                if let Some(a) = epochs.get_mut(&epoch) {
+                    let dur = field(&ev.fields, "dur_ns")
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or(0);
+                    a.complete = Some((ev.t_ns, dur));
+                }
+            }
+            _ => {}
+        }
+    }
+    epochs.into_values().collect()
+}
+
+/// Marker-fanout sizes across every `(epoch, device)` pair, as a
+/// histogram over [`obs::metrics::DEPTH_BOUNDS`]: how many unit saves
+/// each device-level initiation cascaded into.
+pub fn fanout_histogram(analyses: &[EpochAnalysis]) -> obs::metrics::Histogram {
+    let mut h = obs::metrics::Histogram::new(&obs::metrics::DEPTH_BOUNDS);
+    for a in analyses {
+        for &n in a.marker_fanout.values() {
+            h.observe(n);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pinned conformance golden trace (`topo=line:2`, 2 snapshots,
+    /// seed 0x60de): the analyzer's ground-truth fixture. Re-blessing
+    /// the golden file intentionally re-blesses these numbers too.
+    const GOLDEN: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../conformance/tests/golden/line2_cs_trace.jsonl"
+    ));
+
+    fn golden_analyses() -> Vec<EpochAnalysis> {
+        let events = parse_trace(GOLDEN).expect("golden trace parses");
+        analyze(&events)
+    }
+
+    #[test]
+    fn golden_trace_reconstructs_both_epochs() {
+        let a = golden_analyses();
+        assert_eq!(a.len(), 2, "two snapshots in the golden scenario");
+        assert_eq!(a[0].epoch, 1);
+        assert_eq!(a[1].epoch, 2);
+        for e in &a {
+            assert_eq!(e.devices, 2);
+            assert_eq!(e.units, 8);
+            assert!(!e.forced);
+            assert_eq!(e.excluded, 0);
+            assert_eq!(e.reinitiations, 0);
+            assert!(e.finalize_t.is_some(), "epoch {} sealed", e.epoch);
+            assert_eq!(e.dev_initiate.len(), 2, "both devices initiated");
+        }
+    }
+
+    #[test]
+    fn golden_epoch1_breakdown_matches_pinned_times() {
+        let a = golden_analyses();
+        let e1 = &a[0];
+        assert_eq!(e1.initiate_t, 2_000_000);
+        assert_eq!(e1.finalize_t, Some(3_187_841));
+        assert_eq!(e1.total_ns(), Some(1_187_841));
+        // snap.complete's own dur_ns must agree with the reconstruction.
+        let (_, dur) = e1.complete.expect("epoch 1 completed");
+        assert_eq!(dur, 1_187_841);
+        // The last report (dev 1 at t=3187841) seals the epoch directly.
+        assert_eq!(e1.report_arrivals.last(), Some(&(3_187_841, 1)));
+        assert_eq!(e1.seal_ns(), Some(0));
+    }
+
+    #[test]
+    fn golden_epoch1_critical_path_is_monotone_and_ends_at_seal() {
+        let a = golden_analyses();
+        let hops = a[0].critical_path();
+        assert!(hops.len() >= 4, "expected a multi-hop chain: {hops:?}");
+        assert_eq!(hops[0].label, "snap.initiate");
+        assert_eq!(hops[0].t_ns, 2_000_000);
+        assert_eq!(hops.last().expect("nonempty").label, "obs.finalize");
+        assert_eq!(hops.last().expect("nonempty").t_ns, 3_187_841);
+        // The slowest chain runs through device 1 (its report is last).
+        assert!(hops.iter().any(|h| h.label == "dev.initiate dev=1"));
+        assert!(hops.iter().any(|h| h.label == "report.arrive dev=1"));
+        for pair in hops.windows(2) {
+            assert!(
+                pair[0].t_ns <= pair[1].t_ns,
+                "chain must be time-monotone: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_fanout_covers_every_unit() {
+        let a = golden_analyses();
+        // line:2 with channel state: 2 devices x 2 ports x 2 directions
+        // = 8 initiation saves per epoch, plus the channel-marker
+        // arrivals that propagate the snapshot id between neighbors —
+        // 14 marker observations per epoch in the pinned trace.
+        for e in &a {
+            let total: u64 = e.marker_fanout.values().sum();
+            assert_eq!(total, 14, "epoch {} marker fanout", e.epoch);
+            assert_eq!(e.marker_fanout.len(), 2, "both devices saw markers");
+            assert!(
+                e.marker_fanout.values().all(|&n| n >= 4),
+                "every device saves its own 4 units at least"
+            );
+        }
+        let h = fanout_histogram(&a);
+        assert_eq!(h.count(), 4, "2 epochs x 2 devices");
+    }
+
+    #[test]
+    fn attribution_follows_most_recent_dev_initiate() {
+        // A device that re-initiates for epoch 2 mid-stream: the marker
+        // after the second dev.initiate must land in epoch 2.
+        let doc = "\
+{\"t\":0,\"ev\":\"snap.initiate\",\"epoch\":1,\"devices\":1,\"units\":2}\n\
+{\"t\":10,\"ev\":\"dev.initiate\",\"dev\":0,\"epoch\":1}\n\
+{\"t\":20,\"ev\":\"marker.seen\",\"dev\":0,\"port\":0,\"dir\":\"in\",\"ch\":65535,\"sid\":1}\n\
+{\"t\":30,\"ev\":\"report.arrive\",\"dev\":0,\"epoch\":1}\n\
+{\"t\":31,\"ev\":\"obs.finalize\",\"epoch\":1,\"units\":2,\"excluded\":0,\"forced\":false}\n\
+{\"t\":40,\"ev\":\"snap.initiate\",\"epoch\":2,\"devices\":1,\"units\":2}\n\
+{\"t\":50,\"ev\":\"dev.initiate\",\"dev\":0,\"epoch\":2}\n\
+{\"t\":60,\"ev\":\"marker.seen\",\"dev\":0,\"port\":0,\"dir\":\"in\",\"ch\":65535,\"sid\":2}\n";
+        let events = parse_trace(doc).expect("fixture parses");
+        let a = analyze(&events);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].marker_fanout.get(&0), Some(&1));
+        assert_eq!(a[0].last_marker.get(&0), Some(&20));
+        assert_eq!(a[1].marker_fanout.get(&0), Some(&1));
+        assert_eq!(a[1].last_marker.get(&0), Some(&60));
+    }
+
+    #[test]
+    fn forced_epoch_has_positive_seal_latency() {
+        let doc = "\
+{\"t\":0,\"ev\":\"snap.initiate\",\"epoch\":1,\"devices\":2,\"units\":4}\n\
+{\"t\":5,\"ev\":\"dev.initiate\",\"dev\":0,\"epoch\":1}\n\
+{\"t\":30,\"ev\":\"report.arrive\",\"dev\":0,\"epoch\":1}\n\
+{\"t\":100,\"ev\":\"obs.finalize\",\"epoch\":1,\"units\":4,\"excluded\":1,\"forced\":true}\n";
+        let events = parse_trace(doc).expect("fixture parses");
+        let a = analyze(&events);
+        assert_eq!(a.len(), 1);
+        assert!(a[0].forced);
+        assert_eq!(a[0].excluded, 1);
+        assert_eq!(a[0].seal_ns(), Some(70));
+        let hops = a[0].critical_path();
+        assert_eq!(hops.last().expect("nonempty").t_ns, 100);
+    }
+}

@@ -308,6 +308,19 @@ fn run_fabric_inner(
 /// sharded engine's contract is byte-identical artifacts at any
 /// `SPEEDLIGHT_SHARDS`.
 pub fn run_fabric_sharded(sc: &Scenario, shards: usize) -> (SubstrateRun, Vec<String>) {
+    let (run, trace, _, _) = run_fabric_sharded_full(sc, shards);
+    (run, trace)
+}
+
+/// [`run_fabric_sharded`] plus the merged metrics JSON and the
+/// deterministic `speedlight-profile/v1` artifact — the full set of
+/// byte-comparable sharded outputs. Every element is shard-count- and
+/// jobs-invariant; the CI `profile-equivalence` job rides on the last
+/// two.
+pub fn run_fabric_sharded_full(
+    sc: &Scenario,
+    shards: usize,
+) -> (SubstrateRun, Vec<String>, String, String) {
     use experiments::common::{testbed_topology, workload_sources};
     use fabric::shard::{PartitionHint, ShardedTestbed};
 
@@ -358,6 +371,7 @@ pub fn run_fabric_sharded(sc: &Scenario, shards: usize) -> (SubstrateRun, Vec<St
     }
     tb.enable_delivery_log();
     tb.enable_trace();
+    tb.enable_profiling();
 
     let ival = interval_nanos(sc);
     for i in 0..sc.snapshots {
@@ -425,6 +439,8 @@ pub fn run_fabric_sharded(sc: &Scenario, shards: usize) -> (SubstrateRun, Vec<St
         .collect();
     let log = tb.delivery_log().expect("delivery log enabled above");
     let trace = tb.take_trace_lines();
+    let metrics = tb.export_metrics();
+    let profile = tb.take_profile().to_json();
     (
         SubstrateRun {
             substrate: "fabric-sharded",
@@ -432,6 +448,8 @@ pub fn run_fabric_sharded(sc: &Scenario, shards: usize) -> (SubstrateRun, Vec<St
             log,
         },
         trace,
+        metrics,
+        profile,
     )
 }
 

@@ -120,6 +120,29 @@ pub enum DropReason {
     Duplicate,
 }
 
+/// Stage-occupancy peaks over one seal-to-seal interval, sampled when an
+/// epoch seals. The series is the profile artifact's time axis: it shows
+/// *when* a stage backed up, not just that it eventually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageSample {
+    /// The epoch whose seal closed this interval.
+    pub epoch: Epoch,
+    /// Peak collect-queue depth in the interval.
+    pub collect: u64,
+    /// Peak validated-queue depth in the interval.
+    pub validated: u64,
+    /// Peak ready-queue depth in the interval.
+    pub ready: u64,
+    /// Peak sealed-queue depth in the interval.
+    pub sealed: u64,
+    /// Peak pending-value count in the interval.
+    pub pending_values: u64,
+}
+
+/// Cap on the stage series length: long soaks keep the profile bounded;
+/// samples past the cap are counted, not stored.
+pub const STAGE_SERIES_CAP: usize = 4096;
+
 /// Pipeline counters and high-water marks, exported as metrics by the
 /// fabric and asserted on by the bounded-memory tests.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -164,9 +187,96 @@ pub struct PipelineStats {
     /// bounded-memory claim: O(outstanding epochs × delivered units), with
     /// membership shared, never cloned per epoch.
     pub peak_pending_values: usize,
+    /// Per-seal interval peaks (the profile artifact's stage series),
+    /// capped at [`STAGE_SERIES_CAP`].
+    pub stage_series: Vec<StageSample>,
+    /// Seal samples discarded after the series cap was reached.
+    pub stage_series_dropped: u64,
+    /// Interval (since-last-seal) peaks, re-armed at each sample. These
+    /// feed [`StageSample`]; whole-run peaks are the `peak_*` fields.
+    ivl_collect: usize,
+    ivl_validated: usize,
+    ivl_ready: usize,
+    ivl_sealed: usize,
+    ivl_pending_values: usize,
 }
 
 impl PipelineStats {
+    fn bump_collect(&mut self, depth: usize) {
+        self.peak_collect_depth = self.peak_collect_depth.max(depth);
+        self.ivl_collect = self.ivl_collect.max(depth);
+    }
+
+    fn bump_validated(&mut self, depth: usize) {
+        self.peak_validated_depth = self.peak_validated_depth.max(depth);
+        self.ivl_validated = self.ivl_validated.max(depth);
+    }
+
+    fn bump_ready(&mut self, depth: usize) {
+        self.peak_ready_depth = self.peak_ready_depth.max(depth);
+        self.ivl_ready = self.ivl_ready.max(depth);
+    }
+
+    fn bump_sealed(&mut self, depth: usize) {
+        self.peak_sealed_depth = self.peak_sealed_depth.max(depth);
+        self.ivl_sealed = self.ivl_sealed.max(depth);
+    }
+
+    fn bump_pending(&mut self, depth: usize) {
+        self.peak_pending_values = self.peak_pending_values.max(depth);
+        self.ivl_pending_values = self.ivl_pending_values.max(depth);
+    }
+
+    /// Close the current seal interval: push one [`StageSample`] (or
+    /// count it once the series is full) and re-arm the interval peaks.
+    fn note_seal(&mut self, epoch: Epoch) {
+        let sample = StageSample {
+            epoch,
+            collect: self.ivl_collect as u64,
+            validated: self.ivl_validated as u64,
+            ready: self.ivl_ready as u64,
+            sealed: self.ivl_sealed as u64,
+            pending_values: self.ivl_pending_values as u64,
+        };
+        if self.stage_series.len() < STAGE_SERIES_CAP {
+            self.stage_series.push(sample);
+        } else {
+            self.stage_series_dropped += 1;
+        }
+        self.ivl_collect = 0;
+        self.ivl_validated = 0;
+        self.ivl_ready = 0;
+        self.ivl_sealed = 0;
+        self.ivl_pending_values = 0;
+    }
+
+    /// Render this run's stats as the profile artifact's pipeline section.
+    pub fn profile_section(&self) -> obs::profile::PipelineSection {
+        obs::profile::PipelineSection {
+            offered: self.offered,
+            backpressure_rejects: self.backpressure_rejects,
+            accepted: self.accepted,
+            peak_collect: self.peak_collect_depth as u64,
+            peak_validated: self.peak_validated_depth as u64,
+            peak_ready: self.peak_ready_depth as u64,
+            peak_sealed: self.peak_sealed_depth as u64,
+            peak_pending_values: self.peak_pending_values as u64,
+            stages: self
+                .stage_series
+                .iter()
+                .map(|s| obs::profile::StageRow {
+                    epoch: s.epoch,
+                    collect: s.collect,
+                    validated: s.validated,
+                    ready: s.ready,
+                    sealed: s.sealed,
+                    pending_values: s.pending_values,
+                })
+                .collect(),
+            stages_dropped: self.stage_series_dropped,
+        }
+    }
+
     fn record_drop(&mut self, reason: DropReason) {
         match reason {
             DropReason::Misattributed => self.misattributed += 1,
@@ -522,7 +632,8 @@ impl PipelineObserver {
         }
         self.collect.push_back((device, report));
         self.stats.offered += 1;
-        self.stats.peak_collect_depth = self.stats.peak_collect_depth.max(self.collect.len());
+        let depth = self.collect.len();
+        self.stats.bump_collect(depth);
         true
     }
 
@@ -544,8 +655,8 @@ impl PipelineObserver {
                         group_len,
                         report,
                     });
-                    self.stats.peak_validated_depth =
-                        self.stats.peak_validated_depth.max(self.validated.len());
+                    let depth = self.validated.len();
+                    self.stats.bump_validated(depth);
                 }
                 Err(reason) => self.reject(reason, device, &report, sink, t_ns),
             }
@@ -689,11 +800,13 @@ impl PipelineObserver {
         assembly.delivered += 1;
         assembly.stored += 1;
         self.pending_values += 1;
-        self.stats.peak_pending_values = self.stats.peak_pending_values.max(self.pending_values);
+        let pending = self.pending_values;
+        self.stats.bump_pending(pending);
         self.stats.accepted += 1;
         if assembly.complete() {
             self.ready.push_back(report.epoch);
-            self.stats.peak_ready_depth = self.stats.peak_ready_depth.max(self.ready.len());
+            let depth = self.ready.len();
+            self.stats.bump_ready(depth);
         }
     }
 
@@ -740,7 +853,8 @@ impl PipelineObserver {
                 forced = false,
             );
             self.sealed.push_back(snap);
-            self.stats.peak_sealed_depth = self.stats.peak_sealed_depth.max(self.sealed.len());
+            let depth = self.sealed.len();
+            self.stats.bump_sealed(depth);
             sealed += 1;
         }
         sealed
@@ -777,6 +891,7 @@ impl PipelineObserver {
 
     fn seal(&mut self, epoch: Epoch) -> Option<GlobalSnapshot> {
         let a = self.assemblies.remove(&epoch)?;
+        self.stats.note_seal(epoch);
         self.finalized += 1;
         self.pending_values -= a.stored.min(self.pending_values);
         // Build the unit-keyed outcome map once, here, from slot space:
@@ -934,7 +1049,8 @@ impl PipelineObserver {
             self.pending_values += newly;
         }
         self.stats.discarded_values += discarded;
-        self.stats.peak_pending_values = self.stats.peak_pending_values.max(self.pending_values);
+        let pending = self.pending_values;
+        self.stats.bump_pending(pending);
         // Drop the epoch from the ready queue if it completed concurrently
         // (total: seal() below would return None for the second taker).
         self.ready.retain(|e| *e != epoch);

@@ -99,16 +99,24 @@ impl speedlight_core::control::Registers for Units<'_> {
 
 impl Units<'_> {
     fn unit(&self, id: UnitId) -> &DataPlaneUnit {
-        match id.direction {
-            Direction::Ingress => &self.ingress[usize::from(id.port)],
-            Direction::Egress => &self.egress[usize::from(id.port)],
-        }
+        let bank = match id.direction {
+            Direction::Ingress => &*self.ingress,
+            Direction::Egress => &*self.egress,
+        };
+        let Some(unit) = bank.get(usize::from(id.port)) else {
+            panic!("unit id {id:?} out of range");
+        };
+        unit
     }
     fn unit_mut(&mut self, id: UnitId) -> &mut DataPlaneUnit {
-        match id.direction {
-            Direction::Ingress => &mut self.ingress[usize::from(id.port)],
-            Direction::Egress => &mut self.egress[usize::from(id.port)],
-        }
+        let bank = match id.direction {
+            Direction::Ingress => &mut *self.ingress,
+            Direction::Egress => &mut *self.egress,
+        };
+        let Some(unit) = bank.get_mut(usize::from(id.port)) else {
+            panic!("unit id {id:?} out of range");
+        };
+        unit
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::latency::LatencyModel;
 use crate::packet::{Packet, PacketRole};
+use crate::shard::{lookahead_of, DomainTable};
 use crate::switchmod::{QueuedPacket, SnapshotConfig, Switch};
 use crate::topology::{LbKind, PortPeer, Topology};
 use crate::traffic::{Emission, Source};
@@ -358,6 +359,19 @@ impl ShardedMode {
     }
 }
 
+/// Deterministic profiling state (see `obs::profile`): the domain
+/// classification table, the per-domain accounting core, and — for the
+/// serial engine only — a trampoline scheduler that intercepts each
+/// event's follow-ups so cross-domain emissions can be classified. The
+/// trampoline drains in `(time, insertion)` order and re-inserts in that
+/// order, which preserves the queue's same-time FIFO contract exactly:
+/// execution with profiling enabled is byte-identical to without.
+pub(crate) struct NetProfiler {
+    pub(crate) table: DomainTable,
+    pub(crate) core: obs::profile::DomainProfiler,
+    tramp: Scheduler<NetEvent>,
+}
+
 /// The simulated network (implements [`World`]).
 pub struct Network {
     topo: Topology,
@@ -422,6 +436,9 @@ pub struct Network {
     /// Sharded execution mode (`None` = the serial engine, byte-for-byte
     /// unchanged).
     sharded: Option<ShardedMode>,
+    /// Deterministic profiler (`None` = disabled: the event hot path pays
+    /// exactly one branch).
+    profiler: Option<Box<NetProfiler>>,
     /// Instrumentation outputs.
     pub instr: Instrumentation,
 }
@@ -532,6 +549,7 @@ impl Network {
             last_issued_epoch: 0,
             init_high,
             sharded: None,
+            profiler: None,
             instr,
         }
     }
@@ -684,6 +702,86 @@ impl Network {
     pub fn take_metrics(&mut self) -> obs::metrics::Metrics {
         self.fold_metrics();
         std::mem::take(&mut self.instr.metrics)
+    }
+
+    /// Enable the deterministic profiler (sim-time accounting per
+    /// partition domain; see DESIGN.md §16). Call before the first event
+    /// is handled — the accounting must cover the whole run. The window
+    /// lookahead is taken from sharded mode when active, otherwise
+    /// derived from the topology exactly as the sharded engine would, so
+    /// serial and sharded profiles of one scenario use the same window
+    /// definition.
+    pub fn enable_profiler(&mut self) {
+        let table = DomainTable::new(&self.topo);
+        let lookahead = match &self.sharded {
+            Some(sh) => sh.lookahead,
+            None => lookahead_of(&self.topo),
+        };
+        self.profiler = Some(Box::new(NetProfiler {
+            table,
+            core: obs::profile::DomainProfiler::new(table.count() as usize, lookahead.as_nanos()),
+            tramp: Scheduler::parked_at(Instant::ZERO),
+        }));
+    }
+
+    /// True when the deterministic profiler is active.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// Sharded engine: record one executed event (the shard trampoline
+    /// already classifies domains, so the serial trampoline is skipped).
+    #[inline]
+    pub fn profile_observe(&mut self, domain: u32, t_ns: u64) {
+        if let Some(p) = &mut self.profiler {
+            p.core.observe(domain as usize, t_ns);
+        }
+    }
+
+    /// Sharded engine: record one cross-domain emission.
+    #[inline]
+    pub fn profile_msg(&mut self, src: u32, dst: u32) {
+        if let Some(p) = &mut self.profiler {
+            if src != dst {
+                p.core.msg(src as usize, dst as usize);
+            }
+        }
+    }
+
+    /// Sharded engine: account the window that just closed at `horizon`.
+    pub fn profile_window_close(&mut self, horizon_ns: u64) {
+        if let Some(p) = &mut self.profiler {
+            p.core.window_close(horizon_ns);
+        }
+    }
+
+    /// Serial engine: close any window left open at a `run_until`
+    /// boundary (mirrors the barrier engine's deadline truncation).
+    pub fn profile_run_boundary(&mut self) {
+        if let Some(p) = &mut self.profiler {
+            p.core.close_boundary();
+        }
+    }
+
+    /// Remove and return the profiling state (the sharded testbed merges
+    /// per-replica cores before rendering).
+    pub(crate) fn take_net_profiler(&mut self) -> Option<Box<NetProfiler>> {
+        self.profiler.take()
+    }
+
+    /// Render this replica's profile: per-domain accounting plus the
+    /// observer-pipeline section when the staged pipeline ran. Consumes
+    /// the profiler (the accounting is a whole-run artifact).
+    ///
+    /// # Panics
+    /// If profiling was never enabled.
+    pub fn take_profile(&mut self) -> obs::profile::Profile {
+        let Some(mut prof) = self.profiler.take() else {
+            panic!("take_profile called but profiling was never enabled");
+        };
+        prof.core.close_boundary();
+        let pipeline = self.observer.pipeline_stats().map(|s| s.profile_section());
+        crate::shard::profile_of(&prof.table, &prof.core, pipeline)
     }
 
     fn fold_metrics(&mut self) {
@@ -1341,6 +1439,46 @@ impl World for Network {
     type Event = NetEvent;
 
     fn handle(&mut self, now: Instant, event: NetEvent, sched: &mut Scheduler<NetEvent>) {
+        // Profiled serial runs detour through the classification
+        // trampoline; sharded runs are profiled by the shard dispatch
+        // loop (`crate::shard`), which already classifies domains.
+        // Disabled profiling costs exactly this one branch.
+        if self.profiler.is_some() && self.sharded.is_none() {
+            self.handle_profiled(now, event, sched);
+        } else {
+            self.handle_event(now, event, sched);
+        }
+    }
+}
+
+impl Network {
+    /// Serial profiled dispatch: account the event under its domain, run
+    /// the real handler into the trampoline scheduler, then classify each
+    /// follow-up emission and forward it. The trampoline drains in
+    /// `(time, insertion)` order and `Scheduler::at` appends in that
+    /// order, so same-time FIFO ordering — the only insertion-order the
+    /// queue contract exposes — is preserved and the execution stays
+    /// byte-identical with profiling enabled.
+    fn handle_profiled(&mut self, now: Instant, event: NetEvent, sched: &mut Scheduler<NetEvent>) {
+        let Some(mut prof) = self.profiler.take() else {
+            panic!("handle_profiled without a profiler");
+        };
+        let domain = prof.table.of(&event);
+        prof.core.observe_windowed(domain as usize, now.as_nanos());
+        prof.tramp.repark(now);
+        self.handle_event(now, event, &mut prof.tramp);
+        while let Some((t, ev)) = prof.tramp.drain_next() {
+            let dst = prof.table.of(&ev);
+            if dst != domain {
+                prof.core.msg(domain as usize, dst as usize);
+            }
+            sched.at(t, ev);
+        }
+        self.profiler = Some(prof);
+    }
+
+    /// The event interpreter proper: every [`NetEvent`] arm.
+    fn handle_event(&mut self, now: Instant, event: NetEvent, sched: &mut Scheduler<NetEvent>) {
         match event {
             NetEvent::ArriveIngress { sw, port, mut pkt } => {
                 self.switches[usize::from(sw)].stats.ingress_packets += 1;

@@ -247,6 +247,45 @@ pub fn lookahead_of(topo: &Topology) -> Duration {
     Duration::from_nanos(min_ns)
 }
 
+/// Assemble the schema'd `speedlight-profile/v1` artifact from a
+/// classification table and a (possibly merged) accounting core. Rows
+/// cover every real domain — devices, hosts, control — in dense id
+/// order; the external pseudo-domain only keys injections
+/// ([`DomainTable::of`] never returns it) and is excluded.
+pub(crate) fn profile_of(
+    table: &DomainTable,
+    core: &obs::profile::DomainProfiler,
+    pipeline: Option<obs::profile::PipelineSection>,
+) -> obs::profile::Profile {
+    assert_eq!(
+        core.domains(),
+        table.count() as usize,
+        "profiler sized for a different domain table"
+    );
+    let domains = (0..table.external())
+        .map(|d| obs::profile::DomainRow {
+            id: d,
+            kind: if d < table.num_switches {
+                "device"
+            } else if d < table.num_switches + table.num_hosts {
+                "host"
+            } else {
+                "control"
+            },
+            events: core.events_of(d as usize),
+            msgs_out: core.msgs_out_of(d as usize),
+            msgs_in: core.msgs_in_of(d as usize),
+            stall_ns: core.stall_ns_of(d as usize),
+        })
+        .collect();
+    obs::profile::Profile {
+        lookahead_ns: core.lookahead_ns(),
+        windows: core.windows(),
+        domains,
+        pipeline,
+    }
+}
+
 /// One shard's world fragment: a full network replica, the domain table,
 /// the owner map, and the per-domain emission sequence counters that
 /// stamp canonical keys.
@@ -298,6 +337,7 @@ impl ShardWorld for NetShard {
             );
         }
         self.net.set_current_domain(domain);
+        self.net.profile_observe(domain, now.as_nanos());
         self.sched.repark(now);
         World::handle(&mut self.net, now, event, &mut self.sched);
         let Some(seq) = self.seqs.get_mut(domain as usize) else {
@@ -307,6 +347,7 @@ impl ShardWorld for NetShard {
             let key = pack_key(domain, *seq);
             *seq += 1;
             let dest_domain = self.table.of(&ev);
+            self.net.profile_msg(domain, dest_domain);
             let Some(&dest) = self.owners.get(dest_domain as usize) else {
                 panic!("domain {dest_domain} has no owner entry");
             };
@@ -317,6 +358,13 @@ impl ShardWorld for NetShard {
                 event: ev,
             });
         }
+    }
+
+    fn window_close(&mut self, horizon: Instant) {
+        // Fires on every shard at the end of every window (even eventless
+        // ones), so each replica's window count — and therefore the
+        // merged profile — is shard-count-invariant.
+        self.net.profile_window_close(horizon.as_nanos());
     }
 }
 
@@ -702,6 +750,44 @@ impl ShardedTestbed {
     pub fn export_metrics(&mut self) -> String {
         self.take_metrics().to_json()
     }
+
+    /// Enable the deterministic profiler on every replica. Call before
+    /// the first `run_until` — the accounting must cover the whole run.
+    pub fn enable_profiling(&mut self) {
+        for i in 0..self.sim.num_shards() {
+            self.sim.world_mut(i).net.enable_profiler();
+        }
+    }
+
+    /// Take the merged profile: per-replica accounting cores summed
+    /// domainwise. Each domain's counters live on exactly one replica
+    /// (the owner's — inert replicas hold zeros), and every replica
+    /// counts every window (the barrier closes windows on all shards),
+    /// so the merge asserts window-count agreement and sums the rest.
+    /// The observer-pipeline section comes from shard 0, where the
+    /// control domain is pinned.
+    ///
+    /// # Panics
+    /// If profiling was never enabled.
+    pub fn take_profile(&mut self) -> obs::profile::Profile {
+        let Some(mut merged) = self.sim.world_mut(0).net.take_net_profiler() else {
+            panic!("take_profile called but profiling was never enabled");
+        };
+        for i in 1..self.sim.num_shards() {
+            let Some(other) = self.sim.world_mut(i).net.take_net_profiler() else {
+                panic!("shard {i} was built without profiling");
+            };
+            merged.core.merge_from(&other.core);
+        }
+        let pipeline = self
+            .sim
+            .world_mut(0)
+            .net
+            .observer
+            .pipeline_stats()
+            .map(|s| s.profile_section());
+        profile_of(&merged.table, &merged.core, pipeline)
+    }
 }
 
 #[cfg(test)]
@@ -863,6 +949,64 @@ mod tests {
             );
             assert_eq!(got.2, reference.2, "traces diverge at {shards} shards");
         }
+    }
+
+    #[test]
+    fn profiles_are_identical_at_any_shard_count() {
+        let render = |shards: usize| {
+            let mut tb = sharded_leaf_spine(shards, true);
+            tb.enable_profiling();
+            tb.snapshot_at(Instant::from_nanos(2_000_000));
+            tb.run_until(Instant::from_nanos(50_000_000));
+            tb.take_profile().to_json()
+        };
+        let reference = render(1);
+        assert!(reference.contains("\"schema\": \"speedlight-profile/v1\""));
+        assert!(reference.contains("\"kind\":\"device\""));
+        assert!(reference.contains("\"kind\":\"host\""));
+        assert!(reference.contains("\"kind\":\"control\""));
+        assert!(
+            reference.contains("\"pipeline\": {"),
+            "staged pipeline section missing"
+        );
+        for shards in [2, 3, 4] {
+            assert_eq!(
+                render(shards),
+                reference,
+                "profile diverges at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn profiling_does_not_change_sharded_artifacts() {
+        // Same scenario as `run_artifacts`, but with the profiler on:
+        // the dispatch hooks are pure accounting, so every merged
+        // artifact must be byte-identical to the unprofiled run.
+        let reference = run_artifacts(2, true);
+        let mut tb = sharded_leaf_spine(2, true);
+        tb.enable_profiling();
+        tb.enable_trace();
+        tb.enable_delivery_log();
+        tb.snapshot_at(Instant::from_nanos(2_000_000));
+        tb.run_until(Instant::from_nanos(50_000_000));
+        let snaps = format!("{:?}", tb.snapshots());
+        let misc = format!(
+            "rx={:?} sync={:?} log={:?}",
+            tb.host_rx(),
+            tb.sync_spreads(1),
+            tb.delivery_log().map(|l| l.len()),
+        );
+        let trace = tb.take_trace_lines().join("\n");
+        assert_eq!(snaps, reference.0, "profiling changed snapshots");
+        assert_eq!(misc, reference.1, "profiling changed merged outputs");
+        assert_eq!(trace, reference.2, "profiling changed the trace");
+        let profile = tb.take_profile();
+        assert!(profile.windows > 0, "no windows accounted");
+        assert!(
+            profile.domains.iter().any(|d| d.events > 0),
+            "no events accounted"
+        );
     }
 
     #[test]

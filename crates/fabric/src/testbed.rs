@@ -113,6 +113,24 @@ impl Testbed {
     /// Run the simulation until `deadline`.
     pub fn run_until(&mut self, deadline: Instant) {
         self.sim.run_until(deadline);
+        // Close any profile window left open at the boundary — mirrors
+        // the sharded engine's deadline-truncated final window. A no-op
+        // when profiling is disabled.
+        self.sim.world_mut().profile_run_boundary();
+    }
+
+    /// Enable the deterministic profiler (see `obs::profile`). Call
+    /// before the first `run_until` so the accounting covers the run.
+    pub fn enable_profiling(&mut self) {
+        self.sim.world_mut().enable_profiler();
+    }
+
+    /// Render and consume the profile.
+    ///
+    /// # Panics
+    /// If profiling was never enabled.
+    pub fn take_profile(&mut self) -> obs::profile::Profile {
+        self.sim.world_mut().take_profile()
     }
 
     /// Kill device `dev`'s snapshot participation at `at` (it keeps

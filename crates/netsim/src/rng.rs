@@ -71,17 +71,15 @@ impl SimRng {
 
     #[inline]
     fn next_raw(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
+        let [s0, s1, s2, s3] = &mut self.s;
+        let result = s0.wrapping_add(*s3).rotate_left(23).wrapping_add(*s0);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
         result
     }
 
@@ -131,7 +129,11 @@ impl SimRng {
 
     /// Pick a uniformly random element of a non-empty slice.
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
-        &items[self.index(items.len())]
+        let i = self.index(items.len());
+        let Some(item) = items.get(i) else {
+            unreachable!("index() draws below items.len()");
+        };
+        item
     }
 
     /// Fisher-Yates shuffle.

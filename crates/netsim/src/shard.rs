@@ -186,6 +186,14 @@ pub trait ShardWorld: Send {
     /// Handle one owned event at `now`, appending every follow-up to
     /// `out` (same-shard follow-ups included).
     fn dispatch(&mut self, now: Instant, event: Self::Event, out: &mut Vec<Emit<Self::Event>>);
+
+    /// Called once per shard at the end of **every** window with the
+    /// window's horizon (exclusive bound) — including windows in which
+    /// this shard executed no events. Default is a no-op; profiling
+    /// worlds use it to account barrier stall deterministically (each
+    /// replica sees the identical window sequence regardless of how
+    /// domains are packed onto shards).
+    fn window_close(&mut self, _horizon: Instant) {}
 }
 
 /// One shard: a world fragment plus its queue and outbox.
@@ -551,8 +559,9 @@ fn window_horizon(t: Instant, lookahead: Duration) -> Instant {
 /// Process one shard's events in `[.., horizon) ∩ [.., deadline]`,
 /// capturing follow-ups: same-shard into the local queue (they may still
 /// fall inside this window — intra-domain cascades are not bounded by
-/// the lookahead), cross-shard into the outbox. Returns the number of
-/// events dispatched.
+/// the lookahead), cross-shard into the outbox. Closes with exactly one
+/// [`ShardWorld::window_close`] call. Returns the number of events
+/// dispatched.
 fn process_window<S: ShardWorld>(
     shard: &mut Shard<S>,
     own_idx: usize,
@@ -563,10 +572,10 @@ fn process_window<S: ShardWorld>(
     loop {
         let due = matches!(shard.queue.peek_time(), Some(t) if t < horizon && t <= deadline);
         if !due {
-            return dispatched;
+            break;
         }
         let Some((time, _key, event)) = shard.queue.pop() else {
-            return dispatched;
+            break;
         };
         let mut scratch = std::mem::take(&mut shard.scratch);
         scratch.clear();
@@ -587,6 +596,8 @@ fn process_window<S: ShardWorld>(
         }
         shard.scratch = scratch;
     }
+    shard.world.window_close(horizon);
+    dispatched
 }
 
 #[cfg(test)]
@@ -604,6 +615,8 @@ mod tests {
         seq: u64,
         /// (time ns, token id) in dispatch order.
         log: Vec<(u64, u32)>,
+        /// Horizons passed to `window_close`, in call order.
+        closes: Vec<u64>,
         panic_on: Option<u32>,
         echo: bool,
     }
@@ -622,6 +635,7 @@ mod tests {
                 hop_delay,
                 seq: 0,
                 log: Vec::new(),
+                closes: Vec::new(),
                 panic_on: None,
                 echo: false,
             }
@@ -666,6 +680,10 @@ mod tests {
                 }
                 Tok::Echo { id } => self.log.push((now.as_nanos(), id + 2000)),
             }
+        }
+
+        fn window_close(&mut self, horizon: Instant) {
+            self.closes.push(horizon.as_nanos());
         }
     }
 
@@ -854,6 +872,51 @@ mod tests {
         assert_eq!(inline_w, threaded_w);
         assert_eq!(inline_m, threaded_m);
         assert!(inline_m > 0, "scenario must actually cross shards");
+    }
+
+    /// Same scenario as `run_scenario`, returning the per-shard
+    /// `window_close` horizon sequences.
+    fn run_scenario_closes(shards: usize, jobs: usize) -> Vec<Vec<u64>> {
+        parfan::with_jobs(jobs, || {
+            let mut sim = token_sim(shards, L, L);
+            for id in 0..6u32 {
+                let shard = (id as usize) % shards;
+                sim.inject(
+                    shard,
+                    Instant::from_nanos(u64::from(id) * 7),
+                    pack_key(shards as u32, u64::from(id)),
+                    Tok::Hop { id, hops: 5 },
+                );
+            }
+            assert!(matches!(
+                sim.run_until(Instant::from_nanos(100_000)),
+                RunOutcome::Drained
+            ));
+            let windows = sim.stats().windows;
+            let closes: Vec<Vec<u64>> = (0..shards)
+                .map(|s| std::mem::take(&mut sim.world_mut(s).closes))
+                .collect();
+            for c in &closes {
+                assert_eq!(
+                    c.len() as u64,
+                    windows,
+                    "window_close must fire on every shard at every window"
+                );
+            }
+            closes
+        })
+    }
+
+    #[test]
+    fn window_close_fires_identically_on_every_shard() {
+        let closes = run_scenario_closes(3, 1);
+        // Every shard sees the same horizon sequence: the window schedule
+        // is global, not per-shard.
+        assert!(closes.iter().all(|c| *c == closes[0]));
+        assert!(!closes[0].is_empty());
+        assert!(closes[0].windows(2).all(|w| w[0] < w[1]));
+        // And the threaded pool sees the identical schedule.
+        assert_eq!(closes, run_scenario_closes(3, 3));
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod sinks;
 
 /// Environment variable selecting the default trace sink

@@ -106,6 +106,38 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// Exact nearest-rank quantile over the bucketed distribution,
+    /// integer-only: for `p_pct` in 1..=100 and `n` observations, find
+    /// the bucket containing rank `⌈p·n/100⌉` and return its inclusive
+    /// upper bound — the tightest bound `b` such that at least `p%` of
+    /// observations are ≤ `b`. Returns `None` when the histogram is
+    /// empty or the rank lands in the overflow bucket (the quantile
+    /// exceeds every configured bound).
+    ///
+    /// # Panics
+    /// If `p_pct` is 0 or above 100.
+    pub fn quantile(&self, p_pct: u64) -> Option<u64> {
+        assert!(
+            (1..=100).contains(&p_pct),
+            "quantile percentile must be in 1..=100"
+        );
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        // Nearest-rank: ⌈p·n/100⌉ in u128 so huge counts cannot overflow.
+        let rank = (u128::from(p_pct) * u128::from(n)).div_ceil(100) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                // The overflow bucket has no upper bound: `get` yields None.
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
+    }
+
     fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"bounds\":[");
@@ -124,6 +156,15 @@ impl Histogram {
         }
         out.push_str("],\"sum\":");
         out.push_str(&self.sum.to_string());
+        for &(key, p) in &[("p50", 50), ("p90", 90), ("p99", 99)] {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            match self.quantile(p) {
+                Some(v) => out.push_str(&v.to_string()),
+                None => out.push_str("null"),
+            }
+        }
         out.push('}');
         out
     }
@@ -345,6 +386,57 @@ mod tests {
         assert!(a.find("\"a\"").unwrap() < a.find("\"b\"").unwrap());
         assert!(a.contains("\"bounds\":[10,20]"));
         assert!(a.contains("\"counts\":[0,1,0]"));
+    }
+
+    #[test]
+    fn nearest_rank_quantiles_hit_exact_bucket_boundaries() {
+        // 10 observations: ranks are exact multiples of n/100.
+        let mut h = Histogram::new(&[10, 20, 30]);
+        for v in [1, 2, 3, 4, 5, 15, 15, 25, 25, 25] {
+            h.observe(v);
+        }
+        // p50 → rank 5 → still in the ≤10 bucket (cum 5 ≥ 5).
+        assert_eq!(h.quantile(50), Some(10));
+        // p51 → rank ⌈5.1⌉ = 6 → the ≤20 bucket.
+        assert_eq!(h.quantile(51), Some(20));
+        // p70 → rank 7 → ≤20; p71 → rank 8 → ≤30.
+        assert_eq!(h.quantile(70), Some(20));
+        assert_eq!(h.quantile(71), Some(30));
+        assert_eq!(h.quantile(90), Some(30));
+        assert_eq!(h.quantile(99), Some(30));
+        assert_eq!(h.quantile(100), Some(30));
+        // p1..p10 all map to rank 1 → first bucket.
+        assert_eq!(h.quantile(1), Some(10));
+    }
+
+    #[test]
+    fn quantile_single_observation_and_overflow_bucket() {
+        let mut h = Histogram::new(&[10]);
+        assert_eq!(h.quantile(50), None, "empty histogram has no quantiles");
+        h.observe(7);
+        assert_eq!(h.quantile(1), Some(10));
+        assert_eq!(h.quantile(100), Some(10));
+        // An overflow observation pushes the tail quantiles out of range.
+        h.observe(999);
+        assert_eq!(h.quantile(50), Some(10));
+        assert_eq!(h.quantile(99), None, "overflow bucket has no upper bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=100")]
+    fn quantile_percentile_zero_is_rejected() {
+        let _ = Histogram::new(&[1]).quantile(0);
+    }
+
+    #[test]
+    fn histogram_json_carries_quantiles() {
+        let mut m = Metrics::new();
+        m.observe("h", &[10, 20], 15);
+        let j = m.to_json();
+        assert!(j.contains("\"p50\":20,\"p90\":20,\"p99\":20"));
+        let mut m2 = Metrics::new();
+        m2.observe("h", &[10], 99);
+        assert!(m2.to_json().contains("\"p50\":null"));
     }
 
     #[test]
